@@ -1,0 +1,41 @@
+//! E1 (CPU side) — engine cost per strategy on the scaled hotels workload.
+//! The simulated-network side of E1 is printed by the `report` binary; this
+//! bench measures the real CPU cost of driving each strategy (relevance
+//! detection + splicing + final evaluation) with a free network.
+
+use axml_bench::experiments::strategy_matrix;
+use axml_core::Engine;
+use axml_gen::scenario::{figure4_query, generate, ScenarioParams};
+use axml_services::NetProfile;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_strategies_cpu");
+    group.sample_size(10);
+    for hotels in [25usize, 100] {
+        let params = ScenarioParams {
+            hotels,
+            ..Default::default()
+        };
+        let q = figure4_query();
+        for (name, config) in strategy_matrix() {
+            let sc = generate(&params);
+            sc.registry.reset_stats();
+            let mut registry_sc = sc;
+            registry_sc.registry.set_default_profile(NetProfile::free());
+            group.bench_with_input(BenchmarkId::new(name, hotels), &hotels, |b, _| {
+                b.iter(|| {
+                    let mut doc = registry_sc.doc.clone();
+                    let engine = Engine::new(&registry_sc.registry, config.clone())
+                        .with_schema(&registry_sc.schema);
+                    let report = engine.evaluate(&mut doc, &q);
+                    std::hint::black_box(report.result.len())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

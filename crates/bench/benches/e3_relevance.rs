@@ -1,0 +1,67 @@
+//! E3 (CPU side) — the cost of one relevance-detection pass: exact NFQs vs
+//! the XPath relaxation vs LPQs, on documents of growing size (§6.1's
+//! claim: relaxed queries are cheaper to evaluate).
+
+use axml_core::{build_lpqs, build_nfqs, relax_nfq_to_xpath};
+use axml_gen::scenario::{figure4_query, generate, ScenarioParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_detection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_relevance_pass_cpu");
+    group.sample_size(10);
+    let q = figure4_query();
+    for hotels in [50usize, 200, 800] {
+        let sc = generate(&ScenarioParams {
+            hotels,
+            ..Default::default()
+        });
+        let doc = sc.doc;
+
+        let nfqs = build_nfqs(&q);
+        group.bench_with_input(BenchmarkId::new("nfq-exact", hotels), &doc, |b, d| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for nfq in &nfqs {
+                    found += axml_query::eval(&nfq.pattern, d)
+                        .bindings_of(nfq.output)
+                        .len();
+                }
+                std::hint::black_box(found)
+            })
+        });
+
+        let relaxed: Vec<_> = nfqs.iter().map(relax_nfq_to_xpath).collect();
+        group.bench_with_input(
+            BenchmarkId::new("nfq-xpath-relaxed", hotels),
+            &doc,
+            |b, d| {
+                b.iter(|| {
+                    let mut found = 0usize;
+                    for nfq in &relaxed {
+                        found += axml_query::eval(&nfq.pattern, d)
+                            .bindings_of(nfq.output)
+                            .len();
+                    }
+                    std::hint::black_box(found)
+                })
+            },
+        );
+
+        let lpqs = build_lpqs(&q);
+        group.bench_with_input(BenchmarkId::new("lpq", hotels), &doc, |b, d| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for lpq in &lpqs {
+                    found += axml_query::eval(&lpq.pattern, d)
+                        .bindings_of(lpq.output)
+                        .len();
+                }
+                std::hint::black_box(found)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection);
+criterion_main!(benches);

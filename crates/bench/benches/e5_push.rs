@@ -1,0 +1,50 @@
+//! E5 (CPU side) — the provider-side cost of evaluating a pushed query
+//! (pruned-result and bindings modes) against result size.
+
+use axml_query::{parse_query, EdgeKind};
+use axml_services::{bindings_result, prune_result};
+use axml_xml::Forest;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn restaurant_forest(n: usize, five_star_every: usize) -> Forest {
+    let mut f = Forest::new();
+    for i in 0..n {
+        let r = f.add_root("restaurant");
+        let name = f.add_element(r, "name");
+        f.add_text(name, format!("Resto {i}"));
+        let a = f.add_element(r, "address");
+        f.add_text(a, format!("{i} Main St."));
+        let rt = f.add_element(r, "rating");
+        f.add_text(
+            rt,
+            if i % five_star_every == 0 {
+                "*****"
+            } else {
+                "**"
+            },
+        );
+    }
+    f
+}
+
+fn bench_push(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_provider_side_push_cpu");
+    group.sample_size(20);
+    let q = parse_query("/restaurant[rating=\"*****\"][name=$X][address=$Y] -> $X,$Y").unwrap();
+    for n in [10usize, 100, 1000] {
+        let forest = restaurant_forest(n, 5);
+        group.bench_with_input(BenchmarkId::new("prune_result", n), &forest, |b, f| {
+            b.iter(|| std::hint::black_box(prune_result(&q, f, EdgeKind::Child).roots().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("bindings_result", n), &forest, |b, f| {
+            b.iter(|| std::hint::black_box(bindings_result(&q, f, EdgeKind::Child).roots().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("serialize_full", n), &forest, |b, f| {
+            b.iter(|| std::hint::black_box(axml_xml::forest_serialized_len(f)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_push);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E7 (CPU side) — the cost of satisfiability checking: exact
+//! (coverage-set fixpoint) vs lenient (graph schema, PTIME), per §5/§6.1.
+
+use axml_gen::scenario::figure4_query;
+use axml_query::{EdgeKind, Pattern};
+use axml_schema::{figure2_schema, function_satisfies, SatMode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn subqueries() -> Vec<(String, Pattern, EdgeKind)> {
+    let q = figure4_query();
+    q.node_ids()
+        .map(|v| {
+            let via = if q.parent(v).is_none() {
+                EdgeKind::Child
+            } else {
+                q.node(v).edge
+            };
+            (format!("{v:?}"), q.subtree(v), via)
+        })
+        .collect()
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_satisfiability_cpu");
+    let schema = figure2_schema();
+    let subs = subqueries();
+    let functions = [
+        "getHotels",
+        "getRating",
+        "getNearbyRestos",
+        "getNearbyMuseums",
+    ];
+    for (name, mode) in [("exact", SatMode::Exact), ("lenient", SatMode::Lenient)] {
+        group.bench_function(BenchmarkId::new(name, "fig4-all-nodes"), |b| {
+            b.iter(|| {
+                let mut yes = 0usize;
+                for (_, sub, via) in &subs {
+                    for f in functions {
+                        if function_satisfies(&schema, sub, f, *via, mode) {
+                            yes += 1;
+                        }
+                    }
+                }
+                std::hint::black_box(yes)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Microbenchmarks of the substrates: XML parse/serialize throughput,
+//! tree-pattern evaluation, splice, and the automata tests behind
+//! Proposition 3 and condition (✳).
+
+use axml_core::{build_nfqs, compute_layers};
+use axml_gen::scenario::{figure4_query, generate, ScenarioParams};
+use axml_query::parse_query;
+use axml_schema::Nfa;
+use axml_xml::{parse, to_xml, Forest};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_xml(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_xml");
+    for hotels in [50usize, 400] {
+        let sc = generate(&ScenarioParams {
+            hotels,
+            ..Default::default()
+        });
+        let xml = to_xml(&sc.doc);
+        group.throughput(Throughput::Bytes(xml.len() as u64));
+        group.bench_with_input(BenchmarkId::new("parse", hotels), &xml, |b, s| {
+            b.iter(|| std::hint::black_box(parse(s).unwrap().len()))
+        });
+        group.bench_with_input(BenchmarkId::new("serialize", hotels), &sc.doc, |b, d| {
+            b.iter(|| std::hint::black_box(to_xml(d).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_query_eval");
+    group.sample_size(20);
+    let q = figure4_query();
+    for hotels in [50usize, 400] {
+        let sc = generate(&ScenarioParams {
+            hotels,
+            intensional_restos_fraction: 0.0,
+            intensional_rating_fraction: 0.0,
+            ..Default::default()
+        });
+        group.bench_with_input(BenchmarkId::new("fig4_query", hotels), &sc.doc, |b, d| {
+            b.iter(|| std::hint::black_box(axml_query::eval(&q, d).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_splice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_splice");
+    let result = parse("<restaurant><name>X</name><rating>*****</rating></restaurant>").unwrap();
+    group.bench_function("splice_100_calls", |b| {
+        b.iter_with_setup(
+            || {
+                let mut f = Forest::with_root("r");
+                let root = f.root();
+                for _ in 0..100 {
+                    f.add_call(root, "svc");
+                }
+                f
+            },
+            |mut doc| {
+                for call in doc.calls() {
+                    doc.splice_call(call, &result);
+                }
+                std::hint::black_box(doc.len())
+            },
+        )
+    });
+    group.finish();
+}
+
+fn bench_influence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_influence_automata");
+    let q = figure4_query();
+    let nfqs = build_nfqs(&q);
+    group.bench_function("compute_layers_fig4", |b| {
+        b.iter(|| std::hint::black_box(compute_layers(&nfqs).layers.len()))
+    });
+    let deep = parse_query("/a//b/c//d/e//f/g").unwrap();
+    let deep_nfqs = build_nfqs(&deep);
+    group.bench_function("compute_layers_deep_descendants", |b| {
+        b.iter(|| std::hint::black_box(compute_layers(&deep_nfqs).layers.len()))
+    });
+    let lin_a = &deep_nfqs.last().unwrap().lin;
+    let na = Nfa::from_linear_path(lin_a);
+    group.bench_function("prefix_intersection_test", |b| {
+        b.iter(|| std::hint::black_box(na.some_word_prefixes(&na)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_xml,
+    bench_eval,
+    bench_splice,
+    bench_influence
+);
+criterion_main!(benches);

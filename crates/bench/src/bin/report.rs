@@ -1,0 +1,129 @@
+//! Prints the paper-style experiment tables.
+//!
+//! ```text
+//! cargo run -p axml-bench --release --bin report            # everything
+//! cargo run -p axml-bench --release --bin report e1 e5      # a subset
+//! ```
+
+use axml_bench::experiments as ex;
+use axml_services::NetProfile;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // --csv DIR writes each selected experiment as CSV next to printing it
+    let csv_dir: Option<String> = args.iter().position(|a| a == "--csv").map(|i| {
+        let dir = args.get(i + 1).cloned().unwrap_or_else(|| ".".into());
+        args.drain(i..=(i + 1).min(args.len() - 1));
+        dir
+    });
+    let emit = |name: &str, xname: &str, rows: &[ex::Row]| {
+        if let Some(dir) = &csv_dir {
+            let path = format!("{dir}/{name}.csv");
+            if let Err(e) = std::fs::write(&path, ex::to_csv(xname, rows)) {
+                eprintln!("report: writing {path}: {e}");
+            } else {
+                eprintln!("report: wrote {path}");
+            }
+        }
+    };
+    let want = |k: &str| args.is_empty() || args.iter().any(|a| a == k);
+
+    if want("e1") || want("e2") {
+        let rows = ex::e1_e2_strategies(&[10, 50, 100, 200, 400], NetProfile::default());
+        if want("e1") {
+            ex::print_table(
+                "E1 — total query evaluation time by strategy (Fig. 9-style)",
+                "hotels",
+                &rows,
+            );
+            emit("e1", "hotels", &rows);
+        }
+        if want("e2") {
+            ex::print_table("E2 — service calls invoked by strategy", "hotels", &rows);
+            emit("e2", "hotels", &rows);
+        }
+    }
+    if want("e3") {
+        let rows = ex::e3_exact_vs_lenient(&[0.0, 10.0, 50.0, 200.0, 500.0]);
+        ex::print_table(
+            "E3 — exact vs lenient relevance detection (accuracy/efficiency trade-off)",
+            "latency_ms",
+            &rows,
+        );
+        emit("e3", "latency_ms", &rows);
+    }
+    if want("e4") {
+        let rows = ex::e4_layering_parallel(&[10.0, 50.0, 200.0]);
+        ex::print_table(
+            "E4 — layering and condition-(✳) parallel invocation",
+            "latency_ms",
+            &rows,
+        );
+        emit("e4", "latency_ms", &rows);
+    }
+    if want("e5") {
+        let rows = ex::e5_push(&[0.05, 0.2, 0.5, 1.0]);
+        ex::print_table("E5 — pushing queries to providers", "selectivity", &rows);
+        emit("e5", "selectivity", &rows);
+    }
+    if want("e6") {
+        let rows = ex::e6_fguide(&[50, 200, 800]);
+        ex::print_table("E6 — the function-call guide", "hotels", &rows);
+        emit("e6", "hotels", &rows);
+    }
+    if want("e7") {
+        let rows = ex::e7_typing(&[0, 3, 10]);
+        ex::print_table(
+            "E7 — type-based pruning vs distractor volume",
+            "museums/hotel",
+            &rows,
+        );
+        emit("e7", "museums/hotel", &rows);
+    }
+    if want("e8") {
+        let rows = ex::e8_speculation(&[10.0, 50.0, 200.0]);
+        ex::print_table(
+            "E8 — speculative invocation (§4.4 'just in case')",
+            "latency_ms",
+            &rows,
+        );
+        emit("e8", "latency_ms", &rows);
+    }
+    if want("a1") {
+        let rows = ex::a1_sat_ablation(&[2, 3, 4, 5]);
+        ex::print_table(
+            "A1 — satisfiability: exact vs lenient qualification",
+            "alt width",
+            &rows,
+        );
+        emit("a1", "alt width", &rows);
+    }
+    if want("a3") {
+        let rows = ex::a3_containment(&[50, 200]);
+        ex::print_table(
+            "A3 — containment pruning of call-finding queries",
+            "hotels",
+            &rows,
+        );
+        emit("a3", "hotels", &rows);
+    }
+    if want("e9") {
+        let rows = ex::e9_auctions(&[50, 200]);
+        ex::print_table(
+            "E9 — cross-domain sanity (auctions workload)",
+            "auctions",
+            &rows,
+        );
+        emit("e9", "auctions", &rows);
+    }
+    if want("a4") {
+        let rows = ex::a4_incremental(&[20, 50, 100]);
+        ex::print_table("A4 — incremental relevance detection", "hotels", &rows);
+        emit("a4", "hotels", &rows);
+    }
+    if want("a2") {
+        let rows = ex::a2_nfq_evals(&[20, 50, 100]);
+        ex::print_table("A2 — NFQ re-evaluation counts", "hotels", &rows);
+        emit("a2", "hotels", &rows);
+    }
+}

@@ -1,0 +1,650 @@
+//! The experiment definitions behind every table/figure of the evaluation
+//! (see `EXPERIMENTS.md` at the repository root for the mapping to the
+//! paper's claims). Each experiment is a deterministic function from
+//! parameters to rows; the `report` binary prints them, the Criterion
+//! benches measure the CPU-bound parts.
+
+use axml_core::{Engine, EngineConfig, EngineStats, Typing};
+use axml_gen::scenario::{figure4_query, generate, Scenario, ScenarioParams};
+use axml_query::Pattern;
+use axml_services::NetProfile;
+use std::collections::BTreeSet;
+
+/// One row of an experiment table.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// Row label (e.g. strategy name).
+    pub label: String,
+    /// Sweep coordinate (e.g. number of hotels).
+    pub x: f64,
+    /// Named metrics.
+    pub metrics: Vec<(&'static str, f64)>,
+}
+
+/// Renders rows as CSV (`series,<xname>,<metric…>`), for plotting.
+pub fn to_csv(xname: &str, rows: &[Row]) -> String {
+    let mut out = String::new();
+    let metric_names: Vec<&str> = rows
+        .first()
+        .map(|r| r.metrics.iter().map(|(n, _)| *n).collect())
+        .unwrap_or_default();
+    out.push_str("series,");
+    out.push_str(xname);
+    for m in &metric_names {
+        out.push(',');
+        out.push_str(m);
+    }
+    out.push('\n');
+    for r in rows {
+        out.push_str(&r.label);
+        out.push_str(&format!(",{}", r.x));
+        for (_, v) in &r.metrics {
+            out.push_str(&format!(",{v}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Pretty-prints a table of rows grouped by label.
+pub fn print_table(title: &str, xname: &str, rows: &[Row]) {
+    println!("\n== {title} ==");
+    let metric_names: Vec<&str> = rows
+        .first()
+        .map(|r| r.metrics.iter().map(|(n, _)| *n).collect())
+        .unwrap_or_default();
+    print!("{:<22} {:>10}", "series", xname);
+    for m in &metric_names {
+        print!(" {m:>14}");
+    }
+    println!();
+    for r in rows {
+        print!("{:<22} {:>10}", r.label, r.x);
+        for (_, v) in &r.metrics {
+            if v.fract() == 0.0 && v.abs() < 1e12 {
+                print!(" {:>14}", *v as i64);
+            } else {
+                print!(" {v:>14.1}");
+            }
+        }
+        println!();
+    }
+}
+
+/// Runs one engine configuration on a freshly generated scenario and
+/// returns the stats plus the answer set (used to cross-check correctness
+/// inside experiments).
+pub fn run_once(
+    scenario: &mut Scenario,
+    query: &Pattern,
+    config: EngineConfig,
+    profile: NetProfile,
+) -> (EngineStats, BTreeSet<Vec<String>>) {
+    scenario.registry.set_default_profile(profile);
+    scenario.registry.reset_stats();
+    let mut doc = scenario.doc.clone();
+    let engine = Engine::new(&scenario.registry, config).with_schema(&scenario.schema);
+    let report = engine.evaluate(&mut doc, query);
+    let answers = axml_query::render_result(&doc, &report.result)
+        .into_iter()
+        .collect();
+    (report.stats, answers)
+}
+
+/// The named strategy configurations compared throughout the evaluation.
+pub fn strategy_matrix() -> Vec<(&'static str, EngineConfig)> {
+    vec![
+        ("naive", EngineConfig::naive()),
+        ("top-down", EngineConfig::top_down()),
+        (
+            "lazy-lpq",
+            EngineConfig {
+                parallel: true,
+                ..EngineConfig::lpq()
+            },
+        ),
+        (
+            "lazy-nfq",
+            EngineConfig {
+                layering: true,
+                parallel: true,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "lazy-nfq-typed",
+            EngineConfig {
+                push_queries: false,
+                ..EngineConfig::default()
+            },
+        ),
+    ]
+}
+
+/// E1/E2 — total query evaluation time and calls invoked, per strategy,
+/// scaling the document (the paper's headline orders-of-magnitude figure).
+pub fn e1_e2_strategies(hotel_counts: &[usize], profile: NetProfile) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let q = figure4_query();
+    for &hotels in hotel_counts {
+        let params = ScenarioParams {
+            hotels,
+            ..Default::default()
+        };
+        let mut reference: Option<BTreeSet<Vec<String>>> = None;
+        for (name, config) in strategy_matrix() {
+            let mut sc = generate(&params);
+            let (stats, answers) = run_once(&mut sc, &q, config, profile);
+            match &reference {
+                None => reference = Some(answers),
+                Some(r) => assert_eq!(&answers, r, "{name} disagrees at {hotels} hotels"),
+            }
+            rows.push(Row {
+                label: name.to_string(),
+                x: hotels as f64,
+                metrics: vec![
+                    ("total_ms", stats.total_time_ms()),
+                    ("sim_net_ms", stats.sim_time_ms),
+                    ("calls", stats.calls_invoked as f64),
+                    ("bytes", stats.bytes_transferred as f64),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// E3 — the accuracy/efficiency trade-off of relevance detection (§4, §6.1):
+/// exact NFQs vs the XPath relaxation vs LPQs, as service cost varies.
+pub fn e3_exact_vs_lenient(latencies_ms: &[f64]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let q = figure4_query();
+    let params = ScenarioParams {
+        hotels: 100,
+        ..Default::default()
+    };
+    let variants: Vec<(&str, EngineConfig)> = vec![
+        (
+            "nfq-exact",
+            EngineConfig {
+                push_queries: false,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "nfq-lenient-types",
+            EngineConfig {
+                typing: Typing::Lenient,
+                push_queries: false,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "nfq-xpath-relaxed",
+            EngineConfig {
+                relax_xpath: true,
+                typing: Typing::None,
+                push_queries: false,
+                parallel: true,
+                layering: true,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "lpq-only",
+            EngineConfig {
+                parallel: true,
+                ..EngineConfig::lpq()
+            },
+        ),
+    ];
+    for &lat in latencies_ms {
+        let profile = NetProfile {
+            latency_ms: lat,
+            bytes_per_ms: 100.0,
+        };
+        for (name, config) in &variants {
+            let mut sc = generate(&params);
+            let (stats, _) = run_once(&mut sc, &q, config.clone(), profile);
+            rows.push(Row {
+                label: name.to_string(),
+                x: lat,
+                metrics: vec![
+                    ("total_ms", stats.total_time_ms()),
+                    ("analysis_ms", stats.relevance_cpu.as_secs_f64() * 1e3),
+                    ("sim_net_ms", stats.sim_time_ms),
+                    ("calls", stats.calls_invoked as f64),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// E4 — layering and condition-(✳) parallelism (§4.3–4.4): wall-clock
+/// (simulated) impact of batching independent calls, as latency grows.
+pub fn e4_layering_parallel(latencies_ms: &[f64]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let q = figure4_query();
+    let params = ScenarioParams {
+        hotels: 100,
+        ..Default::default()
+    };
+    let variants: Vec<(&str, EngineConfig)> = vec![
+        ("nfqa-sequential", EngineConfig::nfq_plain()),
+        (
+            "nfqa-layered",
+            EngineConfig {
+                layering: true,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "nfqa-layered-parallel",
+            EngineConfig {
+                layering: true,
+                parallel: true,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+    ];
+    for &lat in latencies_ms {
+        let profile = NetProfile {
+            latency_ms: lat,
+            bytes_per_ms: 100.0,
+        };
+        for (name, config) in &variants {
+            let mut sc = generate(&params);
+            let (stats, _) = run_once(&mut sc, &q, config.clone(), profile);
+            rows.push(Row {
+                label: name.to_string(),
+                x: lat,
+                metrics: vec![
+                    ("sim_net_ms", stats.sim_time_ms),
+                    ("rounds", stats.rounds as f64),
+                    ("nfq_evals", stats.relevance_evals as f64),
+                    ("calls", stats.calls_invoked as f64),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// E5 — pushing queries (§7): transfer volume and time with/without push,
+/// as the five-star selectivity varies (the fraction of a result that is
+/// actually useful).
+pub fn e5_push(selectivities: &[f64]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let q = figure4_query();
+    // slow pipe so transfer dominates
+    let profile = NetProfile {
+        latency_ms: 20.0,
+        bytes_per_ms: 10.0,
+    };
+    for &sel in selectivities {
+        let params = ScenarioParams {
+            hotels: 100,
+            restos_per_hotel: 10,
+            five_star_resto_fraction: sel,
+            ..Default::default()
+        };
+        for (name, push) in [("no-push", false), ("push", true)] {
+            let config = EngineConfig {
+                push_queries: push,
+                ..EngineConfig::default()
+            };
+            let mut sc = generate(&params);
+            let (stats, _) = run_once(&mut sc, &q, config, profile);
+            rows.push(Row {
+                label: name.to_string(),
+                x: sel,
+                metrics: vec![
+                    ("bytes", stats.bytes_transferred as f64),
+                    ("sim_net_ms", stats.sim_time_ms),
+                    ("pushed_calls", stats.pushed_calls as f64),
+                    ("calls", stats.calls_invoked as f64),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// E6 — the F-guide (§6.2): relevance-detection CPU with and without the
+/// guide, and the guide's compactness, as the document grows.
+pub fn e6_fguide(hotel_counts: &[usize]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let q = figure4_query();
+    for &hotels in hotel_counts {
+        let params = ScenarioParams {
+            hotels,
+            ..Default::default()
+        };
+        for (name, fg) in [("nfq-on-document", false), ("nfq-on-fguide", true)] {
+            let config = EngineConfig {
+                use_fguide: fg,
+                push_queries: false,
+                parallel: true,
+                layering: true,
+                ..EngineConfig::default()
+            };
+            let mut sc = generate(&params);
+            let doc_nodes = sc.doc.len();
+            let (stats, _) = run_once(&mut sc, &q, config, NetProfile::free());
+            rows.push(Row {
+                label: name.to_string(),
+                x: hotels as f64,
+                metrics: vec![
+                    ("analysis_ms", stats.relevance_cpu.as_secs_f64() * 1e3),
+                    ("doc_nodes", doc_nodes as f64),
+                    ("guide_nodes", stats.guide_nodes as f64),
+                    ("calls", stats.calls_invoked as f64),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// E7 — type-based pruning (§5): calls invoked as distractor volume grows,
+/// untyped vs lenient vs exact typing.
+pub fn e7_typing(museum_counts: &[usize]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let q = figure4_query();
+    for &museums in museum_counts {
+        let params = ScenarioParams {
+            hotels: 100,
+            museums_per_hotel: museums,
+            ..Default::default()
+        };
+        for (name, typing) in [
+            ("untyped", Typing::None),
+            ("lenient-types", Typing::Lenient),
+            ("exact-types", Typing::Exact),
+        ] {
+            let config = EngineConfig {
+                typing,
+                push_queries: false,
+                parallel: true,
+                layering: true,
+                ..EngineConfig::default()
+            };
+            let mut sc = generate(&params);
+            let (stats, _) = run_once(&mut sc, &q, config, NetProfile::latency(40.0));
+            rows.push(Row {
+                label: name.to_string(),
+                x: museums as f64,
+                metrics: vec![
+                    ("calls", stats.calls_invoked as f64),
+                    ("sim_net_ms", stats.sim_time_ms),
+                    ("analysis_ms", stats.relevance_cpu.as_secs_f64() * 1e3),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// A1 (ablation) — satisfiability qualification counts, exact vs lenient,
+/// on schemas with growing alternation width (where the graph schema
+/// over-approximates).
+pub fn a1_sat_ablation(widths: &[usize]) -> Vec<Row> {
+    use axml_query::parse_query;
+    use axml_schema::{function_satisfies, parse_schema, SatMode};
+    let mut rows = Vec::new();
+    for &w in widths {
+        // element a = (b0 | b1 | … | b{w-1}) — only one child can exist;
+        // query asks for k of them at once
+        let mut text = String::from("function f = in: data, out: a\n");
+        let alts: Vec<String> = (0..w).map(|i| format!("b{i}")).collect();
+        text.push_str(&format!("element a = ({})\n", alts.join(" | ")));
+        for b in &alts {
+            text.push_str(&format!("element {b} = data\n"));
+        }
+        let schema = parse_schema(&text).unwrap();
+        // queries requiring 1..=w distinct children
+        let mut exact_yes = 0usize;
+        let mut lenient_yes = 0usize;
+        for k in 1..=w {
+            let preds: String = (0..k).map(|i| format!("[b{i}]")).collect();
+            let q = parse_query(&format!("/a{preds}")).unwrap();
+            if function_satisfies(
+                &schema,
+                &q,
+                "f",
+                axml_query::EdgeKind::Child,
+                SatMode::Exact,
+            ) {
+                exact_yes += 1;
+            }
+            if function_satisfies(
+                &schema,
+                &q,
+                "f",
+                axml_query::EdgeKind::Child,
+                SatMode::Lenient,
+            ) {
+                lenient_yes += 1;
+            }
+        }
+        rows.push(Row {
+            label: "exact".into(),
+            x: w as f64,
+            metrics: vec![("qualified", exact_yes as f64), ("of", w as f64)],
+        });
+        rows.push(Row {
+            label: "lenient".into(),
+            x: w as f64,
+            metrics: vec![("qualified", lenient_yes as f64), ("of", w as f64)],
+        });
+    }
+    rows
+}
+
+/// A2 (ablation) — NFQ re-evaluation counts: plain NFQA vs layered vs
+/// layered+parallel (the motivation for §4.2–4.4).
+pub fn a2_nfq_evals(hotel_counts: &[usize]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let q = figure4_query();
+    let variants: Vec<(&str, EngineConfig)> = vec![
+        ("nfqa-plain", EngineConfig::nfq_plain()),
+        (
+            "nfqa-layered",
+            EngineConfig {
+                layering: true,
+                simplify_layers: true,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "nfqa-layered-parallel",
+            EngineConfig {
+                layering: true,
+                parallel: true,
+                simplify_layers: true,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+    ];
+    for &hotels in hotel_counts {
+        let params = ScenarioParams {
+            hotels,
+            ..Default::default()
+        };
+        for (name, config) in &variants {
+            let mut sc = generate(&params);
+            let (stats, _) = run_once(&mut sc, &q, config.clone(), NetProfile::free());
+            rows.push(Row {
+                label: name.to_string(),
+                x: hotels as f64,
+                metrics: vec![
+                    ("nfq_evals", stats.relevance_evals as f64),
+                    ("rounds", stats.rounds as f64),
+                    ("analysis_ms", stats.relevance_cpu.as_secs_f64() * 1e3),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// E8 — speculative invocation (§4.4's closing direction, "calling
+/// functions in parallel just in case"): wasted calls vs wall-clock, as
+/// service latency varies.
+pub fn e8_speculation(latencies_ms: &[f64]) -> Vec<Row> {
+    use axml_core::engine::Speculation;
+    let mut rows = Vec::new();
+    let q = figure4_query();
+    let params = ScenarioParams {
+        hotels: 100,
+        ..Default::default()
+    };
+    let variants: Vec<(&str, EngineConfig)> = vec![
+        (
+            "strict-layered-par",
+            EngineConfig {
+                layering: true,
+                parallel: true,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "speculative-always",
+            EngineConfig {
+                speculation: Speculation::Always,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "speculative-cost50",
+            EngineConfig {
+                speculation: Speculation::CostBased {
+                    latency_threshold_ms: 50.0,
+                },
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+    ];
+    for &lat in latencies_ms {
+        let profile = NetProfile {
+            latency_ms: lat,
+            bytes_per_ms: 100.0,
+        };
+        for (name, config) in &variants {
+            let mut sc = generate(&params);
+            let (stats, _) = run_once(&mut sc, &q, config.clone(), profile);
+            rows.push(Row {
+                label: name.to_string(),
+                x: lat,
+                metrics: vec![
+                    ("sim_net_ms", stats.sim_time_ms),
+                    ("calls", stats.calls_invoked as f64),
+                    ("rounds", stats.rounds as f64),
+                    ("spec_rounds", stats.speculative_rounds as f64),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// A3 (ablation) — containment-based pruning of call-finding queries
+/// (§4.1's redundancy elimination): query evaluations and analysis CPU
+/// with and without it.
+pub fn a3_containment(hotel_counts: &[usize]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let q = figure4_query();
+    for &hotels in hotel_counts {
+        let params = ScenarioParams {
+            hotels,
+            ..Default::default()
+        };
+        for (name, pruning) in [("lpq-pruned", true), ("lpq-all", false)] {
+            let config = EngineConfig {
+                parallel: true,
+                containment_pruning: pruning,
+                ..EngineConfig::lpq()
+            };
+            let mut sc = generate(&params);
+            let (stats, _) = run_once(&mut sc, &q, config, NetProfile::free());
+            rows.push(Row {
+                label: name.to_string(),
+                x: hotels as f64,
+                metrics: vec![
+                    ("query_evals", stats.relevance_evals as f64),
+                    ("queries_pruned", stats.queries_pruned as f64),
+                    ("analysis_ms", stats.relevance_cpu.as_secs_f64() * 1e3),
+                    ("calls", stats.calls_invoked as f64),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// A4 (ablation) — incremental relevance detection: NFQ evaluations
+/// performed vs skipped (cached candidate sets reused) and analysis CPU.
+pub fn a4_incremental(hotel_counts: &[usize]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let q = figure4_query();
+    for &hotels in hotel_counts {
+        let params = ScenarioParams {
+            hotels,
+            ..Default::default()
+        };
+        for (name, inc) in [("full-reeval", false), ("incremental", true)] {
+            let config = EngineConfig {
+                incremental_detection: inc,
+                ..EngineConfig::nfq_plain()
+            };
+            let mut sc = generate(&params);
+            let (stats, _) = run_once(&mut sc, &q, config, NetProfile::free());
+            rows.push(Row {
+                label: name.to_string(),
+                x: hotels as f64,
+                metrics: vec![
+                    ("nfq_evals", stats.relevance_evals as f64),
+                    ("skipped", stats.nfq_evals_skipped as f64),
+                    ("analysis_ms", stats.relevance_cpu.as_secs_f64() * 1e3),
+                    ("calls", stats.calls_invoked as f64),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// E9 — cross-domain sanity: the strategy ranking of E1 must hold on the
+/// second (auctions) domain too, whose schema is deeper and join-heavier.
+pub fn e9_auctions(auction_counts: &[usize]) -> Vec<Row> {
+    use axml_gen::auctions::{auction_query, generate_auctions, AuctionParams};
+    let mut rows = Vec::new();
+    let q = auction_query();
+    for &auctions in auction_counts {
+        let params = AuctionParams {
+            auctions,
+            ..Default::default()
+        };
+        let mut reference: Option<BTreeSet<Vec<String>>> = None;
+        for (name, config) in strategy_matrix() {
+            let mut sc = generate_auctions(&params);
+            let (stats, answers) = run_once(&mut sc, &q, config, NetProfile::default());
+            match &reference {
+                None => reference = Some(answers),
+                Some(r) => assert_eq!(&answers, r, "{name} disagrees at {auctions} auctions"),
+            }
+            rows.push(Row {
+                label: name.to_string(),
+                x: auctions as f64,
+                metrics: vec![
+                    ("total_ms", stats.total_time_ms()),
+                    ("sim_net_ms", stats.sim_time_ms),
+                    ("calls", stats.calls_invoked as f64),
+                    ("bytes", stats.bytes_transferred as f64),
+                ],
+            });
+        }
+    }
+    rows
+}

@@ -1,0 +1,12 @@
+#![forbid(unsafe_code)]
+//! # axml-bench — the experiment harness
+//!
+//! Regenerates every table/figure of the (reconstructed) evaluation — see
+//! `EXPERIMENTS.md`. The deterministic, simulated-time experiments live in
+//! [`experiments`] and are printed by the `report` binary
+//! (`cargo run -p axml-bench --release --bin report`); the CPU-bound parts
+//! are measured by the Criterion benches under `benches/`.
+
+pub mod experiments;
+
+pub use experiments::*;

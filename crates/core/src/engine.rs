@@ -1,0 +1,1092 @@
+//! The lazy query-evaluation engine — the paper's central algorithm.
+//!
+//! Given an AXML document, a tree-pattern query and a service registry,
+//! the engine drives a **relevant rewriting** (Definition 4): it invokes
+//! only calls that may contribute to the query, in rounds, until the
+//! document is complete for the query, then evaluates the query once to
+//! obtain the **full result**. The strategy space covers the whole paper:
+//!
+//! | knob | paper section |
+//! |---|---|
+//! | [`Strategy::Naive`] — invoke everything to a fixpoint | §1 (baseline) |
+//! | [`Strategy::TopDown`] — one call at a time along traversed paths | §1 (baseline) |
+//! | [`Strategy::Lpq`] — linear path queries | §3.1 / §6.1 |
+//! | [`Strategy::Nfq`] — node-focused queries + NFQA | §3.2, §4.1 |
+//! | `layering` — influence layers, topological processing | §4.2–4.3 |
+//! | `parallel` — condition (✳) batch invocation | §4.4 |
+//! | `typing` — refined NFQs via satisfiability | §5 |
+//! | `relax_xpath` — drop value joins from NFQs | §6.1 |
+//! | `use_fguide` — function-call guide + residual filtering | §6.2 |
+//! | `push_queries` — ship `sub_q_v` to providers | §7 |
+
+use crate::fguide::{filter_candidates, FGuide};
+use crate::influence::{compute_layers, Layers};
+use crate::nfq::{build_lpqs, build_nfqs, relax_nfq_to_xpath, Nfq};
+use crate::stats::EngineStats;
+use crate::typed::TypeRefiner;
+use axml_query::{eval, EdgeKind, Pattern, SnapshotResult};
+use axml_schema::{SatMode, Schema};
+use axml_services::{PushedQuery, Registry, SimClock};
+use axml_xml::{CallId, Document, NodeId};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::time::Instant;
+
+/// Which family of call-finding queries drives the rewriting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Invoke every call recursively until a fixpoint — the naive baseline
+    /// ruled out in the introduction.
+    Naive,
+    /// Invoke calls one at a time, restarting the (linear-path) analysis
+    /// after each answer — the "less naive" blocking baseline of §1.
+    TopDown,
+    /// Position-only pruning with LPQs (§3.1): safe superset, batched.
+    Lpq,
+    /// Node-focused queries with the NFQA loop (§3.2/§4.1): exact
+    /// relevance under unconstrained types.
+    Nfq,
+}
+
+/// Type-based pruning level (Section 5 / §6.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Typing {
+    /// Ignore signatures (Section 3's assumption).
+    None,
+    /// Lenient graph-schema satisfiability (§6.1) — PTIME, may keep extra
+    /// functions.
+    Lenient,
+    /// Exact derived-instance satisfiability (Section 5).
+    Exact,
+}
+
+/// Full engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Call-finding family.
+    pub strategy: Strategy,
+    /// Type-based pruning (needs a schema; ignored without one).
+    pub typing: Typing,
+    /// Maintain an F-guide and detect candidates on it (§6.2).
+    pub use_fguide: bool,
+    /// Push `sub_q_v` to capable providers (§7). NFQ strategy only.
+    pub push_queries: bool,
+    /// Invoke independent batches in parallel (§4.4); also batches the
+    /// naive/LPQ strategies' rounds.
+    pub parallel: bool,
+    /// Split NFQs into influence layers (§4.3).
+    pub layering: bool,
+    /// Simplify finished layers' `()` branches away (§4.3's note).
+    pub simplify_layers: bool,
+    /// Drop value-join variables from NFQs (§6.1 XPath relaxation).
+    pub relax_xpath: bool,
+    /// Hard cap on invocations — the paper's termination guard (§2 assumes
+    /// termination or a limit).
+    pub max_invocations: usize,
+    /// Eliminate call-finding queries subsumed by others (§4.1's
+    /// containment-based redundancy elimination): exact language inclusion
+    /// for LPQs, homomorphism-based for NFQs.
+    pub containment_pruning: bool,
+    /// Check every (un-pushed) service result against the declared output
+    /// type and the element content models (§2: "its result is guaranteed
+    /// to match the out regular expression"). Violations are counted in
+    /// the stats; the result is spliced regardless (the algorithms stay
+    /// correct, the guarantee was the provider's).
+    pub enforce_output_types: bool,
+    /// Incremental relevance detection: re-evaluate an NFQ only when some
+    /// splice since its last evaluation happened at a position its pattern
+    /// can observe (tested on the prefix closure of the union of the
+    /// pattern's path languages). Unaffected NFQs reuse their cached
+    /// candidate sets. A further answer to §4.1's "costly reevaluation of
+    /// NFQs after each call".
+    pub incremental_detection: bool,
+    /// Record an execution trace: one [`TraceEvent`] per invocation, in
+    /// order (round, service, document position, push, cost).
+    pub trace: bool,
+    /// Dispatch parallel batches on real OS threads (one per call), the
+    /// way the original system issued asynchronous SOAP calls. Results are
+    /// still spliced sequentially and deterministically (document order),
+    /// so answers and statistics are identical — only wall-clock changes
+    /// when services do real work or real I/O.
+    pub real_threads: bool,
+    /// Speculative invocation — the paper's §4.4 closing direction:
+    /// "calling functions in parallel *just in case*", trading possibly
+    /// wasted calls for wall-clock.
+    pub speculation: Speculation,
+}
+
+/// When to fire *all* currently relevant calls in one batch, ignoring the
+/// layer order and condition (✳) (§4.4's "more parallelism" direction).
+/// Every call fired is relevant at firing time (Prop. 1), but a batch mate
+/// may retroactively make it useless — a *lenient* rewriting: safe, maybe
+/// wasteful.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Speculation {
+    /// Strict relevant rewriting (the default).
+    Off,
+    /// Always batch everything.
+    Always,
+    /// Cost model: batch when the observed mean call cost exceeds the
+    /// threshold — latency expensive ⇒ wasted calls are worth the rounds
+    /// they save.
+    CostBased {
+        /// Mean simulated call cost (ms) above which speculation pays.
+        latency_threshold_ms: f64,
+    },
+}
+
+impl Default for EngineConfig {
+    /// The full lazy configuration: NFQ + layering + parallel + exact
+    /// typing + push, no F-guide.
+    fn default() -> Self {
+        EngineConfig {
+            strategy: Strategy::Nfq,
+            typing: Typing::Exact,
+            use_fguide: false,
+            push_queries: true,
+            parallel: true,
+            layering: true,
+            simplify_layers: true,
+            relax_xpath: false,
+            max_invocations: 100_000,
+            containment_pruning: true,
+            enforce_output_types: false,
+            incremental_detection: false,
+            trace: false,
+            real_threads: false,
+            speculation: Speculation::Off,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// The naive materialize-everything baseline.
+    pub fn naive() -> Self {
+        EngineConfig {
+            strategy: Strategy::Naive,
+            typing: Typing::None,
+            push_queries: false,
+            layering: false,
+            parallel: false,
+            ..Default::default()
+        }
+    }
+
+    /// The blocking top-down baseline.
+    pub fn top_down() -> Self {
+        EngineConfig {
+            strategy: Strategy::TopDown,
+            typing: Typing::None,
+            push_queries: false,
+            layering: false,
+            parallel: false,
+            ..Default::default()
+        }
+    }
+
+    /// Plain LPQ pruning.
+    pub fn lpq() -> Self {
+        EngineConfig {
+            strategy: Strategy::Lpq,
+            typing: Typing::None,
+            push_queries: false,
+            layering: false,
+            ..Default::default()
+        }
+    }
+
+    /// Plain NFQA (no typing, no layering, sequential).
+    pub fn nfq_plain() -> Self {
+        EngineConfig {
+            strategy: Strategy::Nfq,
+            typing: Typing::None,
+            push_queries: false,
+            layering: false,
+            parallel: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// One invocation in an execution trace (recorded when
+/// [`EngineConfig::trace`] is on).
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// The invoke/re-evaluate round the call belonged to.
+    pub round: usize,
+    /// Service name.
+    pub service: String,
+    /// Slash-joined label path of the call's parent.
+    pub path: String,
+    /// Whether a subquery was pushed with the call (§7).
+    pub pushed: bool,
+    /// Simulated cost of the call.
+    pub cost_ms: f64,
+}
+
+/// The outcome of one engine run.
+#[derive(Clone, Debug)]
+pub struct EvalReport {
+    /// The full result of the query (snapshot on the completed document).
+    pub result: SnapshotResult,
+    /// Measurements.
+    pub stats: EngineStats,
+    /// Execution trace (empty unless [`EngineConfig::trace`] is set).
+    pub trace: Vec<TraceEvent>,
+}
+
+/// The lazy query evaluation engine.
+pub struct Engine<'a> {
+    registry: &'a Registry,
+    schema: Option<&'a Schema>,
+    config: EngineConfig,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine without schema information (typing disabled).
+    pub fn new(registry: &'a Registry, config: EngineConfig) -> Self {
+        Engine {
+            registry,
+            schema: None,
+            config,
+        }
+    }
+
+    /// Attaches a schema, enabling `Typing::{Lenient, Exact}`.
+    pub fn with_schema(mut self, schema: &'a Schema) -> Self {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// Rewrites `doc` until it is complete for the query, **without** the
+    /// final evaluation — the exchange use case of Section 1's closing
+    /// remark ("our technique can be used to evaluate queries on exchanged
+    /// AXML data"): materialize exactly what a recipient needs for `query`
+    /// and ship the document.
+    pub fn complete_for(&self, doc: &mut Document, query: &Pattern) -> EngineStats {
+        let mut report = self.evaluate(doc, query);
+        report.stats.final_eval_cpu = std::time::Duration::ZERO;
+        report.stats
+    }
+
+    /// Evaluates several queries over one document with a **shared**
+    /// rewriting — the multi-query optimization Section 4.1 points to
+    /// ("techniques for multi-query optimization \[7\] are essential"):
+    /// a call relevant to any of the queries is invoked exactly once.
+    ///
+    /// The shared loop batches the union of all queries' relevant calls per
+    /// round (every fired call is relevant to some query at firing time, a
+    /// lenient rewriting in the sense of Section 2); pushed queries are
+    /// disabled because a pruned result safe for one query may starve
+    /// another.
+    pub fn evaluate_many(&self, doc: &mut Document, queries: &[Pattern]) -> Vec<EvalReport> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let t0 = Instant::now();
+        let shared_config = EngineConfig {
+            push_queries: false,
+            ..self.config.clone()
+        };
+        let engine = Engine {
+            registry: self.registry,
+            schema: self.schema,
+            config: shared_config,
+        };
+        let mut run = Run {
+            engine: &engine,
+            query: &queries[0], // unused: push is off and refiners are per query
+            clock: SimClock::new(),
+            stats: EngineStats::default(),
+            dead: HashSet::new(),
+            guide: None,
+            budget: self.config.max_invocations,
+            total_call_cost_ms: 0.0,
+            splice_seq: 0,
+            splice_log: Vec::new(),
+            nfq_cache: std::collections::HashMap::new(),
+            affected_nfas: std::collections::HashMap::new(),
+            trace: Vec::new(),
+        };
+        let typing = match (self.config.typing, self.schema) {
+            (Typing::Lenient, Some(_)) => Some(SatMode::Lenient),
+            (Typing::Exact, Some(_)) => Some(SatMode::Exact),
+            _ => None,
+        };
+        let mut per_query: Vec<(Vec<Nfq>, Option<TypeRefiner<'_, '_>>)> = queries
+            .iter()
+            .map(|q| {
+                let mut nfqs = build_nfqs(q);
+                if self.config.relax_xpath {
+                    nfqs = nfqs.iter().map(relax_nfq_to_xpath).collect();
+                }
+                if self.config.containment_pruning {
+                    let (kept, pruned) = crate::containment::prune_subsumed_nfqs(q, nfqs);
+                    nfqs = kept;
+                    run.stats.queries_pruned += pruned;
+                }
+                let refiner =
+                    typing.and_then(|mode| self.schema.map(|s| TypeRefiner::new(s, q, mode)));
+                (nfqs, refiner)
+            })
+            .collect();
+
+        loop {
+            let mut merged: BTreeMap<CallId, Candidate> = BTreeMap::new();
+            for (nfqs, refiner) in per_query.iter_mut() {
+                let all: Vec<usize> = (0..nfqs.len()).collect();
+                let (cands, _) = run.detect_nfq_candidates(doc, nfqs, &all, refiner);
+                for c in cands {
+                    merged.entry(c.call).or_insert(c);
+                }
+            }
+            if merged.is_empty() || run.budget == 0 {
+                run.stats.truncated |= run.budget == 0 && !merged.is_empty();
+                break;
+            }
+            run.stats.rounds += 1;
+            let cands: Vec<Candidate> = merged.into_values().collect();
+            let invoked = run.invoke_set(doc, &cands, &BTreeMap::new(), self.config.parallel);
+            if invoked == 0 {
+                break;
+            }
+        }
+
+        let shared_sim = run.clock.now_ms();
+        let mut shared_stats = run.stats;
+        shared_stats.sim_time_ms = shared_sim;
+        shared_stats.final_doc_size = doc.len();
+        let shared_trace = run.trace;
+        queries
+            .iter()
+            .map(|q| {
+                let tq = Instant::now();
+                let result = eval(q, doc);
+                let mut stats = shared_stats.clone();
+                stats.final_eval_cpu = tq.elapsed();
+                stats.total_cpu = t0.elapsed();
+                EvalReport {
+                    result,
+                    stats,
+                    trace: shared_trace.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Runs the rewriting on `doc` (mutated in place) and evaluates the
+    /// query on the completed document.
+    pub fn evaluate(&self, doc: &mut Document, query: &Pattern) -> EvalReport {
+        let t0 = Instant::now();
+        let mut run = Run {
+            engine: self,
+            query,
+            clock: SimClock::new(),
+            stats: EngineStats::default(),
+            dead: HashSet::new(),
+            guide: None,
+            budget: self.config.max_invocations,
+            total_call_cost_ms: 0.0,
+            splice_seq: 0,
+            splice_log: Vec::new(),
+            nfq_cache: std::collections::HashMap::new(),
+            affected_nfas: std::collections::HashMap::new(),
+            trace: Vec::new(),
+        };
+        match self.config.strategy {
+            Strategy::Naive => run.run_naive(doc),
+            Strategy::TopDown => run.run_lpq(doc, true),
+            Strategy::Lpq => run.run_lpq(doc, false),
+            Strategy::Nfq => run.run_nfq(doc),
+        }
+        let tq = Instant::now();
+        let result = eval(query, doc);
+        let mut stats = run.stats;
+        stats.final_eval_cpu = tq.elapsed();
+        stats.sim_time_ms = run.clock.now_ms();
+        stats.total_cpu = t0.elapsed();
+        stats.final_doc_size = doc.len();
+        if let Some(g) = &run.guide {
+            stats.guide_nodes = g.len();
+        }
+        EvalReport {
+            result,
+            stats,
+            trace: run.trace,
+        }
+    }
+}
+
+/// Cached candidate triple: node, call identity, service name.
+type CachedCandidate = (NodeId, CallId, String);
+
+/// Per-run mutable state.
+struct Run<'e, 'a, 'q> {
+    engine: &'e Engine<'a>,
+    query: &'q Pattern,
+    clock: SimClock,
+    stats: EngineStats,
+    /// calls that cannot be invoked (unknown services)
+    dead: HashSet<CallId>,
+    guide: Option<FGuide>,
+    budget: usize,
+    total_call_cost_ms: f64,
+    /// monotone splice counter + log of (seq, parent label path), for
+    /// incremental detection
+    splice_seq: u64,
+    splice_log: Vec<(u64, Vec<String>)>,
+    /// per-NFQ-index cached candidates and their freshness
+    nfq_cache: std::collections::HashMap<usize, (u64, Vec<CachedCandidate>)>,
+    /// per-NFQ-index prefix-closed union of path languages
+    affected_nfas: std::collections::HashMap<usize, axml_schema::Nfa>,
+    trace: Vec<TraceEvent>,
+}
+
+/// One invocation candidate.
+#[derive(Clone, Debug)]
+struct Candidate {
+    node: NodeId,
+    call: CallId,
+    service: String,
+    /// the query nodes whose NFQs retrieved it (empty for LPQ/naive)
+    foci: BTreeSet<axml_query::PNodeId>,
+}
+
+impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
+    fn config(&self) -> &EngineConfig {
+        &self.engine.config
+    }
+
+    /// Calls visible to queries: pre-order, never descending below a call
+    /// (parameters are service inputs, not content).
+    fn visible_calls(&self, doc: &Document) -> Vec<(NodeId, CallId, String)> {
+        let mut out = Vec::new();
+        let mut stack: Vec<NodeId> = doc.roots().iter().rev().copied().collect();
+        while let Some(n) = stack.pop() {
+            if let Some((id, svc)) = doc.call_info(n) {
+                if !self.dead.contains(&id) {
+                    out.push((n, id, svc.to_string()));
+                }
+                continue;
+            }
+            for &c in doc.children(n).iter().rev() {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Validates a candidate and extracts what its dispatch needs: the
+    /// parameter forest and the parent label path. `None` means skipped
+    /// (stale node, unknown service, budget exhausted).
+    fn prepare(
+        &mut self,
+        doc: &Document,
+        cand: &Candidate,
+    ) -> Option<(axml_xml::Forest, Vec<String>)> {
+        if self.budget == 0 {
+            self.stats.truncated = true;
+            return None;
+        }
+        if !doc.is_alive(cand.node) {
+            return None;
+        }
+        match doc.call_info(cand.node) {
+            Some((id, _)) if id == cand.call => {}
+            _ => return None, // slot reused by a different node
+        }
+        if !self.engine.registry.has_service(&cand.service) {
+            self.dead.insert(cand.call);
+            self.stats.skipped_unknown += 1;
+            return None;
+        }
+        let params = doc.children_to_forest(cand.node);
+        let parent_path: Vec<String> = match doc.parent(cand.node) {
+            Some(p) => doc.path_labels(p),
+            None => Vec::new(),
+        };
+        // reserve budget now: threaded batches dispatch before applying
+        self.budget -= 1;
+        Some((params, parent_path))
+    }
+
+    /// Invokes one candidate; returns its simulated cost, or `None` when
+    /// the call was skipped (stale, unknown service, budget exhausted).
+    fn invoke(
+        &mut self,
+        doc: &mut Document,
+        cand: &Candidate,
+        pushed: Option<&PushedQuery>,
+    ) -> Option<f64> {
+        let (params, parent_path) = self.prepare(doc, cand)?;
+        let outcome = self
+            .engine
+            .registry
+            .invoke(&cand.service, params, pushed)
+            .expect("service existence checked in prepare");
+        Some(self.apply(doc, cand, parent_path, outcome))
+    }
+
+    /// Splices a dispatched call's outcome into the document and accounts
+    /// for it; returns the simulated cost.
+    fn apply(
+        &mut self,
+        doc: &mut Document,
+        cand: &Candidate,
+        parent_path: Vec<String>,
+        outcome: axml_services::InvokeOutcome,
+    ) -> f64 {
+        if self.config().enforce_output_types && !outcome.pushed {
+            if let Some(schema) = self.engine.schema {
+                if let Some(sig) = schema.function(&cand.service) {
+                    let root_ok = axml_schema::forest_matches_type(&outcome.result, &sig.output);
+                    let content_errors = axml_schema::validate(&outcome.result, schema)
+                        .into_iter()
+                        .filter(|e| !matches!(e, axml_schema::ValidationError::RootMismatch { .. }))
+                        .count();
+                    if !root_ok || content_errors > 0 {
+                        self.stats.type_violations += 1;
+                    }
+                }
+            }
+        }
+        if let Some(g) = &mut self.guide {
+            g.remove_call(&parent_path, cand.node);
+        }
+        let inserted = doc.splice_call(cand.node, &outcome.result);
+        if let Some(g) = &mut self.guide {
+            for &r in &inserted {
+                g.add_subtree(doc, r, &parent_path);
+            }
+        }
+        self.splice_seq += 1;
+        if self.config().incremental_detection {
+            self.splice_log.push((self.splice_seq, parent_path.clone()));
+        }
+        if self.config().trace {
+            self.trace.push(TraceEvent {
+                round: self.stats.rounds,
+                service: cand.service.clone(),
+                path: parent_path.join("/"),
+                pushed: outcome.pushed,
+                cost_ms: outcome.cost_ms,
+            });
+        }
+        self.stats.calls_invoked += 1;
+        self.total_call_cost_ms += outcome.cost_ms;
+        self.stats.bytes_transferred += outcome.bytes;
+        if outcome.pushed {
+            self.stats.pushed_calls += 1;
+        }
+        *self
+            .stats
+            .invoked_by_service
+            .entry(cand.service.clone())
+            .or_default() += 1;
+        outcome.cost_ms
+    }
+
+    /// Invokes a set of candidates, sequential or as a parallel batch
+    /// (logical-clock overlap always; real OS threads when configured).
+    fn invoke_set(
+        &mut self,
+        doc: &mut Document,
+        cands: &[Candidate],
+        pushes: &BTreeMap<CallId, PushedQuery>,
+        parallel: bool,
+    ) -> usize {
+        let mut invoked = 0;
+        if parallel && self.config().real_threads {
+            // phase 1: validate everything against the unchanged document
+            let mut prepared: Vec<(&Candidate, axml_xml::Forest, Vec<String>)> = Vec::new();
+            for c in cands {
+                if let Some((params, path)) = self.prepare(doc, c) {
+                    prepared.push((c, params, path));
+                }
+            }
+            // phase 2: dispatch on real threads, one per call
+            let registry = self.engine.registry;
+            let outcomes: Vec<axml_services::InvokeOutcome> = std::thread::scope(|scope| {
+                let handles: Vec<_> = prepared
+                    .iter()
+                    .map(|(c, params, _)| {
+                        let params = params.clone();
+                        let pushed = pushes.get(&c.call);
+                        let service = c.service.clone();
+                        scope.spawn(move || {
+                            registry
+                                .invoke(&service, params, pushed)
+                                .expect("service existence checked in prepare")
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("service panicked"))
+                    .collect()
+            });
+            // phase 3: splice sequentially, deterministically
+            let mut costs = Vec::new();
+            for ((c, _, path), outcome) in prepared.into_iter().zip(outcomes) {
+                costs.push(self.apply(doc, c, path, outcome));
+                invoked += 1;
+            }
+            self.clock.advance_parallel(&costs);
+        } else if parallel {
+            let mut costs = Vec::new();
+            for c in cands {
+                if let Some(cost) = self.invoke(doc, c, pushes.get(&c.call)) {
+                    costs.push(cost);
+                    invoked += 1;
+                }
+            }
+            self.clock.advance_parallel(&costs);
+        } else {
+            for c in cands {
+                if let Some(cost) = self.invoke(doc, c, pushes.get(&c.call)) {
+                    self.clock.advance(cost);
+                    invoked += 1;
+                }
+            }
+        }
+        invoked
+    }
+
+    // ---------------- naive ----------------
+
+    fn run_naive(&mut self, doc: &mut Document) {
+        loop {
+            let cands: Vec<Candidate> = self
+                .visible_calls(doc)
+                .into_iter()
+                .map(|(node, call, service)| Candidate {
+                    node,
+                    call,
+                    service,
+                    foci: BTreeSet::new(),
+                })
+                .collect();
+            if cands.is_empty() || self.budget == 0 {
+                self.stats.truncated |= self.budget == 0 && !cands.is_empty();
+                break;
+            }
+            self.stats.rounds += 1;
+            let par = self.config().parallel;
+            let invoked = self.invoke_set(doc, &cands, &BTreeMap::new(), par);
+            if invoked == 0 {
+                break; // everything left is dead
+            }
+        }
+    }
+
+    // ---------------- LPQ / top-down ----------------
+
+    fn run_lpq(&mut self, doc: &mut Document, one_at_a_time: bool) {
+        let mut lpqs = build_lpqs(self.query);
+        if self.config().containment_pruning {
+            let (kept, pruned) = crate::containment::prune_subsumed_lpqs(lpqs);
+            lpqs = kept;
+            self.stats.queries_pruned = pruned;
+        }
+        loop {
+            let t = Instant::now();
+            let mut cands: Vec<Candidate> = Vec::new();
+            let mut seen: HashSet<CallId> = HashSet::new();
+            for lpq in &lpqs {
+                self.stats.relevance_evals += 1;
+                let r = eval(&lpq.pattern, doc);
+                for node in r.bindings_of(lpq.output) {
+                    if let Some((id, svc)) = doc.call_info(node) {
+                        if !self.dead.contains(&id) && seen.insert(id) {
+                            cands.push(Candidate {
+                                node,
+                                call: id,
+                                service: svc.to_string(),
+                                foci: BTreeSet::new(),
+                            });
+                        }
+                    }
+                }
+            }
+            self.stats.relevance_cpu += t.elapsed();
+            if cands.is_empty() || self.budget == 0 {
+                self.stats.truncated |= self.budget == 0 && !cands.is_empty();
+                break;
+            }
+            cands.sort_by(|a, b| doc.cmp_document_order(a.node, b.node));
+            self.stats.rounds += 1;
+            let invoked = if one_at_a_time {
+                let first = cands[0].clone();
+                match self.invoke(doc, &first, None) {
+                    Some(cost) => {
+                        self.clock.advance(cost);
+                        1
+                    }
+                    None => 0,
+                }
+            } else {
+                self.invoke_set(doc, &cands, &BTreeMap::new(), self.config().parallel)
+            };
+            if invoked == 0 && cands.iter().all(|c| self.dead.contains(&c.call)) {
+                break;
+            }
+            if invoked == 0 {
+                // nothing invocable this round (all stale/unknown): the
+                // candidate set can only shrink, so re-detect once more and
+                // stop if it repeats
+                let still: Vec<&Candidate> = cands
+                    .iter()
+                    .filter(|c| !self.dead.contains(&c.call))
+                    .collect();
+                if !still.is_empty() {
+                    break;
+                }
+            }
+        }
+    }
+
+    // ---------------- NFQ (NFQA + layers + typing + F-guide) ----------------
+
+    fn run_nfq(&mut self, doc: &mut Document) {
+        let mut nfqs = build_nfqs(self.query);
+        if self.config().relax_xpath {
+            nfqs = nfqs.iter().map(relax_nfq_to_xpath).collect();
+        }
+        if self.config().containment_pruning {
+            let (kept, pruned) = crate::containment::prune_subsumed_nfqs(self.query, nfqs);
+            nfqs = kept;
+            self.stats.queries_pruned = pruned;
+        }
+        let layers: Layers = if self.config().layering {
+            compute_layers(&nfqs)
+        } else {
+            // a single layer containing everything; check (✳) globally
+            let all: Vec<usize> = (0..nfqs.len()).collect();
+            let l = compute_layers(&nfqs);
+            let independent = l.layers.len() == nfqs.len() && l.independent.iter().all(|&b| b);
+            Layers {
+                layers: vec![all],
+                independent: vec![independent],
+            }
+        };
+
+        if self.config().use_fguide {
+            self.guide = Some(FGuide::build(doc));
+        }
+
+        let typing = match (self.config().typing, self.engine.schema) {
+            (Typing::Lenient, Some(_)) => Some(SatMode::Lenient),
+            (Typing::Exact, Some(_)) => Some(SatMode::Exact),
+            _ => None,
+        };
+        let schema = self.engine.schema;
+        let mut refiner =
+            typing.and_then(|mode| schema.map(|s| TypeRefiner::new(s, self.query, mode)));
+
+        if self.config().speculation != Speculation::Off {
+            self.run_nfq_speculative(doc, &nfqs, &mut refiner);
+            return;
+        }
+
+        // focus → layer index, for the post-layer simplification
+        let mut layer_of: BTreeMap<axml_query::PNodeId, usize> = BTreeMap::new();
+        for (li, layer) in layers.layers.iter().enumerate() {
+            for &i in layer {
+                layer_of.insert(nfqs[i].focus, li);
+            }
+        }
+
+        for (li, layer) in layers.layers.iter().enumerate() {
+            let parallel_ok = layers.independent[li] && self.config().parallel;
+            loop {
+                let (cands, pushes) = self.detect_nfq_candidates(doc, &nfqs, layer, &mut refiner);
+                if cands.is_empty() || self.budget == 0 {
+                    self.stats.truncated |= self.budget == 0 && !cands.is_empty();
+                    break;
+                }
+                self.stats.rounds += 1;
+                let invoked = if parallel_ok {
+                    self.invoke_set(doc, &cands, &pushes, true)
+                } else {
+                    // NFQA: one relevant call, then re-evaluate
+                    let mut sorted = cands.clone();
+                    sorted.sort_by(|a, b| doc.cmp_document_order(a.node, b.node));
+                    let first = sorted[0].clone();
+                    match self.invoke(doc, &first, pushes.get(&first.call)) {
+                        Some(cost) => {
+                            self.clock.advance(cost);
+                            1
+                        }
+                        None => 0,
+                    }
+                };
+                if invoked == 0 && cands.iter().all(|c| self.dead.contains(&c.call)) {
+                    break;
+                }
+                if invoked == 0 {
+                    break;
+                }
+            }
+            // §4.3: drop the `()` side branches guarding positions whose
+            // layers are now fully processed
+            if self.config().simplify_layers {
+                let mut changed_nfqs: Vec<usize> = Vec::new();
+                for (ni, nfq) in nfqs.iter_mut().enumerate() {
+                    let doomed: Vec<axml_query::PNodeId> = nfq
+                        .fun_branches
+                        .iter()
+                        .filter(|&&(f, u)| {
+                            f != nfq.output && layer_of.get(&u).is_some_and(|&lu| lu <= li)
+                        })
+                        .map(|&(f, _)| f)
+                        .collect();
+                    if !doomed.is_empty() {
+                        for f in &doomed {
+                            nfq.pattern.remove_subtree(*f);
+                        }
+                        nfq.fun_branches.retain(|(f, _)| !doomed.contains(f));
+                        changed_nfqs.push(ni);
+                    }
+                }
+                for ni in changed_nfqs {
+                    self.nfq_cache.remove(&ni);
+                    self.affected_nfas.remove(&ni);
+                }
+            }
+        }
+    }
+
+    /// §4.4's closing direction: fire every currently relevant call in one
+    /// parallel batch, ignoring the layer order and condition (✳). With
+    /// `Speculation::CostBased`, the first call is fired alone to observe
+    /// the service cost; batching starts once the mean call cost exceeds
+    /// the threshold.
+    fn run_nfq_speculative(
+        &mut self,
+        doc: &mut Document,
+        nfqs: &[Nfq],
+        refiner: &mut Option<TypeRefiner<'_, '_>>,
+    ) {
+        let all: Vec<usize> = (0..nfqs.len()).collect();
+        loop {
+            let (cands, pushes) = self.detect_nfq_candidates(doc, nfqs, &all, refiner);
+            if cands.is_empty() || self.budget == 0 {
+                self.stats.truncated |= self.budget == 0 && !cands.is_empty();
+                break;
+            }
+            self.stats.rounds += 1;
+            let avg_cost = if self.stats.calls_invoked > 0 {
+                Some(self.total_call_cost_ms / self.stats.calls_invoked as f64)
+            } else {
+                None
+            };
+            let speculate = match self.config().speculation {
+                Speculation::Always => true,
+                Speculation::CostBased {
+                    latency_threshold_ms,
+                } => avg_cost.is_some_and(|c| c >= latency_threshold_ms),
+                Speculation::Off => unreachable!("handled by run_nfq"),
+            };
+            let invoked = if speculate {
+                self.stats.speculative_rounds += 1;
+                self.invoke_set(doc, &cands, &pushes, true)
+            } else {
+                let mut sorted = cands.clone();
+                sorted.sort_by(|a, b| doc.cmp_document_order(a.node, b.node));
+                let first = sorted[0].clone();
+                match self.invoke(doc, &first, pushes.get(&first.call)) {
+                    Some(cost) => {
+                        self.clock.advance(cost);
+                        1
+                    }
+                    None => 0,
+                }
+            };
+            if invoked == 0 {
+                break;
+            }
+        }
+    }
+
+    /// Did any splice after `since` touch a position observable by NFQ
+    /// `i`'s pattern? Tested on the prefix closure of the union of the
+    /// pattern's root-path languages (conservative: may say yes
+    /// needlessly, never no wrongly).
+    fn affected_since(&mut self, i: usize, nfq: &Nfq, since: u64) -> bool {
+        use axml_schema::Sym;
+        if self.splice_log.iter().all(|(seq, _)| *seq <= since) {
+            return false;
+        }
+        self.affected_nfas.entry(i).or_insert_with(|| {
+            let parts: Vec<axml_schema::Nfa> = nfq
+                .pattern
+                .node_ids()
+                .map(|id| {
+                    axml_schema::Nfa::from_linear_path(&axml_query::LinearPath::to_node(
+                        &nfq.pattern,
+                        id,
+                        true,
+                    ))
+                })
+                .collect();
+            axml_schema::Nfa::union_of(&parts).prefix_closure()
+        });
+        let nfa = &self.affected_nfas[&i];
+        self.splice_log.iter().any(|(seq, word)| {
+            *seq > since && {
+                let syms: Vec<Sym> = word.iter().map(|l| Sym::Name(l.as_str().into())).collect();
+                nfa.accepts(&syms)
+            }
+        })
+    }
+
+    /// Evaluates the NFQs of one layer and assembles the candidate set and
+    /// the pushed queries (for uniquely-retrieved calls).
+    fn detect_nfq_candidates(
+        &mut self,
+        doc: &Document,
+        nfqs: &[Nfq],
+        layer: &[usize],
+        refiner: &mut Option<TypeRefiner<'_, '_>>,
+    ) -> (Vec<Candidate>, BTreeMap<CallId, PushedQuery>) {
+        let t = Instant::now();
+        // function names currently in the document (for refinement)
+        let known: Vec<String> = {
+            let mut v: Vec<String> = self
+                .visible_calls(doc)
+                .into_iter()
+                .map(|(_, _, s)| s)
+                .collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let mut by_call: BTreeMap<CallId, Candidate> = BTreeMap::new();
+        for &i in layer {
+            let nfq = &nfqs[i];
+            // incremental detection: reuse the cached candidate set when
+            // no splice since the last evaluation touched a position this
+            // NFQ's pattern can observe
+            if self.config().incremental_detection {
+                let entry = self.nfq_cache.get(&i).cloned();
+                if let Some((last_seq, cached)) = entry {
+                    if !self.affected_since(i, nfq, last_seq) {
+                        self.stats.nfq_evals_skipped += 1;
+                        for (node, id, svc) in cached {
+                            if self.dead.contains(&id) || !doc.is_alive(node) {
+                                continue;
+                            }
+                            match doc.call_info(node) {
+                                Some((cur, _)) if cur == id => {}
+                                _ => continue, // slot reused
+                            }
+                            by_call
+                                .entry(id)
+                                .or_insert_with(|| Candidate {
+                                    node,
+                                    call: id,
+                                    service: svc.clone(),
+                                    foci: BTreeSet::new(),
+                                })
+                                .foci
+                                .insert(nfq.focus);
+                        }
+                        continue;
+                    }
+                }
+            }
+            let effective = match refiner.as_mut() {
+                Some(r) => match r.refine(nfq, &known) {
+                    Some(refined) => refined,
+                    None => continue, // no function can ever satisfy v
+                },
+                None => nfq.clone(),
+            };
+            self.stats.relevance_evals += 1;
+            let retrieved: Vec<NodeId> = if let Some(g) = &self.guide {
+                let cands: Vec<NodeId> = g
+                    .eval_linear(&effective.lin, effective.via)
+                    .into_iter()
+                    .filter(|(_, svc)| match refiner.as_mut() {
+                        Some(r) => r.satisfies(svc.as_str(), nfq.focus),
+                        None => true,
+                    })
+                    .map(|(n, _)| n)
+                    .collect();
+                filter_candidates(&effective, doc, &cands)
+            } else {
+                eval(&effective.pattern, doc).bindings_of(effective.output)
+            };
+            let mut cache_entry: Vec<CachedCandidate> = Vec::new();
+            for node in retrieved {
+                let Some((id, svc)) = doc.call_info(node) else {
+                    continue;
+                };
+                if self.config().incremental_detection {
+                    cache_entry.push((node, id, svc.to_string()));
+                }
+                if self.dead.contains(&id) {
+                    continue;
+                }
+                by_call
+                    .entry(id)
+                    .or_insert_with(|| Candidate {
+                        node,
+                        call: id,
+                        service: svc.to_string(),
+                        foci: BTreeSet::new(),
+                    })
+                    .foci
+                    .insert(nfq.focus);
+            }
+            if self.config().incremental_detection {
+                self.nfq_cache.insert(i, (self.splice_seq, cache_entry));
+            }
+        }
+        self.stats.relevance_cpu += t.elapsed();
+
+        let mut pushes = BTreeMap::new();
+        if self.config().push_queries {
+            for cand in by_call.values() {
+                // Push only when exactly one query node can justify the
+                // call: pruning for one subquery could drop data another
+                // needs. The check must range over ALL NFQs — with
+                // layering, a later layer's NFQ may also retrieve this
+                // call even though only the current layer evaluated it.
+                if cand.foci.len() != 1 || !self.engine.registry.supports_push(&cand.service) {
+                    continue;
+                }
+                let parent_word: Vec<String> = match doc.parent(cand.node) {
+                    Some(p) => doc.path_labels(p),
+                    None => Vec::new(),
+                };
+                let word: Vec<&str> = parent_word.iter().map(String::as_str).collect();
+                let positional_foci: BTreeSet<axml_query::PNodeId> = nfqs
+                    .iter()
+                    .filter(|n| match n.via {
+                        EdgeKind::Child => n.lin.matches_word(&word),
+                        EdgeKind::Descendant => {
+                            (0..=word.len()).any(|k| n.lin.matches_word(&word[..k]))
+                        }
+                    })
+                    .map(|n| n.focus)
+                    .collect();
+                if positional_foci.len() == 1 {
+                    let &focus = cand.foci.iter().next().unwrap();
+                    let via = if self.query.parent(focus).is_none() {
+                        EdgeKind::Child
+                    } else {
+                        self.query.node(focus).edge
+                    };
+                    pushes.insert(
+                        cand.call,
+                        PushedQuery {
+                            pattern: self.query.subtree(focus),
+                            via,
+                        },
+                    );
+                }
+            }
+        }
+        (by_call.into_values().collect(), pushes)
+    }
+}

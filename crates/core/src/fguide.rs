@@ -1,0 +1,468 @@
+//! The function-call guide (F-guide) of Section 6.2.
+//!
+//! In the spirit of dataguides, the F-guide is a tree summarizing — with a
+//! single occurrence per path — **only the label paths that lead to
+//! function calls** in a document. Each guide node stores the *extent*:
+//! pointers to the call nodes reachable through that path. The guide is
+//! built in one document-order traversal, maintained incrementally as
+//! calls are invoked, and answers linear path queries with the same result
+//! they would have on the document, at a fraction of the size.
+//!
+//! Candidate calls from the guide are then narrowed by type-based
+//! filtering (Section 6.2 "Type-based filtering") and by checking the
+//! remaining NFQ conditions against the document ("NFQ filtering").
+
+use crate::nfq::Nfq;
+use axml_query::{EdgeKind, LinearPath, Matcher, PNodeId, StepTest};
+use axml_xml::{Document, Label, NodeId};
+use std::collections::HashMap;
+
+/// One node of the guide tree.
+#[derive(Clone, Debug, Default)]
+struct GNode {
+    children: HashMap<String, usize>,
+    /// Call nodes whose parent path ends at this guide node.
+    extent: Vec<(NodeId, Label)>,
+}
+
+/// A function-call guide over one document.
+///
+/// ```
+/// use axml_core::FGuide;
+/// use axml_query::{parse_query, EdgeKind, LinearPath};
+/// use axml_xml::parse;
+///
+/// let doc = parse(
+///     "<hotels><hotel><nearby>\
+///        <axml:call service=\"getNearbyRestos\"/></nearby></hotel></hotels>",
+/// ).unwrap();
+/// let guide = FGuide::build(&doc);
+/// // calls strictly below /hotels/hotel
+/// let q = parse_query("/hotels/hotel/x").unwrap();
+/// let lin = LinearPath::to_node(&q, q.result_nodes()[0], false);
+/// assert_eq!(guide.eval_linear(&lin, EdgeKind::Descendant).len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FGuide {
+    nodes: Vec<GNode>,
+    /// synthetic root above the document roots
+    root: usize,
+}
+
+impl FGuide {
+    /// Builds the guide in a single traversal (linear in document size).
+    pub fn build(doc: &Document) -> FGuide {
+        let mut g = FGuide {
+            nodes: vec![GNode::default()],
+            root: 0,
+        };
+        for &r in doc.roots() {
+            g.scan(doc, r, 0);
+        }
+        g
+    }
+
+    fn scan(&mut self, doc: &Document, node: NodeId, at: usize) {
+        if let Some((_, service)) = doc.call_info(node) {
+            let service = service.clone();
+            self.nodes[at].extent.push((node, service));
+            return; // parameters are not document content
+        }
+        if doc.text_value(node).is_some() {
+            return;
+        }
+        // element: descend, creating the path lazily only when a call is
+        // found below (to keep the guide call-path-only, prune afterwards)
+        let label = doc.label(node).to_string();
+        let next = self.child_or_create(at, &label);
+        for &c in doc.children(node) {
+            self.scan(doc, c, next);
+        }
+    }
+
+    fn child_or_create(&mut self, at: usize, label: &str) -> usize {
+        if let Some(&c) = self.nodes[at].children.get(label) {
+            return c;
+        }
+        let id = self.nodes.len();
+        self.nodes.push(GNode::default());
+        self.nodes[at].children.insert(label.to_string(), id);
+        id
+    }
+
+    /// Number of guide nodes (compactness metric reported in experiments).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the guide is trivial.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Total number of calls across all extents.
+    pub fn total_extent(&self) -> usize {
+        self.nodes.iter().map(|n| n.extent.len()).sum()
+    }
+
+    /// Removes one call (identified by node id) from the extent at the
+    /// given parent label path. Call this *before* splicing its result.
+    pub fn remove_call(&mut self, parent_path: &[String], node: NodeId) {
+        if let Some(at) = self.walk(parent_path) {
+            self.nodes[at].extent.retain(|(n, _)| *n != node);
+        }
+    }
+
+    /// Registers the calls found in the subtree of `node`, whose parent's
+    /// label path is `parent_path`. Call this for every root inserted by a
+    /// splice.
+    pub fn add_subtree(&mut self, doc: &Document, node: NodeId, parent_path: &[String]) {
+        let mut at = self.root;
+        for label in parent_path {
+            at = self.child_or_create(at, label);
+        }
+        self.scan(doc, node, at);
+    }
+
+    fn walk(&self, path: &[String]) -> Option<usize> {
+        let mut at = self.root;
+        for label in path {
+            at = *self.nodes[at].children.get(label)?;
+        }
+        Some(at)
+    }
+
+    /// Evaluates a linear path query (`lin` followed by a `()` step via
+    /// `via`) on the guide. Returns the candidate call nodes — the same set
+    /// the LPQ would retrieve on the document (Section 6.2's equivalence).
+    pub fn eval_linear(&self, lin: &LinearPath, via: EdgeKind) -> Vec<(NodeId, Label)> {
+        // NFA-style state set walk over the guide tree
+        let mut out = Vec::new();
+        self.eval_at(self.root, &lin.steps, via, &mut out);
+        let mut seen = std::collections::HashSet::new();
+        out.retain(|(n, _)| seen.insert(*n));
+        out
+    }
+
+    fn eval_at(
+        &self,
+        at: usize,
+        steps: &[axml_query::LinStep],
+        via: EdgeKind,
+        out: &mut Vec<(NodeId, Label)>,
+    ) {
+        match steps.first() {
+            None => match via {
+                EdgeKind::Child => out.extend(self.nodes[at].extent.iter().cloned()),
+                EdgeKind::Descendant => {
+                    // calls whose parent path ends here are themselves
+                    // strict descendants of the matched node
+                    out.extend(self.nodes[at].extent.iter().cloned());
+                    self.collect_subtree(at, out);
+                }
+            },
+            Some(step) => {
+                let test_ok = |label: &str| match &step.test {
+                    StepTest::Label(l) => l.as_str() == label,
+                    StepTest::Any => true,
+                };
+                for (label, &c) in &self.nodes[at].children {
+                    if test_ok(label) {
+                        self.eval_at(c, &steps[1..], via, out);
+                    }
+                    if step.edge == EdgeKind::Descendant {
+                        // the descendant step may skip this child
+                        self.eval_at(c, steps, via, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn collect_subtree(&self, at: usize, out: &mut Vec<(NodeId, Label)>) {
+        let children: Vec<usize> = self.nodes[at].children.values().copied().collect();
+        for c in children {
+            out.extend(self.nodes[c].extent.iter().cloned());
+            self.collect_subtree(c, out);
+        }
+    }
+}
+
+/// The residual NFQ check of Section 6.2: given candidate calls retrieved
+/// positionally (from the F-guide), keep those for which the NFQ's
+/// remaining conditions hold — i.e. some alignment of the NFQ's path onto
+/// the candidate's ancestor chain satisfies every side condition.
+pub fn filter_candidates(nfq: &Nfq, doc: &Document, candidates: &[NodeId]) -> Vec<NodeId> {
+    let mut matcher = Matcher::new(&nfq.pattern, doc);
+    // the NFQ path: pattern root → parent of output (linear by construction)
+    let mut path_nodes: Vec<PNodeId> = Vec::new();
+    let mut cur = nfq.pattern.parent(nfq.output);
+    while let Some(n) = cur {
+        path_nodes.push(n);
+        cur = nfq.pattern.parent(n);
+    }
+    path_nodes.reverse();
+
+    candidates
+        .iter()
+        .copied()
+        .filter(|&cand| {
+            // ancestor chain of the candidate: root … parent(cand)
+            let mut anc: Vec<NodeId> = Vec::new();
+            let mut cur = doc.parent(cand);
+            while let Some(n) = cur {
+                anc.push(n);
+                cur = doc.parent(n);
+            }
+            anc.reverse();
+            align(nfq, &mut matcher, &path_nodes, &anc, 0, 0)
+        })
+        .collect()
+}
+
+/// Recursively aligns pattern path node `pi` starting at ancestor index
+/// `aj`; checks labels and side conditions along the way.
+fn align(
+    nfq: &Nfq,
+    matcher: &mut Matcher<'_>,
+    path: &[PNodeId],
+    anc: &[NodeId],
+    pi: usize,
+    aj: usize,
+) -> bool {
+    if pi == path.len() {
+        // all path nodes placed; the output hangs off the last one:
+        // child edge ⇒ the last placed ancestor must be the direct parent
+        // (aj == anc.len()); descendant ⇒ anywhere above works
+        return match nfq.via {
+            EdgeKind::Child => aj == anc.len(),
+            EdgeKind::Descendant => aj <= anc.len(),
+        };
+    }
+    if aj >= anc.len() {
+        return false;
+    }
+    let p = path[pi];
+    let edge = if pi == 0 {
+        EdgeKind::Child
+    } else {
+        nfq.pattern.node(p).edge
+    };
+    let positions: Vec<usize> = match edge {
+        EdgeKind::Child => vec![aj],
+        EdgeKind::Descendant => (aj..anc.len()).collect(),
+    };
+    for j in positions {
+        let v = anc[j];
+        if !matcher.label_matches(p, v) {
+            continue;
+        }
+        // side conditions of this path node (all children except the
+        // continuation of the path / the output)
+        let next_on_path = path.get(pi + 1).copied().unwrap_or(nfq.output);
+        let sides_ok = nfq
+            .pattern
+            .node(p)
+            .children
+            .iter()
+            .filter(|&&c| c != next_on_path)
+            .all(|&c| match nfq.pattern.node(c).edge {
+                EdgeKind::Child => matcher.child_matches(c, v),
+                EdgeKind::Descendant => matcher.descendant_matches(c, v),
+            });
+        if sides_ok && align(nfq, matcher, path, anc, pi + 1, j + 1) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfq::{build_lpqs, build_nfq, build_nfqs};
+    use axml_query::{parse_query, PLabel};
+    use axml_xml::parse;
+
+    fn fig1_doc() -> Document {
+        parse(
+            "<hotels>\
+               <hotel><name>Best Western</name><address>75 2nd Av</address>\
+                 <rating>*****</rating>\
+                 <nearby><axml:call service=\"getNearbyRestos\">2nd Av</axml:call>\
+                         <axml:call service=\"getNearbyMuseums\">2nd Av</axml:call></nearby>\
+               </hotel>\
+               <hotel><name>Pennsylvania</name><address>13 Penn St</address>\
+                 <rating><axml:call service=\"getRating\">Penn</axml:call></rating>\
+                 <nearby><axml:call service=\"getNearbyRestos\">Penn St</axml:call></nearby>\
+               </hotel>\
+               <axml:call service=\"getHotels\">NY</axml:call>\
+             </hotels>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_summarizes_call_paths_once() {
+        let d = fig1_doc();
+        let g = FGuide::build(&d);
+        // paths: hotels, hotels/hotel, hotels/hotel/rating,
+        // hotels/hotel/nearby (+ name/address paths without calls below —
+        // they are created during the scan but carry no extents)
+        assert_eq!(g.total_extent(), 5);
+        assert!(g.len() < d.len(), "guide is more compact than the document");
+    }
+
+    #[test]
+    fn linear_queries_on_guide_match_lpqs_on_document() {
+        let d = fig1_doc();
+        let g = FGuide::build(&d);
+        let q = parse_query(
+            "/hotels/hotel[name=\"Best Western\"][rating=\"*****\"]\
+             /nearby//restaurant[name=$X] -> $X",
+        )
+        .unwrap();
+        for lpq in build_lpqs(&q) {
+            let on_doc = axml_query::eval(&lpq.pattern, &d);
+            let mut doc_calls: Vec<NodeId> = on_doc.bindings_of(lpq.output);
+            let mut guide_calls: Vec<NodeId> = g
+                .eval_linear(&lpq.lin, lpq.via)
+                .into_iter()
+                .map(|(n, _)| n)
+                .collect();
+            doc_calls.sort();
+            guide_calls.sort();
+            assert_eq!(doc_calls, guide_calls, "LPQ {} differs", lpq.lin);
+        }
+    }
+
+    #[test]
+    fn maintenance_after_splice() {
+        let mut d = fig1_doc();
+        let mut g = FGuide::build(&d);
+        // invoke the Best Western getNearbyRestos: result contains a
+        // restaurant with a nested getRating call (like Figure 3)
+        let call = d
+            .calls()
+            .into_iter()
+            .find(|&c| d.call_info(c).unwrap().1.as_str() == "getNearbyRestos")
+            .unwrap();
+        let parent = d.parent(call).unwrap();
+        let parent_path = d.path_labels(parent);
+        let result = parse(
+            "<restaurant><name>Mama</name>\
+               <rating><axml:call service=\"getRating\">Mama</axml:call></rating>\
+             </restaurant>",
+        )
+        .unwrap();
+        g.remove_call(&parent_path, call);
+        let inserted = d.splice_call(call, &result);
+        for &r in &inserted {
+            g.add_subtree(&d, r, &parent_path);
+        }
+        // the old call is gone, the nested getRating is indexed at
+        // hotels/hotel/nearby/restaurant/rating
+        assert_eq!(g.total_extent(), 5);
+        let rebuilt = FGuide::build(&d);
+        let lin = LinearPath::to_node(
+            &parse_query("/hotels/hotel/nearby/restaurant/rating/x").unwrap(),
+            parse_query("/hotels/hotel/nearby/restaurant/rating/x")
+                .unwrap()
+                .result_nodes()[0],
+            false,
+        );
+        let mut a: Vec<NodeId> = g
+            .eval_linear(&lin, EdgeKind::Child)
+            .into_iter()
+            .map(|x| x.0)
+            .collect();
+        let mut b: Vec<NodeId> = rebuilt
+            .eval_linear(&lin, EdgeKind::Child)
+            .into_iter()
+            .map(|x| x.0)
+            .collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn descendant_output_collects_subtree_extents() {
+        let d = fig1_doc();
+        let g = FGuide::build(&d);
+        // //() under /hotels/hotel: rating + nearby calls of both hotels
+        let q = parse_query("/hotels/hotel/x").unwrap();
+        let lin = LinearPath::to_node(&q, q.result_nodes()[0], false);
+        let found = g.eval_linear(&lin, EdgeKind::Descendant);
+        assert_eq!(found.len(), 4);
+    }
+
+    #[test]
+    fn residual_filtering_prunes_by_conditions() {
+        let d = fig1_doc();
+        let q = parse_query(
+            "/hotels/hotel[name=\"Best Western\"][rating=\"*****\"]\
+             /nearby//restaurant[name=$X] -> $X",
+        )
+        .unwrap();
+        let restaurant = q
+            .node_ids()
+            .find(|&i| matches!(&q.node(i).label, PLabel::Const(l) if l.as_str() == "restaurant"))
+            .unwrap();
+        let nfq = build_nfq(&q, restaurant);
+        // positional candidates: nearby calls of BOTH hotels
+        let g = FGuide::build(&d);
+        let candidates: Vec<NodeId> = g
+            .eval_linear(&nfq.lin, nfq.via)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(candidates.len(), 3); // 2 at BW (restos+museums), 1 at Penn
+                                         // conditions keep: BW's two (name matches, rating matches) and
+                                         // Penn's one? Penn's name ≠ Best Western and its name is
+                                         // extensional: pruned. BW keeps both nearby calls.
+        let kept = filter_candidates(&nfq, &d, &candidates);
+        assert_eq!(kept.len(), 2);
+        for c in kept {
+            let hotel = d.parent(d.parent(c).unwrap()).unwrap();
+            let name_elem = d.children(hotel)[0];
+            let name_val = d.children(name_elem)[0];
+            assert_eq!(d.label(name_val), "Best Western");
+        }
+    }
+
+    #[test]
+    fn residual_filtering_agrees_with_full_nfq_evaluation() {
+        let d = fig1_doc();
+        let q = parse_query(
+            "/hotels/hotel[name=\"Best Western\"][rating=\"*****\"]\
+             /nearby//restaurant[name=$X] -> $X",
+        )
+        .unwrap();
+        let g = FGuide::build(&d);
+        for nfq in build_nfqs(&q) {
+            let full = axml_query::eval(&nfq.pattern, &d);
+            let mut via_nfq: Vec<NodeId> = full.bindings_of(nfq.output);
+            let candidates: Vec<NodeId> = g
+                .eval_linear(&nfq.lin, nfq.via)
+                .into_iter()
+                .map(|(n, _)| n)
+                .collect();
+            let mut via_guide = filter_candidates(&nfq, &d, &candidates);
+            via_nfq.sort();
+            via_guide.sort();
+            assert_eq!(via_nfq, via_guide, "NFQ of {:?} differs", nfq.focus);
+        }
+    }
+
+    #[test]
+    fn empty_document_yields_empty_guide() {
+        let d = parse("<hotels><hotel><name>X</name></hotel></hotels>").unwrap();
+        let g = FGuide::build(&d);
+        assert_eq!(g.total_extent(), 0);
+        let q = parse_query("/hotels/x").unwrap();
+        let lin = LinearPath::to_node(&q, q.result_nodes()[0], false);
+        assert!(g.eval_linear(&lin, EdgeKind::Child).is_empty());
+    }
+}

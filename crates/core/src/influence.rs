@@ -1,0 +1,295 @@
+//! The *may-influence* analysis between NFQs (Section 4.2–4.4).
+//!
+//! `q_v` may influence `q_v'` when invoking a call retrieved by `q_v` can
+//! bring new calls retrieved by `q_v'`. Proposition 3 reduces this to a
+//! regular-language test on the NFQs' linear parts: some word of
+//! `L(q_v^lin)` must be a prefix of some word of `L(q_v'^lin)`.
+//!
+//! The equivalence classes of the induced preorder are the **layers**
+//! (§4.3), processed in a topological completion of the order; inside a
+//! layer, the **independence condition (✳)** (§4.4) — pairwise-empty
+//! intersection of the linear languages — licenses parallel invocation.
+
+use crate::nfq::Nfq;
+use axml_schema::Nfa;
+
+/// Does invoking calls found by `a` possibly produce calls found by `b`?
+/// (Proposition 3.)
+///
+/// ```
+/// use axml_core::{build_nfqs, may_influence};
+/// use axml_query::parse_query;
+///
+/// let q = parse_query("/hotels/hotel/nearby//restaurant").unwrap();
+/// let nfqs = build_nfqs(&q);
+/// let hotel = nfqs.iter().find(|n| n.lin.to_string() == "/hotels").unwrap();
+/// let resto = nfqs.iter().find(|n| n.lin.to_string() == "/hotels/hotel/nearby").unwrap();
+/// // a call at the hotel position may return nearby data with new calls…
+/// assert!(may_influence(hotel, resto));
+/// // …but results land at the call site: no influence back up
+/// assert!(!may_influence(resto, hotel));
+/// ```
+pub fn may_influence(a: &Nfq, b: &Nfq) -> bool {
+    let na = Nfa::from_linear_path(&a.lin);
+    let nb = Nfa::from_linear_path(&b.lin);
+    na.some_word_prefixes(&nb)
+}
+
+/// The layer decomposition of a set of NFQs: strongly connected components
+/// of the may-influence relation, returned in a topological order (earlier
+/// layers may influence later ones, never the reverse).
+#[derive(Clone, Debug)]
+pub struct Layers {
+    /// Each layer is a set of indices into the original NFQ slice.
+    pub layers: Vec<Vec<usize>>,
+    /// Per layer: does the independence condition (✳) hold, allowing all
+    /// retrieved calls of one NFQ to be fired in parallel?
+    pub independent: Vec<bool>,
+}
+
+/// Computes layers and their independence flags.
+pub fn compute_layers(nfqs: &[Nfq]) -> Layers {
+    let n = nfqs.len();
+    let autos: Vec<Nfa> = nfqs.iter().map(|q| Nfa::from_linear_path(&q.lin)).collect();
+    let prefixed: Vec<Nfa> = autos.iter().map(|a| a.prefix_closure()).collect();
+
+    // influence matrix (reflexive by construction: every nonempty L prefixes
+    // itself; keep the diagonal explicit anyway)
+    let mut inf = vec![vec![false; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            inf[i][j] = autos[i].intersects(&prefixed[j]);
+        }
+    }
+    // transitive closure (Floyd–Warshall on booleans; n is the query size)
+    for k in 0..n {
+        for i in 0..n {
+            if inf[i][k] {
+                let row_k = inf[k].clone();
+                for (j, &v) in row_k.iter().enumerate() {
+                    if v {
+                        inf[i][j] = true;
+                    }
+                }
+            }
+        }
+    }
+    // equivalence classes of mutual influence
+    let mut class_of = vec![usize::MAX; n];
+    let mut classes: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        if class_of[i] != usize::MAX {
+            continue;
+        }
+        let mut class = vec![i];
+        class_of[i] = classes.len();
+        for j in i + 1..n {
+            if class_of[j] == usize::MAX && inf[i][j] && inf[j][i] {
+                class_of[j] = classes.len();
+                class.push(j);
+            }
+        }
+        classes.push(class);
+    }
+    // topological order of classes by the influence order
+    let c = classes.len();
+    let mut edges = vec![vec![false; c]; c];
+    for i in 0..n {
+        for j in 0..n {
+            let (ci, cj) = (class_of[i], class_of[j]);
+            if ci != cj && inf[i][j] {
+                edges[ci][cj] = true;
+            }
+        }
+    }
+    let mut order: Vec<usize> = Vec::with_capacity(c);
+    let mut placed = vec![false; c];
+    while order.len() < c {
+        let mut progressed = false;
+        for x in 0..c {
+            if placed[x] {
+                continue;
+            }
+            let ready = (0..c).all(|y| placed[y] || y == x || !edges[y][x]);
+            if ready {
+                placed[x] = true;
+                order.push(x);
+                progressed = true;
+            }
+        }
+        // the closure of a preorder on its classes is a DAG, so progress is
+        // guaranteed; guard against surprises anyway
+        assert!(progressed, "cycle among influence classes after SCC");
+    }
+
+    let layers: Vec<Vec<usize>> = order.iter().map(|&x| classes[x].clone()).collect();
+    // condition (✳): pairwise-empty intersection of linear languages of
+    // *distinct* NFQs inside the layer (a single-NFQ layer is trivially
+    // independent, as in the paper's running example)
+    let independent: Vec<bool> = layers
+        .iter()
+        .map(|layer| {
+            layer.iter().enumerate().all(|(a, &i)| {
+                layer
+                    .iter()
+                    .skip(a + 1)
+                    .all(|&j| !autos[i].intersects(&autos[j]))
+            })
+        })
+        .collect();
+    Layers {
+        layers,
+        independent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nfq::{build_nfq, build_nfqs};
+    use axml_query::{parse_query, PLabel};
+
+    fn fig4() -> axml_query::Pattern {
+        parse_query(
+            "/hotel[name=\"Best Western\"][rating=\"*****\"]\
+             /nearby//restaurant[name=$X][address=$Y][rating=\"*****\"] -> $X,$Y",
+        )
+        .unwrap()
+    }
+
+    fn node_named(q: &axml_query::Pattern, name: &str) -> axml_query::PNodeId {
+        q.node_ids()
+            .find(|&i| matches!(&q.node(i).label, PLabel::Const(l) if l.as_str() == name))
+            .unwrap()
+    }
+
+    #[test]
+    fn hotel_nfq_influences_deeper_nfqs() {
+        let q = fig4();
+        let hotel = build_nfq(&q, node_named(&q, "hotel"));
+        let restaurant = build_nfq(&q, node_named(&q, "restaurant"));
+        let nearby = build_nfq(&q, node_named(&q, "nearby"));
+        // a call at the hotel position can return nearby/restaurant data
+        // with new calls inside (the paper's Figure 6(a) → 6(b)/(c) example)
+        assert!(may_influence(&hotel, &restaurant));
+        assert!(may_influence(&hotel, &nearby));
+        // the reverse is impossible: results are placed at the call site
+        assert!(!may_influence(&restaurant, &hotel));
+        assert!(!may_influence(&nearby, &hotel));
+    }
+
+    #[test]
+    fn incomparable_nfqs_do_not_influence() {
+        // the paper's Figure 6(b) vs 6(c): the rating-value NFQ
+        // (lin = /hotel/rating) and the restaurant NFQ
+        // (lin = /hotel/nearby) are incomparable
+        let q = fig4();
+        let rating_value = build_nfq(&q, node_named(&q, "*****"));
+        assert_eq!(rating_value.lin.to_string(), "/hotel/rating");
+        let restaurant = build_nfq(&q, node_named(&q, "restaurant"));
+        assert_eq!(restaurant.lin.to_string(), "/hotel/nearby");
+        assert!(!may_influence(&rating_value, &restaurant));
+        assert!(!may_influence(&restaurant, &rating_value));
+        // while two NFQs focused at sibling positions (same lin /hotel)
+        // DO mutually influence: a call that is a child of hotel could
+        // return data for either position
+        let rating_elem = build_nfq(&q, node_named(&q, "rating"));
+        let nearby = build_nfq(&q, node_named(&q, "nearby"));
+        assert!(may_influence(&rating_elem, &nearby));
+        assert!(may_influence(&nearby, &rating_elem));
+    }
+
+    #[test]
+    fn influence_is_reflexive_for_descendant_paths() {
+        let q = parse_query("/a//b/c").unwrap();
+        let b = build_nfq(&q, node_named(&q, "c"));
+        // lin = /a//b : a word a.x.b can prefix a.x.b.y.b
+        assert!(may_influence(&b, &b));
+    }
+
+    #[test]
+    fn layers_are_topologically_ordered() {
+        let q = fig4();
+        let nfqs = build_nfqs(&q);
+        let layers = compute_layers(&nfqs);
+        assert_eq!(layers.layers.len(), layers.independent.len());
+        // every NFQ appears in exactly one layer
+        let mut seen = vec![false; nfqs.len()];
+        for layer in &layers.layers {
+            for &i in layer {
+                assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        // the hotel-position layer must come before the restaurant layer
+        let pos = |focus: axml_query::PNodeId| {
+            layers
+                .layers
+                .iter()
+                .position(|l| l.iter().any(|&i| nfqs[i].focus == focus))
+                .unwrap()
+        };
+        let hotel = node_named(&q, "hotel");
+        let restaurant = node_named(&q, "restaurant");
+        assert!(pos(hotel) < pos(restaurant));
+        // no later layer influences an earlier one
+        for (a, la) in layers.layers.iter().enumerate() {
+            for lb in layers.layers.iter().skip(a + 1) {
+                for &j in lb {
+                    for &i in la {
+                        assert!(
+                            !may_influence(&nfqs[j], &nfqs[i]) || may_influence(&nfqs[i], &nfqs[j]),
+                            "strict influence from a later layer to an earlier one"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutual_influence_collapses_into_one_layer() {
+        // //a and //b mutually influence (Section 4.3's example)
+        let q = parse_query("/r[//a][//b]").unwrap();
+        let a = build_nfq(&q, node_named(&q, "a"));
+        let b = build_nfq(&q, node_named(&q, "b"));
+        assert!(may_influence(&a, &b));
+        assert!(may_influence(&b, &a));
+        let layers = compute_layers(&[a, b]);
+        assert_eq!(layers.layers.len(), 1);
+        assert_eq!(layers.layers[0].len(), 2);
+        // …and their linear languages (/r//… vs /r//…) intersect: not (✳)
+        assert!(!layers.independent[0]);
+    }
+
+    #[test]
+    fn disjoint_descendant_paths_are_independent() {
+        // the paper's §4.4 example: //a and //b in one layer with empty
+        // intersection — both independent. Here lin parts are /r//x and
+        // /r//y pointing at *different* final labels… but the lin part
+        // excludes the focus node, so craft paths where lin differs:
+        let q = parse_query("/r[/s//a/va][/t//b/vb]").unwrap();
+        let va = build_nfq(&q, node_named(&q, "va"));
+        let vb = build_nfq(&q, node_named(&q, "vb"));
+        assert_eq!(va.lin.to_string(), "/r/s//a");
+        assert_eq!(vb.lin.to_string(), "/r/t//b");
+        // mutual influence? /r/s//a words never prefix /r/t//b words
+        assert!(!may_influence(&va, &vb));
+        let layers = compute_layers(&[va, vb]);
+        assert_eq!(layers.layers.len(), 2);
+        assert!(layers.independent.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn single_nfq_layers_are_trivially_independent() {
+        let q = fig4();
+        let nfqs = build_nfqs(&q);
+        let layers = compute_layers(&nfqs);
+        for (layer, &ind) in layers.layers.iter().zip(&layers.independent) {
+            if layer.len() == 1 {
+                assert!(ind);
+            }
+        }
+    }
+}

@@ -1,0 +1,401 @@
+//! Construction of the call-finding queries: LPQs (Section 3.1) and NFQs
+//! (Section 3.2, Figure 5).
+//!
+//! For a query `q` and each of its nodes `v`:
+//!
+//! * the **LPQ** of `v` is the linear root-to-`parent(v)` path followed by
+//!   a star-labeled function node reached through `v`'s edge — it retrieves
+//!   every call sitting at a position where `v`-matching data could appear;
+//! * the **NFQ** of `v` keeps, in addition, all the *filtering conditions*
+//!   of `q` outside `v`'s subtree, each condition node `u` relaxed into
+//!   `OR(u, ())` because a function call could still produce the data that
+//!   satisfies it (Figure 5). Nodes on the root-to-output path keep only
+//!   their data branch (Fig. 5 step 11's simplification).
+//!
+//! Proposition 1: with unconstrained output types, the NFQs retrieve
+//! exactly the relevant calls.
+
+use axml_query::{EdgeKind, FunMatch, LinearPath, PLabel, PNodeId, Pattern};
+
+/// A node-focused query, with the bookkeeping needed for typing refinement
+/// (Section 5) and the influence analysis (Section 4.2).
+#[derive(Clone, Debug)]
+pub struct Nfq {
+    /// The query node `v` this NFQ is focused on (id in the original query).
+    pub focus: PNodeId,
+    /// The extended pattern to evaluate; its single result node is the
+    /// function node standing in for `v`.
+    pub pattern: Pattern,
+    /// The output (function) node inside `pattern`.
+    pub output: PNodeId,
+    /// `q_v^lin`: the linear path from the root to `v` (exclusive).
+    pub lin: LinearPath,
+    /// The edge kind through which `v` hangs off its parent.
+    pub via: EdgeKind,
+    /// Function-branch nodes inside `pattern`, paired with the original
+    /// query node whose position they guard (`v` itself for `output`).
+    /// Used to refine `()` into concrete function lists (Section 5).
+    pub fun_branches: Vec<(PNodeId, PNodeId)>,
+}
+
+/// Builds the NFQs of a query — one per query node (Figure 5).
+///
+/// ```
+/// use axml_core::build_nfqs;
+/// use axml_query::parse_query;
+///
+/// let q = parse_query("/hotels/hotel[rating=\"*****\"]/name").unwrap();
+/// let nfqs = build_nfqs(&q);
+/// assert_eq!(nfqs.len(), q.len());      // one per query node
+/// // the name-position NFQ keeps the rating condition, relaxed with ()
+/// let name_nfq = nfqs.iter().find(|n| n.lin.to_string() == "/hotels/hotel").unwrap();
+/// assert!(axml_query::render(&name_nfq.pattern).contains("*()"));
+/// ```
+pub fn build_nfqs(q: &Pattern) -> Vec<Nfq> {
+    q.node_ids().map(|v| build_nfq(q, v)).collect()
+}
+
+/// Builds the NFQ focused on query node `v`.
+pub fn build_nfq(q: &Pattern, v: PNodeId) -> Nfq {
+    // root-to-v chain in the original query
+    let mut chain = Vec::new();
+    let mut cur = Some(v);
+    while let Some(n) = cur {
+        chain.push(n);
+        cur = q.parent(n);
+    }
+    chain.reverse();
+
+    let mut pattern = Pattern::new();
+    let mut fun_branches = Vec::new();
+    let mut output = None;
+
+    // copy the path nodes (plain) and their side subtrees (OR-wrapped)
+    let mut parent_in_p: Option<PNodeId> = None;
+    for (i, &u) in chain.iter().enumerate() {
+        if u == v {
+            // the focus: a star function node in place of v, subtree dropped
+            let edge = node_edge(q, u);
+            let f = match parent_in_p {
+                None => pattern.set_root(PLabel::Fun(FunMatch::Any)),
+                Some(p) => pattern.add_child(p, edge, PLabel::Fun(FunMatch::Any)),
+            };
+            pattern.mark_result(f);
+            fun_branches.push((f, v));
+            output = Some(f);
+            break;
+        }
+        let label = q.node(u).label.clone();
+        let edge = node_edge(q, u);
+        let copied = match parent_in_p {
+            None => pattern.set_root(label),
+            Some(p) => pattern.add_child(p, edge, label),
+        };
+        // side branches: every child of u except the chain continuation
+        let next_on_chain = chain[i + 1];
+        for &c in &q.node(u).children {
+            if c != next_on_chain {
+                copy_or_wrapped(q, c, &mut pattern, copied, &mut fun_branches);
+            }
+        }
+        parent_in_p = Some(copied);
+    }
+
+    let output = output.expect("chain always ends at v");
+    Nfq {
+        focus: v,
+        pattern,
+        output,
+        lin: LinearPath::to_node(q, v, false),
+        via: node_edge(q, v),
+        fun_branches,
+    }
+}
+
+fn node_edge(q: &Pattern, u: PNodeId) -> EdgeKind {
+    if q.parent(u).is_none() {
+        EdgeKind::Child
+    } else {
+        q.node(u).edge
+    }
+}
+
+/// Copies the subtree of `u` under `parent`, wrapping every node in
+/// `OR(node, ())` (Figure 5 step 4) and recording the `()` branches.
+fn copy_or_wrapped(
+    q: &Pattern,
+    u: PNodeId,
+    into: &mut Pattern,
+    parent: PNodeId,
+    fun_branches: &mut Vec<(PNodeId, PNodeId)>,
+) {
+    let or = into.add_child(parent, node_edge(q, u), PLabel::Or);
+    let data = into.add_child(or, EdgeKind::Child, q.node(u).label.clone());
+    let f = into.add_child(or, EdgeKind::Child, PLabel::Fun(FunMatch::Any));
+    fun_branches.push((f, u));
+    for &c in &q.node(u).children {
+        copy_or_wrapped(q, c, into, data, fun_branches);
+    }
+}
+
+/// Builds the deduplicated LPQ set of a query (Section 3.1): one linear
+/// path query per node position, each ending in a star function output.
+pub fn build_lpqs(q: &Pattern) -> Vec<Lpq> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for v in q.node_ids() {
+        let lin = LinearPath::to_node(q, v, false);
+        let via = node_edge(q, v);
+        let key = format!("{lin}#{via:?}");
+        if seen.insert(key) {
+            let pattern = lin.to_lpq(via);
+            let output = pattern.result_nodes()[0];
+            out.push(Lpq {
+                focus: v,
+                pattern,
+                output,
+                lin,
+                via,
+            });
+        }
+    }
+    out
+}
+
+/// A linear path query: the relaxed, position-only variant of an NFQ.
+#[derive(Clone, Debug)]
+pub struct Lpq {
+    /// A representative query node at this position.
+    pub focus: PNodeId,
+    /// The pattern: linear path ending in a `()` output.
+    pub pattern: Pattern,
+    /// The output (function) node inside `pattern`.
+    pub output: PNodeId,
+    /// The linear path (root to focus, exclusive).
+    pub lin: LinearPath,
+    /// Edge into the output function node.
+    pub via: EdgeKind,
+}
+
+/// Relaxes an NFQ by dropping its value-join variables (the "XPath
+/// approximation" of Section 6.1): every variable node becomes a wildcard,
+/// so evaluation never needs join enumeration. Position and structural
+/// conditions are kept.
+pub fn relax_nfq_to_xpath(nfq: &Nfq) -> Nfq {
+    let mut relaxed = nfq.clone();
+    for id in relaxed.pattern.node_ids().collect::<Vec<_>>() {
+        if matches!(relaxed.pattern.node(id).label, PLabel::Var(_)) {
+            relaxed.pattern.set_label(id, PLabel::Wildcard);
+        }
+    }
+    relaxed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_query::{parse_query, render};
+    use axml_xml::parse;
+
+    fn fig4() -> Pattern {
+        parse_query(
+            "/hotel[name=\"Best Western\"][rating=\"*****\"]\
+             /nearby//restaurant[name=$X][address=$Y][rating=\"*****\"] -> $X,$Y",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn one_nfq_per_query_node() {
+        let q = fig4();
+        let nfqs = build_nfqs(&q);
+        assert_eq!(nfqs.len(), q.len());
+    }
+
+    #[test]
+    fn nfq_path_nodes_are_plain_side_nodes_are_ored() {
+        let q = fig4();
+        // NFQ of the restaurant node: path hotel/nearby is plain, the
+        // name/rating conditions of the hotel are OR'd
+        let restaurant = q
+            .node_ids()
+            .find(|&i| matches!(&q.node(i).label, PLabel::Const(l) if l.as_str() == "restaurant"))
+            .unwrap();
+        let nfq = build_nfq(&q, restaurant);
+        let s = render(&nfq.pattern);
+        assert!(s.starts_with("/hotel"), "{s}");
+        assert!(s.contains("(name"), "{s}");
+        assert!(s.contains("*()"), "{s}");
+        assert_eq!(nfq.lin.to_string(), "/hotel/nearby");
+        assert_eq!(nfq.via, EdgeKind::Descendant);
+        // output node is a function node marked as result
+        assert!(matches!(
+            nfq.pattern.node(nfq.output).label,
+            PLabel::Fun(FunMatch::Any)
+        ));
+        assert!(nfq.pattern.node(nfq.output).is_result);
+        nfq.pattern.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn nfq_of_root_is_root_function() {
+        let q = fig4();
+        let nfq = build_nfq(&q, q.root());
+        assert_eq!(nfq.pattern.len(), 1);
+        assert!(nfq.lin.is_empty());
+    }
+
+    #[test]
+    fn nfq_retrieves_calls_that_could_contribute() {
+        // Figure 1-like state: BW hotel with extensional 5-star rating and
+        // an unexpanded getNearbyRestos; Penn hotel with a 2-star rating.
+        let d = parse(
+            "<hotel><name>Best Western</name><rating>*****</rating>\
+              <nearby><axml:call service=\"getNearbyRestos\"/></nearby></hotel>",
+        )
+        .unwrap();
+        let q = fig4();
+        let restaurant = q
+            .node_ids()
+            .find(|&i| matches!(&q.node(i).label, PLabel::Const(l) if l.as_str() == "restaurant"))
+            .unwrap();
+        let nfq = build_nfq(&q, restaurant);
+        let r = axml_query::eval(&nfq.pattern, &d);
+        assert_eq!(r.len(), 1, "the getNearbyRestos call is relevant");
+    }
+
+    #[test]
+    fn nfq_conditions_prune_hopeless_calls() {
+        // rating is extensional and too low: the restaurants call cannot
+        // contribute anymore (the paper's function 9 / hotel Pennsylvania)
+        let d = parse(
+            "<hotel><name>Pennsylvania</name><rating>**</rating>\
+              <nearby><axml:call service=\"getNearbyRestos\"/></nearby></hotel>",
+        )
+        .unwrap();
+        let q = fig4();
+        let restaurant = q
+            .node_ids()
+            .find(|&i| matches!(&q.node(i).label, PLabel::Const(l) if l.as_str() == "restaurant"))
+            .unwrap();
+        let nfq = build_nfq(&q, restaurant);
+        let r = axml_query::eval(&nfq.pattern, &d);
+        assert!(r.is_empty(), "name and rating conditions both fail");
+    }
+
+    #[test]
+    fn nfq_or_branch_accepts_pending_condition_calls() {
+        // the rating is itself intensional: the restaurants call stays
+        // relevant because getRating might return *****
+        let d = parse(
+            "<hotel><name>Best Western</name>\
+              <rating><axml:call service=\"getRating\"/></rating>\
+              <nearby><axml:call service=\"getNearbyRestos\"/></nearby></hotel>",
+        )
+        .unwrap();
+        let q = fig4();
+        let restaurant = q
+            .node_ids()
+            .find(|&i| matches!(&q.node(i).label, PLabel::Const(l) if l.as_str() == "restaurant"))
+            .unwrap();
+        let nfq = build_nfq(&q, restaurant);
+        let r = axml_query::eval(&nfq.pattern, &d);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn lpqs_deduplicate_positions() {
+        let q = fig4();
+        let lpqs = build_lpqs(&q);
+        // 13 nodes but name/address/rating of restaurant share prefixes
+        // with their value children collapsing onto distinct paths:
+        // /() , /hotel/() , /hotel/name/() , /hotel/rating/() ,
+        // /hotel/nearby/() (child) … /hotel/nearby//() (desc) ,
+        // /hotel/nearby//restaurant/() , …/name/() , …/address/() ,
+        // …/rating/()
+        let paths: Vec<String> = lpqs
+            .iter()
+            .map(|l| {
+                let prefix = if l.lin.is_empty() {
+                    String::new()
+                } else {
+                    l.lin.to_string()
+                };
+                format!(
+                    "{prefix}{}",
+                    if l.via == EdgeKind::Descendant {
+                        "//()"
+                    } else {
+                        "/()"
+                    }
+                )
+            })
+            .collect();
+        assert!(paths.contains(&"/()".to_string()), "{paths:?}");
+        assert!(
+            paths.contains(&"/hotel/nearby//()".to_string()),
+            "{paths:?}"
+        );
+        assert!(
+            paths.contains(&"/hotel/nearby//restaurant/rating/()".to_string()),
+            "{paths:?}"
+        );
+        assert_eq!(paths.len(), 9, "{paths:?}");
+    }
+
+    #[test]
+    fn lpq_is_a_superset_of_nfq() {
+        // LPQs ignore conditions: they retrieve the hopeless call that the
+        // NFQ above pruned
+        let d = parse(
+            "<hotel><name>Pennsylvania</name><rating>**</rating>\
+              <nearby><axml:call service=\"getNearbyRestos\"/></nearby></hotel>",
+        )
+        .unwrap();
+        let q = fig4();
+        let lpqs = build_lpqs(&q);
+        let mut found = false;
+        for lpq in &lpqs {
+            if !axml_query::eval(&lpq.pattern, &d).is_empty() {
+                found = true;
+            }
+        }
+        assert!(found, "LPQs retrieve by position only");
+    }
+
+    #[test]
+    fn xpath_relaxation_drops_variables() {
+        let q = fig4();
+        let restaurant = q
+            .node_ids()
+            .find(|&i| matches!(&q.node(i).label, PLabel::Const(l) if l.as_str() == "restaurant"))
+            .unwrap();
+        let nfq = build_nfq(&q, restaurant);
+        let relaxed = relax_nfq_to_xpath(&nfq);
+        assert!(relaxed
+            .pattern
+            .node_ids()
+            .all(|i| !matches!(relaxed.pattern.node(i).label, PLabel::Var(_))));
+    }
+
+    #[test]
+    fn fun_branches_map_back_to_query_nodes() {
+        let q = fig4();
+        let restaurant = q
+            .node_ids()
+            .find(|&i| matches!(&q.node(i).label, PLabel::Const(l) if l.as_str() == "restaurant"))
+            .unwrap();
+        let nfq = build_nfq(&q, restaurant);
+        // the output branch maps to the focus
+        assert!(nfq
+            .fun_branches
+            .iter()
+            .any(|&(f, u)| f == nfq.output && u == restaurant));
+        // and the side branches map to name / "Best Western" / rating / "*****"
+        assert!(nfq.fun_branches.len() >= 5);
+        for &(f, u) in &nfq.fun_branches {
+            assert!(matches!(nfq.pattern.node(f).label, PLabel::Fun(_)));
+            assert!(u.index() < q.len());
+        }
+    }
+}

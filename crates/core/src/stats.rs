@@ -1,0 +1,146 @@
+//! Execution statistics — the quantities the paper's evaluation reports:
+//! calls invoked, data transferred, simulated network time, relevance
+//! detection effort, and CPU time.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Everything measured during one engine run.
+#[derive(Clone, Debug, Default)]
+pub struct EngineStats {
+    /// Service calls actually invoked.
+    pub calls_invoked: usize,
+    /// Result bytes moved over the (simulated) network.
+    pub bytes_transferred: usize,
+    /// Simulated wall-clock spent on service calls — sequential calls sum,
+    /// parallel batches contribute their maximum (Section 4.4).
+    pub sim_time_ms: f64,
+    /// Number of call-finding query evaluations (NFQ/LPQ runs, or F-guide
+    /// lookups).
+    pub relevance_evals: usize,
+    /// CPU time spent detecting relevant calls.
+    pub relevance_cpu: Duration,
+    /// Iterations of the invoke/re-evaluate loop.
+    pub rounds: usize,
+    /// Calls whose invocation carried a pushed query.
+    pub pushed_calls: usize,
+    /// Calls skipped because their service is unknown to the registry.
+    pub skipped_unknown: usize,
+    /// Call-finding queries eliminated by containment pruning (§4.1).
+    pub queries_pruned: usize,
+    /// Rounds where all relevant calls were fired speculatively in one
+    /// batch (§4.4's "just in case" mode).
+    pub speculative_rounds: usize,
+    /// Service results that violated their declared output type (only
+    /// counted when `enforce_output_types` is on).
+    pub type_violations: usize,
+    /// NFQ evaluations skipped by incremental detection (cached candidate
+    /// sets reused because no splice touched the NFQ's region).
+    pub nfq_evals_skipped: usize,
+    /// True when the invocation budget was exhausted before completeness.
+    pub truncated: bool,
+    /// Per-service invocation counts.
+    pub invoked_by_service: BTreeMap<String, usize>,
+    /// CPU time of the final snapshot evaluation.
+    pub final_eval_cpu: Duration,
+    /// Total CPU time of the whole run.
+    pub total_cpu: Duration,
+    /// F-guide size (nodes), when one was used.
+    pub guide_nodes: usize,
+    /// Document size (live nodes) when evaluation finished.
+    pub final_doc_size: usize,
+}
+
+impl EngineStats {
+    /// Simulated time plus measured CPU time, in milliseconds — the
+    /// "total query evaluation time" of the paper's experiments.
+    pub fn total_time_ms(&self) -> f64 {
+        self.sim_time_ms + self.total_cpu.as_secs_f64() * 1e3
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "calls: {} ({} pushed, {} skipped){}",
+            self.calls_invoked,
+            self.pushed_calls,
+            self.skipped_unknown,
+            if self.truncated { " [TRUNCATED]" } else { "" }
+        )?;
+        writeln!(f, "bytes transferred: {}", self.bytes_transferred)?;
+        writeln!(
+            f,
+            "time: {:.1} ms simulated network + {:.1} ms cpu = {:.1} ms",
+            self.sim_time_ms,
+            self.total_cpu.as_secs_f64() * 1e3,
+            self.total_time_ms()
+        )?;
+        writeln!(
+            f,
+            "relevance: {} evaluations over {} rounds ({:.1} ms cpu)",
+            self.relevance_evals,
+            self.rounds,
+            self.relevance_cpu.as_secs_f64() * 1e3
+        )?;
+        if self.nfq_evals_skipped > 0 {
+            writeln!(
+                f,
+                "  {} evaluations skipped (incremental)",
+                self.nfq_evals_skipped
+            )?;
+        }
+        if self.queries_pruned > 0 {
+            writeln!(
+                f,
+                "  {} call-finding queries pruned (containment)",
+                self.queries_pruned
+            )?;
+        }
+        if self.speculative_rounds > 0 {
+            writeln!(f, "  {} speculative rounds", self.speculative_rounds)?;
+        }
+        if self.type_violations > 0 {
+            writeln!(f, "  {} output-type violations", self.type_violations)?;
+        }
+        for (svc, n) in &self.invoked_by_service {
+            writeln!(f, "  {svc}: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_time_combines_sim_and_cpu() {
+        let s = EngineStats {
+            sim_time_ms: 100.0,
+            total_cpu: Duration::from_millis(50),
+            ..Default::default()
+        };
+        assert!((s.total_time_ms() - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_renders() {
+        let mut s = EngineStats::default();
+        s.invoked_by_service.insert("getRating".into(), 3);
+        s.truncated = true;
+        s.queries_pruned = 4;
+        s.speculative_rounds = 2;
+        let out = s.to_string();
+        assert!(out.contains("getRating: 3"));
+        assert!(out.contains("TRUNCATED"));
+        assert!(out.contains("4 call-finding queries pruned"));
+        assert!(out.contains("2 speculative rounds"));
+        // zero-valued extras stay silent
+        let quiet = EngineStats::default().to_string();
+        assert!(!quiet.contains("speculative"));
+        assert!(!quiet.contains("violations"));
+    }
+}

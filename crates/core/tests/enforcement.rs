@@ -1,0 +1,113 @@
+//! Output-type enforcement: Section 2 *assumes* service results match
+//! their declared output type; with `enforce_output_types` the engine
+//! verifies the assumption and reports violations.
+
+use axml_core::{Engine, EngineConfig};
+use axml_gen::scenario::figure4_query;
+use axml_query::parse_query;
+use axml_schema::figure2_schema;
+use axml_services::{Registry, StaticService, TableService};
+use axml_xml::{parse, Forest};
+
+fn checked_config() -> EngineConfig {
+    EngineConfig {
+        enforce_output_types: true,
+        push_queries: false, // pruned results intentionally deviate
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn well_typed_services_report_no_violations() {
+    let schema = figure2_schema();
+    let mut registry = Registry::new();
+    let mut ratings = TableService::new("getRating");
+    let mut f = Forest::new();
+    f.add_root_text("*****");
+    ratings.insert("k", f);
+    registry.register(ratings);
+    let mut doc = parse(
+        "<hotels><hotel><name>Best Western</name><address>a</address>\
+           <rating><axml:call service=\"getRating\">k</axml:call></rating>\
+           <nearby><restaurant><name>Jo</name><address>a</address>\
+             <rating>*****</rating></restaurant></nearby></hotel></hotels>",
+    )
+    .unwrap();
+    let q = figure4_query();
+    let report = Engine::new(&registry, checked_config())
+        .with_schema(&schema)
+        .evaluate(&mut doc, &q);
+    assert_eq!(report.stats.type_violations, 0);
+    assert_eq!(report.stats.calls_invoked, 1);
+}
+
+#[test]
+fn misbehaving_service_is_flagged_but_run_continues() {
+    let schema = figure2_schema();
+    let mut registry = Registry::new();
+    // getNearbyRestos declares restaurant* but returns museums
+    registry.register(StaticService::new(
+        "getNearbyRestos",
+        parse("<museum><name>MoMA</name><address>53rd</address></museum>").unwrap(),
+    ));
+    let mut doc = parse(
+        "<hotels><hotel><name>Best Western</name><address>a</address>\
+           <rating>*****</rating>\
+           <nearby><axml:call service=\"getNearbyRestos\">a</axml:call></nearby>\
+         </hotel></hotels>",
+    )
+    .unwrap();
+    let q = figure4_query();
+    let report = Engine::new(&registry, checked_config())
+        .with_schema(&schema)
+        .evaluate(&mut doc, &q);
+    assert_eq!(report.stats.type_violations, 1);
+    assert!(report.result.is_empty());
+    doc.check_integrity().unwrap();
+}
+
+#[test]
+fn content_model_violations_inside_results_are_flagged() {
+    let schema = figure2_schema();
+    let mut registry = Registry::new();
+    // root word matches (restaurant*), but the restaurant lacks address
+    registry.register(StaticService::new(
+        "getNearbyRestos",
+        parse("<restaurant><name>Jo</name></restaurant>").unwrap(),
+    ));
+    let mut doc = parse(
+        "<hotels><hotel><name>Best Western</name><address>a</address>\
+           <rating>*****</rating>\
+           <nearby><axml:call service=\"getNearbyRestos\">a</axml:call></nearby>\
+         </hotel></hotels>",
+    )
+    .unwrap();
+    let q = figure4_query();
+    let report = Engine::new(&registry, checked_config())
+        .with_schema(&schema)
+        .evaluate(&mut doc, &q);
+    assert_eq!(report.stats.type_violations, 1);
+}
+
+#[test]
+fn enforcement_off_by_default() {
+    let schema = figure2_schema();
+    let mut registry = Registry::new();
+    registry.register(StaticService::new(
+        "getNearbyRestos",
+        parse("<museum><name>MoMA</name><address>53rd</address></museum>").unwrap(),
+    ));
+    let mut doc = parse(
+        "<hotels><hotel><name>Best Western</name><address>a</address>\
+           <rating>*****</rating>\
+           <nearby><axml:call service=\"getNearbyRestos\">a</axml:call></nearby>\
+         </hotel></hotels>",
+    )
+    .unwrap();
+    let q = parse_query("/hotels/hotel/nearby//museum/name").unwrap();
+    let report = Engine::new(&registry, EngineConfig::naive())
+        .with_schema(&schema)
+        .evaluate(&mut doc, &q);
+    assert_eq!(report.stats.type_violations, 0);
+    assert_eq!(report.result.len(), 1);
+}

@@ -1,0 +1,238 @@
+//! Cross-strategy equivalence (the safety theorem behind Definition 4):
+//! on terminating workloads, every engine configuration — naive, top-down,
+//! LPQ, NFQ, with or without layering, parallelism, F-guide, pushing and
+//! relaxations — must compute the same full query result.
+
+use axml_core::{Engine, EngineConfig, Speculation, Strategy};
+use axml_gen::synthetic::{random_query, random_workload, SyntheticParams};
+use axml_query::{render_result, Pattern};
+use axml_services::Registry;
+use axml_xml::Document;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+type Answers = BTreeSet<Vec<String>>;
+
+fn run(doc: &Document, q: &Pattern, registry: &Registry, config: EngineConfig) -> Answers {
+    let mut d = doc.clone();
+    let report = Engine::new(registry, config).evaluate(&mut d, q);
+    assert!(!report.stats.truncated, "synthetic workloads terminate");
+    d.check_integrity().unwrap();
+    render_result(&d, &report.result).into_iter().collect()
+}
+
+fn configs() -> Vec<(&'static str, EngineConfig)> {
+    vec![
+        ("naive", EngineConfig::naive()),
+        ("topdown", EngineConfig::top_down()),
+        ("lpq", EngineConfig::lpq()),
+        (
+            "lpq-par",
+            EngineConfig {
+                parallel: true,
+                ..EngineConfig::lpq()
+            },
+        ),
+        ("nfq-plain", EngineConfig::nfq_plain()),
+        (
+            "nfq-layered",
+            EngineConfig {
+                layering: true,
+                simplify_layers: true,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "nfq-parallel",
+            EngineConfig {
+                layering: true,
+                parallel: true,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "nfq-fguide",
+            EngineConfig {
+                use_fguide: true,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "nfq-push",
+            EngineConfig {
+                push_queries: true,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "nfq-relaxed",
+            EngineConfig {
+                relax_xpath: true,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "nfq-incremental",
+            EngineConfig {
+                incremental_detection: true,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "nfq-incremental-layered",
+            EngineConfig {
+                incremental_detection: true,
+                layering: true,
+                parallel: true,
+                simplify_layers: true,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "nfq-no-containment",
+            EngineConfig {
+                containment_pruning: false,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "nfq-speculative",
+            EngineConfig {
+                speculation: Speculation::Always,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "nfq-speculative-cost",
+            EngineConfig {
+                speculation: Speculation::CostBased {
+                    latency_threshold_ms: 5.0,
+                },
+                push_queries: true,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "nfq-everything",
+            EngineConfig {
+                strategy: Strategy::Nfq,
+                use_fguide: true,
+                push_queries: true,
+                parallel: true,
+                layering: true,
+                simplify_layers: true,
+                relax_xpath: false,
+                ..EngineConfig::default()
+            },
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_configurations_compute_the_same_full_result(
+        wseed in 0u64..10_000,
+        qseed in 0u64..10_000,
+        doc_nodes in 30usize..120,
+        call_probability in 0.05f64..0.5,
+    ) {
+        let params = SyntheticParams {
+            seed: wseed,
+            doc_nodes,
+            call_probability,
+            ..Default::default()
+        };
+        let (doc, registry) = random_workload(&params);
+        let q = random_query(qseed, params.alphabet, 7);
+
+        let mut reference: Option<Answers> = None;
+        for (name, config) in configs() {
+            let answers = run(&doc, &q, &registry, config);
+            match &reference {
+                None => reference = Some(answers),
+                Some(r) => prop_assert_eq!(
+                    &answers, r,
+                    "strategy {} disagrees (wseed={}, qseed={})",
+                    name, wseed, qseed
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn lazy_strategies_never_invoke_more_than_naive(
+        wseed in 0u64..10_000,
+        qseed in 0u64..10_000,
+    ) {
+        let params = SyntheticParams { seed: wseed, ..Default::default() };
+        let (doc, registry) = random_workload(&params);
+        let q = random_query(qseed, params.alphabet, 7);
+
+        let count = |config: EngineConfig| {
+            let mut d = doc.clone();
+            let report = Engine::new(&registry, config).evaluate(&mut d, &q);
+            report.stats.calls_invoked
+        };
+        let naive = count(EngineConfig::naive());
+        let lpq = count(EngineConfig::lpq());
+        let nfq = count(EngineConfig::nfq_plain());
+        prop_assert!(lpq <= naive, "lpq {} > naive {}", lpq, naive);
+        prop_assert!(nfq <= lpq, "nfq {} > lpq {}", nfq, lpq);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Proposition 2 on random workloads: once NFQA terminates, the
+    /// document is complete for the query — no NFQ retrieves anything.
+    #[test]
+    fn completed_documents_retrieve_nothing(
+        wseed in 0u64..10_000,
+        qseed in 0u64..10_000,
+    ) {
+        let params = SyntheticParams { seed: wseed, ..Default::default() };
+        let (doc, registry) = random_workload(&params);
+        let q = random_query(qseed, params.alphabet, 7);
+        let mut d = doc.clone();
+        let report = Engine::new(&registry, EngineConfig::nfq_plain()).evaluate(&mut d, &q);
+        prop_assert!(!report.stats.truncated);
+        for nfq in axml_core::build_nfqs(&q) {
+            let retrieved = axml_query::eval(&nfq.pattern, &d).bindings_of(nfq.output);
+            prop_assert!(
+                retrieved.is_empty(),
+                "incomplete after NFQA: {:?} still retrieved (wseed={}, qseed={})",
+                retrieved, wseed, qseed
+            );
+        }
+    }
+
+    /// Schema-derived random instances: the lazy engine agrees with naive
+    /// materialization on documents generated straight from τ.
+    #[test]
+    fn schema_generated_workloads_agree(seed in 0u64..10_000) {
+        use axml_gen::from_schema::{random_instance, InstanceParams};
+        let schema = axml_schema::figure2_schema();
+        let (doc, registry) = random_instance(
+            &schema,
+            "hotels",
+            &InstanceParams { seed, ..Default::default() },
+        );
+        let q = axml_gen::figure4_query();
+        let run = |config: EngineConfig| {
+            let mut d = doc.clone();
+            let report = Engine::new(&registry, config)
+                .with_schema(&schema)
+                .evaluate(&mut d, &q);
+            prop_assert!(!report.stats.truncated);
+            Ok(render_result(&d, &report.result)
+                .into_iter()
+                .collect::<Answers>())
+        };
+        let naive = run(EngineConfig::naive())?;
+        let lazy = run(EngineConfig::default())?;
+        prop_assert_eq!(naive, lazy, "seed={}", seed);
+    }
+}

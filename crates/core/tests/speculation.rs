@@ -1,0 +1,106 @@
+//! The §4.4 speculative-invocation mode: batching all relevant calls
+//! "just in case", unconditionally or driven by the observed-cost model.
+
+use axml_core::{Engine, EngineConfig, Speculation};
+use axml_gen::scenario::{figure4_query, generate, ScenarioParams};
+use axml_services::NetProfile;
+
+fn scenario() -> axml_gen::Scenario {
+    generate(&ScenarioParams {
+        hotels: 40,
+        ..Default::default()
+    })
+}
+
+fn run(config: EngineConfig, latency_ms: f64) -> axml_core::EngineStats {
+    let mut sc = scenario();
+    sc.registry
+        .set_default_profile(NetProfile::latency(latency_ms));
+    let mut doc = sc.doc.clone();
+    let report = Engine::new(&sc.registry, config)
+        .with_schema(&sc.schema)
+        .evaluate(&mut doc, &figure4_query());
+    report.stats
+}
+
+#[test]
+fn always_speculating_minimizes_rounds() {
+    let strict = run(
+        EngineConfig {
+            layering: true,
+            parallel: true,
+            ..EngineConfig::nfq_plain()
+        },
+        100.0,
+    );
+    let spec = run(
+        EngineConfig {
+            speculation: Speculation::Always,
+            ..EngineConfig::nfq_plain()
+        },
+        100.0,
+    );
+    assert!(
+        spec.rounds < strict.rounds,
+        "{} vs {}",
+        spec.rounds,
+        strict.rounds
+    );
+    assert!(spec.speculative_rounds >= 1);
+    // wall-clock wins, possibly at the cost of extra calls
+    assert!(spec.sim_time_ms < strict.sim_time_ms);
+    assert!(spec.calls_invoked >= strict.calls_invoked);
+}
+
+#[test]
+fn cost_based_speculation_stays_strict_on_cheap_services() {
+    let stats = run(
+        EngineConfig {
+            speculation: Speculation::CostBased {
+                latency_threshold_ms: 1e9,
+            },
+            ..EngineConfig::nfq_plain()
+        },
+        1.0,
+    );
+    assert_eq!(stats.speculative_rounds, 0, "{stats}");
+    // strict NFQA semantics: one call per round
+    assert_eq!(stats.rounds, stats.calls_invoked);
+}
+
+#[test]
+fn cost_based_speculation_kicks_in_on_expensive_services() {
+    let stats = run(
+        EngineConfig {
+            speculation: Speculation::CostBased {
+                latency_threshold_ms: 50.0,
+            },
+            ..EngineConfig::nfq_plain()
+        },
+        200.0,
+    );
+    // the first probe call is sequential, the rest batch
+    assert!(stats.speculative_rounds >= 1, "{stats}");
+    assert!(stats.rounds < stats.calls_invoked);
+}
+
+#[test]
+fn speculative_answers_match_strict() {
+    let q = figure4_query();
+    let sc = scenario();
+    let answers = |config: EngineConfig| {
+        let mut doc = sc.doc.clone();
+        let report = Engine::new(&sc.registry, config)
+            .with_schema(&sc.schema)
+            .evaluate(&mut doc, &q);
+        let mut v = axml_query::render_result(&doc, &report.result);
+        v.sort();
+        v
+    };
+    let strict = answers(EngineConfig::default());
+    let spec = answers(EngineConfig {
+        speculation: Speculation::Always,
+        ..EngineConfig::default()
+    });
+    assert_eq!(strict, spec);
+}

@@ -1,0 +1,116 @@
+//! Real-thread batch dispatch: when services do real work, parallel
+//! batches overlap on the wall clock too — and answers stay identical and
+//! deterministic.
+
+use axml_core::{Engine, EngineConfig};
+use axml_query::parse_query;
+use axml_services::{FnService, Registry};
+use axml_xml::parse;
+use std::time::{Duration, Instant};
+
+fn slow_registry(delay: Duration) -> Registry {
+    let mut r = Registry::new();
+    r.register(FnService::new(
+        "slow",
+        move |req: &axml_services::CallRequest| {
+            std::thread::sleep(delay);
+            let key = req.first_text().unwrap_or("?").to_string();
+            parse(&format!("<item><id>{key}</id></item>")).unwrap()
+        },
+    ));
+    r
+}
+
+fn doc_with_calls(n: usize) -> axml_xml::Document {
+    let mut d = axml_xml::Document::with_root("r");
+    let root = d.root();
+    for i in 0..n {
+        let c = d.add_call(root, "slow");
+        d.add_text(c, format!("{i}"));
+    }
+    d
+}
+
+#[test]
+fn threaded_batches_overlap_real_latency() {
+    let delay = Duration::from_millis(15);
+    let registry = slow_registry(delay);
+    let q = parse_query("/r/item/id/$I -> $I").unwrap();
+    let n = 8;
+
+    let run = |threads: bool| {
+        let mut doc = doc_with_calls(n);
+        let t = Instant::now();
+        let report = Engine::new(
+            &registry,
+            EngineConfig {
+                parallel: true,
+                real_threads: threads,
+                push_queries: false,
+                ..EngineConfig::default()
+            },
+        )
+        .evaluate(&mut doc, &q);
+        (t.elapsed(), report.result.len(), report.stats.calls_invoked)
+    };
+
+    let (seq_time, seq_answers, seq_calls) = run(false);
+    let (par_time, par_answers, par_calls) = run(true);
+    assert_eq!(seq_answers, n);
+    assert_eq!(par_answers, n);
+    assert_eq!(seq_calls, par_calls);
+    // sequential pays n × delay; threads pay ~one delay per batch.
+    // generous margins to stay robust on loaded machines
+    assert!(
+        seq_time >= delay * (n as u32 - 1),
+        "sequential too fast: {seq_time:?}"
+    );
+    assert!(
+        par_time < seq_time,
+        "threads did not overlap: {par_time:?} vs {seq_time:?}"
+    );
+}
+
+#[test]
+fn threaded_results_are_deterministic() {
+    let registry = slow_registry(Duration::from_millis(1));
+    let q = parse_query("/r/item/id/$I -> $I").unwrap();
+    let render = |threads: bool| {
+        let mut doc = doc_with_calls(12);
+        let report = Engine::new(
+            &registry,
+            EngineConfig {
+                parallel: true,
+                real_threads: threads,
+                ..EngineConfig::default()
+            },
+        )
+        .evaluate(&mut doc, &q);
+        axml_xml::to_xml(&doc) + &format!("{:?}", report.result.len())
+    };
+    let a = render(true);
+    let b = render(true);
+    let c = render(false);
+    assert_eq!(a, b, "two threaded runs must splice identically");
+    assert_eq!(a, c, "threaded and sequential must splice identically");
+}
+
+#[test]
+fn threaded_budget_is_respected() {
+    let registry = slow_registry(Duration::from_millis(1));
+    let q = parse_query("/r/item/id/$I -> $I").unwrap();
+    let mut doc = doc_with_calls(10);
+    let report = Engine::new(
+        &registry,
+        EngineConfig {
+            parallel: true,
+            real_threads: true,
+            max_invocations: 4,
+            ..EngineConfig::default()
+        },
+    )
+    .evaluate(&mut doc, &q);
+    assert_eq!(report.stats.calls_invoked, 4);
+    assert!(report.stats.truncated);
+    doc.check_integrity().unwrap();
+}

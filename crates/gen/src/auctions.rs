@@ -1,0 +1,228 @@
+//! A second workload domain: an XMark-flavored auction site with
+//! intensional bids and seller profiles. Exercises the same machinery as
+//! the hotels scenario on a differently-shaped schema (deeper nesting,
+//! value joins across subtrees) and powers the `auctions` example and the
+//! cross-domain sanity tests.
+
+use crate::scenario::Scenario;
+use axml_query::{parse_query, Pattern};
+use axml_schema::{parse_schema, Schema};
+use axml_services::{Registry, TableService};
+use axml_xml::{Document, Forest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Knobs of the auction workload.
+#[derive(Clone, Debug)]
+pub struct AuctionParams {
+    /// Number of open auctions.
+    pub auctions: usize,
+    /// Number of item categories (the query filters on one).
+    pub categories: usize,
+    /// Bids per auction (materialized or served).
+    pub bids_per_auction: usize,
+    /// Fraction of auctions whose bids hide behind `getBids`.
+    pub intensional_bids_fraction: f64,
+    /// Fraction of sellers whose profile hides behind `getSellerInfo`.
+    pub intensional_sellers_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AuctionParams {
+    fn default() -> Self {
+        AuctionParams {
+            auctions: 40,
+            categories: 5,
+            bids_per_auction: 4,
+            intensional_bids_fraction: 0.7,
+            intensional_sellers_fraction: 0.5,
+            seed: 11,
+        }
+    }
+}
+
+/// The auction-site schema.
+pub fn auction_schema() -> Schema {
+    parse_schema(
+        "root site\n\
+         function getBids       = in: data, out: bid*\n\
+         function getSellerInfo = in: data, out: profile\n\
+         element site          = open_auctions.people\n\
+         element open_auctions = auction*\n\
+         element auction       = item.category.seller.bids\n\
+         element item          = data\n\
+         element category      = data\n\
+         element seller        = data\n\
+         element bids          = (bid | getBids)*\n\
+         element bid           = amount.bidder\n\
+         element amount        = data\n\
+         element bidder        = data\n\
+         element people        = (profile | getSellerInfo)*\n\
+         element profile       = name.city\n\
+         element name          = data\n\
+         element city          = data\n",
+    )
+    .expect("auction schema is well-formed")
+}
+
+/// The benchmark query: bid amounts and bidders on auctions of category
+/// "cat0".
+pub fn auction_query() -> Pattern {
+    parse_query(
+        "/site/open_auctions/auction[category=\"cat0\"]\
+         /bids/bid[amount=$A][bidder=$B] -> $A,$B",
+    )
+    .expect("auction query parses")
+}
+
+/// Generates the auction workload.
+pub fn generate_auctions(params: &AuctionParams) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let schema = auction_schema();
+    let mut doc = Document::with_root("site");
+    let root = doc.root();
+    let open = doc.add_element(root, "open_auctions");
+
+    let mut bids_svc = TableService::new("getBids");
+    let mut sellers_svc = TableService::new("getSellerInfo");
+
+    let mut seller_names = Vec::new();
+    for i in 0..params.auctions {
+        let a = doc.add_element(open, "auction");
+        let item = doc.add_element(a, "item");
+        doc.add_text(item, format!("Item {i}"));
+        let cat = doc.add_element(a, "category");
+        doc.add_text(cat, format!("cat{}", rng.gen_range(0..params.categories)));
+        let seller = doc.add_element(a, "seller");
+        let seller_name = format!("seller{}", i % 7);
+        doc.add_text(seller, seller_name.clone());
+        seller_names.push(seller_name.clone());
+        let bids = doc.add_element(a, "bids");
+        let mut bid_forest = Forest::new();
+        for b in 0..params.bids_per_auction {
+            let bid = bid_forest.add_root("bid");
+            let amount = bid_forest.add_element(bid, "amount");
+            bid_forest.add_text(amount, format!("{}", 10 * (b + 1) + i));
+            let bidder = bid_forest.add_element(bid, "bidder");
+            bid_forest.add_text(bidder, format!("user{}", rng.gen_range(0..20)));
+        }
+        if rng.gen_bool(params.intensional_bids_fraction) {
+            let c = doc.add_call(bids, "getBids");
+            doc.add_text(c, format!("auction-{i}"));
+            bids_svc.insert(format!("auction-{i}"), bid_forest);
+        } else {
+            for idx in 0..bid_forest.roots().len() {
+                let r = bid_forest.roots()[idx];
+                doc.append_copy(bids, &bid_forest, r);
+            }
+        }
+    }
+
+    let people = doc.add_element(root, "people");
+    seller_names.sort();
+    seller_names.dedup();
+    for name in seller_names {
+        let mut profile = Forest::new();
+        let p = profile.add_root("profile");
+        let n = profile.add_element(p, "name");
+        profile.add_text(n, name.clone());
+        let c = profile.add_element(p, "city");
+        profile.add_text(c, "Paris");
+        if rng.gen_bool(params.intensional_sellers_fraction) {
+            let call = doc.add_call(people, "getSellerInfo");
+            doc.add_text(call, name.clone());
+            sellers_svc.insert(name, profile);
+        } else {
+            doc.append_copy(people, &profile, profile.roots()[0]);
+        }
+    }
+
+    let mut registry = Registry::new();
+    registry.register(bids_svc);
+    registry.register(sellers_svc);
+
+    Scenario {
+        doc,
+        registry,
+        schema,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_core::{Engine, EngineConfig};
+    use axml_schema::validate;
+
+    #[test]
+    fn generated_site_is_schema_valid() {
+        let s = generate_auctions(&AuctionParams::default());
+        let errors = validate(&s.doc, &s.schema);
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    #[test]
+    fn lazy_run_skips_seller_profiles() {
+        let s = generate_auctions(&AuctionParams::default());
+        let q = auction_query();
+        let mut doc = s.doc.clone();
+        let lazy = Engine::new(&s.registry, EngineConfig::default())
+            .with_schema(&s.schema)
+            .evaluate(&mut doc, &q);
+        // the query never touches /site/people: no seller profile fetched
+        assert_eq!(
+            lazy.stats.invoked_by_service.get("getSellerInfo"),
+            None,
+            "{}",
+            lazy.stats
+        );
+        assert!(!lazy.stats.truncated);
+
+        // naive fetches everything; answers agree
+        let mut doc2 = s.doc.clone();
+        let naive = Engine::new(&s.registry, EngineConfig::naive())
+            .with_schema(&s.schema)
+            .evaluate(&mut doc2, &q);
+        assert!(naive.stats.invoked_by_service.contains_key("getSellerInfo"));
+        assert_eq!(
+            axml_query::render_result(&doc, &lazy.result),
+            axml_query::render_result(&doc2, &naive.result)
+        );
+    }
+
+    #[test]
+    fn typed_pruning_works_on_the_second_schema() {
+        let s = generate_auctions(&AuctionParams {
+            auctions: 30,
+            ..Default::default()
+        });
+        let q = auction_query();
+        let run = |typing| {
+            let mut doc = s.doc.clone();
+            let report = Engine::new(
+                &s.registry,
+                EngineConfig {
+                    typing,
+                    push_queries: false,
+                    ..EngineConfig::default()
+                },
+            )
+            .with_schema(&s.schema)
+            .evaluate(&mut doc, &q);
+            report.stats.calls_invoked
+        };
+        let untyped = run(axml_core::Typing::None);
+        let exact = run(axml_core::Typing::Exact);
+        assert!(exact <= untyped);
+    }
+
+    #[test]
+    fn termination_analysis_passes() {
+        let s = generate_auctions(&AuctionParams::default());
+        assert!(matches!(
+            axml_schema::check_document(&s.schema, &s.doc),
+            axml_schema::Termination::Terminates { max_depth: 1 }
+        ));
+    }
+}

@@ -1,0 +1,21 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # axml-gen — workload generators for the Active XML experiments
+//!
+//! * [`scenario`] — the paper's hotels/night-life running example: the
+//!   exact Figure 1 document + Figure 4 query, and a parameterized scaled
+//!   generator with knobs for every experiment sweep (intensional
+//!   fractions, selectivities, distractor services).
+//! * [`synthetic`] — seeded random AXML documents with stratified,
+//!   provably terminating service registries, for property tests.
+
+pub mod auctions;
+pub mod from_schema;
+pub mod scenario;
+pub mod synthetic;
+
+pub use auctions::{auction_query, auction_schema, generate_auctions, AuctionParams};
+pub use from_schema::{random_instance, InstanceParams};
+pub use scenario::{figure1, figure4_query, generate, Scenario, ScenarioParams};
+pub use synthetic::{random_query, random_workload, SyntheticParams};

@@ -1,0 +1,142 @@
+//! Human-readable rendering of patterns (for logs, error messages and
+//! debugging). The output resembles the parser's input syntax; extended
+//! constructs (OR nodes, refined function lists) use `(a | b)` and
+//! `{f,g}()` forms that the parser does not read back.
+
+use crate::pattern::{EdgeKind, FunMatch, PLabel, PNodeId, Pattern};
+use std::fmt::Write;
+
+/// Renders a pattern as an XPath-like string.
+pub fn render(p: &Pattern) -> String {
+    if p.is_empty() {
+        return String::from("(empty)");
+    }
+    let mut out = String::new();
+    render_node(p, p.root(), true, &mut out);
+    out
+}
+
+fn render_node(p: &Pattern, id: PNodeId, absolute: bool, out: &mut String) {
+    let n = p.node(id);
+    if absolute || p.parent(id).is_some() {
+        match (absolute, n.edge) {
+            (true, _) => out.push('/'),
+            (false, EdgeKind::Child) => out.push('/'),
+            (false, EdgeKind::Descendant) => out.push_str("//"),
+        }
+        if absolute && n.edge == EdgeKind::Descendant && p.parent(id).is_some() {
+            out.push('/');
+        }
+    }
+    render_label(p, id, out);
+    if n.is_result {
+        out.push('!');
+    }
+    // OR nodes already render their branches (with subtrees) inline
+    if !matches!(n.label, PLabel::Or) {
+        for &c in &n.children {
+            out.push('[');
+            render_node(p, c, false, out);
+            out.push(']');
+        }
+    }
+}
+
+fn render_label(p: &Pattern, id: PNodeId, out: &mut String) {
+    match &p.node(id).label {
+        PLabel::Const(l) => {
+            if l.as_str()
+                .chars()
+                .all(|c| c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | '@' | ':'))
+                && !l.is_empty()
+            {
+                out.push_str(l.as_str());
+            } else {
+                let _ = write!(out, "\"{l}\"");
+            }
+        }
+        PLabel::Var(v) => {
+            let _ = write!(out, "${v}");
+        }
+        PLabel::Wildcard => out.push('*'),
+        PLabel::Fun(FunMatch::Any) => out.push_str("*()"),
+        PLabel::Fun(FunMatch::OneOf(ns)) => {
+            if ns.len() == 1 {
+                let _ = write!(out, "{}()", ns[0]);
+            } else {
+                out.push('{');
+                for (i, n) in ns.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(n.as_str());
+                }
+                out.push_str("}()");
+            }
+        }
+        PLabel::Or => {
+            out.push('(');
+            let children = &p.node(id).children;
+            for (i, &c) in children.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" | ");
+                }
+                render_or_branch(p, c, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn render_or_branch(p: &Pattern, id: PNodeId, out: &mut String) {
+    render_label(p, id, out);
+    if p.node(id).is_result {
+        out.push('!');
+    }
+    for &c in &p.node(id).children {
+        out.push('[');
+        render_node(p, c, false, out);
+        out.push(']');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use crate::pattern::{EdgeKind, FunMatch, PLabel, Pattern};
+
+    #[test]
+    fn renders_simple_query() {
+        let q = parse_query("/a/b[c=\"v 1\"]//d").unwrap();
+        let s = render(&q);
+        assert!(s.contains("/a"), "{s}");
+        assert!(s.contains("\"v 1\""), "{s}");
+        assert!(s.contains("//d") || s.contains("d!"), "{s}");
+    }
+
+    #[test]
+    fn renders_or_and_functions() {
+        let mut p = Pattern::new();
+        let r = p.set_root(PLabel::Const("r".into()));
+        let a = p.add_child(r, EdgeKind::Child, PLabel::Const("a".into()));
+        let or = p.wrap_in_or(a);
+        p.add_child(or, EdgeKind::Child, PLabel::Fun(FunMatch::Any));
+        let s = render(&p);
+        assert!(s.contains("(a | *())"), "{s}");
+    }
+
+    #[test]
+    fn renders_refined_function_lists() {
+        let mut p = Pattern::new();
+        let r = p.set_root(PLabel::Const("r".into()));
+        let f = p.add_child(
+            r,
+            EdgeKind::Child,
+            PLabel::Fun(FunMatch::OneOf(vec!["f".into(), "g".into()])),
+        );
+        p.mark_result(f);
+        let s = render(&p);
+        assert!(s.contains("{f,g}()!"), "{s}");
+    }
+}

@@ -1,0 +1,734 @@
+//! Embedding-based evaluation of (extended) tree patterns — the *snapshot
+//! semantics* of Definition 1.
+//!
+//! An embedding maps pattern nodes to document nodes, root to root,
+//! preserving parent-child / ancestor-descendant edges, mapping constants to
+//! data nodes with the same label, with all occurrences of a variable mapped
+//! to nodes carrying identical labels. Extended patterns add OR nodes
+//! (transparent choice) and function nodes (matched against the document's
+//! function-call nodes).
+//!
+//! Design notes:
+//! * Descendant navigation never descends **below** a function node: the
+//!   parameters of a pending call are inputs of the service, not document
+//!   content (a call node itself is still visible, so `//()` finds calls at
+//!   any depth).
+//! * Condition subtrees that contain neither result nodes nor join
+//!   variables are checked by a memoized boolean match; full enumeration
+//!   happens only where bindings are observable. This keeps the evaluator
+//!   polynomial on join-free queries.
+
+use crate::pattern::{EdgeKind, PLabel, PNodeId, Pattern};
+use axml_xml::{Document, NodeId};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+/// One result of the query: the restriction of an embedding to the result
+/// nodes (pattern node → document node).
+pub type ResultTuple = BTreeMap<PNodeId, NodeId>;
+
+/// The snapshot result `q(d)`: the set of results of all embeddings.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotResult {
+    /// Distinct result tuples.
+    pub tuples: BTreeSet<ResultTuple>,
+}
+
+impl SnapshotResult {
+    /// Whether no embedding exists.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Number of distinct result tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// The document nodes bound to a given pattern node across all tuples.
+    pub fn bindings_of(&self, p: PNodeId) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .tuples
+            .iter()
+            .filter_map(|t| t.get(&p).copied())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+/// Renders a snapshot result as readable strings (label of each bound node).
+pub fn render_result(doc: &Document, r: &SnapshotResult) -> Vec<Vec<String>> {
+    r.tuples
+        .iter()
+        .map(|t| t.values().map(|&n| doc.label(n).to_string()).collect())
+        .collect()
+}
+
+/// Evaluates `q` on `d` and returns the snapshot result.
+pub fn eval(pattern: &Pattern, doc: &Document) -> SnapshotResult {
+    if pattern.is_empty() {
+        return SnapshotResult::default();
+    }
+    let mut ev = Evaluator::new(pattern, doc);
+    let mut out = SnapshotResult::default();
+    for &root in doc.roots() {
+        for (_, frag) in ev.embed(pattern.root(), root, &VarEnv::default()) {
+            out.tuples.insert(frag);
+        }
+    }
+    out
+}
+
+/// `true` iff at least one embedding of `q` in `d` exists.
+pub fn matches(pattern: &Pattern, doc: &Document) -> bool {
+    if pattern.is_empty() {
+        return false;
+    }
+    let mut ev = Evaluator::new(pattern, doc);
+    doc.roots().iter().any(|&r| {
+        if ev.needs_enum[pattern.root().index()] {
+            !ev.embed(pattern.root(), r, &VarEnv::default()).is_empty()
+        } else {
+            ev.smatch(pattern.root(), r)
+        }
+    })
+}
+
+/// All document nodes that *contribute* to `q(d)` (Section 2): images of
+/// pattern nodes under some embedding, plus the nodes on the document paths
+/// realizing descendant edges. This is the "grey area" of Figure 3 and the
+/// basis of the pruned-result mode when pushing queries (Section 7).
+pub fn contributing_nodes(pattern: &Pattern, doc: &Document) -> HashSet<NodeId> {
+    let mut out = HashSet::new();
+    if pattern.is_empty() {
+        return out;
+    }
+    let mut ev = Evaluator::new(pattern, doc);
+    for &root in doc.roots() {
+        let embeddings = ev.embed_full(pattern.root(), root, &VarEnv::default());
+        for emb in embeddings {
+            for (&p, &v) in &emb {
+                out.insert(v);
+                // close the path up to the image of the parent pattern node
+                if let Some(pp) = pattern.parent(p) {
+                    if let Some(&pv) = emb.get(&pp) {
+                        let mut cur = doc.parent(v);
+                        while let Some(n) = cur {
+                            if n == pv {
+                                break;
+                            }
+                            out.insert(n);
+                            cur = doc.parent(n);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Enumerates the *full embeddings* of the pattern (every pattern node's
+/// image). OR nodes map to the image of their chosen branch. Exponential in
+/// the worst case — intended for provider-side pruning of (small) service
+/// results, not for document-scale evaluation.
+pub fn embeddings(pattern: &Pattern, doc: &Document) -> Vec<BTreeMap<PNodeId, NodeId>> {
+    let mut out = Vec::new();
+    if pattern.is_empty() {
+        return out;
+    }
+    let mut ev = Evaluator::new(pattern, doc);
+    for &root in doc.roots() {
+        out.extend(ev.embed_full(pattern.root(), root, &VarEnv::default()));
+    }
+    out
+}
+
+/// A reusable join-blind structural matcher over one `(pattern, document)`
+/// pair, exposing node-level match tests with memoization. Used by the
+/// F-guide's residual filtering (Section 6.2), where candidate call nodes
+/// are aligned against an NFQ's path and the side conditions are checked
+/// per document node.
+pub struct Matcher<'a> {
+    ev: Evaluator<'a>,
+}
+
+impl<'a> Matcher<'a> {
+    /// Creates a matcher.
+    pub fn new(pattern: &'a Pattern, doc: &'a Document) -> Self {
+        Matcher {
+            ev: Evaluator::new(pattern, doc),
+        }
+    }
+
+    /// Join-blind: can pattern node `p`'s subtree match at document node
+    /// `v`?
+    pub fn matches_at(&mut self, p: PNodeId, v: NodeId) -> bool {
+        self.ev.smatch(p, v)
+    }
+
+    /// Label-only test: does `p`'s own label accept `v`, ignoring `p`'s
+    /// children? (OR nodes test their branches' labels.)
+    pub fn label_matches(&mut self, p: PNodeId, v: NodeId) -> bool {
+        if let PLabel::Or = self.ev.pat.node(p).label {
+            let branches = self.ev.pat.node(p).children.clone();
+            return branches.into_iter().any(|b| self.label_matches(b, v));
+        }
+        self.ev.local_ok(p, v)
+    }
+
+    /// Does some child of `v` match pattern node `p` (join-blind)?
+    pub fn child_matches(&mut self, p: PNodeId, v: NodeId) -> bool {
+        let kids = self.ev.doc.children(v).to_vec();
+        kids.into_iter().any(|u| self.ev.smatch(p, u))
+    }
+
+    /// Does some strict descendant of `v` match pattern node `p`
+    /// (join-blind, not descending below function nodes)?
+    pub fn descendant_matches(&mut self, p: PNodeId, v: NodeId) -> bool {
+        self.ev.desc_exists(p, v)
+    }
+}
+
+/// Variable environment: variable name → required label text.
+type VarEnv = BTreeMap<String, String>;
+
+struct Evaluator<'a> {
+    pat: &'a Pattern,
+    doc: &'a Document,
+    /// memoized join-blind structural match
+    memo: HashMap<(PNodeId, NodeId), bool>,
+    /// memoized "∃ strict data-reachable descendant matching p"
+    desc_memo: HashMap<(PNodeId, NodeId), bool>,
+    /// per pattern node: does its subtree contain a result node or a join
+    /// variable (requiring full enumeration)?
+    needs_enum: Vec<bool>,
+    join_vars: HashSet<String>,
+}
+
+impl<'a> Evaluator<'a> {
+    fn new(pat: &'a Pattern, doc: &'a Document) -> Self {
+        let join_vars: HashSet<String> = pat
+            .join_variables()
+            .into_iter()
+            .map(|l| l.to_string())
+            .collect();
+        let mut needs_enum = vec![false; pat.len()];
+        // bottom-up: creation order guarantees parents precede children,
+        // so compute in reverse order.
+        for id in pat.node_ids().collect::<Vec<_>>().into_iter().rev() {
+            let n = pat.node(id);
+            let mut need = n.is_result;
+            if let PLabel::Var(v) = &n.label {
+                if join_vars.contains(v.as_str()) {
+                    need = true;
+                }
+            }
+            for &c in &n.children {
+                if needs_enum[c.index()] {
+                    need = true;
+                }
+            }
+            needs_enum[id.index()] = need;
+        }
+        Evaluator {
+            pat,
+            doc,
+            memo: HashMap::new(),
+            desc_memo: HashMap::new(),
+            needs_enum,
+            join_vars,
+        }
+    }
+
+    /// Does the local (label-only) test of pattern node `p` accept doc node
+    /// `v`, ignoring variables' join constraints?
+    fn local_ok(&self, p: PNodeId, v: NodeId) -> bool {
+        match &self.pat.node(p).label {
+            PLabel::Const(l) => self.doc.is_data(v) && self.doc.label(v) == l.as_str(),
+            PLabel::Var(_) | PLabel::Wildcard => self.doc.is_data(v),
+            PLabel::Fun(m) => self
+                .doc
+                .call_info(v)
+                .is_some_and(|(_, svc)| m.accepts(svc.as_str())),
+            PLabel::Or => unreachable!("OR nodes are handled transparently"),
+        }
+    }
+
+    /// Join-blind structural match of `p` at `v` (memoized).
+    fn smatch(&mut self, p: PNodeId, v: NodeId) -> bool {
+        if let Some(&b) = self.memo.get(&(p, v)) {
+            return b;
+        }
+        // insert a pessimistic placeholder to cut (impossible) cycles
+        self.memo.insert((p, v), false);
+        let r = self.smatch_uncached(p, v);
+        self.memo.insert((p, v), r);
+        r
+    }
+
+    fn smatch_uncached(&mut self, p: PNodeId, v: NodeId) -> bool {
+        if let PLabel::Or = self.pat.node(p).label {
+            let branches = self.pat.node(p).children.clone();
+            return branches.into_iter().any(|b| self.smatch(b, v));
+        }
+        if !self.local_ok(p, v) {
+            return false;
+        }
+        let children = self.pat.node(p).children.clone();
+        children.into_iter().all(|pc| match self.pat.node(pc).edge {
+            EdgeKind::Child => {
+                let kids = self.doc.children(v).to_vec();
+                kids.into_iter().any(|u| self.smatch(pc, u))
+            }
+            EdgeKind::Descendant => self.desc_exists(pc, v),
+        })
+    }
+
+    /// ∃ strict descendant `u` of `v` (not descending below function nodes)
+    /// with `smatch(p, u)`.
+    fn desc_exists(&mut self, p: PNodeId, v: NodeId) -> bool {
+        if let Some(&b) = self.desc_memo.get(&(p, v)) {
+            return b;
+        }
+        self.desc_memo.insert((p, v), false);
+        let mut found = false;
+        if self.doc.is_data(v) {
+            for u in self.doc.children(v).to_vec() {
+                if self.smatch(p, u) || self.desc_exists(p, u) {
+                    found = true;
+                    break;
+                }
+            }
+        }
+        self.desc_memo.insert((p, v), found);
+        found
+    }
+
+    /// Candidate doc nodes for pattern child `pc` under image `v`.
+    fn candidates(&mut self, pc: PNodeId, v: NodeId) -> Vec<NodeId> {
+        match self.pat.node(pc).edge {
+            EdgeKind::Child => self
+                .doc
+                .children(v)
+                .to_vec()
+                .into_iter()
+                .filter(|&u| self.smatch(pc, u))
+                .collect(),
+            EdgeKind::Descendant => {
+                let mut out = Vec::new();
+                self.collect_desc(pc, v, &mut out);
+                out
+            }
+        }
+    }
+
+    fn collect_desc(&mut self, pc: PNodeId, v: NodeId, out: &mut Vec<NodeId>) {
+        if !self.doc.is_data(v) {
+            return;
+        }
+        for u in self.doc.children(v).to_vec() {
+            if self.smatch(pc, u) {
+                out.push(u);
+            }
+            self.collect_desc(pc, u, out);
+        }
+    }
+
+    /// Enumerates the distinct (environment, result fragment) pairs for
+    /// embedding the subtree of `p` at `v`, given an inherited environment.
+    fn embed(&mut self, p: PNodeId, v: NodeId, env: &VarEnv) -> Vec<(VarEnv, ResultTuple)> {
+        // Fast path: nothing observable below — boolean check suffices.
+        if !self.needs_enum[p.index()] {
+            return if self.smatch(p, v) {
+                vec![(env.clone(), ResultTuple::new())]
+            } else {
+                vec![]
+            };
+        }
+        if let PLabel::Or = self.pat.node(p).label {
+            let branches = self.pat.node(p).children.clone();
+            let mut out = Vec::new();
+            for b in branches {
+                out.extend(self.embed(b, v, env));
+            }
+            dedup_pairs(&mut out);
+            return out;
+        }
+        if !self.local_ok(p, v) {
+            return vec![];
+        }
+        let mut env = env.clone();
+        if let PLabel::Var(name) = &self.pat.node(p).label {
+            if self.join_vars.contains(name.as_str()) {
+                let label = self.doc.label(v).to_string();
+                match env.get(name.as_str()) {
+                    Some(bound) if bound != &label => return vec![],
+                    Some(_) => {}
+                    None => {
+                        env.insert(name.to_string(), label);
+                    }
+                }
+            }
+        }
+        let mut base = ResultTuple::new();
+        if self.pat.node(p).is_result {
+            base.insert(p, v);
+        }
+        let mut combos: Vec<(VarEnv, ResultTuple)> = vec![(env, base)];
+        for pc in self.pat.node(p).children.clone() {
+            let mut next: Vec<(VarEnv, ResultTuple)> = Vec::new();
+            for (cenv, cfrag) in &combos {
+                if !self.needs_enum[pc.index()] {
+                    // existence is independent of result fragments; the
+                    // variable environment may still constrain it only via
+                    // join vars, which the fast path ignores — safe because
+                    // needs_enum is true whenever a join var occurs below.
+                    let ok = match self.pat.node(pc).edge {
+                        EdgeKind::Child => {
+                            let kids = self.doc.children(v).to_vec();
+                            kids.into_iter().any(|u| self.smatch(pc, u))
+                        }
+                        EdgeKind::Descendant => self.desc_exists(pc, v),
+                    };
+                    if ok {
+                        next.push((cenv.clone(), cfrag.clone()));
+                    }
+                    continue;
+                }
+                for u in self.candidates(pc, v) {
+                    for (e2, f2) in self.embed(pc, u, cenv) {
+                        let mut merged = cfrag.clone();
+                        merged.extend(f2);
+                        next.push((e2, merged));
+                    }
+                }
+            }
+            dedup_pairs(&mut next);
+            combos = next;
+            if combos.is_empty() {
+                break;
+            }
+        }
+        combos
+    }
+
+    /// Full-embedding enumeration (every pattern node's image), used for
+    /// contributing-node computation. OR nodes map to the image of the
+    /// chosen branch.
+    fn embed_full(
+        &mut self,
+        p: PNodeId,
+        v: NodeId,
+        env: &VarEnv,
+    ) -> Vec<BTreeMap<PNodeId, NodeId>> {
+        if let PLabel::Or = self.pat.node(p).label {
+            let branches = self.pat.node(p).children.clone();
+            let mut out = Vec::new();
+            for b in branches {
+                out.extend(self.embed_full(b, v, env));
+            }
+            return out;
+        }
+        if !self.local_ok(p, v) {
+            return vec![];
+        }
+        let mut env = env.clone();
+        if let PLabel::Var(name) = &self.pat.node(p).label {
+            if self.join_vars.contains(name.as_str()) {
+                let label = self.doc.label(v).to_string();
+                match env.get(name.as_str()) {
+                    Some(bound) if bound != &label => return vec![],
+                    Some(_) => {}
+                    None => {
+                        env.insert(name.to_string(), label);
+                    }
+                }
+            }
+        }
+        let mut base = BTreeMap::new();
+        base.insert(p, v);
+        let mut combos: Vec<(VarEnv, BTreeMap<PNodeId, NodeId>)> = vec![(env, base)];
+        for pc in self.pat.node(p).children.clone() {
+            let mut next = Vec::new();
+            for (cenv, cmap) in &combos {
+                for u in self.candidates(pc, v) {
+                    for sub in self.embed_full(pc, u, cenv) {
+                        // recompute env effects of the subtree: embed_full
+                        // doesn't thread env back, so re-check join vars
+                        if !self.join_consistent(cenv, &sub) {
+                            continue;
+                        }
+                        let mut merged = cmap.clone();
+                        merged.extend(sub.clone());
+                        let mut env2 = cenv.clone();
+                        self.extend_env(&mut env2, &sub);
+                        next.push((env2, merged));
+                    }
+                }
+            }
+            combos = next;
+            if combos.is_empty() {
+                break;
+            }
+        }
+        combos.into_iter().map(|(_, m)| m).collect()
+    }
+
+    fn join_consistent(&self, env: &VarEnv, emb: &BTreeMap<PNodeId, NodeId>) -> bool {
+        let mut local: HashMap<&str, &str> = HashMap::new();
+        for (&p, &v) in emb {
+            if let PLabel::Var(name) = &self.pat.node(p).label {
+                if self.join_vars.contains(name.as_str()) {
+                    let label = self.doc.label(v);
+                    if let Some(prev) = env.get(name.as_str()) {
+                        if prev != label {
+                            return false;
+                        }
+                    }
+                    if let Some(prev) = local.get(name.as_str()) {
+                        if *prev != label {
+                            return false;
+                        }
+                    }
+                    local.insert(name.as_str(), label);
+                }
+            }
+        }
+        true
+    }
+
+    fn extend_env(&self, env: &mut VarEnv, emb: &BTreeMap<PNodeId, NodeId>) {
+        for (&p, &v) in emb {
+            if let PLabel::Var(name) = &self.pat.node(p).label {
+                if self.join_vars.contains(name.as_str()) {
+                    env.entry(name.to_string())
+                        .or_insert_with(|| self.doc.label(v).to_string());
+                }
+            }
+        }
+    }
+}
+
+fn dedup_pairs(v: &mut Vec<(VarEnv, ResultTuple)>) {
+    v.sort();
+    v.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use axml_xml::parse;
+
+    fn hotels_doc() -> Document {
+        parse(
+            "<hotels>\
+               <hotel><name>Best Western</name><rating>*****</rating>\
+                 <nearby><restaurant><name>Jo</name><address>2nd Av</address>\
+                   <rating>*****</rating></restaurant>\
+                 <restaurant><name>Mama</name><address>3rd Av</address>\
+                   <rating>**</rating></restaurant>\
+                 <axml:call service=\"getNearbyRestos\"/></nearby></hotel>\
+               <hotel><name>Pennsylvania</name><rating>**</rating>\
+                 <nearby><restaurant><name>Lu</name><address>Penn St</address>\
+                   <rating>*****</rating></restaurant></nearby></hotel>\
+               <axml:call service=\"getHotels\"/>\
+             </hotels>",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn simple_path_matches() {
+        let d = hotels_doc();
+        let q = parse_query("/hotels/hotel/name").unwrap();
+        let r = eval(&q, &d);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn value_predicate_filters() {
+        let d = hotels_doc();
+        let q = parse_query("/hotels/hotel[rating=\"*****\"]/name").unwrap();
+        let r = eval(&q, &d);
+        assert_eq!(r.len(), 1);
+        let names = render_result(&d, &r);
+        assert_eq!(names, vec![vec!["name".to_string()]]);
+    }
+
+    #[test]
+    fn variables_bind_values() {
+        let d = hotels_doc();
+        let q = parse_query(
+            "/hotels/hotel//restaurant[rating=\"*****\"][name=$X][address=$Y] -> $X,$Y",
+        )
+        .unwrap();
+        let r = eval(&q, &d);
+        assert_eq!(r.len(), 2); // Jo/2nd Av and Lu/Penn St
+        let mut rendered = render_result(&d, &r);
+        rendered.sort();
+        assert_eq!(
+            rendered,
+            vec![
+                vec!["Jo".to_string(), "2nd Av".to_string()],
+                vec!["Lu".to_string(), "Penn St".to_string()]
+            ]
+        );
+    }
+
+    #[test]
+    fn descendant_edge_reaches_deep_nodes() {
+        let d = parse("<a><b><c><d>x</d></c></b></a>").unwrap();
+        let q = parse_query("/a//d").unwrap();
+        assert!(matches(&q, &d));
+        let q2 = parse_query("/a//q").unwrap();
+        assert!(!matches(&q2, &d));
+    }
+
+    #[test]
+    fn descendant_is_strict() {
+        let d = parse("<a>x</a>").unwrap();
+        let q = parse_query("/a//a").unwrap();
+        assert!(!matches(&q, &d), "descendant must be strict");
+    }
+
+    #[test]
+    fn queries_do_not_match_function_nodes_as_data() {
+        let d = hotels_doc();
+        // getHotels call is a child of hotels but not a data node
+        let q = parse_query("/hotels/*").unwrap();
+        let r = eval(&q, &d);
+        // only the two hotel elements, not the call
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn function_pattern_nodes_match_calls() {
+        let d = hotels_doc();
+        let q = parse_query("/hotels/getHotels()").unwrap();
+        let r = eval(&q, &d);
+        assert_eq!(r.len(), 1);
+        let q2 = parse_query("/hotels/hotel/nearby/*()").unwrap();
+        let r2 = eval(&q2, &d);
+        assert_eq!(r2.len(), 1);
+        let bound = r2.bindings_of(q2.result_nodes()[0]);
+        assert!(d.is_call(bound[0]));
+    }
+
+    #[test]
+    fn descendant_does_not_look_inside_call_parameters() {
+        let d = parse("<r><axml:call service=\"f\"><secret>x</secret></axml:call></r>").unwrap();
+        let q = parse_query("/r//secret").unwrap();
+        assert!(!matches(&q, &d), "call parameters are not document content");
+        // but the call node itself is visible to function tests
+        let q2 = parse_query("/r//*()").unwrap();
+        assert!(matches(&q2, &d));
+    }
+
+    #[test]
+    fn join_variables_enforce_equality() {
+        let d = parse("<r><a>1</a><b>1</b></r>").unwrap();
+        let q = parse_query("/r[a=$V][b=$V]").unwrap();
+        assert!(matches(&q, &d));
+        let d2 = parse("<r><a>1</a><b>2</b></r>").unwrap();
+        assert!(!matches(&q, &d2));
+    }
+
+    #[test]
+    fn join_variables_across_tuples() {
+        let d = parse("<r><a>1</a><a>2</a><b>2</b></r>").unwrap();
+        let q = parse_query("/r[a=$V][b=$V] -> $V").unwrap();
+        let r = eval(&q, &d);
+        // only the a=2, b=2 combination survives; both bindings of $V in the
+        // tuple render as "2"
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn homomorphism_not_injective() {
+        // both pattern children may map to the same doc node
+        let d = parse("<r><a>1</a></r>").unwrap();
+        let q = parse_query("/r[a][a=\"1\"]").unwrap();
+        assert!(matches(&q, &d));
+    }
+
+    #[test]
+    fn or_nodes_union_choices() {
+        use crate::pattern::{EdgeKind, FunMatch, PLabel, Pattern};
+        // /r/(a | f()) — matches docs with an <a> child OR a call child
+        let mut p = Pattern::new();
+        let r = p.set_root(PLabel::Const("r".into()));
+        let a = p.add_child(r, EdgeKind::Child, PLabel::Const("a".into()));
+        let or = p.wrap_in_or(a);
+        p.add_child(or, EdgeKind::Child, PLabel::Fun(FunMatch::Any));
+        let d1 = parse("<r><a/></r>").unwrap();
+        let d2 = parse("<r><axml:call service=\"f\"/></r>").unwrap();
+        let d3 = parse("<r><b/></r>").unwrap();
+        assert!(matches(&p, &d1));
+        assert!(matches(&p, &d2));
+        assert!(!matches(&p, &d3));
+    }
+
+    #[test]
+    fn snapshot_on_fig1_like_doc_is_empty_before_invocation() {
+        // Before invoking getNearbyRestos, "Best Western" has only non-5star
+        // restaurants... our hotels_doc already has Jo; craft the real case:
+        let d = parse(
+            "<hotels><hotel><name>BW</name><rating>*****</rating>\
+             <nearby><axml:call service=\"getNearbyRestos\"/></nearby>\
+             </hotel></hotels>",
+        )
+        .unwrap();
+        let q = parse_query("/hotels/hotel[rating=\"*****\"]/nearby//restaurant[name=$X] -> $X")
+            .unwrap();
+        assert!(eval(&q, &d).is_empty());
+    }
+
+    #[test]
+    fn contributing_nodes_cover_paths() {
+        let d = parse("<a><m><b><c>x</c></b></m></a>").unwrap();
+        let q = parse_query("/a//c").unwrap();
+        let contrib = contributing_nodes(&q, &d);
+        // a, m, b, c — everything on the path (m and b realize the
+        // descendant edge); the text leaf "x" is not an image
+        assert_eq!(contrib.len(), 4);
+    }
+
+    #[test]
+    fn contributing_nodes_exclude_unmatched_branches() {
+        let d = parse("<a><b><c>x</c></b><z><w>y</w></z></a>").unwrap();
+        let q = parse_query("/a//c").unwrap();
+        let contrib = contributing_nodes(&q, &d);
+        let labels: BTreeSet<&str> = contrib.iter().map(|&n| d.label(n)).collect();
+        assert!(labels.contains("c"));
+        assert!(!labels.contains("z"));
+        assert!(!labels.contains("w"));
+    }
+
+    #[test]
+    fn forest_roots_each_tried() {
+        let d = parse("<a><x/></a><b><x/></b>").unwrap();
+        let qa = parse_query("/a/x").unwrap();
+        let qb = parse_query("/b/x").unwrap();
+        assert!(matches(&qa, &d));
+        assert!(matches(&qb, &d));
+    }
+
+    #[test]
+    fn wildcard_root() {
+        let d = parse("<anything><x/></anything>").unwrap();
+        let q = parse_query("/*/x").unwrap();
+        assert!(matches(&q, &d));
+    }
+
+    #[test]
+    fn result_of_last_step_default() {
+        let d = hotels_doc();
+        let q = parse_query("/hotels/hotel/rating").unwrap();
+        let r = eval(&q, &d);
+        // two distinct rating element nodes, one per hotel
+        assert_eq!(r.len(), 2);
+    }
+}

@@ -1,0 +1,375 @@
+//! An XPath-like concrete syntax for tree-pattern queries.
+//!
+//! ```text
+//! /hotels/hotel[name="Best Western"][rating="*****"]
+//!        /nearby//restaurant[name=$X][address=$Y][rating="*****"] -> $X, $Y
+//! ```
+//!
+//! Grammar (whitespace is free between tokens):
+//!
+//! ```text
+//! query    := path ( "->" "$"NAME ("," "$"NAME)* )?
+//! path     := step+
+//! step     := ("/" | "//") test pred* "!"?
+//! test     := NAME "()" | "*" "()" | NAME | "*" | STRING | "$" NAME
+//! pred     := "[" relstep+ ("=" rhs)? "]"
+//! relstep  := ("/" | "//")? test pred*        (first separator defaults to child)
+//! rhs      := (STRING | "$" NAME) "!"?
+//! ```
+//!
+//! * `name()` / `*()` are function-node tests (extended queries, Section 2).
+//! * `[a="v"]` abbreviates a child `a` holding the data value `v`;
+//!   `[a=$X]` binds the value to variable `X`.
+//! * `!` marks a node as a result node; the `-> $X,$Y` clause marks all
+//!   occurrences of those variables as results. If the query contains no
+//!   explicit result marker at all, the node of the **last step of the main
+//!   path** is the result (the XPath convention).
+
+use crate::pattern::{EdgeKind, FunMatch, PLabel, PNodeId, Pattern};
+use std::fmt;
+
+/// A query-syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Byte offset of the error.
+    pub at: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+/// Parses the XPath-like syntax into a [`Pattern`].
+pub fn parse_query(input: &str) -> Result<Pattern, QueryParseError> {
+    let mut p = QParser {
+        s: input,
+        pos: 0,
+        pattern: Pattern::new(),
+        explicit_result: false,
+    };
+    let last = p.parse_path(None)?;
+    p.skip_ws();
+    let mut result_vars: Vec<String> = Vec::new();
+    if p.eat("->") {
+        loop {
+            p.skip_ws();
+            p.expect("$")?;
+            result_vars.push(p.name()?);
+            p.skip_ws();
+            if !p.eat(",") {
+                break;
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return Err(p.err("trailing input"));
+    }
+    let mut pattern = p.pattern;
+    let mut any_marked = p.explicit_result;
+    for v in &result_vars {
+        for id in pattern.node_ids().collect::<Vec<_>>() {
+            if matches!(&pattern.node(id).label, PLabel::Var(n) if n.as_str() == v) {
+                pattern.mark_result(id);
+                any_marked = true;
+            }
+        }
+    }
+    if !any_marked {
+        pattern.mark_result(last);
+    }
+    Ok(pattern)
+}
+
+struct QParser<'a> {
+    s: &'a str,
+    pos: usize,
+    pattern: Pattern,
+    explicit_result: bool,
+}
+
+impl<'a> QParser<'a> {
+    fn err(&self, msg: impl Into<String>) -> QueryParseError {
+        QueryParseError {
+            at: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn rest(&self) -> &str {
+        &self.s[self.pos..]
+    }
+
+    fn skip_ws(&mut self) {
+        let trimmed = self.rest().trim_start();
+        self.pos = self.s.len() - trimmed.len();
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        if self.rest().starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_is(&self, tok: &str) -> bool {
+        self.rest().starts_with(tok)
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), QueryParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {tok:?}")))
+        }
+    }
+
+    fn name(&mut self) -> Result<String, QueryParseError> {
+        let start = self.pos;
+        let mut advance = 0;
+        for c in self.s[self.pos..].chars() {
+            if c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | '@' | ':') {
+                advance += c.len_utf8();
+            } else {
+                break;
+            }
+        }
+        self.pos += advance;
+        if self.pos == start {
+            Err(self.err("expected a name"))
+        } else {
+            Ok(self.s[start..self.pos].to_string())
+        }
+    }
+
+    fn string_lit(&mut self) -> Result<String, QueryParseError> {
+        self.expect("\"")?;
+        let start = self.pos;
+        match self.s[self.pos..].find('"') {
+            Some(i) => {
+                self.pos += i + 1;
+                Ok(self.s[start..start + i].to_string())
+            }
+            None => Err(self.err("unterminated string literal")),
+        }
+    }
+
+    /// A node test, returning the label.
+    fn test(&mut self) -> Result<PLabel, QueryParseError> {
+        self.skip_ws();
+        if self.peek_is("\"") {
+            return Ok(PLabel::Const(self.string_lit()?.into()));
+        }
+        if self.eat("$") {
+            return Ok(PLabel::Var(self.name()?.into()));
+        }
+        if self.eat("*") {
+            if self.eat("()") {
+                return Ok(PLabel::Fun(FunMatch::Any));
+            }
+            return Ok(PLabel::Wildcard);
+        }
+        let n = self.name()?;
+        if self.eat("()") {
+            return Ok(PLabel::Fun(FunMatch::OneOf(vec![n.into()])));
+        }
+        Ok(PLabel::Const(n.into()))
+    }
+
+    /// Parses `/step//step…` under `parent` (None = build the root);
+    /// returns the node of the last step.
+    fn parse_path(&mut self, parent: Option<PNodeId>) -> Result<PNodeId, QueryParseError> {
+        let mut parent = parent;
+        let mut last = None;
+        loop {
+            self.skip_ws();
+            let edge = if self.eat("//") {
+                EdgeKind::Descendant
+            } else if self.eat("/") || (last.is_none() && parent.is_some()) {
+                // plain "/" — or a relative path's implicit first child step
+                EdgeKind::Child
+            } else {
+                break;
+            };
+            let label = self.test()?;
+            let node = match parent {
+                None => {
+                    if edge == EdgeKind::Descendant {
+                        // model "//a" at the top as root * with descendant a
+                        let root = self.pattern.set_root(PLabel::Wildcard);
+                        self.pattern.add_child(root, EdgeKind::Descendant, label)
+                    } else {
+                        self.pattern.set_root(label)
+                    }
+                }
+                Some(p) => self.pattern.add_child(p, edge, label),
+            };
+            // predicates
+            self.skip_ws();
+            while self.peek_is("[") {
+                self.expect("[")?;
+                self.parse_pred(node)?;
+                self.expect("]")?;
+                self.skip_ws();
+            }
+            if self.eat("!") {
+                self.pattern.mark_result(node);
+                self.explicit_result = true;
+            }
+            parent = Some(node);
+            last = Some(node);
+        }
+        last.ok_or_else(|| self.err("expected a path"))
+    }
+
+    /// Parses the inside of `[...]` under `ctx`.
+    fn parse_pred(&mut self, ctx: PNodeId) -> Result<(), QueryParseError> {
+        let last = self.parse_path(Some(ctx))?;
+        self.skip_ws();
+        if self.eat("=") {
+            self.skip_ws();
+            let rhs = if self.peek_is("\"") {
+                PLabel::Const(self.string_lit()?.into())
+            } else if self.eat("$") {
+                PLabel::Var(self.name()?.into())
+            } else {
+                return Err(self.err("expected a string or $variable after '='"));
+            };
+            let v = self.pattern.add_child(last, EdgeKind::Child, rhs);
+            self.skip_ws();
+            if self.eat("!") {
+                self.pattern.mark_result(v);
+                self.explicit_result = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::PLabel;
+
+    fn labels(p: &Pattern) -> Vec<String> {
+        p.node_ids()
+            .map(|id| match &p.node(id).label {
+                PLabel::Const(l) => l.to_string(),
+                PLabel::Var(v) => format!("${v}"),
+                PLabel::Wildcard => "*".into(),
+                PLabel::Or => "OR".into(),
+                PLabel::Fun(FunMatch::Any) => "*()".into(),
+                PLabel::Fun(FunMatch::OneOf(ns)) => format!("{}()", ns[0]),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_path() {
+        let p = parse_query("/goingout/movies//show/schedule").unwrap();
+        assert_eq!(labels(&p), vec!["goingout", "movies", "show", "schedule"]);
+        // last step is implicitly the result
+        assert_eq!(p.result_nodes().len(), 1);
+        let show = p
+            .node_ids()
+            .find(|&i| matches!(&p.node(i).label, PLabel::Const(l) if l.as_str()=="show"))
+            .unwrap();
+        assert_eq!(p.node(show).edge, EdgeKind::Descendant);
+    }
+
+    #[test]
+    fn predicates_with_values() {
+        let p = parse_query("/goingout/movies//show[title=\"The Hours\"]/schedule").unwrap();
+        assert_eq!(
+            labels(&p),
+            vec![
+                "goingout",
+                "movies",
+                "show",
+                "title",
+                "The Hours",
+                "schedule"
+            ]
+        );
+    }
+
+    #[test]
+    fn fig4_query_with_variables() {
+        let p = parse_query(
+            "/hotel[name=\"Best Western\"][rating=\"*****\"]\
+             /nearby//restaurant[name=$X][address=$Y][rating=\"*****\"] -> $X, $Y",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 13);
+        assert_eq!(p.result_nodes().len(), 2);
+        assert!(p.join_variables().is_empty());
+        p.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn function_node_tests() {
+        let p = parse_query("/hotel/rating/getRating()").unwrap();
+        assert!(p.is_extended());
+        let f = p.result_nodes()[0];
+        assert!(
+            matches!(&p.node(f).label, PLabel::Fun(FunMatch::OneOf(ns)) if ns[0] == "getRating")
+        );
+        let p2 = parse_query("/hotel//*()").unwrap();
+        let f2 = p2.result_nodes()[0];
+        assert!(matches!(&p2.node(f2).label, PLabel::Fun(FunMatch::Any)));
+        assert_eq!(p2.node(f2).edge, EdgeKind::Descendant);
+    }
+
+    #[test]
+    fn explicit_result_marker() {
+        let p = parse_query("/a/b!/c").unwrap();
+        let r = p.result_nodes();
+        assert_eq!(r.len(), 1);
+        assert!(matches!(&p.node(r[0]).label, PLabel::Const(l) if l.as_str()=="b"));
+    }
+
+    #[test]
+    fn nested_predicates() {
+        let p = parse_query("/site[regions//item[name=\"x\"]]/people").unwrap();
+        assert_eq!(
+            labels(&p),
+            vec!["site", "regions", "item", "name", "x", "people"]
+        );
+        p.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn leading_descendant() {
+        let p = parse_query("//restaurant/name").unwrap();
+        assert_eq!(labels(&p), vec!["*", "restaurant", "name"]);
+    }
+
+    #[test]
+    fn join_variable_detected() {
+        let p = parse_query("/r[a=$V][b=$V]").unwrap();
+        assert_eq!(p.join_variables().len(), 1);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("/a[").is_err());
+        assert!(parse_query("/a[b=]").is_err());
+        assert!(parse_query("/a trailing").is_err());
+        assert!(parse_query("/a[b=\"unterminated]").is_err());
+    }
+
+    #[test]
+    fn wildcard_steps() {
+        let p = parse_query("/*/*//*").unwrap();
+        assert_eq!(labels(&p), vec!["*", "*", "*"]);
+    }
+}

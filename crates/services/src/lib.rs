@@ -1,0 +1,24 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # axml-services — the (simulated) Web-service substrate
+//!
+//! The paper's experiments invoke remote Web services; this crate
+//! substitutes a deterministic in-process equivalent that exposes exactly
+//! the observables the algorithms depend on: the returned forest, the
+//! transfer volume, and the invocation cost (latency + bandwidth) under a
+//! simulated clock that lets parallel batches overlap (Section 4.4).
+//! Providers also play their Section 7 role: evaluating *pushed queries*
+//! and returning pruned results or variable bindings.
+
+pub mod net;
+pub mod push;
+pub mod registry;
+pub mod service;
+pub mod worldfile;
+
+pub use net::{NetProfile, NetStats, SimClock};
+pub use push::{bindings_result, prune_result, PushMode};
+pub use registry::{CallRecord, InvokeOutcome, Registry, ServiceError};
+pub use service::{CallRequest, FnService, PushedQuery, Service, StaticService, TableService};
+pub use worldfile::{load_registry, load_registry_str, WorldFileError};

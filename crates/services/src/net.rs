@@ -1,0 +1,157 @@
+//! Deterministic network simulation.
+//!
+//! The paper's experiments run against remote Web services whose dominant
+//! costs are per-call latency and transfer volume. We substitute a
+//! deterministic model: each invocation costs
+//! `latency_ms + bytes / bandwidth` simulated milliseconds; a batch of
+//! parallel invocations (Section 4.4) costs the **maximum** of its members
+//! instead of the sum. All experiment figures report this simulated time
+//! next to measured CPU time, which makes the call-pruning factors
+//! hardware-independent and reproducible.
+
+/// Network cost profile of one service.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetProfile {
+    /// Fixed per-invocation latency in simulated milliseconds.
+    pub latency_ms: f64,
+    /// Transfer rate in bytes per simulated millisecond
+    /// (`f64::INFINITY` = free transfer).
+    pub bytes_per_ms: f64,
+}
+
+impl NetProfile {
+    /// A profile with only fixed latency.
+    pub fn latency(ms: f64) -> Self {
+        NetProfile {
+            latency_ms: ms,
+            bytes_per_ms: f64::INFINITY,
+        }
+    }
+
+    /// A zero-cost network (unit tests).
+    pub fn free() -> Self {
+        NetProfile {
+            latency_ms: 0.0,
+            bytes_per_ms: f64::INFINITY,
+        }
+    }
+
+    /// The simulated cost of moving `bytes` over this profile.
+    pub fn cost_ms(&self, bytes: usize) -> f64 {
+        let transfer = if self.bytes_per_ms.is_finite() && self.bytes_per_ms > 0.0 {
+            bytes as f64 / self.bytes_per_ms
+        } else {
+            0.0
+        };
+        self.latency_ms + transfer
+    }
+}
+
+impl Default for NetProfile {
+    /// A broadband-ish default: 40 ms round trip, 100 bytes/ms (~100 KB/s).
+    fn default() -> Self {
+        NetProfile {
+            latency_ms: 40.0,
+            bytes_per_ms: 100.0,
+        }
+    }
+}
+
+/// A simulated wall clock accumulating invocation costs.
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    now_ms: f64,
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+
+    /// A sequential step: advance by the full cost.
+    pub fn advance(&mut self, cost_ms: f64) {
+        self.now_ms += cost_ms;
+    }
+
+    /// A parallel batch: advance by the maximum cost of the batch
+    /// (Section 4.4 — independent calls are invoked in parallel).
+    pub fn advance_parallel(&mut self, costs_ms: &[f64]) {
+        if let Some(max) = costs_ms.iter().copied().fold(None, |acc: Option<f64>, c| {
+            Some(acc.map_or(c, |a| a.max(c)))
+        }) {
+            self.now_ms += max;
+        }
+    }
+}
+
+/// Aggregate traffic statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NetStats {
+    /// Number of invocations.
+    pub calls: usize,
+    /// Total result bytes transferred.
+    pub bytes: usize,
+    /// Number of invocations that carried a pushed query.
+    pub pushed_calls: usize,
+    /// Total simulated cost of all calls, as if sequential (the engine's
+    /// clock accounts for parallelism separately).
+    pub total_cost_ms: f64,
+}
+
+impl NetStats {
+    /// Records one invocation.
+    pub fn record(&mut self, bytes: usize, cost_ms: f64, pushed: bool) {
+        self.calls += 1;
+        self.bytes += bytes;
+        self.total_cost_ms += cost_ms;
+        if pushed {
+            self.pushed_calls += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_combines_latency_and_transfer() {
+        let p = NetProfile {
+            latency_ms: 10.0,
+            bytes_per_ms: 100.0,
+        };
+        assert_eq!(p.cost_ms(0), 10.0);
+        assert_eq!(p.cost_ms(1000), 20.0);
+        assert_eq!(NetProfile::latency(5.0).cost_ms(1_000_000), 5.0);
+        assert_eq!(NetProfile::free().cost_ms(123), 0.0);
+    }
+
+    #[test]
+    fn clock_sequential_vs_parallel() {
+        let mut c = SimClock::new();
+        c.advance(10.0);
+        c.advance(20.0);
+        assert_eq!(c.now_ms(), 30.0);
+        c.advance_parallel(&[5.0, 50.0, 1.0]);
+        assert_eq!(c.now_ms(), 80.0);
+        c.advance_parallel(&[]);
+        assert_eq!(c.now_ms(), 80.0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = NetStats::default();
+        s.record(100, 11.0, false);
+        s.record(50, 7.0, true);
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.bytes, 150);
+        assert_eq!(s.pushed_calls, 1);
+        assert!((s.total_cost_ms - 18.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,306 @@
+//! The service registry — the engine's gateway to "the Web".
+//!
+//! Dispatches invocations to registered services, applies the per-service
+//! network profile to compute simulated costs, plays the provider's side of
+//! pushed queries (Section 7), and records traffic statistics.
+
+use crate::net::{NetProfile, NetStats};
+use crate::push::{bindings_result, prune_result, PushMode};
+use crate::service::{CallRequest, PushedQuery, Service};
+use axml_xml::{forest_serialized_len, Forest};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Failure to dispatch a call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No service registered under that name.
+    Unknown(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Unknown(n) => write!(f, "unknown service {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Everything the engine learns from one invocation.
+#[derive(Clone, Debug)]
+pub struct InvokeOutcome {
+    /// The (possibly provider-side pruned) result forest.
+    pub result: Forest,
+    /// Result bytes on the wire.
+    pub bytes: usize,
+    /// Simulated cost of this call.
+    pub cost_ms: f64,
+    /// Whether a pushed query was evaluated by the provider.
+    pub pushed: bool,
+}
+
+/// One line of the registry's call log.
+#[derive(Clone, Debug)]
+pub struct CallRecord {
+    /// Service name.
+    pub service: String,
+    /// Result bytes.
+    pub bytes: usize,
+    /// Simulated cost.
+    pub cost_ms: f64,
+    /// Whether the provider evaluated a pushed query.
+    pub pushed: bool,
+}
+
+/// A registry of services with network profiles and statistics.
+pub struct Registry {
+    services: HashMap<String, Arc<dyn Service>>,
+    profiles: HashMap<String, NetProfile>,
+    default_profile: NetProfile,
+    push_mode: PushMode,
+    stats: Mutex<NetStats>,
+    log: Mutex<Vec<CallRecord>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An empty registry with a free network.
+    pub fn new() -> Self {
+        Registry {
+            services: HashMap::new(),
+            profiles: HashMap::new(),
+            default_profile: NetProfile::free(),
+            push_mode: PushMode::PrunedResult,
+            stats: Mutex::new(NetStats::default()),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Registers a service under its own name.
+    pub fn register(&mut self, service: impl Service + 'static) -> &mut Self {
+        self.services
+            .insert(service.name().to_string(), Arc::new(service));
+        self
+    }
+
+    /// Registers a boxed service.
+    pub fn register_arc(&mut self, service: Arc<dyn Service>) -> &mut Self {
+        self.services.insert(service.name().to_string(), service);
+        self
+    }
+
+    /// Sets the network profile of one service.
+    pub fn set_profile(&mut self, service: &str, profile: NetProfile) -> &mut Self {
+        self.profiles.insert(service.to_string(), profile);
+        self
+    }
+
+    /// Sets the default network profile for services without a specific one.
+    pub fn set_default_profile(&mut self, profile: NetProfile) -> &mut Self {
+        self.default_profile = profile;
+        self
+    }
+
+    /// Chooses how providers answer pushed queries.
+    pub fn set_push_mode(&mut self, mode: PushMode) -> &mut Self {
+        self.push_mode = mode;
+        self
+    }
+
+    /// Is the named service registered?
+    pub fn has_service(&self, name: &str) -> bool {
+        self.services.contains_key(name)
+    }
+
+    /// Names of all registered services (sorted).
+    pub fn service_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.services.keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Whether a provider is capable of evaluating pushed queries.
+    pub fn supports_push(&self, name: &str) -> bool {
+        self.services
+            .get(name)
+            .map(|s| s.supports_push())
+            .unwrap_or(false)
+    }
+
+    /// Invokes a service with the given parameters and optional pushed
+    /// query, applying the network model and recording statistics.
+    pub fn invoke(
+        &self,
+        name: &str,
+        params: Forest,
+        pushed: Option<&PushedQuery>,
+    ) -> Result<InvokeOutcome, ServiceError> {
+        let service = self
+            .services
+            .get(name)
+            .ok_or_else(|| ServiceError::Unknown(name.to_string()))?;
+        let req = CallRequest { params };
+        let full = service.invoke(&req);
+        let (result, was_pushed) = match pushed {
+            Some(pq) if service.supports_push() => {
+                let reduced = match self.push_mode {
+                    PushMode::PrunedResult => prune_result(&pq.pattern, &full, pq.via),
+                    PushMode::Bindings => bindings_result(&pq.pattern, &full, pq.via),
+                };
+                (reduced, true)
+            }
+            _ => (full, false),
+        };
+        let bytes = forest_serialized_len(&result);
+        let profile = self
+            .profiles
+            .get(name)
+            .copied()
+            .unwrap_or(self.default_profile);
+        let cost_ms = profile.cost_ms(bytes);
+        self.stats
+            .lock()
+            .unwrap()
+            .record(bytes, cost_ms, was_pushed);
+        self.log.lock().unwrap().push(CallRecord {
+            service: name.to_string(),
+            bytes,
+            cost_ms,
+            pushed: was_pushed,
+        });
+        Ok(InvokeOutcome {
+            result,
+            bytes,
+            cost_ms,
+            pushed: was_pushed,
+        })
+    }
+
+    /// A snapshot of the aggregate statistics.
+    pub fn stats(&self) -> NetStats {
+        self.stats.lock().unwrap().clone()
+    }
+
+    /// A snapshot of the call log.
+    pub fn call_log(&self) -> Vec<CallRecord> {
+        self.log.lock().unwrap().clone()
+    }
+
+    /// Clears statistics and the call log.
+    pub fn reset_stats(&self) {
+        *self.stats.lock().unwrap() = NetStats::default();
+        self.log.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{PushedQuery, StaticService, TableService};
+    use axml_query::{parse_query, EdgeKind};
+    use axml_xml::parse;
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(StaticService::new(
+            "getNearbyRestos",
+            parse(
+                "<restaurant><name>Jo</name><rating>*****</rating></restaurant>\
+                 <restaurant><name>Grease</name><rating>*</rating></restaurant>",
+            )
+            .unwrap(),
+        ));
+        r
+    }
+
+    #[test]
+    fn invoke_records_stats_and_log() {
+        let r = registry();
+        let out = r.invoke("getNearbyRestos", Forest::new(), None).unwrap();
+        assert_eq!(out.result.roots().len(), 2);
+        assert!(out.bytes > 0);
+        let s = r.stats();
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.bytes, out.bytes);
+        assert_eq!(r.call_log().len(), 1);
+        r.reset_stats();
+        assert_eq!(r.stats().calls, 0);
+    }
+
+    #[test]
+    fn unknown_service_is_an_error() {
+        let r = registry();
+        let e = r.invoke("nope", Forest::new(), None).unwrap_err();
+        assert_eq!(e, ServiceError::Unknown("nope".into()));
+    }
+
+    #[test]
+    fn pushed_queries_shrink_transfer() {
+        let r = registry();
+        let full = r.invoke("getNearbyRestos", Forest::new(), None).unwrap();
+        let q = parse_query("/restaurant[rating=\"*****\"]/name").unwrap();
+        let pushed = r
+            .invoke(
+                "getNearbyRestos",
+                Forest::new(),
+                Some(&PushedQuery {
+                    pattern: q,
+                    via: EdgeKind::Child,
+                }),
+            )
+            .unwrap();
+        assert!(pushed.pushed);
+        assert!(pushed.bytes < full.bytes);
+        assert!(axml_xml::to_xml(&pushed.result).contains("Jo"));
+        assert!(!axml_xml::to_xml(&pushed.result).contains("Grease"));
+        assert_eq!(r.stats().pushed_calls, 1);
+    }
+
+    #[test]
+    fn push_incapable_provider_gets_plain_call() {
+        let mut r = Registry::new();
+        let mut t = TableService::new("t");
+        t.insert("k", parse("<a/><b/>").unwrap());
+        r.register(t.without_push());
+        let mut params = Forest::new();
+        params.add_root_text("k");
+        let q = parse_query("/a").unwrap();
+        let out = r
+            .invoke(
+                "t",
+                params,
+                Some(&PushedQuery {
+                    pattern: q,
+                    via: EdgeKind::Child,
+                }),
+            )
+            .unwrap();
+        assert!(!out.pushed);
+        assert_eq!(out.result.roots().len(), 2); // unpruned
+    }
+
+    #[test]
+    fn network_profile_drives_cost() {
+        let mut r = registry();
+        r.set_profile("getNearbyRestos", NetProfile::latency(250.0));
+        let out = r.invoke("getNearbyRestos", Forest::new(), None).unwrap();
+        assert_eq!(out.cost_ms, 250.0);
+        r.set_profile(
+            "getNearbyRestos",
+            NetProfile {
+                latency_ms: 10.0,
+                bytes_per_ms: 1.0,
+            },
+        );
+        let out2 = r.invoke("getNearbyRestos", Forest::new(), None).unwrap();
+        assert!((out2.cost_ms - (10.0 + out2.bytes as f64)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for provider-side pushed-query evaluation (Section 7):
+//! pruning never grows the payload, preserves the subquery's answers, and
+//! keeps every pending call.
+
+use axml_query::{eval, parse_query, EdgeKind, Pattern};
+use axml_services::prune_result;
+use axml_xml::{forest_serialized_len, Forest};
+use proptest::prelude::*;
+
+/// A random restaurant-forest: names/addresses/ratings, a fraction of the
+/// ratings intensional (pending getRating calls), plus junk subtrees.
+fn forest_strategy() -> impl Strategy<Value = Forest> {
+    proptest::collection::vec(
+        (0u8..4, any::<bool>(), any::<bool>()), // rating, intensional?, junk?
+        0..12,
+    )
+    .prop_map(|rows| {
+        let mut f = Forest::new();
+        for (i, (rating, intensional, junk)) in rows.into_iter().enumerate() {
+            let r = f.add_root("restaurant");
+            let n = f.add_element(r, "name");
+            f.add_text(n, format!("Resto {i}"));
+            let a = f.add_element(r, "address");
+            f.add_text(a, format!("{i} Main St."));
+            let rt = f.add_element(r, "rating");
+            if intensional {
+                let c = f.add_call(rt, "getRating");
+                f.add_text(c, format!("key {i}"));
+            } else {
+                f.add_text(rt, "*".repeat(rating as usize + 2));
+            }
+            if junk {
+                let m = f.add_element(r, "menu");
+                let d = f.add_element(m, "dish");
+                f.add_text(d, "stew");
+            }
+        }
+        f
+    })
+}
+
+fn query() -> Pattern {
+    parse_query("/restaurant[rating=\"*****\"][name=$X][address=$Y] -> $X,$Y").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pruning_never_grows_the_payload(f in forest_strategy()) {
+        let q = query();
+        for via in [EdgeKind::Child, EdgeKind::Descendant] {
+            let pruned = prune_result(&q, &f, via);
+            prop_assert!(forest_serialized_len(&pruned) <= forest_serialized_len(&f));
+            pruned.check_integrity().unwrap();
+        }
+    }
+
+    #[test]
+    fn pruning_preserves_extensional_answers(f in forest_strategy()) {
+        let q = query();
+        let pruned = prune_result(&q, &f, EdgeKind::Child);
+        prop_assert_eq!(eval(&q, &pruned).len(), eval(&q, &f).len());
+    }
+
+    #[test]
+    fn pruning_keeps_every_pending_call(f in forest_strategy()) {
+        let q = query();
+        let pruned = prune_result(&q, &f, EdgeKind::Child);
+        prop_assert_eq!(pruned.calls().len(), f.calls().len());
+    }
+
+    #[test]
+    fn pruning_preserves_answers_after_call_resolution(f in forest_strategy()) {
+        // resolve every pending rating to ***** in both the full and the
+        // pruned forest; answers must coincide (this is the completeness
+        // property the relaxed pruning exists for)
+        let q = query();
+        let mut full = f.clone();
+        let mut pruned = prune_result(&q, &f, EdgeKind::Child);
+        let mut stars = Forest::new();
+        stars.add_root_text("*****");
+        for c in full.calls() {
+            full.splice_call(c, &stars);
+        }
+        for c in pruned.calls() {
+            pruned.splice_call(c, &stars);
+        }
+        prop_assert_eq!(
+            eval(&q, &pruned).len(),
+            eval(&q, &full).len(),
+            "resolved answers diverge"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! XML text/attribute escaping and unescaping.
+
+/// Escapes a string for use as XML character data (`&`, `<`, `>`).
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a string for use inside a double-quoted XML attribute.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolves the five predefined XML entities plus decimal/hex character
+/// references. Unknown entities are reported as errors.
+pub fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &s[i + 1..];
+        let end = rest
+            .find(';')
+            .ok_or_else(|| format!("unterminated entity at byte {i}"))?;
+        let name = &rest[..end];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let code = u32::from_str_radix(&name[2..], 16)
+                    .map_err(|_| format!("bad hex character reference &{name};"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid code point in &{name};"))?,
+                );
+            }
+            _ if name.starts_with('#') => {
+                let code = name[1..]
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad character reference &{name};"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid code point in &{name};"))?,
+                );
+            }
+            _ => return Err(format!("unknown entity &{name};")),
+        }
+        // Skip over the consumed entity body.
+        for _ in 0..end + 1 {
+            chars.next();
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrip_text() {
+        let s = "a < b && c > \"d\"";
+        assert_eq!(unescape(&escape_text(s)).unwrap(), s);
+    }
+
+    #[test]
+    fn escape_roundtrip_attr() {
+        let s = "it's a <tag> & \"quote\"";
+        assert_eq!(unescape(&escape_attr(s)).unwrap(), s);
+    }
+
+    #[test]
+    fn numeric_references() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").unwrap(), "ABc");
+    }
+
+    #[test]
+    fn unknown_entity_is_an_error() {
+        assert!(unescape("&nbsp;").is_err());
+        assert!(unescape("&unterminated").is_err());
+        assert!(unescape("&#xZZ;").is_err());
+    }
+
+    #[test]
+    fn plain_text_passes_through() {
+        assert_eq!(unescape("hello world").unwrap(), "hello world");
+        assert_eq!(escape_text("hello"), "hello");
+    }
+}

@@ -1,0 +1,155 @@
+//! Cheap-to-clone string labels for tree nodes, patterns and schemas.
+//!
+//! Labels are shared immutable strings (`Arc<str>`). Equality first tests
+//! pointer identity (the common case after cloning) and falls back to a
+//! string comparison, so two independently-created labels with the same
+//! text still compare equal.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable string label.
+#[derive(Clone)]
+pub struct Label(Arc<str>);
+
+impl Label {
+    /// Creates a label from anything string-like.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Label(Arc::from(s.as_ref()))
+    }
+
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Length of the label text in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the label is the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl PartialEq for Label {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Label {}
+
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Label {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for Label {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", &*self.0)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Label(Arc::from(s))
+    }
+}
+
+impl Borrow<str> for Label {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Label {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq<str> for Label {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Label {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn equality_by_content() {
+        let a = Label::new("hotel");
+        let b = Label::new("hotel");
+        let c = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_ne!(a, Label::new("motel"));
+    }
+
+    #[test]
+    fn usable_as_hashmap_key_with_str_lookup() {
+        let mut m: HashMap<Label, u32> = HashMap::new();
+        m.insert(Label::new("rating"), 5);
+        assert_eq!(m.get("rating"), Some(&5));
+        assert_eq!(m.get("address"), None);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![Label::new("b"), Label::new("a"), Label::new("c")];
+        v.sort();
+        assert_eq!(v, vec![Label::new("a"), Label::new("b"), Label::new("c")]);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let l = Label::new("name");
+        assert_eq!(format!("{l}"), "name");
+        assert_eq!(format!("{l:?}"), "\"name\"");
+    }
+
+    #[test]
+    fn compares_against_str() {
+        let l = Label::new("x");
+        assert_eq!(l, "x");
+        assert_ne!(l, "y");
+    }
+}

@@ -1,0 +1,428 @@
+//! A from-scratch XML parser producing AXML [`Document`]s.
+//!
+//! Supported: elements, attributes (encoded as `@name` children), character
+//! data with entity references, CDATA sections, comments, processing
+//! instructions and the XML declaration (both skipped), and the ActiveXML
+//! `<axml:call service="f">` convention for function nodes.
+//!
+//! Whitespace-only text between elements is dropped; other text becomes a
+//! `Text` node with surrounding whitespace trimmed (the paper's data values
+//! are atomic tokens, not mixed content).
+
+use crate::escape::unescape;
+use crate::tree::{Document, NodeId};
+use std::fmt;
+
+/// A parse error with byte position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the error was detected.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Maximum element nesting the parser accepts. Deeper input yields a
+/// [`ParseError`] instead of a stack overflow (all tree construction is
+/// recursive).
+pub const MAX_DEPTH: usize = 1024;
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+/// Parses XML text into a document (or forest, if the input has several
+/// top-level elements).
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
+    let mut doc = Document::new();
+    p.skip_misc()?;
+    while !p.at_end() {
+        p.parse_node(&mut doc, None)?;
+        p.skip_misc()?;
+    }
+    if doc.roots().is_empty() {
+        return Err(p.err("no root element"));
+    }
+    Ok(doc)
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            message: msg.into(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn bump(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.starts_with(s) {
+            self.bump(s.len());
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {s:?}")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_whitespace() {
+                self.bump(1);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Skips whitespace, comments, PIs and the XML declaration.
+    fn skip_misc(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                let end = self.find("?>")?;
+                self.pos = end + 2;
+            } else if self.starts_with("<!--") {
+                let end = self.find("-->")?;
+                self.pos = end + 3;
+            } else if self.starts_with("<!DOCTYPE") {
+                // Skip to the matching '>' (no internal subset support).
+                let end = self.find(">")?;
+                self.pos = end + 1;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn find(&self, s: &str) -> Result<usize, ParseError> {
+        let hay = &self.input[self.pos..];
+        hay.windows(s.len())
+            .position(|w| w == s.as_bytes())
+            .map(|i| self.pos + i)
+            .ok_or_else(|| self.err(format!("unterminated construct, expected {s:?}")))
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            let ch = c as char;
+            if ch.is_ascii_alphanumeric() || matches!(ch, '_' | '-' | '.' | ':' | '@') {
+                self.bump(1);
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in name"))?
+            .to_string())
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
+        let quote = self
+            .peek()
+            .ok_or_else(|| self.err("expected attribute value"))?;
+        if quote != b'"' && quote != b'\'' {
+            return Err(self.err("attribute value must be quoted"));
+        }
+        self.bump(1);
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in attribute"))?;
+                self.bump(1);
+                return unescape(raw).map_err(|m| self.err(m));
+            }
+            self.bump(1);
+        }
+        Err(self.err("unterminated attribute value"))
+    }
+
+    /// Parses the attribute list and the node kind of one start tag
+    /// (cursor must be at `<name`). Returns the created node and whether
+    /// the tag was self-closing.
+    fn parse_start_tag(
+        &mut self,
+        doc: &mut Document,
+        parent: Option<NodeId>,
+    ) -> Result<(NodeId, String, bool), ParseError> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut attrs: Vec<(String, String)> = Vec::new();
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') | Some(b'>') | None => break,
+                _ => {
+                    let aname = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    attrs.push((aname, value));
+                }
+            }
+        }
+
+        let node = if name == "axml:call" {
+            let service = attrs
+                .iter()
+                .find(|(k, _)| k == "service")
+                .map(|(_, v)| v.clone())
+                .ok_or_else(|| self.err("axml:call without service attribute"))?;
+            match parent {
+                Some(p) => doc.add_call(p, service),
+                None => doc.add_root_call(service),
+            }
+        } else {
+            let node = match parent {
+                Some(p) => doc.add_element(p, name.clone()),
+                None => doc.add_root(name.clone()),
+            };
+            for (k, v) in &attrs {
+                let a = doc.add_element(node, format!("@{k}"));
+                doc.add_text(a, v.clone());
+            }
+            node
+        };
+
+        if self.starts_with("/>") {
+            self.bump(2);
+            return Ok((node, name, true));
+        }
+        self.expect(">")?;
+        Ok((node, name, false))
+    }
+
+    /// Parses one tree iteratively with an explicit open-element stack
+    /// (no recursion: arbitrarily deep input cannot overflow the call
+    /// stack — [`MAX_DEPTH`] bounds it explicitly instead).
+    fn parse_node(&mut self, doc: &mut Document, parent: Option<NodeId>) -> Result<(), ParseError> {
+        // (node, tag name, pending text) per open element
+        let mut stack: Vec<(NodeId, String, String)> = Vec::new();
+        let (node, name, closed) = self.parse_start_tag(doc, parent)?;
+        if closed {
+            return Ok(());
+        }
+        stack.push((node, name, String::new()));
+        while let Some(top) = stack.last_mut() {
+            if self.at_end() {
+                return Err(self.err(format!("unterminated element <{}>", top.1)));
+            }
+            if self.starts_with("</") {
+                let (node, name, mut text) = stack.pop().expect("nonempty while looping");
+                flush_text(doc, node, &mut text);
+                self.bump(2);
+                let close = self.parse_name()?;
+                if close != name {
+                    return Err(self.err(format!("mismatched close tag </{close}> for <{name}>")));
+                }
+                self.skip_ws();
+                self.expect(">")?;
+            } else if self.starts_with("<!--") {
+                let end = self.find("-->")?;
+                self.pos = end + 3;
+            } else if self.starts_with("<![CDATA[") {
+                let end = self.find("]]>")?;
+                let raw = std::str::from_utf8(&self.input[self.pos + 9..end])
+                    .map_err(|_| self.err("invalid UTF-8 in CDATA"))?;
+                top.2.push_str(raw);
+                self.pos = end + 3;
+            } else if self.starts_with("<?") {
+                let end = self.find("?>")?;
+                self.pos = end + 2;
+            } else if self.peek() == Some(b'<') {
+                let (parent_node, _, text) = top;
+                let parent_node = *parent_node;
+                flush_text(doc, parent_node, text);
+                if stack.len() >= MAX_DEPTH {
+                    return Err(self.err(format!("element nesting exceeds {MAX_DEPTH}")));
+                }
+                let (child, child_name, closed) = self.parse_start_tag(doc, Some(parent_node))?;
+                if !closed {
+                    stack.push((child, child_name, String::new()));
+                }
+            } else {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == b'<' {
+                        break;
+                    }
+                    self.bump(1);
+                }
+                let raw = std::str::from_utf8(&self.input[start..self.pos])
+                    .map_err(|_| self.err("invalid UTF-8 in text"))?;
+                let unescaped = unescape(raw).map_err(|m| self.err(m))?;
+                stack
+                    .last_mut()
+                    .expect("nonempty while looping")
+                    .2
+                    .push_str(&unescaped);
+            }
+        }
+        Ok(())
+    }
+}
+
+fn flush_text(doc: &mut Document, node: NodeId, text: &mut String) {
+    let trimmed = text.trim();
+    if !trimmed.is_empty() {
+        doc.add_text(node, trimmed.to_string());
+    }
+    text.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serialize::to_xml;
+
+    #[test]
+    fn parses_simple_document() {
+        let d = parse("<hotel><name>Best Western</name><rating>5</rating></hotel>").unwrap();
+        assert_eq!(d.label(d.root()), "hotel");
+        let kids = d.children(d.root());
+        assert_eq!(kids.len(), 2);
+        assert_eq!(d.label(kids[0]), "name");
+        assert_eq!(d.text_value(d.children(kids[0])[0]), Some("Best Western"));
+    }
+
+    #[test]
+    fn parses_axml_call() {
+        let d = parse("<rating><axml:call service=\"getRating\">75 2nd Av</axml:call></rating>")
+            .unwrap();
+        let call = d.children(d.root())[0];
+        assert!(d.is_call(call));
+        assert_eq!(d.call_info(call).unwrap().1.as_str(), "getRating");
+        assert_eq!(d.text_value(d.children(call)[0]), Some("75 2nd Av"));
+    }
+
+    #[test]
+    fn roundtrips_through_serializer() {
+        let src = "<hotels><hotel><name>B &amp; B</name><rating>\
+                   <axml:call service=\"getRating\"/></rating></hotel></hotels>";
+        let d = parse(src).unwrap();
+        assert_eq!(to_xml(&d), src);
+    }
+
+    #[test]
+    fn attributes_become_at_children() {
+        let d = parse("<movie year=\"2004\" lang='fr'><title>X</title></movie>").unwrap();
+        let kids = d.children(d.root());
+        assert_eq!(d.label(kids[0]), "@year");
+        assert_eq!(d.text_value(d.children(kids[0])[0]), Some("2004"));
+        assert_eq!(d.label(kids[1]), "@lang");
+        // attributes survive a round-trip
+        assert_eq!(
+            to_xml(&d),
+            "<movie year=\"2004\" lang=\"fr\"><title>X</title></movie>"
+        );
+    }
+
+    #[test]
+    fn skips_declaration_comments_and_pis() {
+        let d = parse("<?xml version=\"1.0\"?><!-- hi --><?pi data?><r><!-- inner --><a/></r>")
+            .unwrap();
+        assert_eq!(to_xml(&d), "<r><a/></r>");
+    }
+
+    #[test]
+    fn cdata_is_verbatim_text() {
+        let d = parse("<r><![CDATA[a < b & c]]></r>").unwrap();
+        assert_eq!(d.text_value(d.children(d.root())[0]), Some("a < b & c"));
+    }
+
+    #[test]
+    fn whitespace_only_text_is_dropped() {
+        let d = parse("<r>\n  <a/>\n  <b/>\n</r>").unwrap();
+        assert_eq!(d.children(d.root()).len(), 2);
+    }
+
+    #[test]
+    fn parses_forest() {
+        let d = parse("<a/><b/>").unwrap();
+        assert_eq!(d.roots().len(), 2);
+    }
+
+    #[test]
+    fn reports_errors_with_position() {
+        let e = parse("<a><b></a>").unwrap_err();
+        assert!(e.message.contains("mismatched"));
+        assert!(parse("<a").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("<a attr=unquoted/>").is_err());
+        assert!(parse("<axml:call/>").is_err(), "call without service");
+    }
+
+    #[test]
+    fn entity_references_in_text() {
+        let d = parse("<r>a &lt; b &amp;&amp; c &gt; d</r>").unwrap();
+        assert_eq!(
+            d.text_value(d.children(d.root())[0]),
+            Some("a < b && c > d")
+        );
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_crashed() {
+        // way past any sane nesting: the iterative parser reports an
+        // error instead of blowing the call stack
+        let depth = 50 * MAX_DEPTH;
+        let mut src = String::with_capacity(depth * 7);
+        for _ in 0..depth {
+            src.push_str("<a>");
+        }
+        for _ in 0..depth {
+            src.push_str("</a>");
+        }
+        let e = parse(&src).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
+        // …while depths just under the limit work
+        let ok_depth = MAX_DEPTH - 1;
+        let mut ok = String::new();
+        for _ in 0..ok_depth {
+            ok.push_str("<a>");
+        }
+        for _ in 0..ok_depth {
+            ok.push_str("</a>");
+        }
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let d = parse("<!DOCTYPE hotels SYSTEM \"h.dtd\"><hotels/>").unwrap();
+        assert_eq!(d.label(d.root()), "hotels");
+    }
+}

@@ -1,0 +1,226 @@
+//! Serialization of AXML documents to XML text.
+//!
+//! Function nodes use the ActiveXML convention: a call to service `f` with
+//! parameter subtrees `p…` is written `<axml:call service="f">p…</axml:call>`.
+//! Element children whose label starts with `@` are written back as XML
+//! attributes (the parser produces them for attributed input).
+
+use crate::escape::{escape_attr, escape_text};
+use crate::tree::{Document, NodeId, NodeKind};
+use std::fmt::Write;
+
+/// Serialization options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SerializeOptions {
+    /// Pretty-print with two-space indentation.
+    pub pretty: bool,
+    /// Emit the `<?xml version="1.0"?>` declaration.
+    pub declaration: bool,
+}
+
+/// Serializes the whole forest with the given options.
+pub fn to_xml_with(doc: &Document, opts: SerializeOptions) -> String {
+    let mut out = String::new();
+    if opts.declaration {
+        out.push_str("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if opts.pretty {
+            out.push('\n');
+        }
+    }
+    for &r in doc.roots() {
+        write_node(doc, r, &mut out, opts.pretty, 0);
+        if opts.pretty {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Serializes the whole forest compactly.
+pub fn to_xml(doc: &Document) -> String {
+    to_xml_with(doc, SerializeOptions::default())
+}
+
+/// Serializes a single subtree compactly.
+pub fn subtree_to_xml(doc: &Document, node: NodeId) -> String {
+    let mut out = String::new();
+    write_node(doc, node, &mut out, false, 0);
+    out
+}
+
+/// Byte size of the serialized subtree — the paper's unit for data-transfer
+/// accounting when results move across the (simulated) network.
+pub fn serialized_len(doc: &Document, node: NodeId) -> usize {
+    subtree_to_xml(doc, node).len()
+}
+
+/// Byte size of a whole serialized forest.
+pub fn forest_serialized_len(doc: &Document) -> usize {
+    doc.roots().iter().map(|&r| serialized_len(doc, r)).sum()
+}
+
+fn is_attr_child(doc: &Document, n: NodeId) -> bool {
+    matches!(doc.kind(n), NodeKind::Element(l) if l.as_str().starts_with('@'))
+}
+
+fn write_node(doc: &Document, node: NodeId, out: &mut String, pretty: bool, depth: usize) {
+    let indent = |out: &mut String, depth: usize| {
+        if pretty {
+            for _ in 0..depth {
+                out.push_str("  ");
+            }
+        }
+    };
+    match doc.kind(node) {
+        NodeKind::Text(t) => {
+            indent(out, depth);
+            out.push_str(&escape_text(t));
+        }
+        NodeKind::Element(l) => {
+            indent(out, depth);
+            let _ = write!(out, "<{l}");
+            let mut content: Vec<NodeId> = Vec::new();
+            for &c in doc.children(node) {
+                if is_attr_child(doc, c) {
+                    let name = &doc.label(c)[1..];
+                    let value = doc
+                        .children(c)
+                        .first()
+                        .and_then(|&v| doc.text_value(v))
+                        .unwrap_or("");
+                    let _ = write!(out, " {}=\"{}\"", name, escape_attr(value));
+                } else {
+                    content.push(c);
+                }
+            }
+            if content.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let inline = content.len() == 1 && matches!(doc.kind(content[0]), NodeKind::Text(_));
+            if inline {
+                if let NodeKind::Text(t) = doc.kind(content[0]) {
+                    out.push_str(&escape_text(t));
+                }
+            } else {
+                for &c in &content {
+                    if pretty {
+                        out.push('\n');
+                    }
+                    write_node(doc, c, out, pretty, depth + 1);
+                }
+                if pretty {
+                    out.push('\n');
+                    indent(out, depth);
+                }
+            }
+            let _ = write!(out, "</{l}>");
+        }
+        NodeKind::Call(_, service) => {
+            indent(out, depth);
+            let _ = write!(
+                out,
+                "<axml:call service=\"{}\"",
+                escape_attr(service.as_str())
+            );
+            let children = doc.children(node);
+            if children.is_empty() {
+                out.push_str("/>");
+                return;
+            }
+            out.push('>');
+            let inline = children.len() == 1 && matches!(doc.kind(children[0]), NodeKind::Text(_));
+            if inline {
+                if let NodeKind::Text(t) = doc.kind(children[0]) {
+                    out.push_str(&escape_text(t));
+                }
+            } else {
+                for &c in children {
+                    if pretty {
+                        out.push('\n');
+                    }
+                    write_node(doc, c, out, pretty, depth + 1);
+                }
+                if pretty {
+                    out.push('\n');
+                    indent(out, depth);
+                }
+            }
+            out.push_str("</axml:call>");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Document;
+
+    fn sample() -> Document {
+        let mut d = Document::with_root("hotel");
+        let name = d.add_element(d.root(), "name");
+        d.add_text(name, "Best & Western");
+        let rating = d.add_element(d.root(), "rating");
+        let call = d.add_call(rating, "getRating");
+        d.add_text(call, "75 2nd Av");
+        d.add_element(d.root(), "nearby");
+        d
+    }
+
+    #[test]
+    fn compact_serialization() {
+        let d = sample();
+        assert_eq!(
+            to_xml(&d),
+            "<hotel><name>Best &amp; Western</name>\
+             <rating><axml:call service=\"getRating\">75 2nd Av</axml:call></rating>\
+             <nearby/></hotel>"
+        );
+    }
+
+    #[test]
+    fn pretty_serialization_indents() {
+        let d = sample();
+        let s = to_xml_with(
+            &d,
+            SerializeOptions {
+                pretty: true,
+                declaration: true,
+            },
+        );
+        assert!(s.starts_with("<?xml version=\"1.0\""));
+        assert!(s.contains("\n  <name>"));
+    }
+
+    #[test]
+    fn attribute_children_serialize_as_attributes() {
+        let mut d = Document::with_root("movie");
+        let a = d.add_element(d.root(), "@year");
+        d.add_text(a, "2004");
+        d.add_element(d.root(), "title");
+        assert_eq!(to_xml(&d), "<movie year=\"2004\"><title/></movie>");
+    }
+
+    #[test]
+    fn serialized_len_counts_bytes() {
+        let d = sample();
+        assert_eq!(serialized_len(&d, d.root()), to_xml(&d).len());
+    }
+
+    #[test]
+    fn forest_serialization_concatenates_roots() {
+        let mut f = Document::new();
+        f.add_root("a");
+        f.add_root("b");
+        assert_eq!(to_xml(&f), "<a/><b/>");
+        assert_eq!(forest_serialized_len(&f), 8);
+    }
+
+    #[test]
+    fn empty_call_is_self_closing() {
+        let mut d = Document::with_root("r");
+        d.add_call(d.root(), "f");
+        assert_eq!(to_xml(&d), "<r><axml:call service=\"f\"/></r>");
+    }
+}

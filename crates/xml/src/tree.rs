@@ -1,0 +1,729 @@
+//! Arena-backed ordered labeled trees with data and function nodes.
+//!
+//! This is the document model of the paper (Section 2): an AXML document is
+//! an ordered labeled tree whose *data nodes* carry element names or data
+//! values, and whose *function nodes* represent embedded calls to Web
+//! services. The children of a function node are the parameters of the call;
+//! when the call is invoked its result forest replaces the function node
+//! in place (see [`Document::splice_call`]).
+
+use crate::label::Label;
+use std::fmt;
+
+/// Index of a node inside a [`Document`] arena.
+///
+/// Node ids are stable for the lifetime of the node: splicing frees the ids
+/// of the removed subtree and may later reuse them for inserted nodes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The raw arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identity of a function-call node, unique within a document and stable
+/// across splices (so experiments can refer to "call #3" as the paper does
+/// with its numbered function nodes in Figure 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CallId(pub u64);
+
+impl fmt::Debug for CallId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// What a tree node is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A data node labeled with an element name.
+    Element(Label),
+    /// A leaf data node labeled with a data value.
+    Text(String),
+    /// A function node: an embedded call to the named service.
+    /// Children of the node are the call parameters.
+    Call(CallId, Label),
+}
+
+impl NodeKind {
+    /// `true` for element and text nodes (the nodes queries may match).
+    pub fn is_data(&self) -> bool {
+        !matches!(self, NodeKind::Call(..))
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    kind: NodeKind,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    alive: bool,
+}
+
+/// An ordered labeled tree (or forest) with data and function nodes.
+///
+/// Most documents have a single root; service results are forests and a
+/// splice at the root can turn a document into a forest, so the type
+/// supports multiple roots throughout.
+#[derive(Clone, Debug, Default)]
+pub struct Document {
+    nodes: Vec<Node>,
+    roots: Vec<NodeId>,
+    free: Vec<u32>,
+    next_call: u64,
+}
+
+/// A forest of AXML trees — the shape of a service-call result.
+pub type Forest = Document;
+
+impl Document {
+    /// An empty forest.
+    pub fn new() -> Self {
+        Document::default()
+    }
+
+    /// A document with a single element root.
+    pub fn with_root(label: impl Into<Label>) -> Self {
+        let mut d = Document::new();
+        let r = d.alloc(NodeKind::Element(label.into()), None);
+        d.roots.push(r);
+        d
+    }
+
+    /// The root ids of the forest, in order.
+    pub fn roots(&self) -> &[NodeId] {
+        &self.roots
+    }
+
+    /// The unique root of a single-rooted document.
+    ///
+    /// # Panics
+    /// Panics if the document is empty or has several roots.
+    pub fn root(&self) -> NodeId {
+        assert_eq!(
+            self.roots.len(),
+            1,
+            "Document::root on a forest with {} roots",
+            self.roots.len()
+        );
+        self.roots[0]
+    }
+
+    fn alloc(&mut self, kind: NodeKind, parent: Option<NodeId>) -> NodeId {
+        let node = Node {
+            kind,
+            parent,
+            children: Vec::new(),
+            alive: true,
+        };
+        if let Some(slot) = self.free.pop() {
+            self.nodes[slot as usize] = node;
+            NodeId(slot)
+        } else {
+            let id = NodeId(self.nodes.len() as u32);
+            self.nodes.push(node);
+            id
+        }
+    }
+
+    fn node(&self, id: NodeId) -> &Node {
+        let n = &self.nodes[id.index()];
+        debug_assert!(n.alive, "access to freed node {id:?}");
+        n
+    }
+
+    /// Whether `id` refers to a live node of this document.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len() && self.nodes[id.index()].alive
+    }
+
+    /// The node's kind.
+    pub fn kind(&self, id: NodeId) -> &NodeKind {
+        &self.node(id).kind
+    }
+
+    /// The node's label: element name, data value, or service name.
+    pub fn label(&self, id: NodeId) -> &str {
+        match &self.node(id).kind {
+            NodeKind::Element(l) => l.as_str(),
+            NodeKind::Text(t) => t,
+            NodeKind::Call(_, l) => l.as_str(),
+        }
+    }
+
+    /// The element label, if this is an element node.
+    pub fn element_label(&self, id: NodeId) -> Option<&Label> {
+        match &self.node(id).kind {
+            NodeKind::Element(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The text value, if this is a text node.
+    pub fn text_value(&self, id: NodeId) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The `(CallId, service name)` pair, if this is a function node.
+    pub fn call_info(&self, id: NodeId) -> Option<(CallId, &Label)> {
+        match &self.node(id).kind {
+            NodeKind::Call(c, l) => Some((*c, l)),
+            _ => None,
+        }
+    }
+
+    /// `true` for element and text nodes.
+    pub fn is_data(&self, id: NodeId) -> bool {
+        self.node(id).kind.is_data()
+    }
+
+    /// `true` for function-call nodes.
+    pub fn is_call(&self, id: NodeId) -> bool {
+        matches!(self.node(id).kind, NodeKind::Call(..))
+    }
+
+    /// Parent of the node (`None` for roots).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Children of the node, in document order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Number of live nodes in the document.
+    pub fn len(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    /// Whether the document has no nodes at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends a new element child and returns its id.
+    pub fn add_element(&mut self, parent: NodeId, label: impl Into<Label>) -> NodeId {
+        let id = self.alloc(NodeKind::Element(label.into()), Some(parent));
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Appends a new text child and returns its id.
+    pub fn add_text(&mut self, parent: NodeId, value: impl Into<String>) -> NodeId {
+        let id = self.alloc(NodeKind::Text(value.into()), Some(parent));
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Appends a new function-call child and returns its id. A fresh
+    /// [`CallId`] is assigned.
+    pub fn add_call(&mut self, parent: NodeId, service: impl Into<Label>) -> NodeId {
+        let cid = CallId(self.next_call);
+        self.next_call += 1;
+        let id = self.alloc(NodeKind::Call(cid, service.into()), Some(parent));
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Adds a new root element to the forest.
+    pub fn add_root(&mut self, label: impl Into<Label>) -> NodeId {
+        let id = self.alloc(NodeKind::Element(label.into()), None);
+        self.roots.push(id);
+        id
+    }
+
+    /// Adds a new root text node to the forest.
+    pub fn add_root_text(&mut self, value: impl Into<String>) -> NodeId {
+        let id = self.alloc(NodeKind::Text(value.into()), None);
+        self.roots.push(id);
+        id
+    }
+
+    /// Adds a new root function-call node to the forest.
+    pub fn add_root_call(&mut self, service: impl Into<Label>) -> NodeId {
+        let cid = CallId(self.next_call);
+        self.next_call += 1;
+        let id = self.alloc(NodeKind::Call(cid, service.into()), None);
+        self.roots.push(id);
+        id
+    }
+
+    /// Pre-order iterator over a subtree (including `root` itself).
+    pub fn descendants(&self, root: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            stack: vec![root],
+        }
+    }
+
+    /// Pre-order iterator over the whole forest.
+    pub fn all_nodes(&self) -> Descendants<'_> {
+        let mut stack: Vec<NodeId> = self.roots.clone();
+        stack.reverse();
+        Descendants { doc: self, stack }
+    }
+
+    /// All live function-call nodes in the forest, in document order.
+    pub fn calls(&self) -> Vec<NodeId> {
+        self.all_nodes().filter(|&n| self.is_call(n)).collect()
+    }
+
+    /// Finds the live node carrying the given call id, if any.
+    pub fn find_call(&self, call: CallId) -> Option<NodeId> {
+        self.all_nodes()
+            .find(|&n| matches!(self.node(n).kind, NodeKind::Call(c, _) if c == call))
+    }
+
+    /// Labels on the path from a root down to `id` (inclusive).
+    pub fn path_labels(&self, id: NodeId) -> Vec<String> {
+        let mut path = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            path.push(self.label(n).to_string());
+            cur = self.parent(n);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Position of `id` among its parent's children (roots: position among
+    /// roots).
+    pub fn sibling_index(&self, id: NodeId) -> usize {
+        let list = match self.parent(id) {
+            Some(p) => &self.nodes[p.index()].children,
+            None => &self.roots,
+        };
+        list.iter()
+            .position(|&c| c == id)
+            .expect("node not found among its parent's children")
+    }
+
+    /// Compares two nodes by document order.
+    pub fn cmp_document_order(&self, a: NodeId, b: NodeId) -> std::cmp::Ordering {
+        if a == b {
+            return std::cmp::Ordering::Equal;
+        }
+        let pa = self.index_path(a);
+        let pb = self.index_path(b);
+        pa.cmp(&pb)
+    }
+
+    fn index_path(&self, id: NodeId) -> Vec<usize> {
+        let mut path = Vec::new();
+        let mut cur = id;
+        loop {
+            path.push(self.sibling_index(cur));
+            match self.parent(cur) {
+                Some(p) => cur = p,
+                None => break,
+            }
+        }
+        path.reverse();
+        path
+    }
+
+    /// `true` if `anc` is an ancestor of `desc` (strict) or equal when
+    /// `or_self` is set.
+    pub fn is_ancestor(&self, anc: NodeId, desc: NodeId, or_self: bool) -> bool {
+        if anc == desc {
+            return or_self;
+        }
+        let mut cur = self.parent(desc);
+        while let Some(n) = cur {
+            if n == anc {
+                return true;
+            }
+            cur = self.parent(n);
+        }
+        false
+    }
+
+    /// Deep-copies the subtree rooted at `src_node` of another document as
+    /// a new child of `parent` in this one. Call ids are re-assigned.
+    pub fn append_copy(&mut self, parent: NodeId, src: &Document, src_node: NodeId) -> NodeId {
+        self.copy_from(src, src_node, Some(parent))
+    }
+
+    /// Deep-copies the subtree rooted at `src_node` of another document as
+    /// a new root of this forest. Call ids are re-assigned.
+    pub fn append_copy_as_root(&mut self, src: &Document, src_node: NodeId) -> NodeId {
+        let id = self.copy_from(src, src_node, None);
+        self.roots.push(id);
+        id
+    }
+
+    /// Deep-copies the subtree rooted at `node` into a fresh single-rooted
+    /// forest (fresh call ids).
+    pub fn subtree_to_forest(&self, node: NodeId) -> Forest {
+        let mut f = Forest::new();
+        let new_root = f.copy_from(self, node, None);
+        f.roots.push(new_root);
+        f
+    }
+
+    /// Deep-copies the *children* of `node` into a fresh forest (used for
+    /// passing call parameters to a service).
+    pub fn children_to_forest(&self, node: NodeId) -> Forest {
+        let mut f = Forest::new();
+        for &c in self.children(node) {
+            let copied = f.copy_from(self, c, None);
+            f.roots.push(copied);
+        }
+        f
+    }
+
+    fn copy_from(&mut self, src: &Document, node: NodeId, parent: Option<NodeId>) -> NodeId {
+        let kind = match &src.node(node).kind {
+            NodeKind::Call(_, l) => {
+                let cid = CallId(self.next_call);
+                self.next_call += 1;
+                NodeKind::Call(cid, l.clone())
+            }
+            k => k.clone(),
+        };
+        let id = self.alloc(kind, parent);
+        if let Some(p) = parent {
+            self.nodes[p.index()].children.push(id);
+        }
+        for &c in &src.node(node).children.clone() {
+            self.copy_from(src, c, Some(id));
+        }
+        id
+    }
+
+    /// Frees the subtree rooted at `id` (without detaching it from its
+    /// parent — callers must fix the child list).
+    fn free_subtree(&mut self, id: NodeId) {
+        let children = std::mem::take(&mut self.nodes[id.index()].children);
+        for c in children {
+            self.free_subtree(c);
+        }
+        self.nodes[id.index()].alive = false;
+        self.nodes[id.index()].parent = None;
+        self.free.push(id.0);
+    }
+
+    /// Replaces the function node `call` by the trees of `result`, in place
+    /// (Definition 2 of the paper: the node and the subtree rooted at it are
+    /// deleted, and the forest is plugged in place of it).
+    ///
+    /// Returns the ids of the inserted roots. Call ids occurring in the
+    /// result are re-assigned so they stay unique in this document.
+    ///
+    /// # Panics
+    /// Panics if `call` is not a live function node of this document.
+    pub fn splice_call(&mut self, call: NodeId, result: &Forest) -> Vec<NodeId> {
+        assert!(self.is_alive(call), "splice on freed node");
+        assert!(self.is_call(call), "splice on a non-function node");
+        let parent = self.parent(call);
+        let pos = self.sibling_index(call);
+        self.free_subtree(call);
+        let mut inserted = Vec::with_capacity(result.roots.len());
+        for &r in &result.roots {
+            inserted.push(self.copy_from(result, r, parent));
+        }
+        // `copy_from` appended the copies at the end of the parent's child
+        // list (or nowhere for roots); move them to the call's position.
+        match parent {
+            Some(p) => {
+                let ch = &mut self.nodes[p.index()].children;
+                // Remove the freed call node and the appended copies.
+                ch.retain(|c| *c != call && !inserted.contains(c));
+                for (i, &n) in inserted.iter().enumerate() {
+                    ch.insert(pos + i, n);
+                }
+            }
+            None => {
+                self.roots.retain(|c| *c != call);
+                for (i, &n) in inserted.iter().enumerate() {
+                    self.roots.insert(pos + i, n);
+                }
+            }
+        }
+        inserted
+    }
+
+    /// Exhaustive structural integrity check, used by tests and property
+    /// tests: every live node is reachable exactly once, parent/child links
+    /// agree, freed slots are not referenced.
+    pub fn check_integrity(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack: Vec<(Option<NodeId>, NodeId)> =
+            self.roots.iter().map(|&r| (None, r)).collect();
+        let mut live = 0usize;
+        while let Some((parent, id)) = stack.pop() {
+            if id.index() >= self.nodes.len() {
+                return Err(format!("{id:?} out of bounds"));
+            }
+            let n = &self.nodes[id.index()];
+            if !n.alive {
+                return Err(format!("{id:?} reachable but freed"));
+            }
+            if seen[id.index()] {
+                return Err(format!("{id:?} reachable twice"));
+            }
+            seen[id.index()] = true;
+            live += 1;
+            if n.parent != parent {
+                return Err(format!(
+                    "{id:?} parent link {:?} != tree parent {:?}",
+                    n.parent, parent
+                ));
+            }
+            for &c in &n.children {
+                stack.push((Some(id), c));
+            }
+        }
+        if live != self.len() {
+            return Err(format!(
+                "{} live nodes reachable but len() = {}",
+                live,
+                self.len()
+            ));
+        }
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.alive && !seen[i] {
+                return Err(format!("n{i} alive but unreachable"));
+            }
+        }
+        let mut free_sorted: Vec<u32> = self.free.clone();
+        free_sorted.sort_unstable();
+        free_sorted.dedup();
+        if free_sorted.len() != self.free.len() {
+            return Err("duplicate entries in free list".into());
+        }
+        for &f in &self.free {
+            if self.nodes[f as usize].alive {
+                return Err(format!("n{f} in free list but alive"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Pre-order iterator over document nodes.
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        let children = self.doc.children(id);
+        self.stack.extend(children.iter().rev());
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Document, NodeId, NodeId) {
+        // hotels
+        //   hotel
+        //     name -> "Best Western"
+        //     rating -> getRating("75 2nd Av")
+        let mut d = Document::with_root("hotels");
+        let hotel = d.add_element(d.root(), "hotel");
+        let name = d.add_element(hotel, "name");
+        d.add_text(name, "Best Western");
+        let rating = d.add_element(hotel, "rating");
+        let call = d.add_call(rating, "getRating");
+        d.add_text(call, "75 2nd Av");
+        (d, hotel, call)
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let (d, hotel, call) = sample();
+        assert_eq!(d.label(d.root()), "hotels");
+        assert_eq!(d.children(d.root()), &[hotel]);
+        assert_eq!(d.label(hotel), "hotel");
+        assert!(d.is_call(call));
+        assert_eq!(d.call_info(call).unwrap().1.as_str(), "getRating");
+        assert_eq!(d.len(), 7);
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn path_labels_walks_from_root() {
+        let (d, _, call) = sample();
+        assert_eq!(
+            d.path_labels(call),
+            vec!["hotels", "hotel", "rating", "getRating"]
+        );
+    }
+
+    #[test]
+    fn calls_lists_function_nodes_in_document_order() {
+        let (mut d, hotel, call) = sample();
+        let c2 = d.add_call(hotel, "getNearbyRestos");
+        assert_eq!(d.calls(), vec![call, c2]);
+    }
+
+    #[test]
+    fn splice_replaces_call_with_forest() {
+        let (mut d, _, call) = sample();
+        let (cid, _) = d.call_info(call).unwrap();
+        let mut result = Forest::new();
+        let v = result.add_root_text("*****");
+        result.add_root("extra");
+        let _ = v;
+        let before = d.len();
+        let inserted = d.splice_call(call, &result);
+        assert_eq!(inserted.len(), 2);
+        assert_eq!(d.text_value(inserted[0]), Some("*****"));
+        assert_eq!(d.label(inserted[1]), "extra");
+        // call + its text param removed (2), two inserted
+        assert_eq!(d.len(), before - 2 + 2);
+        // the call identity is gone (its slot may be reused by new nodes)
+        assert_eq!(d.find_call(cid), None);
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn splice_preserves_sibling_order() {
+        let mut d = Document::with_root("r");
+        let a = d.add_element(d.root(), "a");
+        let c = d.add_call(d.root(), "f");
+        let b = d.add_element(d.root(), "b");
+        let mut res = Forest::new();
+        res.add_root("x");
+        res.add_root("y");
+        let ins = d.splice_call(c, &res);
+        let labels: Vec<&str> = d.children(d.root()).iter().map(|&n| d.label(n)).collect();
+        assert_eq!(labels, vec!["a", "x", "y", "b"]);
+        assert_eq!(d.children(d.root()), &[a, ins[0], ins[1], b]);
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn splice_with_empty_forest_just_removes() {
+        let (mut d, hotel, call) = sample();
+        let rating = d.parent(call).unwrap();
+        let ins = d.splice_call(call, &Forest::new());
+        assert!(ins.is_empty());
+        assert!(d.children(rating).is_empty());
+        assert_eq!(d.parent(rating), Some(hotel));
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn splice_at_root_turns_document_into_forest() {
+        let mut d = Document::new();
+        let c = d.add_root_call("getAll");
+        let mut res = Forest::new();
+        res.add_root("a");
+        res.add_root("b");
+        d.splice_call(c, &res);
+        assert_eq!(d.roots().len(), 2);
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn splice_result_call_ids_are_reassigned_fresh() {
+        let (mut d, _, call) = sample();
+        let (orig_id, _) = d.call_info(call).unwrap();
+        let mut res = Forest::new();
+        let rc = res.add_root_call("inner");
+        let (res_cid, _) = res.call_info(rc).unwrap();
+        let ins = d.splice_call(call, &res);
+        let (new_cid, name) = d.call_info(ins[0]).unwrap();
+        assert_eq!(name.as_str(), "inner");
+        assert_ne!(new_cid, orig_id);
+        // the id is fresh in d's space, independent of res's numbering
+        assert!(new_cid.0 > orig_id.0 || new_cid != res_cid);
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn freed_slots_are_reused() {
+        let (mut d, _, call) = sample();
+        let before_capacity = d.nodes.len();
+        d.splice_call(call, &Forest::new()); // frees 2 slots
+        let r2 = d.find_call(CallId(99));
+        assert!(r2.is_none());
+        let hotel = d.children(d.root())[0];
+        d.add_element(hotel, "new1");
+        d.add_element(hotel, "new2");
+        assert_eq!(d.nodes.len(), before_capacity); // reused, no growth
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn document_order_comparisons() {
+        let (d, hotel, call) = sample();
+        let name = d.children(hotel)[0];
+        assert_eq!(d.cmp_document_order(name, call), std::cmp::Ordering::Less);
+        assert_eq!(
+            d.cmp_document_order(d.root(), call),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(d.cmp_document_order(call, call), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn ancestor_tests() {
+        let (d, hotel, call) = sample();
+        assert!(d.is_ancestor(d.root(), call, false));
+        assert!(d.is_ancestor(hotel, call, false));
+        assert!(!d.is_ancestor(call, hotel, false));
+        assert!(!d.is_ancestor(hotel, hotel, false));
+        assert!(d.is_ancestor(hotel, hotel, true));
+    }
+
+    #[test]
+    fn subtree_copy_is_deep_and_independent() {
+        let (d, hotel, _) = sample();
+        let f = d.subtree_to_forest(hotel);
+        assert_eq!(f.roots().len(), 1);
+        assert_eq!(f.label(f.roots()[0]), "hotel");
+        assert_eq!(f.len(), 6);
+        // mutating the copy does not touch the original
+        let n = d.len();
+        let mut f2 = f.clone();
+        f2.add_element(f2.roots()[0], "zzz");
+        assert_eq!(d.len(), n);
+        f.check_integrity().unwrap();
+        f2.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn children_to_forest_extracts_parameters() {
+        let (d, _, call) = sample();
+        let params = d.children_to_forest(call);
+        assert_eq!(params.roots().len(), 1);
+        assert_eq!(params.text_value(params.roots()[0]), Some("75 2nd Av"));
+    }
+
+    #[test]
+    fn find_call_by_id() {
+        let (d, _, call) = sample();
+        let (cid, _) = d.call_info(call).unwrap();
+        assert_eq!(d.find_call(cid), Some(call));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-function")]
+    fn splice_on_data_node_panics() {
+        let (mut d, hotel, _) = sample();
+        d.splice_call(hotel, &Forest::new());
+    }
+}

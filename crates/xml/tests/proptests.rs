@@ -1,0 +1,167 @@
+//! Property tests for the XML substrate: parse/serialize round-trips and
+//! arena integrity under random splice sequences.
+
+use axml_xml::{parse, to_xml, Document, Forest, NodeId};
+use proptest::prelude::*;
+
+/// A recipe for building a random document.
+#[derive(Debug, Clone)]
+enum Op {
+    Element(u8),
+    Text(u8),
+    Call(u8),
+    Up,
+}
+
+fn label(i: u8) -> String {
+    format!("e{}", i % 12)
+}
+
+fn value(i: u8) -> String {
+    // include XML-hostile characters to exercise escaping
+    format!("v{} <&>'\"{}", i % 7, i)
+}
+
+fn service(i: u8) -> String {
+    format!("svc{}", i % 5)
+}
+
+fn build(ops: &[Op]) -> Document {
+    let mut d = Document::with_root("root");
+    let mut stack = vec![d.root()];
+    for op in ops {
+        let top = *stack.last().unwrap();
+        match op {
+            Op::Element(i) => {
+                let n = d.add_element(top, label(*i));
+                stack.push(n);
+            }
+            Op::Text(i) => {
+                d.add_text(top, value(*i));
+            }
+            Op::Call(i) => {
+                let c = d.add_call(top, service(*i));
+                d.add_text(c, value(*i));
+            }
+            Op::Up => {
+                if stack.len() > 1 {
+                    stack.pop();
+                }
+            }
+        }
+    }
+    d
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<u8>().prop_map(Op::Element),
+        any::<u8>().prop_map(Op::Text),
+        any::<u8>().prop_map(Op::Call),
+        Just(Op::Up),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// serialize ∘ parse ∘ serialize = serialize (canonical form is a
+    /// fixpoint of the round trip).
+    #[test]
+    fn serialize_parse_roundtrip(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let d = build(&ops);
+        let xml = to_xml(&d);
+        let d2 = parse(&xml).expect("own output must parse");
+        prop_assert_eq!(to_xml(&d2), xml);
+        d2.check_integrity().unwrap();
+    }
+
+    /// Arena integrity holds after any sequence of call splices, and
+    /// the number of live calls evolves consistently.
+    #[test]
+    fn splice_sequences_preserve_integrity(
+        ops in proptest::collection::vec(op_strategy(), 0..60),
+        picks in proptest::collection::vec(any::<u16>(), 0..12),
+        grow in proptest::collection::vec(any::<bool>(), 0..12),
+    ) {
+        let mut d = build(&ops);
+        d.check_integrity().unwrap();
+        for (i, pick) in picks.iter().enumerate() {
+            let calls: Vec<NodeId> = d.calls();
+            if calls.is_empty() { break; }
+            let target = calls[(*pick as usize) % calls.len()];
+            let mut result = Forest::new();
+            if grow.get(i).copied().unwrap_or(false) {
+                // result that itself contains a nested call
+                let e = result.add_root("grown");
+                result.add_call(e, "nested");
+            } else {
+                result.add_root_text("leaf");
+            }
+            d.splice_call(target, &result);
+            d.check_integrity().unwrap();
+        }
+    }
+
+    /// Document order is a strict total order on live nodes.
+    #[test]
+    fn document_order_is_total(ops in proptest::collection::vec(op_strategy(), 0..40)) {
+        let d = build(&ops);
+        let nodes: Vec<NodeId> = d.all_nodes().collect();
+        // pre-order traversal yields strictly increasing document order
+        for w in nodes.windows(2) {
+            prop_assert_eq!(d.cmp_document_order(w[0], w[1]), std::cmp::Ordering::Less);
+            prop_assert_eq!(d.cmp_document_order(w[1], w[0]), std::cmp::Ordering::Greater);
+        }
+    }
+
+    /// Deep copies are structurally identical to their source subtree.
+    #[test]
+    fn subtree_copy_serializes_identically(ops in proptest::collection::vec(op_strategy(), 0..40)) {
+        let d = build(&ops);
+        let f = d.subtree_to_forest(d.root());
+        prop_assert_eq!(to_xml(&f), to_xml(&d));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser must never panic, whatever the input — it returns a
+    /// ParseError instead.
+    #[test]
+    fn parser_never_panics(input in "\\PC*") {
+        let _ = parse(&input);
+    }
+
+    /// Near-XML garbage: structured fragments glued randomly.
+    #[test]
+    fn parser_never_panics_on_near_xml(
+        parts in proptest::collection::vec(
+            prop_oneof![
+                Just("<a>".to_string()),
+                Just("</a>".to_string()),
+                Just("<axml:call service=\"f\">".to_string()),
+                Just("</axml:call>".to_string()),
+                Just("<![CDATA[x]]>".to_string()),
+                Just("<!-- c -->".to_string()),
+                Just("&amp;".to_string()),
+                Just("&bogus;".to_string()),
+                Just("text".to_string()),
+                Just("<b attr=\"v\"/>".to_string()),
+                Just("<?pi?>".to_string()),
+                Just("<".to_string()),
+                Just("]]>".to_string()),
+            ],
+            0..12,
+        )
+    ) {
+        let input = parts.concat();
+        if let Ok(d) = parse(&input) {
+            d.check_integrity().unwrap();
+            // anything we accept must round-trip through our serializer
+            let again = parse(&to_xml(&d)).unwrap();
+            prop_assert_eq!(to_xml(&again), to_xml(&d));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! A second domain: an XMark-flavored auction site. Bids and seller
+//! profiles are intensional; the query only cares about bids on one item
+//! category, so the seller-profile calls are never invoked, and typing
+//! keeps `getSellerInfo` out of the bid positions.
+//!
+//! ```text
+//! cargo run --example auctions
+//! ```
+
+use activexml::core::{Engine, EngineConfig, Strategy, Typing};
+use activexml::gen::auctions::{auction_query, generate_auctions, AuctionParams};
+use activexml::query::render_result;
+
+fn main() {
+    let params = AuctionParams {
+        auctions: 200,
+        categories: 8,
+        bids_per_auction: 6,
+        ..Default::default()
+    };
+    let query = auction_query();
+    println!("query: {}", activexml::query::render(&query));
+
+    println!(
+        "\n{:<24} {:>8} {:>10} {:>10} {:>8}",
+        "strategy", "calls", "getBids", "sellers", "answers"
+    );
+    for (name, config) in [
+        ("naive", EngineConfig::naive()),
+        (
+            "lazy LPQ",
+            EngineConfig {
+                parallel: true,
+                ..EngineConfig::lpq()
+            },
+        ),
+        (
+            "lazy NFQ",
+            EngineConfig {
+                strategy: Strategy::Nfq,
+                typing: Typing::None,
+                push_queries: false,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "lazy NFQ + types",
+            EngineConfig {
+                push_queries: false,
+                ..EngineConfig::default()
+            },
+        ),
+        ("lazy NFQ + types+push", EngineConfig::default()),
+    ] {
+        let sc = generate_auctions(&params);
+        let mut doc = sc.doc.clone();
+        let report = Engine::new(&sc.registry, config)
+            .with_schema(&sc.schema)
+            .evaluate(&mut doc, &query);
+        println!(
+            "{:<24} {:>8} {:>10} {:>10} {:>8}",
+            name,
+            report.stats.calls_invoked,
+            report.stats.invoked_by_service.get("getBids").unwrap_or(&0),
+            report
+                .stats
+                .invoked_by_service
+                .get("getSellerInfo")
+                .unwrap_or(&0),
+            report.result.len()
+        );
+    }
+
+    // show a few answers
+    let sc = generate_auctions(&params);
+    let mut doc = sc.doc.clone();
+    let report = Engine::new(&sc.registry, EngineConfig::default())
+        .with_schema(&sc.schema)
+        .evaluate(&mut doc, &query);
+    println!("\nfirst answers (amount, bidder):");
+    for tuple in render_result(&doc, &report.result).into_iter().take(5) {
+        println!("  {}", tuple.join(", "));
+    }
+}

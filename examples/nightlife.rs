@@ -1,0 +1,79 @@
+//! The introduction's motivating scenario: a city night-life site with
+//! movies and restaurants, both partly intensional. The query only asks
+//! about movies:
+//!
+//! ```text
+//! /goingout/movies//show[title="The Hours"]/schedule
+//! ```
+//!
+//! so "there is no point in invoking any calls found below
+//! /goingout/restaurants" (§1) — the lazy engine never touches them, and
+//! even the position-only LPQ analysis prunes them.
+//!
+//! ```text
+//! cargo run --example nightlife
+//! ```
+
+use activexml::core::{Engine, EngineConfig};
+use activexml::query::parse_query;
+use activexml::services::{Registry, StaticService};
+use activexml::xml::parse;
+
+fn main() {
+    // the site: movie theaters behind getShows, restaurants behind
+    // getRestaurants, reviews behind getReviews (off-path too)
+    let doc_src = r#"
+      <goingout>
+        <movies>
+          <theater><name>Odeon</name>
+            <axml:call service="getShows">Odeon</axml:call>
+          </theater>
+          <theater><name>Rex</name>
+            <axml:call service="getShows">Rex</axml:call>
+          </theater>
+        </movies>
+        <restaurants>
+          <axml:call service="getRestaurants">downtown</axml:call>
+          <axml:call service="getRestaurants">uptown</axml:call>
+        </restaurants>
+      </goingout>"#;
+
+    let mut registry = Registry::new();
+    registry.register(StaticService::new(
+        "getShows",
+        parse(
+            "<show><title>The Hours</title><schedule>20:30</schedule></show>\
+             <show><title>Solaris</title><schedule>22:00</schedule></show>",
+        )
+        .unwrap(),
+    ));
+    registry.register(StaticService::new(
+        "getRestaurants",
+        parse("<restaurant><name>Huge result we never need</name></restaurant>").unwrap(),
+    ));
+
+    let query = parse_query("/goingout/movies//show[title=\"The Hours\"]/schedule").unwrap();
+
+    for (name, config) in [
+        ("naive", EngineConfig::naive()),
+        ("lazy (LPQ)", EngineConfig::lpq()),
+        ("lazy (NFQ)", EngineConfig::nfq_plain()),
+    ] {
+        let mut doc = parse(doc_src).unwrap();
+        let report = Engine::new(&registry, config).evaluate(&mut doc, &query);
+        let restaurants_fetched = report
+            .stats
+            .invoked_by_service
+            .get("getRestaurants")
+            .copied()
+            .unwrap_or(0);
+        println!(
+            "{name:<12} calls={} (getRestaurants: {restaurants_fetched}) answers={}",
+            report.stats.calls_invoked,
+            report.result.len()
+        );
+        for tuple in activexml::query::render_result(&doc, &report.result) {
+            println!("             schedule element found: {}", tuple.join(", "));
+        }
+    }
+}

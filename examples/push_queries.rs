@@ -1,0 +1,87 @@
+//! Pushing queries to providers (Section 7).
+//!
+//! Instead of fetching every nearby restaurant and filtering locally, the
+//! engine ships the subquery
+//! `//restaurant[rating="*****"][name=$X][address=$Y]` with the call; the
+//! provider answers with only the contributing part (pruned-result mode)
+//! or with `<tuple>` bindings, exactly like the paper's example output:
+//!
+//! ```text
+//! <tuple><x>In Delis</x><y>2nd Ave.</y></tuple>
+//! ```
+//!
+//! ```text
+//! cargo run --example push_queries
+//! ```
+
+use activexml::core::{Engine, EngineConfig};
+use activexml::gen::scenario::{figure4_query, generate, ScenarioParams};
+use activexml::query::{parse_query, EdgeKind};
+use activexml::services::{bindings_result, NetProfile};
+use activexml::xml::to_xml;
+
+fn main() {
+    // ---- provider-side view: what a pushed query does to one result ----
+    let full_result = activexml::xml::parse(
+        "<restaurant><name>In Delis</name><address>2nd Ave.</address>\
+           <rating>*****</rating><menu><dish>pastrami</dish><dish>rye</dish></menu>\
+         </restaurant>\
+         <restaurant><name>Grease</name><address>9th Ave.</address>\
+           <rating>*</rating></restaurant>\
+         <restaurant><name>The Capital</name><address>2nd Ave.</address>\
+           <rating>*****</rating></restaurant>",
+    )
+    .unwrap();
+    let subquery =
+        parse_query("/restaurant[rating=\"*****\"][name=$X][address=$Y] -> $X,$Y").unwrap();
+    println!("full result: {} bytes", to_xml(&full_result).len());
+    let pruned = activexml::services::prune_result(&subquery, &full_result, EdgeKind::Child);
+    println!(
+        "pruned-result mode: {} bytes\n{}",
+        to_xml(&pruned).len(),
+        to_xml(&pruned)
+    );
+    let bindings = bindings_result(&subquery, &full_result, EdgeKind::Child);
+    println!("\nbindings mode:\n{}", to_xml(&bindings));
+
+    // ---- engine-level effect across a whole workload -------------------
+    println!("\nselectivity sweep (5-star fraction of served restaurants):");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        "selectivity", "bytes plain", "bytes push", "saving"
+    );
+    for sel in [0.05, 0.25, 1.0] {
+        let query = figure4_query();
+        let mut bytes = [0usize; 2];
+        for (i, push) in [false, true].into_iter().enumerate() {
+            let mut sc = generate(&ScenarioParams {
+                hotels: 60,
+                restos_per_hotel: 8,
+                five_star_resto_fraction: sel,
+                ..Default::default()
+            });
+            sc.registry.set_default_profile(NetProfile {
+                latency_ms: 20.0,
+                bytes_per_ms: 10.0,
+            });
+            let mut doc = sc.doc.clone();
+            let report = Engine::new(
+                &sc.registry,
+                EngineConfig {
+                    push_queries: push,
+                    ..EngineConfig::default()
+                },
+            )
+            .with_schema(&sc.schema)
+            .evaluate(&mut doc, &query);
+            bytes[i] = report.stats.bytes_transferred;
+        }
+        println!(
+            "{:<12} {:>12} {:>12} {:>9.1}x",
+            sel,
+            bytes[0],
+            bytes[1],
+            bytes[0] as f64 / bytes[1] as f64
+        );
+    }
+}

@@ -1,0 +1,349 @@
+//! `axml` — a command-line front end to the lazy AXML query engine.
+//!
+//! ```text
+//! axml query --doc doc.xml --query '/hotels/hotel/name' \
+//!            [--world world.xml] [--schema schema.txt] \
+//!            [--strategy nfq|lpq|topdown|naive] [--typing none|lenient|exact] \
+//!            [--push] [--fguide] [--no-parallel] [--speculate] [--stats] \
+//!            [--out results|doc]
+//! axml validate --doc doc.xml --schema schema.txt
+//! axml termination --doc doc.xml --schema schema.txt
+//! axml materialize --doc doc.xml --world world.xml [--max-calls N]
+//! axml explain --query '/a//b[c="v"]'           # LPQs, NFQs, layers
+//! ```
+//!
+//! Documents use the `<axml:call service="…">` convention, schemas the
+//! DTD-like syntax of Figure 2, and world files the declarative service
+//! format of `axml-services::worldfile`.
+
+use activexml::core::{
+    build_lpqs, build_nfqs, compute_layers, Engine, EngineConfig, Speculation, Strategy, Typing,
+};
+use activexml::query::{construct_results, parse_query, render, Pattern};
+use activexml::schema::{parse_schema, Schema};
+use activexml::services::{load_registry, Registry};
+use activexml::xml::{parse, to_xml_with, Document, SerializeOptions};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("axml: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Opts {
+    flags: Vec<String>,
+    values: HashMap<String, String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
+        let mut flags = Vec::new();
+        let mut values = HashMap::new();
+        let mut it = args.iter().peekable();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected argument {a:?}"));
+            };
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    values.insert(name.to_string(), it.next().unwrap().clone());
+                }
+                _ => flags.push(name.to_string()),
+            }
+        }
+        Ok(Opts { flags, values })
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.value(name)
+            .ok_or_else(|| format!("missing required option --{name}"))
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+fn run(args: Vec<String>) -> Result<(), String> {
+    let Some((cmd, rest)) = args.split_first() else {
+        print_usage();
+        return Ok(());
+    };
+    let opts = Opts::parse(rest)?;
+    match cmd.as_str() {
+        "query" => cmd_query(&opts),
+        "relevant" => cmd_relevant(&opts),
+        "validate" => cmd_validate(&opts),
+        "termination" => cmd_termination(&opts),
+        "materialize" => cmd_materialize(&opts),
+        "explain" => cmd_explain(&opts),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `axml help`")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "axml — lazy query evaluation for Active XML (SIGMOD 2004)\n\n\
+         commands:\n\
+         \x20 query        evaluate a tree-pattern query lazily\n\
+         \x20 relevant     list the calls relevant for a query (Prop. 1)\n\
+         \x20 validate     check a document against a schema\n\
+         \x20 termination  static termination analysis of a document's calls\n\
+         \x20 materialize  invoke every call to a fixpoint\n\
+         \x20 explain      print the LPQs, NFQs and layers of a query\n\n\
+         run `axml <command>` without options to see what it needs."
+    );
+}
+
+fn load_doc(opts: &Opts) -> Result<Document, String> {
+    let path = opts.require("doc")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_schema(opts: &Opts) -> Result<Option<Schema>, String> {
+    match opts.value("schema") {
+        None => Ok(None),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            parse_schema(&text)
+                .map(Some)
+                .map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+fn load_world(opts: &Opts) -> Result<Registry, String> {
+    match opts.value("world") {
+        None => Ok(Registry::new()),
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            let doc = parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            load_registry(&doc).map_err(|e| format!("{path}: {e}"))
+        }
+    }
+}
+
+fn load_query(opts: &Opts) -> Result<Pattern, String> {
+    let src = opts.require("query")?;
+    parse_query(src).map_err(|e| e.to_string())
+}
+
+fn engine_config(opts: &Opts) -> Result<EngineConfig, String> {
+    let strategy = match opts.value("strategy").unwrap_or("nfq") {
+        "nfq" => Strategy::Nfq,
+        "lpq" => Strategy::Lpq,
+        "topdown" => Strategy::TopDown,
+        "naive" => Strategy::Naive,
+        other => return Err(format!("unknown strategy {other:?}")),
+    };
+    let typing = match opts.value("typing").unwrap_or("exact") {
+        "none" => Typing::None,
+        "lenient" => Typing::Lenient,
+        "exact" => Typing::Exact,
+        other => return Err(format!("unknown typing {other:?}")),
+    };
+    let max_invocations = match opts.value("max-calls") {
+        None => 100_000,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--max-calls expects a number, got {v:?}"))?,
+    };
+    Ok(EngineConfig {
+        strategy,
+        typing,
+        use_fguide: opts.flag("fguide"),
+        push_queries: opts.flag("push"),
+        parallel: !opts.flag("no-parallel"),
+        layering: true,
+        simplify_layers: true,
+        relax_xpath: opts.flag("relax"),
+        max_invocations,
+        containment_pruning: !opts.flag("no-containment"),
+        enforce_output_types: opts.flag("enforce-types"),
+        incremental_detection: opts.flag("incremental"),
+        trace: opts.flag("trace"),
+        real_threads: opts.flag("threads"),
+        speculation: if opts.flag("speculate") {
+            Speculation::Always
+        } else {
+            Speculation::Off
+        },
+    })
+}
+
+fn cmd_query(opts: &Opts) -> Result<(), String> {
+    let mut doc = load_doc(opts)?;
+    let query = load_query(opts)?;
+    let registry = load_world(opts)?;
+    let schema = load_schema(opts)?;
+    let config = engine_config(opts)?;
+    let mut engine = Engine::new(&registry, config);
+    if let Some(s) = &schema {
+        engine = engine.with_schema(s);
+    }
+    let report = engine.evaluate(&mut doc, &query);
+    if opts.flag("stats") {
+        eprintln!("{}", report.stats);
+    }
+    if opts.flag("trace") {
+        for e in &report.trace {
+            eprintln!(
+                "round {:>3}  {:<20} at /{}{}  ({:.1} ms)",
+                e.round,
+                e.service,
+                e.path,
+                if e.pushed { "  [pushed]" } else { "" },
+                e.cost_ms
+            );
+        }
+    }
+    let pretty = SerializeOptions {
+        pretty: true,
+        declaration: false,
+    };
+    match opts.value("out").unwrap_or("results") {
+        "results" => {
+            let out = construct_results(&doc, &query, &report.result);
+            println!("{}", to_xml_with(&out, pretty));
+        }
+        "doc" => println!("{}", to_xml_with(&doc, pretty)),
+        other => return Err(format!("--out expects results|doc, got {other:?}")),
+    }
+    Ok(())
+}
+
+/// Contribution #1 of the paper, standalone: list the calls of the
+/// document that are relevant for the query (Prop. 1 / §5 refined).
+fn cmd_relevant(opts: &Opts) -> Result<(), String> {
+    let doc = load_doc(opts)?;
+    let query = load_query(opts)?;
+    let schema = load_schema(opts)?;
+    let mode = match opts.value("typing").unwrap_or("exact") {
+        "lenient" => activexml::schema::SatMode::Lenient,
+        _ => activexml::schema::SatMode::Exact,
+    };
+    let relevant = activexml::core::relevant_calls(&doc, &query, schema.as_ref(), mode);
+    let total = doc.calls().len();
+    println!(
+        "{} of {} embedded calls are relevant for the query:",
+        relevant.len(),
+        total
+    );
+    for (node, id, service) in relevant {
+        let path = doc
+            .parent(node)
+            .map(|p| doc.path_labels(p).join("/"))
+            .unwrap_or_default();
+        println!("  {id:?}  {service:<24} at /{path}");
+    }
+    Ok(())
+}
+
+fn cmd_validate(opts: &Opts) -> Result<(), String> {
+    let doc = load_doc(opts)?;
+    let schema = load_schema(opts)?.ok_or("validate needs --schema")?;
+    let errors = activexml::schema::validate(&doc, &schema);
+    if errors.is_empty() {
+        println!(
+            "valid: {} nodes, {} pending calls",
+            doc.len(),
+            doc.calls().len()
+        );
+        Ok(())
+    } else {
+        for e in &errors {
+            eprintln!("invalid: {e}");
+        }
+        Err(format!("{} validation error(s)", errors.len()))
+    }
+}
+
+fn cmd_termination(opts: &Opts) -> Result<(), String> {
+    let doc = load_doc(opts)?;
+    let schema = load_schema(opts)?.ok_or("termination needs --schema")?;
+    match activexml::schema::check_document(&schema, &doc) {
+        activexml::schema::Termination::Terminates { max_depth } => {
+            println!("terminates: call chains are at most {max_depth} deep");
+            Ok(())
+        }
+        activexml::schema::Termination::PossiblyDiverges { cycle } => {
+            let names: Vec<&str> = cycle.iter().map(|l| l.as_str()).collect();
+            Err(format!("possibly diverges: cycle {}", names.join(" -> ")))
+        }
+        activexml::schema::Termination::Unknown { function } => {
+            Err(format!("unknown: function {function} is not declared"))
+        }
+    }
+}
+
+fn cmd_materialize(opts: &Opts) -> Result<(), String> {
+    let mut doc = load_doc(opts)?;
+    let registry = load_world(opts)?;
+    let config = EngineConfig {
+        max_invocations: match opts.value("max-calls") {
+            None => 100_000,
+            Some(v) => v.parse().map_err(|_| "--max-calls expects a number")?,
+        },
+        ..EngineConfig::naive()
+    };
+    // materialization = naive completion for the match-anything query
+    let query = parse_query("/*").map_err(|e| e.to_string())?;
+    let stats = Engine::new(&registry, config).complete_for(&mut doc, &query);
+    eprintln!("{stats}");
+    println!(
+        "{}",
+        to_xml_with(
+            &doc,
+            SerializeOptions {
+                pretty: true,
+                declaration: false
+            }
+        )
+    );
+    Ok(())
+}
+
+fn cmd_explain(opts: &Opts) -> Result<(), String> {
+    let query = load_query(opts)?;
+    println!("query: {}", render(&query));
+    println!("\nLPQs (§3.1):");
+    for lpq in build_lpqs(&query) {
+        println!("  {}", render(&lpq.pattern));
+    }
+    let nfqs = build_nfqs(&query);
+    println!("\nNFQs (§3.2, one per query node):");
+    for nfq in &nfqs {
+        println!("  lin={:<30} {}", nfq.lin.to_string(), render(&nfq.pattern));
+    }
+    let layers = compute_layers(&nfqs);
+    println!("\ninfluence layers (§4.3, topological order):");
+    for (i, (layer, independent)) in layers.layers.iter().zip(&layers.independent).enumerate() {
+        let lins: Vec<String> = layer.iter().map(|&j| nfqs[j].lin.to_string()).collect();
+        println!(
+            "  layer {i}{}: {}",
+            if *independent {
+                " (✳ independent)"
+            } else {
+                ""
+            },
+            lins.join(", ")
+        );
+    }
+    Ok(())
+}

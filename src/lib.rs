@@ -1,0 +1,20 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # activexml — Lazy Query Evaluation for Active XML
+//!
+//! Facade crate re-exporting the whole workspace: the XML substrate, the
+//! schema/typing substrate, tree-pattern queries, the simulated Web-service
+//! layer, and the lazy query-evaluation engine that is the subject of
+//! *Lazy Query Evaluation for Active XML* (Abiteboul, Benjelloun, Cautis,
+//! Manolescu, Milo, Preda — SIGMOD 2004).
+//!
+//! See the `examples/` directory for runnable walkthroughs and `DESIGN.md`
+//! for the architecture.
+
+pub use axml_core as core;
+pub use axml_gen as gen;
+pub use axml_query as query;
+pub use axml_schema as schema;
+pub use axml_services as services;
+pub use axml_xml as xml;

@@ -1,0 +1,229 @@
+//! Integration tests for the `axml` CLI binary: file-driven workloads
+//! (document + world file + schema) through the real executable.
+
+use std::io::Write;
+use std::process::Command;
+
+fn axml() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_axml"))
+}
+
+struct TempFiles {
+    dir: std::path::PathBuf,
+}
+
+impl TempFiles {
+    fn new(tag: &str) -> TempFiles {
+        let dir = std::env::temp_dir().join(format!("axml-cli-test-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        TempFiles { dir }
+    }
+
+    fn write(&self, name: &str, content: &str) -> String {
+        let path = self.dir.join(name);
+        let mut f = std::fs::File::create(&path).unwrap();
+        f.write_all(content.as_bytes()).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+}
+
+impl Drop for TempFiles {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+const DOC: &str = r#"<hotels>
+  <hotel><name>Best Western</name><address>a1</address>
+    <rating><axml:call service="getRating">a1</axml:call></rating>
+    <nearby><axml:call service="getNearbyRestos">a1</axml:call></nearby>
+  </hotel>
+  <hotel><name>Pennsylvania</name><address>a2</address>
+    <rating><axml:call service="getRating">a2</axml:call></rating>
+    <nearby><axml:call service="getNearbyRestos">a2</axml:call></nearby>
+  </hotel>
+</hotels>"#;
+
+const WORLD: &str = r#"<world>
+  <service name="getRating">
+    <entry key="a1"><result>*****</result></entry>
+    <entry key="a2"><result>**</result></entry>
+  </service>
+  <service name="getNearbyRestos">
+    <entry key="a1"><result><restaurant><name>In Delis</name><address>x</address><rating>*****</rating></restaurant></result></entry>
+    <entry key="a2"><result><restaurant><name>Penn Grill</name><address>y</address><rating>*****</rating></restaurant></result></entry>
+  </service>
+</world>"#;
+
+const SCHEMA: &str = "root hotels\n\
+function getRating       = in: data, out: data\n\
+function getNearbyRestos = in: data, out: restaurant*\n\
+element hotels     = hotel*\n\
+element hotel      = name.address.rating.nearby\n\
+element nearby     = (restaurant | getNearbyRestos)*\n\
+element restaurant = name.address.rating\n\
+element name       = data\n\
+element address    = data\n\
+element rating     = (data | getRating)\n";
+
+const QUERY: &str = "/hotels/hotel[rating=\"*****\"]/nearby//restaurant[name=$X] -> $X";
+
+#[test]
+fn query_command_produces_results_xml() {
+    let t = TempFiles::new("query");
+    let doc = t.write("doc.xml", DOC);
+    let world = t.write("world.xml", WORLD);
+    let schema = t.write("schema.txt", SCHEMA);
+    let out = axml()
+        .args([
+            "query", "--doc", &doc, "--world", &world, "--schema", &schema, "--query", QUERY,
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("<x>In Delis</x>"), "{stdout}");
+    assert!(!stdout.contains("Penn Grill"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("calls: 3"), "{stderr}");
+}
+
+#[test]
+fn query_out_doc_prints_partially_materialized_document() {
+    let t = TempFiles::new("outdoc");
+    let doc = t.write("doc.xml", DOC);
+    let world = t.write("world.xml", WORLD);
+    let out = axml()
+        .args([
+            "query", "--doc", &doc, "--world", &world, "--query", QUERY, "--out", "doc",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // the lazy document has In Delis materialized and the Pennsylvania
+    // restaurants call still pending
+    assert!(stdout.contains("In Delis"), "{stdout}");
+    assert!(stdout.contains("axml:call"), "{stdout}");
+}
+
+#[test]
+fn validate_command() {
+    let t = TempFiles::new("validate");
+    let doc = t.write("doc.xml", DOC);
+    let schema = t.write("schema.txt", SCHEMA);
+    let out = axml()
+        .args(["validate", "--doc", &doc, "--schema", &schema])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("valid"));
+
+    let bad = t.write("bad.xml", "<hotels><mystery/></hotels>");
+    let out = axml()
+        .args(["validate", "--doc", &bad, "--schema", &schema])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mystery"));
+}
+
+#[test]
+fn termination_command() {
+    let t = TempFiles::new("term");
+    let doc = t.write("doc.xml", DOC);
+    let schema = t.write("schema.txt", SCHEMA);
+    let out = axml()
+        .args(["termination", "--doc", &doc, "--schema", &schema])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("terminates"));
+
+    let loopy_schema = t.write(
+        "loopy.txt",
+        "function f = in: data, out: f?\nelement hotels = data\n",
+    );
+    let loopy_doc = t.write("loopy.xml", "<hotels><axml:call service=\"f\"/></hotels>");
+    let out = axml()
+        .args([
+            "termination",
+            "--doc",
+            &loopy_doc,
+            "--schema",
+            &loopy_schema,
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("diverges"));
+}
+
+#[test]
+fn materialize_command() {
+    let t = TempFiles::new("mat");
+    let doc = t.write("doc.xml", DOC);
+    let world = t.write("world.xml", WORLD);
+    let out = axml()
+        .args(["materialize", "--doc", &doc, "--world", &world])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("axml:call"),
+        "fully materialized: {stdout}"
+    );
+    assert!(stdout.contains("Penn Grill"));
+}
+
+#[test]
+fn explain_command() {
+    let out = axml().args(["explain", "--query", QUERY]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("LPQs"));
+    assert!(stdout.contains("NFQs"));
+    assert!(stdout.contains("influence layers"));
+}
+
+#[test]
+fn helpful_errors() {
+    let out = axml().args(["query"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--doc"));
+
+    let out = axml().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = axml().output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("commands:"));
+}
+
+#[test]
+fn relevant_command_lists_relevant_calls() {
+    let t = TempFiles::new("relevant");
+    let doc = t.write("doc.xml", DOC);
+    let schema = t.write("schema.txt", SCHEMA);
+    let out = axml()
+        .args([
+            "relevant", "--doc", &doc, "--schema", &schema, "--query", QUERY,
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("of 4 embedded calls"), "{stdout}");
+    assert!(stdout.contains("getNearbyRestos"), "{stdout}");
+}

@@ -1,0 +1,176 @@
+//! End-to-end flows through the public facade: XML text in, services
+//! registered, lazy evaluation, XML text out.
+
+use activexml::core::{Engine, EngineConfig};
+use activexml::query::parse_query;
+use activexml::schema::parse_schema;
+use activexml::services::{FnService, NetProfile, Registry, TableService};
+use activexml::xml::{parse, to_xml, Forest};
+
+#[test]
+fn auction_site_walkthrough() {
+    // a second domain: an auction site where current bids are intensional
+    let doc_src = r#"
+      <site>
+        <auctions>
+          <auction><item>Fender Stratocaster</item>
+            <bids><axml:call service="getBids">strat-1</axml:call></bids>
+          </auction>
+          <auction><item>Dusty Encyclopedia</item>
+            <bids><axml:call service="getBids">ency-9</axml:call></bids>
+          </auction>
+        </auctions>
+        <people><axml:call service="getSellers">all</axml:call></people>
+      </site>"#;
+    let mut registry = Registry::new();
+    let mut bids = TableService::new("getBids");
+    bids.insert(
+        "strat-1",
+        parse(
+            "<bid><amount>1200</amount><bidder>ana</bidder></bid>\
+               <bid><amount>900</amount><bidder>bob</bidder></bid>",
+        )
+        .unwrap(),
+    );
+    bids.insert(
+        "ency-9",
+        parse("<bid><amount>3</amount><bidder>cal</bidder></bid>").unwrap(),
+    );
+    registry.register(bids);
+    registry.register(FnService::new("getSellers", |_req: &_| {
+        parse("<person><name>zoe</name></person>").unwrap()
+    }));
+
+    let q = parse_query(
+        "/site/auctions/auction[item=\"Fender Stratocaster\"]/bids/bid[amount=$A] -> $A",
+    )
+    .unwrap();
+    let mut doc = parse(doc_src).unwrap();
+    let report = Engine::new(&registry, EngineConfig::default()).evaluate(&mut doc, &q);
+    // only the Stratocaster bids call fires; the encyclopedia and the
+    // sellers stay untouched
+    assert_eq!(report.stats.calls_invoked, 1);
+    assert_eq!(report.result.len(), 2);
+    let answers: Vec<Vec<String>> = activexml::query::render_result(&doc, &report.result);
+    assert!(answers.contains(&vec!["1200".to_string()]));
+    assert!(answers.contains(&vec!["900".to_string()]));
+    // the lazy document still has the other calls, serialized back out
+    let xml = to_xml(&doc);
+    assert!(xml.contains("service=\"getBids\">ency-9"));
+    assert!(xml.contains("service=\"getSellers\""));
+}
+
+#[test]
+fn schema_guided_run_with_parsed_schema() {
+    let schema = parse_schema(
+        "root catalog\n\
+         function getPrice = in: data, out: data\n\
+         element catalog = product*\n\
+         element product = name.price\n\
+         element name = data\n\
+         element price = (data | getPrice)\n",
+    )
+    .unwrap();
+    let mut registry = Registry::new();
+    let mut prices = TableService::new("getPrice");
+    for (k, v) in [("p1", "10"), ("p2", "20")] {
+        let mut f = Forest::new();
+        f.add_root_text(v);
+        prices.insert(k, f);
+    }
+    registry.register(prices);
+    registry.set_default_profile(NetProfile::latency(10.0));
+
+    let mut doc = parse(
+        "<catalog>\
+           <product><name>widget</name>\
+             <price><axml:call service=\"getPrice\">p1</axml:call></price></product>\
+           <product><name>gadget</name>\
+             <price><axml:call service=\"getPrice\">p2</axml:call></price></product>\
+         </catalog>",
+    )
+    .unwrap();
+    assert!(activexml::schema::validate(&doc, &schema).is_empty());
+
+    // ask for the widget's price: only p1 is fetched
+    let q = parse_query("/catalog/product[name=\"widget\"]/price/$P -> $P").unwrap();
+    let report = Engine::new(&registry, EngineConfig::default())
+        .with_schema(&schema)
+        .evaluate(&mut doc, &q);
+    assert_eq!(report.stats.calls_invoked, 1);
+    assert_eq!(report.stats.sim_time_ms, 10.0);
+    let answers = activexml::query::render_result(&doc, &report.result);
+    assert_eq!(answers, vec![vec!["10".to_string()]]);
+    assert!(activexml::schema::validate(&doc, &schema).is_empty());
+}
+
+#[test]
+fn intensional_answers_chain_until_complete() {
+    // a service whose answer contains another call (dynamic arrival)
+    let mut registry = Registry::new();
+    registry.register(FnService::new("outer", |_req: &_| {
+        parse("<wrap><axml:call service=\"inner\"/></wrap>").unwrap()
+    }));
+    registry.register(FnService::new("inner", |_req: &_| {
+        parse("<leaf>gold</leaf>").unwrap()
+    }));
+    let mut doc = parse("<r><axml:call service=\"outer\"/></r>").unwrap();
+    let q = parse_query("/r/wrap/leaf/$V -> $V").unwrap();
+    let report = Engine::new(&registry, EngineConfig::default()).evaluate(&mut doc, &q);
+    assert_eq!(report.stats.calls_invoked, 2);
+    assert_eq!(
+        activexml::query::render_result(&doc, &report.result),
+        vec![vec!["gold".to_string()]]
+    );
+}
+
+#[test]
+fn non_terminating_workload_hits_the_budget() {
+    // a service that always returns another call to itself — the paper's
+    // §2 termination caveat: computation halts at the configured limit
+    let mut registry = Registry::new();
+    registry.register(FnService::new("loopy", |_req: &_| {
+        parse("<again><axml:call service=\"loopy\"/></again>").unwrap()
+    }));
+    let mut doc = parse("<r><axml:call service=\"loopy\"/></r>").unwrap();
+    let q = parse_query("/r//leaf").unwrap();
+    let report = Engine::new(
+        &registry,
+        EngineConfig {
+            max_invocations: 25,
+            ..EngineConfig::naive()
+        },
+    )
+    .evaluate(&mut doc, &q);
+    assert!(report.stats.truncated);
+    assert_eq!(report.stats.calls_invoked, 25);
+    doc.check_integrity().unwrap();
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // everything reachable from the facade crate
+    let _ = activexml::xml::Document::with_root("r");
+    let _ = activexml::query::parse_query("/r").unwrap();
+    let _ = activexml::schema::figure2_schema();
+    let _ = activexml::services::Registry::new();
+    let _ = activexml::core::EngineConfig::default();
+    let _ = activexml::gen::ScenarioParams::default();
+}
+
+#[test]
+fn attribute_queries_work_through_the_at_encoding() {
+    // XML attributes become @name children (parser docs); the query
+    // syntax accepts @-names, so attribute filters compose end-to-end
+    let doc = parse(
+        "<movies><movie year=\"2002\"><title>The Hours</title></movie>\
+                 <movie year=\"1999\"><title>Magnolia</title></movie></movies>",
+    )
+    .unwrap();
+    let q = parse_query("/movies/movie[@year=\"2002\"]/title/$T -> $T").unwrap();
+    let r = activexml::query::eval(&q, &doc);
+    assert_eq!(
+        activexml::query::render_result(&doc, &r),
+        vec![vec!["The Hours".to_string()]]
+    );
+}
