@@ -116,6 +116,15 @@ fn main() {
         );
         emit("e9", "auctions", &rows);
     }
+    if want("e10") || want("faults") {
+        let rows = ex::e10_faults(&[0.0, 0.1, 0.3, 0.6]);
+        ex::print_table(
+            "E10 — fault tolerance: partial answers under permanent failures",
+            "fail_prob",
+            &rows,
+        );
+        emit("e10", "fail_prob", &rows);
+    }
     if want("a4") {
         let rows = ex::a4_incremental(&[20, 50, 100]);
         ex::print_table("A4 — incremental relevance detection", "hotels", &rows);

@@ -7,7 +7,7 @@
 use axml_core::{Engine, EngineConfig, EngineStats, Typing};
 use axml_gen::scenario::{figure4_query, generate, Scenario, ScenarioParams};
 use axml_query::Pattern;
-use axml_services::NetProfile;
+use axml_services::{FaultProfile, NetProfile};
 use std::collections::BTreeSet;
 
 /// One row of an experiment table.
@@ -617,6 +617,62 @@ pub fn a4_incremental(hotel_counts: &[usize]) -> Vec<Row> {
 
 /// E9 — cross-domain sanity: the strategy ranking of E1 must hold on the
 /// second (auctions) domain too, whose schema is deeper and join-heavier.
+/// E10 — fault tolerance: graceful degradation under permanently failing
+/// services. Every strategy runs the hotel workload under the same
+/// deterministic fault schedule (seed 7): a `fail_prob` share of call
+/// sites is permanently down, the rest answer normally; the default retry
+/// policy burns its attempts at dead sites and the per-service circuit
+/// breaker may open and refuse further dispatches. Reported per strategy:
+/// the fraction of the fault-free answer retained (the partial-answer
+/// soundness guarantee — never a wrong result, only missing subtrees),
+/// failed calls, breaker refusals, and the simulated-time overhead.
+pub fn e10_faults(fail_probs: &[f64]) -> Vec<Row> {
+    let mut rows = Vec::new();
+    let q = figure4_query();
+    let params = ScenarioParams {
+        hotels: 100,
+        ..Default::default()
+    };
+    let profile = NetProfile::latency(10.0);
+    for &p in fail_probs {
+        for (name, config) in strategy_matrix() {
+            // fault-free reference answer for this strategy
+            let mut sc = generate(&params);
+            let (_, reference) = run_once(&mut sc, &q, config.clone(), profile);
+            let mut sc = generate(&params);
+            sc.registry.set_default_fault_profile(FaultProfile {
+                transient_failures: usize::MAX, // flaky sites never recover
+                timeout_prob: 0.0,
+                ..FaultProfile::chaos(7, p)
+            });
+            let (stats, answers) = run_once(&mut sc, &q, config, profile);
+            assert!(
+                answers.is_subset(&reference),
+                "{name} produced answers outside the fault-free result at p={p}"
+            );
+            let frac = if reference.is_empty() {
+                1.0
+            } else {
+                answers.len() as f64 / reference.len() as f64
+            };
+            rows.push(Row {
+                label: name.to_string(),
+                x: p,
+                metrics: vec![
+                    ("total_ms", stats.total_time_ms()),
+                    ("sim_net_ms", stats.sim_time_ms),
+                    ("calls", stats.calls_invoked as f64),
+                    ("failed", stats.failed_calls as f64),
+                    ("breaker_skips", stats.breaker_skips as f64),
+                    ("answer_frac", frac),
+                    ("complete", if stats.is_complete() { 1.0 } else { 0.0 }),
+                ],
+            });
+        }
+    }
+    rows
+}
+
 pub fn e9_auctions(auction_counts: &[usize]) -> Vec<Row> {
     use axml_gen::auctions::{auction_query, generate_auctions, AuctionParams};
     let mut rows = Vec::new();

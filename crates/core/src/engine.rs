@@ -26,7 +26,7 @@ use crate::stats::EngineStats;
 use crate::typed::TypeRefiner;
 use axml_query::{eval, EdgeKind, Pattern, SnapshotResult};
 use axml_schema::{SatMode, Schema};
-use axml_services::{PushedQuery, Registry, SimClock};
+use axml_services::{FailedCall, InvokeError, PushedQuery, Registry, SimClock};
 use axml_xml::{CallId, Document, NodeId};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::time::Instant;
@@ -219,8 +219,15 @@ pub struct TraceEvent {
     pub path: String,
     /// Whether a subquery was pushed with the call (§7).
     pub pushed: bool,
-    /// Simulated cost of the call.
+    /// Simulated cost of the call — for failed calls, the cost burned by
+    /// the failed attempts and their retry backoff.
     pub cost_ms: f64,
+    /// Attempts made (1 = succeeded first try; > 1 means retries fired).
+    pub attempts: usize,
+    /// Whether the call ultimately delivered an answer. `false` marks a
+    /// call that exhausted its retry budget; its subtree is missing from
+    /// the partial answer.
+    pub ok: bool,
 }
 
 /// The outcome of one engine run.
@@ -232,6 +239,12 @@ pub struct EvalReport {
     pub stats: EngineStats,
     /// Execution trace (empty unless [`EngineConfig::trace`] is set).
     pub trace: Vec<TraceEvent>,
+    /// Whether the answer is the *full* result. `false` means degradation
+    /// happened — some relevant call permanently failed, was refused by an
+    /// open circuit breaker, named an unknown service, or the invocation
+    /// budget ran out — and the answer is a sound partial result: exactly
+    /// the full answer minus subtrees below the unresolved calls.
+    pub complete: bool,
 }
 
 /// The lazy query evaluation engine.
@@ -364,10 +377,12 @@ impl<'a> Engine<'a> {
                 let mut stats = shared_stats.clone();
                 stats.final_eval_cpu = tq.elapsed();
                 stats.total_cpu = t0.elapsed();
+                let complete = stats.is_complete();
                 EvalReport {
                     result,
                     stats,
                     trace: shared_trace.clone(),
+                    complete,
                 }
             })
             .collect()
@@ -408,10 +423,12 @@ impl<'a> Engine<'a> {
         if let Some(g) = &run.guide {
             stats.guide_nodes = g.len();
         }
+        let complete = stats.is_complete();
         EvalReport {
             result,
             stats,
             trace: run.trace,
+            complete,
         }
     }
 }
@@ -484,7 +501,10 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         cand: &Candidate,
     ) -> Option<(axml_xml::Forest, Vec<String>)> {
         if self.budget == 0 {
-            self.stats.truncated = true;
+            // not marked truncated here: a failed batch mate may refund
+            // budget and let this call proceed in a later round. The
+            // driving loops flag truncation when the budget is still
+            // exhausted at re-detection time.
             return None;
         }
         if !doc.is_alive(cand.node) {
@@ -499,6 +519,19 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             self.stats.skipped_unknown += 1;
             return None;
         }
+        if !self
+            .engine
+            .registry
+            .breaker_allows(&cand.service, self.clock.now_ms())
+        {
+            // an open circuit breaker refuses the dispatch outright; the
+            // call is marked exhausted so the rewriting can terminate with
+            // a partial answer instead of spinning on a zero-cost skip
+            self.dead.insert(cand.call);
+            self.stats.breaker_skips += 1;
+            self.engine.registry.record_breaker_skip();
+            return None;
+        }
         let params = doc.children_to_forest(cand.node);
         let parent_path: Vec<String> = match doc.parent(cand.node) {
             Some(p) => doc.path_labels(p),
@@ -510,7 +543,10 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
     }
 
     /// Invokes one candidate; returns its simulated cost, or `None` when
-    /// the call was skipped (stale, unknown service, budget exhausted).
+    /// the call was skipped (stale, unknown service, breaker open, budget
+    /// exhausted). A permanent failure counts as *resolved*: it returns
+    /// the burned cost and the call joins the dead set, so the rewriting
+    /// proceeds to a partial answer instead of aborting.
     fn invoke(
         &mut self,
         doc: &mut Document,
@@ -518,12 +554,21 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         pushed: Option<&PushedQuery>,
     ) -> Option<f64> {
         let (params, parent_path) = self.prepare(doc, cand)?;
-        let outcome = self
+        match self
             .engine
             .registry
-            .invoke(&cand.service, params, pushed)
-            .expect("service existence checked in prepare");
-        Some(self.apply(doc, cand, parent_path, outcome))
+            .invoke_with_policy(&cand.service, params, pushed)
+        {
+            Ok(outcome) => Some(self.apply(doc, cand, parent_path, outcome)),
+            Err(InvokeError::Unknown(_)) => {
+                // prepare checked existence; defend anyway
+                self.budget += 1;
+                self.dead.insert(cand.call);
+                self.stats.skipped_unknown += 1;
+                None
+            }
+            Err(InvokeError::Failed(failed)) => Some(self.apply_failure(cand, parent_path, failed)),
+        }
     }
 
     /// Splices a dispatched call's outcome into the document and accounts
@@ -569,9 +614,12 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 path: parent_path.join("/"),
                 pushed: outcome.pushed,
                 cost_ms: outcome.cost_ms,
+                attempts: outcome.attempts,
+                ok: true,
             });
         }
         self.stats.calls_invoked += 1;
+        self.stats.call_attempts += outcome.attempts;
         self.total_call_cost_ms += outcome.cost_ms;
         self.stats.bytes_transferred += outcome.bytes;
         if outcome.pushed {
@@ -582,11 +630,75 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             .invoked_by_service
             .entry(cand.service.clone())
             .or_default() += 1;
+        self.engine
+            .registry
+            .breaker_record(&cand.service, true, self.clock.now_ms());
         outcome.cost_ms
+    }
+
+    /// Accounts for a call that exhausted its retry budget: the call is
+    /// marked exhausted (never re-detected), the reserved invocation
+    /// budget is refunded, the failure is recorded in the stats, the trace
+    /// and the circuit breaker, and the burned simulated cost is returned
+    /// so the caller still charges it to the clock. The document is left
+    /// untouched — the final answer simply misses the subtree this call
+    /// would have produced.
+    fn apply_failure(
+        &mut self,
+        cand: &Candidate,
+        parent_path: Vec<String>,
+        failed: FailedCall,
+    ) -> f64 {
+        self.budget += 1; // the dispatch reserved it; nothing materialized
+        self.dead.insert(cand.call);
+        self.stats.failed_calls += 1;
+        self.stats.call_attempts += failed.attempts;
+        self.total_call_cost_ms += failed.cost_ms;
+        if self.config().trace {
+            self.trace.push(TraceEvent {
+                round: self.stats.rounds,
+                service: cand.service.clone(),
+                path: parent_path.join("/"),
+                pushed: false,
+                cost_ms: failed.cost_ms,
+                attempts: failed.attempts,
+                ok: false,
+            });
+        }
+        self.engine
+            .registry
+            .breaker_record(&cand.service, false, self.clock.now_ms());
+        failed.cost_ms
+    }
+
+    /// One-at-a-time dispatch (top-down / NFQA): resolves the *first*
+    /// candidate that is still invocable, in the given order, advancing
+    /// the clock sequentially. Candidates skipped on the way (stale slots,
+    /// unknown services, open breakers) do not abort the round — the next
+    /// candidate is tried, so degradation never strands invocable calls
+    /// behind a refused one. Returns 1 if a candidate was resolved.
+    fn invoke_first(
+        &mut self,
+        doc: &mut Document,
+        cands: &[Candidate],
+        pushes: &BTreeMap<CallId, PushedQuery>,
+    ) -> usize {
+        for c in cands {
+            if let Some(cost) = self.invoke(doc, c, pushes.get(&c.call)) {
+                self.clock.advance(cost);
+                return 1;
+            }
+        }
+        0
     }
 
     /// Invokes a set of candidates, sequential or as a parallel batch
     /// (logical-clock overlap always; real OS threads when configured).
+    ///
+    /// Returns the number of candidates *resolved*: successful splices
+    /// plus permanent failures. Both advance the rewriting — a failed call
+    /// joins the dead set and is never re-detected — so callers' loops
+    /// terminate with a partial answer instead of spinning or aborting.
     fn invoke_set(
         &mut self,
         doc: &mut Document,
@@ -595,7 +707,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         parallel: bool,
     ) -> usize {
         let mut invoked = 0;
-        if parallel && self.config().real_threads {
+        if parallel {
             // phase 1: validate everything against the unchanged document
             let mut prepared: Vec<(&Candidate, axml_xml::Forest, Vec<String>)> = Vec::new();
             for c in cands {
@@ -603,40 +715,58 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                     prepared.push((c, params, path));
                 }
             }
-            // phase 2: dispatch on real threads, one per call
+            // phase 2: dispatch — one OS thread per call when configured,
+            // sequentially under the logical clock otherwise. Either way
+            // the whole batch is dispatched before any result is applied,
+            // so a mid-batch failure cannot starve its siblings and both
+            // modes observe identical fault and breaker schedules.
             let registry = self.engine.registry;
-            let outcomes: Vec<axml_services::InvokeOutcome> = std::thread::scope(|scope| {
-                let handles: Vec<_> = prepared
+            let results: Vec<Result<axml_services::InvokeOutcome, InvokeError>> = if self
+                .config()
+                .real_threads
+            {
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = prepared
+                        .iter()
+                        .map(|(c, params, _)| {
+                            let params = params.clone();
+                            let pushed = pushes.get(&c.call);
+                            let service = c.service.clone();
+                            scope.spawn(move || {
+                                registry.invoke_with_policy(&service, params, pushed)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("service panicked"))
+                        .collect()
+                })
+            } else {
+                prepared
                     .iter()
                     .map(|(c, params, _)| {
-                        let params = params.clone();
-                        let pushed = pushes.get(&c.call);
-                        let service = c.service.clone();
-                        scope.spawn(move || {
-                            registry
-                                .invoke(&service, params, pushed)
-                                .expect("service existence checked in prepare")
-                        })
+                        registry.invoke_with_policy(&c.service, params.clone(), pushes.get(&c.call))
                     })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("service panicked"))
                     .collect()
-            });
+            };
             // phase 3: splice sequentially, deterministically
             let mut costs = Vec::new();
-            for ((c, _, path), outcome) in prepared.into_iter().zip(outcomes) {
-                costs.push(self.apply(doc, c, path, outcome));
-                invoked += 1;
-            }
-            self.clock.advance_parallel(&costs);
-        } else if parallel {
-            let mut costs = Vec::new();
-            for c in cands {
-                if let Some(cost) = self.invoke(doc, c, pushes.get(&c.call)) {
-                    costs.push(cost);
-                    invoked += 1;
+            for ((c, _, path), res) in prepared.into_iter().zip(results) {
+                match res {
+                    Ok(outcome) => {
+                        costs.push(self.apply(doc, c, path, outcome));
+                        invoked += 1;
+                    }
+                    Err(InvokeError::Unknown(_)) => {
+                        self.budget += 1;
+                        self.dead.insert(c.call);
+                        self.stats.skipped_unknown += 1;
+                    }
+                    Err(InvokeError::Failed(failed)) => {
+                        costs.push(self.apply_failure(c, path, failed));
+                        invoked += 1;
+                    }
                 }
             }
             self.clock.advance_parallel(&costs);
@@ -715,14 +845,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             cands.sort_by(|a, b| doc.cmp_document_order(a.node, b.node));
             self.stats.rounds += 1;
             let invoked = if one_at_a_time {
-                let first = cands[0].clone();
-                match self.invoke(doc, &first, None) {
-                    Some(cost) => {
-                        self.clock.advance(cost);
-                        1
-                    }
-                    None => 0,
-                }
+                self.invoke_first(doc, &cands, &BTreeMap::new())
             } else {
                 self.invoke_set(doc, &cands, &BTreeMap::new(), self.config().parallel)
             };
@@ -810,14 +933,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                     // NFQA: one relevant call, then re-evaluate
                     let mut sorted = cands.clone();
                     sorted.sort_by(|a, b| doc.cmp_document_order(a.node, b.node));
-                    let first = sorted[0].clone();
-                    match self.invoke(doc, &first, pushes.get(&first.call)) {
-                        Some(cost) => {
-                            self.clock.advance(cost);
-                            1
-                        }
-                        None => 0,
-                    }
+                    self.invoke_first(doc, &sorted, &pushes)
                 };
                 if invoked == 0 && cands.iter().all(|c| self.dead.contains(&c.call)) {
                     break;
@@ -892,14 +1008,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             } else {
                 let mut sorted = cands.clone();
                 sorted.sort_by(|a, b| doc.cmp_document_order(a.node, b.node));
-                let first = sorted[0].clone();
-                match self.invoke(doc, &first, pushes.get(&first.call)) {
-                    Some(cost) => {
-                        self.clock.advance(cost);
-                        1
-                    }
-                    None => 0,
-                }
+                self.invoke_first(doc, &sorted, &pushes)
             };
             if invoked == 0 {
                 break;

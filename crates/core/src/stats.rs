@@ -27,6 +27,14 @@ pub struct EngineStats {
     pub pushed_calls: usize,
     /// Calls skipped because their service is unknown to the registry.
     pub skipped_unknown: usize,
+    /// Calls that exhausted their retry budget and failed permanently;
+    /// their subtrees are missing from the (partial) answer.
+    pub failed_calls: usize,
+    /// Calls refused outright by an open per-service circuit breaker.
+    pub breaker_skips: usize,
+    /// Service attempts made across all calls, successful or not
+    /// (≥ `calls_invoked + failed_calls`; the excess is retries).
+    pub call_attempts: usize,
     /// Call-finding queries eliminated by containment pruning (§4.1).
     pub queries_pruned: usize,
     /// Rounds where all relevant calls were fired speculatively in one
@@ -58,6 +66,18 @@ impl EngineStats {
     pub fn total_time_ms(&self) -> f64 {
         self.sim_time_ms + self.total_cpu.as_secs_f64() * 1e3
     }
+
+    /// Whether the run resolved every relevant call: no permanent
+    /// failures, no breaker refusals, no unknown services, and no budget
+    /// truncation. This is the engine's answer-completeness criterion —
+    /// when it holds, the result is the full answer; otherwise the answer
+    /// is partial (missing exactly the subtrees below unresolved calls).
+    pub fn is_complete(&self) -> bool {
+        self.failed_calls == 0
+            && self.breaker_skips == 0
+            && self.skipped_unknown == 0
+            && !self.truncated
+    }
 }
 
 impl fmt::Display for EngineStats {
@@ -68,8 +88,27 @@ impl fmt::Display for EngineStats {
             self.calls_invoked,
             self.pushed_calls,
             self.skipped_unknown,
-            if self.truncated { " [TRUNCATED]" } else { "" }
+            if self.truncated {
+                " [TRUNCATED]"
+            } else if !self.is_complete() {
+                " [PARTIAL]"
+            } else {
+                ""
+            }
         )?;
+        if self.failed_calls > 0 || self.breaker_skips > 0 {
+            writeln!(
+                f,
+                "  {} calls failed permanently, {} refused by open breaker",
+                self.failed_calls, self.breaker_skips
+            )?;
+        }
+        let retries = self
+            .call_attempts
+            .saturating_sub(self.calls_invoked + self.failed_calls);
+        if retries > 0 {
+            writeln!(f, "  {retries} retry attempts absorbed")?;
+        }
         writeln!(f, "bytes transferred: {}", self.bytes_transferred)?;
         writeln!(
             f,

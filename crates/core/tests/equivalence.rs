@@ -6,7 +6,7 @@
 use axml_core::{Engine, EngineConfig, Speculation, Strategy};
 use axml_gen::synthetic::{random_query, random_workload, SyntheticParams};
 use axml_query::{render_result, Pattern};
-use axml_services::Registry;
+use axml_services::{BreakerConfig, FaultProfile, Registry, RetryPolicy};
 use axml_xml::Document;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -205,6 +205,99 @@ proptest! {
                 retrieved.is_empty(),
                 "incomplete after NFQA: {:?} still retrieved (wseed={}, qseed={})",
                 retrieved, wseed, qseed
+            );
+        }
+    }
+
+    /// Fault-tolerant equivalence: under a random deterministic fault
+    /// schedule whose transients are strictly outlasted by the retry
+    /// budget, every strategy completes — and lazy-with-retries must
+    /// compute exactly the same full result as naive-with-retries.
+    #[test]
+    fn lazy_with_retries_agrees_with_naive_with_retries(
+        wseed in 0u64..10_000,
+        qseed in 0u64..10_000,
+        fseed in 1u64..10_000,
+        fail_prob in 0.0f64..1.0,
+        transients in 1usize..3,
+    ) {
+        let params = SyntheticParams { seed: wseed, ..Default::default() };
+        let (doc, mut registry) = random_workload(&params);
+        let q = random_query(qseed, params.alphabet, 7);
+        registry.set_default_fault_profile(FaultProfile {
+            seed: fseed,
+            fail_prob,
+            transient_failures: transients,
+            timeout_prob: 0.25, // degrade to fast failures (no deadline set)
+            slowdown_prob: 0.1,
+            slowdown_factor: 3.0,
+        });
+        // 3 retries > 2 transient failures: every call eventually lands
+        registry.set_retry_policy(RetryPolicy::default().with_retries(3));
+
+        let run = |config: EngineConfig| {
+            let mut d = doc.clone();
+            let report = Engine::new(&registry, config).evaluate(&mut d, &q);
+            prop_assert!(
+                report.complete,
+                "absorbed transients must leave the answer complete \
+                 (wseed={}, fseed={}, p={})", wseed, fseed, fail_prob
+            );
+            d.check_integrity().unwrap();
+            Ok(render_result(&d, &report.result).into_iter().collect::<Answers>())
+        };
+        let naive = run(EngineConfig::naive())?;
+        let lazy = run(EngineConfig::default())?;
+        let lazy_threaded = run(EngineConfig {
+            real_threads: true,
+            ..EngineConfig::default()
+        })?;
+        prop_assert_eq!(&naive, &lazy, "wseed={}, qseed={}, fseed={}", wseed, qseed, fseed);
+        prop_assert_eq!(&lazy, &lazy_threaded, "threads diverge: wseed={}, fseed={}", wseed, fseed);
+    }
+
+    /// Degradation soundness: when faults are permanent and calls die for
+    /// good, every strategy's partial answer is a subset of the fault-free
+    /// full answer, and the completeness flag tells the truth.
+    #[test]
+    fn degraded_answers_are_sound_subsets(
+        wseed in 0u64..10_000,
+        qseed in 0u64..10_000,
+        fseed in 1u64..10_000,
+        fail_prob in 0.0f64..0.8,
+    ) {
+        let params = SyntheticParams { seed: wseed, ..Default::default() };
+        let (doc, mut registry) = random_workload(&params);
+        let q = random_query(qseed, params.alphabet, 7);
+        let reference = run(&doc, &q, &registry, EngineConfig::naive());
+
+        registry.set_default_fault_profile(FaultProfile {
+            seed: fseed,
+            fail_prob,
+            transient_failures: usize::MAX,
+            ..FaultProfile::none()
+        });
+        registry.set_breaker_config(BreakerConfig::disabled());
+        for (name, config) in [
+            ("naive", EngineConfig::naive()),
+            ("topdown", EngineConfig::top_down()),
+            ("lazy", EngineConfig::default()),
+        ] {
+            let mut d = doc.clone();
+            let report = Engine::new(&registry, config).evaluate(&mut d, &q);
+            d.check_integrity().unwrap();
+            let partial: Answers = render_result(&d, &report.result).into_iter().collect();
+            prop_assert!(
+                partial.is_subset(&reference),
+                "{}: partial answer invented results (wseed={}, fseed={}, p={})",
+                name, wseed, fseed, fail_prob
+            );
+            prop_assert_eq!(
+                report.complete,
+                report.stats.failed_calls == 0 && report.stats.breaker_skips == 0
+                    && report.stats.skipped_unknown == 0 && !report.stats.truncated,
+                "{}: completeness flag out of sync (wseed={}, fseed={})",
+                name, wseed, fseed
             );
         }
     }

@@ -4,7 +4,7 @@
 
 use axml_core::{Engine, EngineConfig};
 use axml_query::parse_query;
-use axml_services::{FnService, Registry};
+use axml_services::{BreakerConfig, FaultProfile, FnService, NetProfile, Registry};
 use axml_xml::parse;
 use std::time::{Duration, Instant};
 
@@ -93,6 +93,80 @@ fn threaded_results_are_deterministic() {
     let c = render(false);
     assert_eq!(a, b, "two threaded runs must splice identically");
     assert_eq!(a, c, "threaded and sequential must splice identically");
+}
+
+/// A mid-batch failure under real threads: the batch's doomed calls are
+/// dispatched (reserving budget), fail on their worker threads, and must
+/// refund the reservation so their healthy successors still run. The
+/// doomed calls come first in document order and their reservations cover
+/// the *entire* budget — without the refund, zero healthy calls would
+/// ever be invoked.
+#[test]
+fn threaded_mid_batch_failure_refunds_budget_and_matches_logical_clock() {
+    let run = |threads: bool| {
+        let mut registry = Registry::new();
+        for name in ["bad", "good"] {
+            registry.register(FnService::new(
+                name,
+                move |req: &axml_services::CallRequest| {
+                    let key = req.first_text().unwrap_or("?").to_string();
+                    parse(&format!("<item><id>{name}-{key}</id></item>")).unwrap()
+                },
+            ));
+        }
+        registry.set_default_profile(NetProfile::latency(10.0));
+        registry.set_fault_profile("bad", FaultProfile::permanent(9));
+        registry.set_breaker_config(BreakerConfig::disabled());
+        let mut doc = axml_xml::Document::with_root("r");
+        let root = doc.root();
+        for svc in ["bad", "bad", "bad", "bad", "good", "good", "good", "good"] {
+            let c = doc.add_call(root, svc);
+            doc.add_text(c, svc.to_string());
+        }
+        let q = parse_query("/r/item/id/$I -> $I").unwrap();
+        let report = Engine::new(
+            &registry,
+            EngineConfig {
+                parallel: true,
+                real_threads: threads,
+                max_invocations: 4, // exactly the doomed batch's size
+                push_queries: false,
+                ..EngineConfig::default()
+            },
+        )
+        .evaluate(&mut doc, &q);
+        doc.check_integrity().unwrap();
+        (report, axml_xml::to_xml(&doc))
+    };
+
+    let (logical, doc_logical) = run(false);
+    let (threaded, doc_threaded) = run(true);
+
+    for (mode, report) in [("logical", &logical), ("threaded", &threaded)] {
+        assert_eq!(
+            report.stats.calls_invoked, 4,
+            "{mode}: refunded budget must cover the healthy calls"
+        );
+        assert_eq!(report.stats.failed_calls, 4, "{mode}");
+        assert_eq!(report.result.len(), 4, "{mode}: all good answers present");
+        assert!(!report.complete, "{mode}: failures must flag the answer");
+        assert!(
+            !report.stats.truncated,
+            "{mode}: a refunded budget is not an exhausted budget"
+        );
+    }
+
+    // logical-clock and real-thread dispatch must agree exactly
+    assert_eq!(doc_logical, doc_threaded);
+    assert_eq!(logical.stats.calls_invoked, threaded.stats.calls_invoked);
+    assert_eq!(logical.stats.failed_calls, threaded.stats.failed_calls);
+    assert_eq!(logical.stats.call_attempts, threaded.stats.call_attempts);
+    assert_eq!(
+        logical.stats.bytes_transferred,
+        threaded.stats.bytes_transferred
+    );
+    assert_eq!(logical.stats.rounds, threaded.stats.rounds);
+    assert_eq!(logical.stats.sim_time_ms, threaded.stats.sim_time_ms);
 }
 
 #[test]

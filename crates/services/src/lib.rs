@@ -11,14 +11,24 @@
 //! Providers also play their Section 7 role: evaluating *pushed queries*
 //! and returning pruned results or variable bindings.
 
+//!
+//! Services can also fail: the [`fault`] module injects deterministic,
+//! seeded failure/timeout/slowdown schedules, and the registry drives
+//! retries with exponential backoff, per-attempt deadlines, and a
+//! per-service circuit breaker — all charged to the same simulated clock.
+
+pub mod fault;
 pub mod net;
 pub mod push;
 pub mod registry;
 pub mod service;
 pub mod worldfile;
 
+pub use fault::{
+    BreakerConfig, BreakerState, FaultDecision, FaultProfile, FlakyService, RetryPolicy,
+};
 pub use net::{NetProfile, NetStats, SimClock};
 pub use push::{bindings_result, prune_result, PushMode};
-pub use registry::{CallRecord, InvokeOutcome, Registry, ServiceError};
+pub use registry::{CallRecord, FailedCall, InvokeError, InvokeOutcome, Registry, ServiceError};
 pub use service::{CallRequest, FnService, PushedQuery, Service, StaticService, TableService};
 pub use worldfile::{load_registry, load_registry_str, WorldFileError};

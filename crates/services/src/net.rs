@@ -93,26 +93,66 @@ impl SimClock {
 /// Aggregate traffic statistics.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct NetStats {
-    /// Number of invocations.
+    /// Number of successful invocations.
     pub calls: usize,
     /// Total result bytes transferred.
     pub bytes: usize,
     /// Number of invocations that carried a pushed query.
     pub pushed_calls: usize,
-    /// Total simulated cost of all calls, as if sequential (the engine's
-    /// clock accounts for parallelism separately).
+    /// Total simulated cost of all calls — including failed attempts and
+    /// retry backoff — as if sequential (the engine's clock accounts for
+    /// parallelism separately).
     pub total_cost_ms: f64,
+    /// Attempts made, successful or not (≥ `calls`).
+    pub attempts: usize,
+    /// Attempts that failed (fast failure or timeout).
+    pub failed_attempts: usize,
+    /// Failed attempts that exceeded the per-attempt deadline.
+    pub timed_out_attempts: usize,
+    /// Calls that exhausted their retry budget and failed for good.
+    pub failed_calls: usize,
+    /// Simulated time spent waiting in retry backoff.
+    pub backoff_ms: f64,
+    /// Calls skipped because a circuit breaker was open.
+    pub breaker_skips: usize,
 }
 
 impl NetStats {
-    /// Records one invocation.
+    /// Records one successful invocation (one successful attempt).
     pub fn record(&mut self, bytes: usize, cost_ms: f64, pushed: bool) {
         self.calls += 1;
+        self.attempts += 1;
         self.bytes += bytes;
         self.total_cost_ms += cost_ms;
         if pushed {
             self.pushed_calls += 1;
         }
+    }
+
+    /// Records one failed attempt and its simulated cost.
+    pub fn record_failed_attempt(&mut self, cost_ms: f64, timed_out: bool) {
+        self.attempts += 1;
+        self.failed_attempts += 1;
+        self.total_cost_ms += cost_ms;
+        if timed_out {
+            self.timed_out_attempts += 1;
+        }
+    }
+
+    /// Records a call that failed after exhausting its retries.
+    pub fn record_failed_call(&mut self) {
+        self.failed_calls += 1;
+    }
+
+    /// Records simulated retry-backoff time.
+    pub fn record_backoff(&mut self, ms: f64) {
+        self.backoff_ms += ms;
+        self.total_cost_ms += ms;
+    }
+
+    /// Records a call rejected by an open circuit breaker.
+    pub fn record_breaker_skip(&mut self) {
+        self.breaker_skips += 1;
     }
 }
 

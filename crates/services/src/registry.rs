@@ -4,10 +4,11 @@
 //! network profile to compute simulated costs, plays the provider's side of
 //! pushed queries (Section 7), and records traffic statistics.
 
+use crate::fault::{fnv64, BreakerConfig, BreakerState, FaultDecision, FaultProfile, RetryPolicy};
 use crate::net::{NetProfile, NetStats};
 use crate::push::{bindings_result, prune_result, PushMode};
 use crate::service::{CallRequest, PushedQuery, Service};
-use axml_xml::{forest_serialized_len, Forest};
+use axml_xml::{forest_serialized_len, to_xml, Forest};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -29,6 +30,47 @@ impl fmt::Display for ServiceError {
 
 impl std::error::Error for ServiceError {}
 
+/// A call that exhausted its retry budget without succeeding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailedCall {
+    /// Service name.
+    pub service: String,
+    /// Attempts made (1 + retries used).
+    pub attempts: usize,
+    /// Total simulated cost burned: failed attempts plus backoff. The
+    /// caller must still charge this to its clock.
+    pub cost_ms: f64,
+    /// Whether the final attempt failed by exceeding the deadline.
+    pub timed_out: bool,
+}
+
+/// Failure modes of [`Registry::invoke_with_policy`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvokeError {
+    /// No service registered under that name; nothing was attempted and
+    /// no cost accrued.
+    Unknown(String),
+    /// The service exists but every attempt failed.
+    Failed(FailedCall),
+}
+
+impl fmt::Display for InvokeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvokeError::Unknown(n) => write!(f, "unknown service {n:?}"),
+            InvokeError::Failed(c) => write!(
+                f,
+                "service {:?} failed after {} attempt(s){}",
+                c.service,
+                c.attempts,
+                if c.timed_out { " (timed out)" } else { "" }
+            ),
+        }
+    }
+}
+
+impl std::error::Error for InvokeError {}
+
 /// Everything the engine learns from one invocation.
 #[derive(Clone, Debug)]
 pub struct InvokeOutcome {
@@ -36,10 +78,13 @@ pub struct InvokeOutcome {
     pub result: Forest,
     /// Result bytes on the wire.
     pub bytes: usize,
-    /// Simulated cost of this call.
+    /// Simulated cost of this call, including any failed attempts and
+    /// retry backoff that preceded the success.
     pub cost_ms: f64,
     /// Whether a pushed query was evaluated by the provider.
     pub pushed: bool,
+    /// Attempts made (1 = succeeded first try).
+    pub attempts: usize,
 }
 
 /// One line of the registry's call log.
@@ -47,20 +92,30 @@ pub struct InvokeOutcome {
 pub struct CallRecord {
     /// Service name.
     pub service: String,
-    /// Result bytes.
+    /// Result bytes (0 for failed calls).
     pub bytes: usize,
-    /// Simulated cost.
+    /// Simulated cost, including failed attempts and backoff.
     pub cost_ms: f64,
     /// Whether the provider evaluated a pushed query.
     pub pushed: bool,
+    /// Attempts made.
+    pub attempts: usize,
+    /// Whether the call ultimately succeeded.
+    pub ok: bool,
 }
 
-/// A registry of services with network profiles and statistics.
+/// A registry of services with network profiles, fault schedules, and
+/// statistics.
 pub struct Registry {
     services: HashMap<String, Arc<dyn Service>>,
     profiles: HashMap<String, NetProfile>,
     default_profile: NetProfile,
     push_mode: PushMode,
+    fault_profiles: HashMap<String, FaultProfile>,
+    default_fault: Option<FaultProfile>,
+    retry: RetryPolicy,
+    breaker_config: BreakerConfig,
+    breakers: Mutex<HashMap<String, BreakerState>>,
     stats: Mutex<NetStats>,
     log: Mutex<Vec<CallRecord>>,
 }
@@ -72,13 +127,18 @@ impl Default for Registry {
 }
 
 impl Registry {
-    /// An empty registry with a free network.
+    /// An empty registry with a free network and no fault injection.
     pub fn new() -> Self {
         Registry {
             services: HashMap::new(),
             profiles: HashMap::new(),
             default_profile: NetProfile::free(),
             push_mode: PushMode::PrunedResult,
+            fault_profiles: HashMap::new(),
+            default_fault: None,
+            retry: RetryPolicy::default(),
+            breaker_config: BreakerConfig::default(),
+            breakers: Mutex::new(HashMap::new()),
             stats: Mutex::new(NetStats::default()),
             log: Mutex::new(Vec::new()),
         }
@@ -115,6 +175,41 @@ impl Registry {
         self
     }
 
+    /// Attaches a fault schedule to one service (overrides both the
+    /// default profile and any service-attached profile).
+    pub fn set_fault_profile(&mut self, service: &str, profile: FaultProfile) -> &mut Self {
+        self.fault_profiles.insert(service.to_string(), profile);
+        self
+    }
+
+    /// Sets the fault schedule for services without a specific one.
+    pub fn set_default_fault_profile(&mut self, profile: FaultProfile) -> &mut Self {
+        self.default_fault = Some(profile);
+        self
+    }
+
+    /// Sets the retry policy used by [`Registry::invoke_with_policy`].
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) -> &mut Self {
+        self.retry = policy;
+        self
+    }
+
+    /// The current retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Sets the per-service circuit-breaker configuration.
+    pub fn set_breaker_config(&mut self, config: BreakerConfig) -> &mut Self {
+        self.breaker_config = config;
+        self
+    }
+
+    /// The current circuit-breaker configuration.
+    pub fn breaker_config(&self) -> BreakerConfig {
+        self.breaker_config
+    }
+
     /// Is the named service registered?
     pub fn has_service(&self, name: &str) -> bool {
         self.services.contains_key(name)
@@ -135,19 +230,19 @@ impl Registry {
             .unwrap_or(false)
     }
 
-    /// Invokes a service with the given parameters and optional pushed
-    /// query, applying the network model and recording statistics.
-    pub fn invoke(
+    /// Computes the provider's answer and its network cost without
+    /// touching statistics: the (possibly pushed-query-reduced) result,
+    /// its wire size, whether a query was pushed, and the base cost.
+    fn answer(
         &self,
+        service: &Arc<dyn Service>,
         name: &str,
-        params: Forest,
+        params: &Forest,
         pushed: Option<&PushedQuery>,
-    ) -> Result<InvokeOutcome, ServiceError> {
-        let service = self
-            .services
-            .get(name)
-            .ok_or_else(|| ServiceError::Unknown(name.to_string()))?;
-        let req = CallRequest { params };
+    ) -> (Forest, usize, bool, f64) {
+        let req = CallRequest {
+            params: params.clone(),
+        };
         let full = service.invoke(&req);
         let (result, was_pushed) = match pushed {
             Some(pq) if service.supports_push() => {
@@ -160,12 +255,51 @@ impl Registry {
             _ => (full, false),
         };
         let bytes = forest_serialized_len(&result);
-        let profile = self
-            .profiles
+        let cost_ms = self.net_profile(name).cost_ms(bytes);
+        (result, bytes, was_pushed, cost_ms)
+    }
+
+    fn net_profile(&self, name: &str) -> NetProfile {
+        self.profiles
             .get(name)
             .copied()
-            .unwrap_or(self.default_profile);
-        let cost_ms = profile.cost_ms(bytes);
+            .unwrap_or(self.default_profile)
+    }
+
+    /// The fault schedule governing calls to `name`, if any: an explicit
+    /// per-service profile wins, then the registry default, then a
+    /// profile attached to the service itself (see
+    /// [`crate::fault::FlakyService`]).
+    pub fn fault_profile_for(&self, name: &str) -> Option<FaultProfile> {
+        self.fault_profiles
+            .get(name)
+            .copied()
+            .or(self.default_fault)
+            .or_else(|| {
+                self.services
+                    .get(name)
+                    .and_then(|s| s.fault_profile().copied())
+            })
+    }
+
+    /// Invokes a service with the given parameters and optional pushed
+    /// query, applying the network model and recording statistics.
+    ///
+    /// This is the single-attempt, fault-free path: it ignores any
+    /// configured [`FaultProfile`] and retry policy, preserving the exact
+    /// pre-fault cost model. The engine uses
+    /// [`Registry::invoke_with_policy`] instead.
+    pub fn invoke(
+        &self,
+        name: &str,
+        params: Forest,
+        pushed: Option<&PushedQuery>,
+    ) -> Result<InvokeOutcome, ServiceError> {
+        let service = self
+            .services
+            .get(name)
+            .ok_or_else(|| ServiceError::Unknown(name.to_string()))?;
+        let (result, bytes, was_pushed, cost_ms) = self.answer(service, name, &params, pushed);
         self.stats
             .lock()
             .unwrap()
@@ -175,13 +309,187 @@ impl Registry {
             bytes,
             cost_ms,
             pushed: was_pushed,
+            attempts: 1,
+            ok: true,
         });
         Ok(InvokeOutcome {
             result,
             bytes,
             cost_ms,
             pushed: was_pushed,
+            attempts: 1,
         })
+    }
+
+    /// Invokes a service under the configured fault schedule and retry
+    /// policy: attempts are driven by the deterministic [`FaultProfile`]
+    /// for the call site, failed attempts and exponential backoff are
+    /// charged to the returned simulated cost, and a per-attempt deadline
+    /// turns hangs and pathological slowdowns into timeouts.
+    ///
+    /// On success, `cost_ms` in the outcome covers the *whole* call —
+    /// failed attempts, backoff, and the final transfer — so callers
+    /// charge their clock exactly once. On [`InvokeError::Failed`], the
+    /// burned cost is reported in the error and must still be charged.
+    ///
+    /// Every fault decision is a pure function of (profile seed, service
+    /// name, parameter fingerprint, attempt index), so concurrent callers
+    /// observe identical schedules regardless of interleaving.
+    pub fn invoke_with_policy(
+        &self,
+        name: &str,
+        params: Forest,
+        pushed: Option<&PushedQuery>,
+    ) -> Result<InvokeOutcome, InvokeError> {
+        let service = self
+            .services
+            .get(name)
+            .ok_or_else(|| InvokeError::Unknown(name.to_string()))?;
+        let fault = self.fault_profile_for(name);
+        let fault_active = fault.map(|f| !f.is_inert()).unwrap_or(false);
+        if !fault_active {
+            // fast path: identical to the fault-free model
+            return self
+                .invoke(name, params, pushed)
+                .map_err(|ServiceError::Unknown(n)| InvokeError::Unknown(n));
+        }
+        let fault = fault.expect("fault_active implies a profile");
+        let policy = self.retry;
+        let net = self.net_profile(name);
+        let fingerprint = fnv64(to_xml(&params).as_bytes());
+        // deterministic services: the answer is computed at most once and
+        // reused across attempts
+        let mut answer: Option<(Forest, usize, bool, f64)> = None;
+        let mut total_cost = 0.0;
+        let mut timed_out = false;
+        let attempts_allowed = policy.max_retries + 1;
+        for attempt in 0..attempts_allowed {
+            if attempt > 0 {
+                let pause = policy.backoff_ms(attempt - 1);
+                total_cost += pause;
+                self.stats.lock().unwrap().record_backoff(pause);
+            }
+            match fault.decide(name, fingerprint, attempt) {
+                FaultDecision::Fail => {
+                    let cost = net.latency_ms.min(policy.timeout_ms);
+                    total_cost += cost;
+                    timed_out = false;
+                    self.stats
+                        .lock()
+                        .unwrap()
+                        .record_failed_attempt(cost, false);
+                }
+                FaultDecision::Timeout => {
+                    // with no deadline configured an unbounded hang would
+                    // never terminate, so it degrades to a fast failure
+                    let cost = if policy.timeout_ms.is_finite() {
+                        policy.timeout_ms
+                    } else {
+                        net.latency_ms
+                    };
+                    total_cost += cost;
+                    timed_out = policy.timeout_ms.is_finite();
+                    self.stats
+                        .lock()
+                        .unwrap()
+                        .record_failed_attempt(cost, timed_out);
+                }
+                healthy_or_slow => {
+                    let factor = match healthy_or_slow {
+                        FaultDecision::Slow(f) => f,
+                        _ => 1.0,
+                    };
+                    let (result, bytes, was_pushed, base_cost) = answer
+                        .get_or_insert_with(|| self.answer(service, name, &params, pushed))
+                        .clone();
+                    let cost = base_cost * factor;
+                    if cost > policy.timeout_ms {
+                        // the slowdown ran past the deadline
+                        total_cost += policy.timeout_ms;
+                        timed_out = true;
+                        self.stats
+                            .lock()
+                            .unwrap()
+                            .record_failed_attempt(policy.timeout_ms, true);
+                    } else {
+                        total_cost += cost;
+                        self.stats.lock().unwrap().record(bytes, cost, was_pushed);
+                        self.log.lock().unwrap().push(CallRecord {
+                            service: name.to_string(),
+                            bytes,
+                            cost_ms: total_cost,
+                            pushed: was_pushed,
+                            attempts: attempt + 1,
+                            ok: true,
+                        });
+                        return Ok(InvokeOutcome {
+                            result,
+                            bytes,
+                            cost_ms: total_cost,
+                            pushed: was_pushed,
+                            attempts: attempt + 1,
+                        });
+                    }
+                }
+            }
+        }
+        self.stats.lock().unwrap().record_failed_call();
+        self.log.lock().unwrap().push(CallRecord {
+            service: name.to_string(),
+            bytes: 0,
+            cost_ms: total_cost,
+            pushed: false,
+            attempts: attempts_allowed,
+            ok: false,
+        });
+        Err(InvokeError::Failed(FailedCall {
+            service: name.to_string(),
+            attempts: attempts_allowed,
+            cost_ms: total_cost,
+            timed_out,
+        }))
+    }
+
+    /// Whether the circuit breaker currently lets calls through to
+    /// `service` at simulated time `now_ms`. An open breaker whose
+    /// cooldown has expired lets one probe call through (half-open).
+    pub fn breaker_allows(&self, service: &str, now_ms: f64) -> bool {
+        let breakers = self.breakers.lock().unwrap();
+        match breakers.get(service) {
+            Some(state) => now_ms >= state.open_until_ms,
+            None => true,
+        }
+    }
+
+    /// Records the outcome of a completed call for the circuit breaker.
+    /// Callers invoke this from a deterministic (sequential) phase so the
+    /// breaker state evolution is independent of thread interleaving.
+    pub fn breaker_record(&self, service: &str, ok: bool, now_ms: f64) {
+        let mut breakers = self.breakers.lock().unwrap();
+        let state = breakers.entry(service.to_string()).or_default();
+        if ok {
+            state.consecutive_failures = 0;
+            state.open_until_ms = 0.0;
+        } else {
+            state.consecutive_failures += 1;
+            if state.consecutive_failures >= self.breaker_config.failure_threshold {
+                state.open_until_ms = now_ms + self.breaker_config.cooldown_ms;
+                state.trips += 1;
+                // half-open: after the cooldown one probe call is let
+                // through; a further failure re-opens from this count
+                state.consecutive_failures = self.breaker_config.failure_threshold - 1;
+            }
+        }
+    }
+
+    /// Counts a call the caller skipped because the breaker was open.
+    pub fn record_breaker_skip(&self) {
+        self.stats.lock().unwrap().record_breaker_skip();
+    }
+
+    /// Breaker bookkeeping for one service, if any calls completed.
+    pub fn breaker_state(&self, service: &str) -> Option<BreakerState> {
+        self.breakers.lock().unwrap().get(service).copied()
     }
 
     /// A snapshot of the aggregate statistics.
@@ -285,6 +593,185 @@ mod tests {
             .unwrap();
         assert!(!out.pushed);
         assert_eq!(out.result.roots().len(), 2); // unpruned
+    }
+
+    #[test]
+    fn policy_path_without_faults_matches_plain_invoke() {
+        let r = registry();
+        let plain = r.invoke("getNearbyRestos", Forest::new(), None).unwrap();
+        r.reset_stats();
+        let policy = r
+            .invoke_with_policy("getNearbyRestos", Forest::new(), None)
+            .unwrap();
+        assert_eq!(policy.bytes, plain.bytes);
+        assert_eq!(policy.cost_ms, plain.cost_ms);
+        assert_eq!(policy.attempts, 1);
+        let s = r.stats();
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.attempts, 1);
+        assert_eq!(s.failed_attempts, 0);
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_by_retries() {
+        let mut r = registry();
+        r.set_profile("getNearbyRestos", NetProfile::latency(10.0));
+        r.set_default_fault_profile(FaultProfile::transient(1, 2));
+        r.set_retry_policy(RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 5.0,
+            backoff_factor: 2.0,
+            timeout_ms: f64::INFINITY,
+        });
+        let out = r
+            .invoke_with_policy("getNearbyRestos", Forest::new(), None)
+            .unwrap();
+        assert_eq!(out.attempts, 3);
+        // 2 failed attempts at latency 10 + backoffs 5 and 10 + final 10
+        assert!((out.cost_ms - (10.0 + 5.0 + 10.0 + 10.0 + 10.0)).abs() < 1e-9);
+        let s = r.stats();
+        assert_eq!(s.calls, 1);
+        assert_eq!(s.attempts, 3);
+        assert_eq!(s.failed_attempts, 2);
+        assert_eq!(s.failed_calls, 0);
+        assert!((s.backoff_ms - 15.0).abs() < 1e-9);
+        assert!((s.total_cost_ms - out.cost_ms).abs() < 1e-9);
+    }
+
+    #[test]
+    fn permanent_faults_exhaust_retries() {
+        let mut r = registry();
+        r.set_profile("getNearbyRestos", NetProfile::latency(10.0));
+        r.set_fault_profile("getNearbyRestos", FaultProfile::permanent(1));
+        r.set_retry_policy(RetryPolicy {
+            max_retries: 2,
+            base_backoff_ms: 1.0,
+            backoff_factor: 1.0,
+            timeout_ms: f64::INFINITY,
+        });
+        let err = r
+            .invoke_with_policy("getNearbyRestos", Forest::new(), None)
+            .unwrap_err();
+        let InvokeError::Failed(failed) = err else {
+            panic!("expected Failed");
+        };
+        assert_eq!(failed.attempts, 3);
+        assert!(!failed.timed_out);
+        assert!((failed.cost_ms - (10.0 * 3.0 + 1.0 * 2.0)).abs() < 1e-9);
+        let s = r.stats();
+        assert_eq!(s.calls, 0);
+        assert_eq!(s.failed_calls, 1);
+        assert_eq!(s.failed_attempts, 3);
+        let log = r.call_log();
+        assert_eq!(log.len(), 1);
+        assert!(!log[0].ok);
+        assert_eq!(log[0].bytes, 0);
+    }
+
+    #[test]
+    fn timeouts_burn_the_deadline() {
+        let mut r = registry();
+        r.set_profile("getNearbyRestos", NetProfile::latency(10.0));
+        r.set_fault_profile("getNearbyRestos", FaultProfile::timeouts(1));
+        r.set_retry_policy(RetryPolicy {
+            max_retries: 1,
+            base_backoff_ms: 0.0,
+            backoff_factor: 1.0,
+            timeout_ms: 500.0,
+        });
+        let err = r
+            .invoke_with_policy("getNearbyRestos", Forest::new(), None)
+            .unwrap_err();
+        let InvokeError::Failed(failed) = err else {
+            panic!("expected Failed");
+        };
+        assert!(failed.timed_out);
+        assert!((failed.cost_ms - 1000.0).abs() < 1e-9);
+        assert_eq!(r.stats().timed_out_attempts, 2);
+    }
+
+    #[test]
+    fn slowdowns_past_the_deadline_time_out() {
+        let mut r = registry();
+        r.set_profile("getNearbyRestos", NetProfile::latency(100.0));
+        r.set_fault_profile(
+            "getNearbyRestos",
+            FaultProfile {
+                seed: 1,
+                fail_prob: 0.0,
+                transient_failures: 0,
+                timeout_prob: 0.0,
+                slowdown_prob: 1.0,
+                slowdown_factor: 10.0,
+            },
+        );
+        // deadline sits between the normal and the slowed cost
+        r.set_retry_policy(RetryPolicy {
+            max_retries: 0,
+            base_backoff_ms: 0.0,
+            backoff_factor: 1.0,
+            timeout_ms: 300.0,
+        });
+        let err = r
+            .invoke_with_policy("getNearbyRestos", Forest::new(), None)
+            .unwrap_err();
+        let InvokeError::Failed(failed) = err else {
+            panic!("expected Failed");
+        };
+        assert!(failed.timed_out);
+        assert!((failed.cost_ms - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flaky_service_profile_applies_when_nothing_configured() {
+        let mut r = Registry::new();
+        r.register(crate::fault::FlakyService::new(
+            StaticService::new("s", axml_xml::parse("<a/>").unwrap()),
+            FaultProfile::permanent(5),
+        ));
+        r.set_retry_policy(RetryPolicy::none());
+        assert!(r.invoke_with_policy("s", Forest::new(), None).is_err());
+        // an explicit per-service profile overrides the attached one
+        r.set_fault_profile("s", FaultProfile::none());
+        assert!(r.invoke_with_policy("s", Forest::new(), None).is_ok());
+    }
+
+    #[test]
+    fn policy_invoke_is_deterministic() {
+        let run = || {
+            let mut r = registry();
+            r.set_profile("getNearbyRestos", NetProfile::default());
+            r.set_default_fault_profile(FaultProfile::chaos(99, 0.9));
+            r.set_retry_policy(RetryPolicy::default().with_timeout_ms(2_000.0));
+            let out = r.invoke_with_policy("getNearbyRestos", Forest::new(), None);
+            (out.map(|o| (o.bytes, o.cost_ms, o.attempts)), r.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_cools_down() {
+        let mut r = registry();
+        r.set_breaker_config(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ms: 100.0,
+        });
+        assert!(r.breaker_allows("s", 0.0));
+        r.breaker_record("s", false, 10.0);
+        assert!(r.breaker_allows("s", 10.0));
+        r.breaker_record("s", false, 20.0);
+        // open until 120
+        assert!(!r.breaker_allows("s", 50.0));
+        assert!(r.breaker_allows("s", 120.0)); // half-open probe
+        let state = r.breaker_state("s").unwrap();
+        assert_eq!(state.trips, 1);
+        // probe failure re-opens immediately
+        r.breaker_record("s", false, 130.0);
+        assert!(!r.breaker_allows("s", 131.0));
+        // probe success fully closes
+        r.breaker_record("s", true, 300.0);
+        assert!(r.breaker_allows("s", 300.0));
+        assert_eq!(r.breaker_state("s").unwrap().consecutive_failures, 0);
     }
 
     #[test]

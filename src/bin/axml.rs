@@ -5,6 +5,7 @@
 //!            [--world world.xml] [--schema schema.txt] \
 //!            [--strategy nfq|lpq|topdown|naive] [--typing none|lenient|exact] \
 //!            [--push] [--fguide] [--no-parallel] [--speculate] [--stats] \
+//!            [--retries N] [--timeout-ms X] [--fault-seed N] [--fail-prob P] \
 //!            [--out results|doc]
 //! axml validate --doc doc.xml --schema schema.txt
 //! axml termination --doc doc.xml --schema schema.txt
@@ -21,7 +22,7 @@ use activexml::core::{
 };
 use activexml::query::{construct_results, parse_query, render, Pattern};
 use activexml::schema::{parse_schema, Schema};
-use activexml::services::{load_registry, Registry};
+use activexml::services::{load_registry, FaultProfile, Registry};
 use activexml::xml::{parse, to_xml_with, Document, SerializeOptions};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -139,6 +140,47 @@ fn load_world(opts: &Opts) -> Result<Registry, String> {
     }
 }
 
+/// Applies the retry-policy and fault-injection options to a registry.
+///
+/// `--retries` and `--timeout-ms` tune the retry policy; `--fault-seed N`
+/// (default: the `AXML_FAULT_SEED` environment variable, used by CI to
+/// run everything under injected faults) enables a deterministic chaos
+/// profile on every service, with failure probability `--fail-prob`
+/// (default 0.3). Seed 0 — or no seed — keeps invocations fault-free.
+fn apply_fault_opts(registry: &mut Registry, opts: &Opts) -> Result<(), String> {
+    let mut policy = registry.retry_policy();
+    if let Some(v) = opts.value("retries") {
+        policy.max_retries = v
+            .parse()
+            .map_err(|_| format!("--retries expects a number, got {v:?}"))?;
+    }
+    if let Some(v) = opts.value("timeout-ms") {
+        policy.timeout_ms = v
+            .parse()
+            .map_err(|_| format!("--timeout-ms expects milliseconds, got {v:?}"))?;
+    }
+    registry.set_retry_policy(policy);
+    let seed: u64 = match opts.value("fault-seed") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--fault-seed expects a number, got {v:?}"))?,
+        None => std::env::var("AXML_FAULT_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0),
+    };
+    if seed != 0 {
+        let fail_prob: f64 = match opts.value("fail-prob") {
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--fail-prob expects a probability, got {v:?}"))?,
+            None => 0.3,
+        };
+        registry.set_default_fault_profile(FaultProfile::chaos(seed, fail_prob));
+    }
+    Ok(())
+}
+
 fn load_query(opts: &Opts) -> Result<Pattern, String> {
     let src = opts.require("query")?;
     parse_query(src).map_err(|e| e.to_string())
@@ -190,7 +232,8 @@ fn engine_config(opts: &Opts) -> Result<EngineConfig, String> {
 fn cmd_query(opts: &Opts) -> Result<(), String> {
     let mut doc = load_doc(opts)?;
     let query = load_query(opts)?;
-    let registry = load_world(opts)?;
+    let mut registry = load_world(opts)?;
+    apply_fault_opts(&mut registry, opts)?;
     let schema = load_schema(opts)?;
     let config = engine_config(opts)?;
     let mut engine = Engine::new(&registry, config);
@@ -198,18 +241,35 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         engine = engine.with_schema(s);
     }
     let report = engine.evaluate(&mut doc, &query);
+    if !report.complete {
+        eprintln!(
+            "warning: partial answer — {} call(s) failed permanently, \
+             {} refused by open breaker, {} unknown service(s){}",
+            report.stats.failed_calls,
+            report.stats.breaker_skips,
+            report.stats.skipped_unknown,
+            if report.stats.truncated {
+                ", budget exhausted"
+            } else {
+                ""
+            }
+        );
+    }
     if opts.flag("stats") {
         eprintln!("{}", report.stats);
     }
     if opts.flag("trace") {
         for e in &report.trace {
             eprintln!(
-                "round {:>3}  {:<20} at /{}{}  ({:.1} ms)",
+                "round {:>3}  {:<20} at /{}{}{}  ({:.1} ms, {} attempt{})",
                 e.round,
                 e.service,
                 e.path,
                 if e.pushed { "  [pushed]" } else { "" },
-                e.cost_ms
+                if e.ok { "" } else { "  [FAILED]" },
+                e.cost_ms,
+                e.attempts,
+                if e.attempts == 1 { "" } else { "s" }
             );
         }
     }
@@ -294,7 +354,8 @@ fn cmd_termination(opts: &Opts) -> Result<(), String> {
 
 fn cmd_materialize(opts: &Opts) -> Result<(), String> {
     let mut doc = load_doc(opts)?;
-    let registry = load_world(opts)?;
+    let mut registry = load_world(opts)?;
+    apply_fault_opts(&mut registry, opts)?;
     let config = EngineConfig {
         max_invocations: match opts.value("max-calls") {
             None => 100_000,

@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate (0.5 API subset).
+//!
+//! The build environment cannot reach a crates.io mirror, so the
+//! workspace patches `criterion` to this vendored implementation. It runs
+//! each benchmark a small, fixed number of iterations and prints mean
+//! wall-clock time per iteration — enough for the `cargo bench` targets
+//! to build, run, and emit comparable numbers, without criterion's
+//! statistical machinery.
+//!
+//! Set `CRITERION_STUB_ITERS` to raise the measured iteration count when
+//! more stable numbers are wanted.
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` identifier.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Throughput annotation for a benchmark (accepted, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    /// Mean nanoseconds per iteration, filled in by `iter`/`iter_with_setup`.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, called `self.iters` times after one warm-up.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_with_setup<I, O, S: FnMut() -> I, F: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+    ) {
+        black_box(routine(setup()));
+        let mut total_ns = 0u128;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos();
+        }
+        self.mean_ns = total_ns as f64 / self.iters as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub uses a fixed iteration
+    /// count instead of criterion's sampling.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            iters: self.criterion.iters,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        self.report(&id, bencher.mean_ns);
+        self
+    }
+
+    /// Run a benchmark over a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            iters: self.criterion.iters,
+            mean_ns: 0.0,
+        };
+        f(&mut bencher, input);
+        self.report(&id, bencher.mean_ns);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, mean_ns: f64) {
+        let mut line = format!("{}/{}: {:>12.0} ns/iter", self.name, id.id, mean_ns);
+        if let Some(tp) = self.throughput {
+            let per_sec = |n: u64| n as f64 / (mean_ns / 1e9);
+            match tp {
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!("  ({:.1} MiB/s)", per_sec(n) / (1024.0 * 1024.0)));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!("  ({:.0} elem/s)", per_sec(n)));
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// End the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark harness handle.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let iters = std::env::var("CRITERION_STUB_ITERS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(5);
+        Criterion { iters: iters.max(1) }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name_owned = name.to_string();
+        self.benchmark_group(name_owned).bench_function(name, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group (mirrors
+/// `criterion_group!`, simple form).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `main` for a benchmark binary (mirrors `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // cargo passes --bench (and test harness flags); ignore them.
+            $($group();)+
+        }
+    };
+}

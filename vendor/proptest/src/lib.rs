@@ -1,0 +1,154 @@
+//! Offline stand-in for the `proptest` crate (1.x API subset).
+//!
+//! The build environment has no route to a crates.io mirror, so the
+//! workspace patches `proptest` to this vendored implementation. It keeps
+//! the same API shape — `proptest!`, `prop_oneof!`, `prop_assert*!`,
+//! `Strategy`/`BoxedStrategy`, `proptest::collection::vec`,
+//! `prop_recursive`, `ProptestConfig` — but generates values by seeded
+//! sampling without shrinking. Failures report the case seed so a run can
+//! be replayed exactly; regression files checked in by the real proptest
+//! are consumed as extra deterministic seeds (each `cc <hex>` line is
+//! hashed into a seed and replayed first).
+//!
+//! Environment knobs:
+//! * `PROPTEST_CASES` — override the number of cases per property.
+//! * `PROPTEST_BASE_SEED` — shift every derived case seed (used by the
+//!   fault-injection CI job to explore a different schedule each run).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Common imports, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Define property tests. Mirrors `proptest::proptest!`.
+///
+/// Supports the forms used in this workspace:
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0u64..100, v in collection::vec(any::<bool>(), 0..9)) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal muncher: one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run_cases(
+                &config,
+                file!(),
+                stringify!($name),
+                &strategy,
+                |($($arg,)+)| {
+                    $body
+                    ::core::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items!(($config) $($rest)*);
+    };
+}
+
+/// Choose uniformly between strategies producing the same value type.
+/// Mirrors `proptest::prop_oneof!` (unweighted form).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Assert inside a property; failure aborts only the current case with a
+/// replayable message. Mirrors `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            let message = format!($($fmt)*);
+            let message = format!("{} at {}:{}", message, file!(), line!());
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(message),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a property. Mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            left, right, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion inside a property. Mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Discard the current case when an assumption does not hold.
+/// Mirrors `proptest::prop_assume!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

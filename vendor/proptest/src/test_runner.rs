@@ -1,0 +1,228 @@
+//! Case execution: seeded RNG, configuration, error type, and the runner
+//! invoked by the `proptest!` macro expansion.
+
+use crate::strategy::Strategy;
+use std::cell::RefCell;
+use std::fmt;
+use std::path::PathBuf;
+
+/// Deterministic splitmix64 RNG driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Construct from a 64-bit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        };
+        let _ = rng.next_u64();
+        rng
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn f64_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Per-property configuration (subset of `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases (mirrors `ProptestConfig::with_cases`).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property is violated.
+    Fail(String),
+    /// The generated input does not satisfy an assumption; the case is
+    /// skipped rather than failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed property.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected (skipped) input.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+/// Result type of a single property case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+thread_local! {
+    static CURRENT_CASE: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Prints replay info if the property body panics (rather than returning
+/// a `TestCaseError`), so panicking cases are as replayable as failing
+/// ones.
+struct PanicReporter;
+
+impl Drop for PanicReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            CURRENT_CASE.with(|c| {
+                if let Some(info) = c.borrow().as_ref() {
+                    eprintln!("proptest: panicked during {info}");
+                }
+            });
+        }
+    }
+}
+
+fn fnv64(data: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in data.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Locate the sibling `.proptest-regressions` file for a test source path.
+/// `file!()` paths are workspace-relative while tests may run with the
+/// package directory as CWD, so progressively strip leading components.
+fn regression_file(source: &str) -> Option<PathBuf> {
+    let base = source.strip_suffix(".rs").unwrap_or(source);
+    let name = format!("{base}.proptest-regressions");
+    let mut candidate = PathBuf::from(&name);
+    loop {
+        if candidate.is_file() {
+            return Some(candidate);
+        }
+        let mut comps = candidate.components();
+        comps.next()?;
+        let rest = comps.as_path();
+        if rest.as_os_str().is_empty() {
+            return None;
+        }
+        candidate = rest.to_path_buf();
+    }
+}
+
+/// Extra deterministic seeds from a checked-in regression file. Each
+/// `cc <token> ...` line (the real-proptest persistence format) hashes to
+/// one replay seed; lines that do not parse are ignored.
+fn regression_seeds(source: &str) -> Vec<u64> {
+    let Some(path) = regression_file(source) else {
+        return Vec::new();
+    };
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            let token = line.strip_prefix("cc ")?;
+            let token = token.split_whitespace().next()?;
+            Some(fnv64(token))
+        })
+        .collect()
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Run all cases of one property. Called from the `proptest!` expansion.
+///
+/// Seeds are derived deterministically from the source file, the property
+/// name, and the case index, so a failure message's seed replays exactly.
+/// `PROPTEST_CASES` overrides the case count; `PROPTEST_BASE_SEED` shifts
+/// every seed (giving CI an independent exploration per configured value).
+pub fn run_cases<S, F>(config: &ProptestConfig, source_file: &str, name: &str, strategy: &S, mut test: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> TestCaseResult,
+{
+    let cases = env_u64("PROPTEST_CASES")
+        .map(|n| n as u32)
+        .unwrap_or(config.cases);
+    let base = fnv64(source_file)
+        ^ fnv64(name).rotate_left(17)
+        ^ env_u64("PROPTEST_BASE_SEED").unwrap_or(0);
+
+    let replays = regression_seeds(source_file);
+    let fresh = (0..cases as u64).map(|i| splitmix(base.wrapping_add(i)));
+    let mut rejects = 0u32;
+
+    for (idx, seed) in replays.into_iter().chain(fresh).enumerate() {
+        CURRENT_CASE.with(|c| {
+            *c.borrow_mut() = Some(format!("{name} case #{idx} (seed {seed:#018x})"));
+        });
+        let guard = PanicReporter;
+        let mut rng = TestRng::from_seed(seed);
+        let value = strategy.sample(&mut rng);
+        let outcome = test(value);
+        drop(guard);
+        CURRENT_CASE.with(|c| *c.borrow_mut() = None);
+        match outcome {
+            Ok(()) => {}
+            Err(TestCaseError::Reject(_)) => rejects += 1,
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "proptest: property {name} failed at case #{idx} \
+                     (seed {seed:#018x}, replay with PROPTEST_BASE_SEED if shifted):\n{reason}"
+                );
+            }
+        }
+    }
+    if rejects > cases / 2 {
+        eprintln!("proptest: {name}: {rejects} of {cases} cases rejected by assumptions");
+    }
+}
