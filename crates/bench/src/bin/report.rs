@@ -125,6 +125,15 @@ fn main() {
         );
         emit("e10", "fail_prob", &rows);
     }
+    if want("e11") || want("cache") {
+        let rows = ex::e11_cache(&[0.0, 150.0, 1_000_000.0]);
+        ex::print_table(
+            "E11 — cross-query call-result cache (reconstructed §7 sessions)",
+            "ttl_ms",
+            &rows,
+        );
+        emit("e11", "ttl_ms", &rows);
+    }
     if want("a4") {
         let rows = ex::a4_incremental(&[20, 50, 100]);
         ex::print_table("A4 — incremental relevance detection", "hotels", &rows);

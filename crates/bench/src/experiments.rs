@@ -673,6 +673,118 @@ pub fn e10_faults(fail_probs: &[f64]) -> Vec<Row> {
     rows
 }
 
+/// E11 — cross-query reuse (reconstructed §7): the memoized call-result
+/// cache across a session of overlapping queries against one stored
+/// document, swept over cache validity windows. The stream interleaves
+/// three queries that share service calls (all-five-star hotels, the
+/// Figure 4 query, Best Western's rating) and repeats the Figure 4 query
+/// at the end; 100 ms of simulated idle time separates consecutive
+/// queries, so finite TTLs age out. Reported per validity window:
+/// invocations, hit/stale counts, hit rate, total simulated network
+/// time, and the *warm* cost of the repeated final query — the headline
+/// number, which falls to zero once the window outlives the session.
+/// The `no-cache` row is the same stream on cache-less engines. Answers
+/// are asserted identical across all rows: the cache must be invisible.
+pub fn e11_cache(ttls_ms: &[f64]) -> Vec<Row> {
+    use axml_query::parse_query;
+    use axml_store::{CacheConfig, DocumentStore, SessionOptions};
+
+    let params = ScenarioParams {
+        hotels: 100,
+        ..Default::default()
+    };
+    let profile = NetProfile::latency(10.0);
+    let queries: Vec<Pattern> = vec![
+        parse_query("/hotels/hotel[rating=\"*****\"]/name/$N -> $N").unwrap(),
+        figure4_query(),
+        parse_query("/hotels/hotel[name=\"Best Western\"]/rating/$R -> $R").unwrap(),
+        figure4_query(),
+    ];
+    let idle_ms = 100.0;
+    let mut rows = Vec::new();
+
+    // baseline: the same stream, every query evaluated cold without a cache
+    let mut reference: Vec<BTreeSet<Vec<String>>> = Vec::new();
+    {
+        let mut sc = generate(&params);
+        let (mut calls, mut sim, mut warm) = (0usize, 0.0, 0.0);
+        for q in &queries {
+            let (stats, answers) = run_once(&mut sc, q, EngineConfig::default(), profile);
+            calls += stats.calls_invoked;
+            sim += stats.sim_time_ms;
+            warm = stats.sim_time_ms;
+            reference.push(answers);
+        }
+        rows.push(Row {
+            label: "no-cache".to_string(),
+            x: 0.0,
+            metrics: vec![
+                ("calls", calls as f64),
+                ("hits", 0.0),
+                ("stale", 0.0),
+                ("hit_rate", 0.0),
+                ("sim_ms", sim),
+                ("warm_ms", warm),
+            ],
+        });
+    }
+
+    for &ttl in ttls_ms {
+        let mut sc = generate(&params);
+        sc.registry.set_default_profile(profile);
+        sc.registry.reset_stats();
+        let mut store = DocumentStore::with_cache_config(CacheConfig::with_ttl_ms(ttl));
+        store.insert("hotels", sc.doc.clone());
+        let mut session = store
+            .session(
+                "hotels",
+                &sc.registry,
+                Some(&sc.schema),
+                SessionOptions::default(),
+            )
+            .expect("document just inserted");
+        let (mut calls, mut hits, mut stale, mut misses) = (0usize, 0usize, 0usize, 0usize);
+        let (mut sim, mut warm) = (0.0, 0.0);
+        for (i, q) in queries.iter().enumerate() {
+            if i > 0 {
+                session.advance_clock(idle_ms);
+            }
+            let report = session.query(q);
+            assert_eq!(
+                report.answers, reference[i],
+                "ttl={ttl}: the cache changed query {i}'s answer"
+            );
+            calls += report.stats.calls_invoked;
+            hits += report.stats.cache_hits;
+            stale += report.stats.cache_stale;
+            misses += report.stats.cache_misses;
+            sim += report.stats.sim_time_ms;
+            warm = report.stats.sim_time_ms;
+        }
+        let probes = hits + misses + stale;
+        rows.push(Row {
+            label: format!("ttl-{ttl}ms"),
+            x: ttl,
+            metrics: vec![
+                ("calls", calls as f64),
+                ("hits", hits as f64),
+                ("stale", stale as f64),
+                (
+                    "hit_rate",
+                    if probes == 0 {
+                        0.0
+                    } else {
+                        hits as f64 / probes as f64
+                    },
+                ),
+                ("sim_ms", sim),
+                ("warm_ms", warm),
+            ],
+        });
+    }
+    rows
+}
+
 pub fn e9_auctions(auction_counts: &[usize]) -> Vec<Row> {
     use axml_gen::auctions::{auction_query, generate_auctions, AuctionParams};
     let mut rows = Vec::new();

@@ -26,7 +26,9 @@ use crate::stats::EngineStats;
 use crate::typed::TypeRefiner;
 use axml_query::{eval, EdgeKind, Pattern, SnapshotResult};
 use axml_schema::{SatMode, Schema};
-use axml_services::{FailedCall, InvokeError, PushedQuery, Registry, SimClock};
+use axml_services::{
+    CacheLookup, FailedCall, InvokeCache, InvokeError, PushedQuery, Registry, SimClock,
+};
 use axml_xml::{CallId, Document, NodeId};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::time::Instant;
@@ -222,12 +224,16 @@ pub struct TraceEvent {
     /// Simulated cost of the call — for failed calls, the cost burned by
     /// the failed attempts and their retry backoff.
     pub cost_ms: f64,
-    /// Attempts made (1 = succeeded first try; > 1 means retries fired).
+    /// Attempts made (1 = succeeded first try; > 1 means retries fired;
+    /// 0 for cache hits — no service attempt was made).
     pub attempts: usize,
     /// Whether the call ultimately delivered an answer. `false` marks a
     /// call that exhausted its retry budget; its subtree is missing from
     /// the partial answer.
     pub ok: bool,
+    /// Whether the answer was served from the cross-query call-result
+    /// cache instead of a service invocation (reconstructed §7).
+    pub cached: bool,
 }
 
 /// The outcome of one engine run.
@@ -251,6 +257,8 @@ pub struct EvalReport {
 pub struct Engine<'a> {
     registry: &'a Registry,
     schema: Option<&'a Schema>,
+    cache: Option<&'a dyn InvokeCache>,
+    start_ms: f64,
     config: EngineConfig,
 }
 
@@ -260,6 +268,8 @@ impl<'a> Engine<'a> {
         Engine {
             registry,
             schema: None,
+            cache: None,
+            start_ms: 0.0,
             config,
         }
     }
@@ -267,6 +277,26 @@ impl<'a> Engine<'a> {
     /// Attaches a schema, enabling `Typing::{Lenient, Exact}`.
     pub fn with_schema(mut self, schema: &'a Schema) -> Self {
         self.schema = Some(schema);
+        self
+    }
+
+    /// Attaches a cross-query call-result cache (reconstructed §7): the
+    /// engine probes it before every dispatch — a valid entry is spliced
+    /// in at **zero** network cost and counted in
+    /// [`EngineStats::cache_hits`]; a successful real invocation
+    /// populates it. Failed calls are never cached.
+    pub fn with_cache(mut self, cache: &'a dyn InvokeCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Starts the run's simulated clock at `ms` instead of zero — used by
+    /// sessions serving a stream of queries, so cache validity windows
+    /// and breaker cooldowns keep counting across runs.
+    /// [`EngineStats::sim_time_ms`] still reports only this run's elapsed
+    /// simulated time.
+    pub fn starting_at(mut self, ms: f64) -> Self {
+        self.start_ms = ms;
         self
     }
 
@@ -303,12 +333,14 @@ impl<'a> Engine<'a> {
         let engine = Engine {
             registry: self.registry,
             schema: self.schema,
+            cache: self.cache,
+            start_ms: self.start_ms,
             config: shared_config,
         };
         let mut run = Run {
             engine: &engine,
             query: &queries[0], // unused: push is off and refiners are per query
-            clock: SimClock::new(),
+            clock: SimClock::at(self.start_ms),
             stats: EngineStats::default(),
             dead: HashSet::new(),
             guide: None,
@@ -364,7 +396,7 @@ impl<'a> Engine<'a> {
             }
         }
 
-        let shared_sim = run.clock.now_ms();
+        let shared_sim = run.clock.now_ms() - self.start_ms;
         let mut shared_stats = run.stats;
         shared_stats.sim_time_ms = shared_sim;
         shared_stats.final_doc_size = doc.len();
@@ -395,7 +427,7 @@ impl<'a> Engine<'a> {
         let mut run = Run {
             engine: self,
             query,
-            clock: SimClock::new(),
+            clock: SimClock::at(self.start_ms),
             stats: EngineStats::default(),
             dead: HashSet::new(),
             guide: None,
@@ -417,7 +449,7 @@ impl<'a> Engine<'a> {
         let result = eval(query, doc);
         let mut stats = run.stats;
         stats.final_eval_cpu = tq.elapsed();
-        stats.sim_time_ms = run.clock.now_ms();
+        stats.sim_time_ms = run.clock.now_ms() - self.start_ms;
         stats.total_cpu = t0.elapsed();
         stats.final_doc_size = doc.len();
         if let Some(g) = &run.guide {
@@ -542,24 +574,106 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         Some((params, parent_path))
     }
 
+    /// Probes the cross-query call-result cache for a candidate
+    /// (reconstructed §7). On a valid entry the cached forest is spliced
+    /// in at **zero** network cost — before the budget and circuit-breaker
+    /// gates, so a hit is served even while the service is failing or its
+    /// breaker is open — and `true` is returned. Expired entries and
+    /// misses return `false` and fall through to the real invoke path.
+    fn try_cache(
+        &mut self,
+        doc: &mut Document,
+        cand: &Candidate,
+        pushed: Option<&PushedQuery>,
+    ) -> bool {
+        let Some(cache) = self.engine.cache else {
+            return false;
+        };
+        if !doc.is_alive(cand.node) {
+            return false;
+        }
+        match doc.call_info(cand.node) {
+            Some((id, _)) if id == cand.call => {}
+            _ => return false, // slot reused by a different node
+        }
+        let params = doc.children_to_forest(cand.node);
+        match cache.lookup(&cand.service, &params, pushed, self.clock.now_ms()) {
+            CacheLookup::Hit(hit) => {
+                let parent_path: Vec<String> = match doc.parent(cand.node) {
+                    Some(p) => doc.path_labels(p),
+                    None => Vec::new(),
+                };
+                self.splice_result(doc, cand, &parent_path, &hit.result);
+                if self.config().trace {
+                    self.trace.push(TraceEvent {
+                        round: self.stats.rounds,
+                        service: cand.service.clone(),
+                        path: parent_path.join("/"),
+                        pushed: hit.pushed,
+                        cost_ms: 0.0,
+                        attempts: 0,
+                        ok: true,
+                        cached: true,
+                    });
+                }
+                self.stats.cache_hits += 1;
+                true
+            }
+            CacheLookup::Stale => {
+                self.stats.cache_stale += 1;
+                false
+            }
+            CacheLookup::Miss => {
+                self.stats.cache_misses += 1;
+                false
+            }
+        }
+    }
+
+    /// Records a completed call with the circuit breaker and notifies the
+    /// cache when the recorded outcome flipped the breaker's state (the
+    /// automatic-invalidation hook of the reconstructed §7).
+    fn record_breaker(&mut self, service: &str, ok: bool) {
+        let now = self.clock.now_ms();
+        let registry = self.engine.registry;
+        let allowed_before = registry.breaker_allows(service, now);
+        registry.breaker_record(service, ok, now);
+        let allowed_after = registry.breaker_allows(service, now);
+        if allowed_before != allowed_after {
+            if let Some(cache) = self.engine.cache {
+                cache.on_breaker_transition(service, !allowed_after);
+            }
+        }
+    }
+
     /// Invokes one candidate; returns its simulated cost, or `None` when
     /// the call was skipped (stale, unknown service, breaker open, budget
-    /// exhausted). A permanent failure counts as *resolved*: it returns
-    /// the burned cost and the call joins the dead set, so the rewriting
-    /// proceeds to a partial answer instead of aborting.
+    /// exhausted). A cache hit resolves the candidate at zero cost. A
+    /// permanent failure counts as *resolved*: it returns the burned cost
+    /// and the call joins the dead set, so the rewriting proceeds to a
+    /// partial answer instead of aborting.
     fn invoke(
         &mut self,
         doc: &mut Document,
         cand: &Candidate,
         pushed: Option<&PushedQuery>,
     ) -> Option<f64> {
+        if self.try_cache(doc, cand, pushed) {
+            return Some(0.0);
+        }
         let (params, parent_path) = self.prepare(doc, cand)?;
+        let cache_params = self.engine.cache.map(|_| params.clone());
         match self
             .engine
             .registry
             .invoke_with_policy(&cand.service, params, pushed)
         {
-            Ok(outcome) => Some(self.apply(doc, cand, parent_path, outcome)),
+            Ok(outcome) => {
+                if let (Some(cache), Some(p)) = (self.engine.cache, cache_params) {
+                    cache.store(&cand.service, &p, pushed, &outcome, self.clock.now_ms());
+                }
+                Some(self.apply(doc, cand, parent_path, outcome))
+            }
             Err(InvokeError::Unknown(_)) => {
                 // prepare checked existence; defend anyway
                 self.budget += 1;
@@ -568,6 +682,32 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 None
             }
             Err(InvokeError::Failed(failed)) => Some(self.apply_failure(cand, parent_path, failed)),
+        }
+    }
+
+    /// Splices a result forest over a call slot and does the shared
+    /// bookkeeping (F-guide maintenance, splice log for incremental
+    /// detection) — common to real invocations and cache hits.
+    fn splice_result(
+        &mut self,
+        doc: &mut Document,
+        cand: &Candidate,
+        parent_path: &[String],
+        result: &axml_xml::Forest,
+    ) {
+        if let Some(g) = &mut self.guide {
+            g.remove_call(parent_path, cand.node);
+        }
+        let inserted = doc.splice_call(cand.node, result);
+        if let Some(g) = &mut self.guide {
+            for &r in &inserted {
+                g.add_subtree(doc, r, parent_path);
+            }
+        }
+        self.splice_seq += 1;
+        if self.config().incremental_detection {
+            self.splice_log
+                .push((self.splice_seq, parent_path.to_vec()));
         }
     }
 
@@ -594,19 +734,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 }
             }
         }
-        if let Some(g) = &mut self.guide {
-            g.remove_call(&parent_path, cand.node);
-        }
-        let inserted = doc.splice_call(cand.node, &outcome.result);
-        if let Some(g) = &mut self.guide {
-            for &r in &inserted {
-                g.add_subtree(doc, r, &parent_path);
-            }
-        }
-        self.splice_seq += 1;
-        if self.config().incremental_detection {
-            self.splice_log.push((self.splice_seq, parent_path.clone()));
-        }
+        self.splice_result(doc, cand, &parent_path, &outcome.result);
         if self.config().trace {
             self.trace.push(TraceEvent {
                 round: self.stats.rounds,
@@ -616,6 +744,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 cost_ms: outcome.cost_ms,
                 attempts: outcome.attempts,
                 ok: true,
+                cached: false,
             });
         }
         self.stats.calls_invoked += 1;
@@ -630,9 +759,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             .invoked_by_service
             .entry(cand.service.clone())
             .or_default() += 1;
-        self.engine
-            .registry
-            .breaker_record(&cand.service, true, self.clock.now_ms());
+        self.record_breaker(&cand.service, true);
         outcome.cost_ms
     }
 
@@ -663,11 +790,10 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 cost_ms: failed.cost_ms,
                 attempts: failed.attempts,
                 ok: false,
+                cached: false,
             });
         }
-        self.engine
-            .registry
-            .breaker_record(&cand.service, false, self.clock.now_ms());
+        self.record_breaker(&cand.service, false);
         failed.cost_ms
     }
 
@@ -708,9 +834,18 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
     ) -> usize {
         let mut invoked = 0;
         if parallel {
-            // phase 1: validate everything against the unchanged document
+            // phase 0/1: serve cache hits immediately (zero cost, so they
+            // don't contribute to the batch's clock advance), then
+            // validate the remaining candidates for dispatch. Hits splice
+            // right away — candidates are distinct call slots, and calls
+            // never nest inside another call's parameters, so a hit
+            // cannot invalidate a batch mate.
             let mut prepared: Vec<(&Candidate, axml_xml::Forest, Vec<String>)> = Vec::new();
             for c in cands {
+                if self.try_cache(doc, c, pushes.get(&c.call)) {
+                    invoked += 1;
+                    continue;
+                }
                 if let Some((params, path)) = self.prepare(doc, c) {
                     prepared.push((c, params, path));
                 }
@@ -752,9 +887,18 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             };
             // phase 3: splice sequentially, deterministically
             let mut costs = Vec::new();
-            for ((c, _, path), res) in prepared.into_iter().zip(results) {
+            for ((c, params, path), res) in prepared.into_iter().zip(results) {
                 match res {
                     Ok(outcome) => {
+                        if let Some(cache) = self.engine.cache {
+                            cache.store(
+                                &c.service,
+                                &params,
+                                pushes.get(&c.call),
+                                &outcome,
+                                self.clock.now_ms(),
+                            );
+                        }
                         costs.push(self.apply(doc, c, path, outcome));
                         invoked += 1;
                     }

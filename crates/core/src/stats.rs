@@ -46,6 +46,16 @@ pub struct EngineStats {
     /// NFQ evaluations skipped by incremental detection (cached candidate
     /// sets reused because no splice touched the NFQ's region).
     pub nfq_evals_skipped: usize,
+    /// Relevant calls answered from the cross-query call-result cache at
+    /// zero network cost (reconstructed §7). Not counted in
+    /// `calls_invoked` — a hit performs no service invocation.
+    pub cache_hits: usize,
+    /// Cache probes that found nothing (the call proceeded to a real
+    /// invocation).
+    pub cache_misses: usize,
+    /// Cache probes that found an entry past its validity window; the
+    /// call fell through to the normal invoke/retry/breaker path.
+    pub cache_stale: usize,
     /// True when the invocation budget was exhausted before completeness.
     pub truncated: bool,
     /// Per-service invocation counts.
@@ -65,6 +75,17 @@ impl EngineStats {
     /// "total query evaluation time" of the paper's experiments.
     pub fn total_time_ms(&self) -> f64 {
         self.sim_time_ms + self.total_cpu.as_secs_f64() * 1e3
+    }
+
+    /// The fraction of cache probes answered by a valid entry, or 0.0
+    /// when no cache was consulted. Expired entries count as misses.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses + self.cache_stale;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
     }
 
     /// Whether the run resolved every relevant call: no permanent
@@ -131,6 +152,16 @@ impl fmt::Display for EngineStats {
                 self.nfq_evals_skipped
             )?;
         }
+        if self.cache_hits + self.cache_misses + self.cache_stale > 0 {
+            writeln!(
+                f,
+                "call cache: {} hits, {} misses, {} expired ({:.0}% hit rate)",
+                self.cache_hits,
+                self.cache_misses,
+                self.cache_stale,
+                self.cache_hit_rate() * 100.0
+            )?;
+        }
         if self.queries_pruned > 0 {
             writeln!(
                 f,
@@ -181,5 +212,21 @@ mod tests {
         let quiet = EngineStats::default().to_string();
         assert!(!quiet.contains("speculative"));
         assert!(!quiet.contains("violations"));
+        assert!(!quiet.contains("call cache"));
+    }
+
+    #[test]
+    fn cache_counters_render_and_rate() {
+        let s = EngineStats {
+            cache_hits: 3,
+            cache_misses: 1,
+            cache_stale: 0,
+            ..Default::default()
+        };
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-9);
+        let out = s.to_string();
+        assert!(out.contains("call cache: 3 hits, 1 misses, 0 expired"));
+        assert!(out.contains("75% hit rate"));
+        assert_eq!(EngineStats::default().cache_hit_rate(), 0.0);
     }
 }

@@ -1,0 +1,84 @@
+//! The invocation-cache interface — how the engine consults a
+//! cross-query call-result cache (the reconstructed direction of the
+//! paper's truncated Section 7: "Subsequent queries that use …").
+//!
+//! The cache itself lives a layer above (crate `axml-store`); this module
+//! only defines the contract between the engine's invoke path and any
+//! memoization layer. A call is identified by its *service* and its
+//! *parameter forest* (plus the pushed query, if any, since a pushed
+//! result is pruned for that query and must not be served to another).
+//! All freshness decisions are charged to the engine's simulated clock:
+//! `now_ms` is the caller's [`crate::SimClock`] time at lookup/store.
+
+use crate::registry::InvokeOutcome;
+use crate::service::PushedQuery;
+use axml_xml::Forest;
+
+/// A cached invocation result, served in place of a network call.
+#[derive(Clone, Debug)]
+pub struct CachedCall {
+    /// The memoized result forest, exactly as the service returned it
+    /// (possibly provider-side pruned when a pushed query was part of the
+    /// cache key).
+    pub result: Forest,
+    /// The wire size the original call transferred (informational — a hit
+    /// transfers nothing).
+    pub bytes: usize,
+    /// Whether the original call carried a pushed query.
+    pub pushed: bool,
+    /// Simulated milliseconds since the entry was stored.
+    pub age_ms: f64,
+}
+
+/// The outcome of a cache probe.
+#[derive(Clone, Debug)]
+pub enum CacheLookup {
+    /// A valid entry: splice it in at zero network cost.
+    Hit(CachedCall),
+    /// An entry existed but its validity window has expired; the caller
+    /// must fall through to a real invocation (including its retry and
+    /// circuit-breaker path).
+    Stale,
+    /// Nothing cached for this call.
+    Miss,
+}
+
+/// A memoized call-result cache consulted by the engine before
+/// [`crate::Registry::invoke`]-style dispatch.
+///
+/// Implementations must be internally synchronized (`&self` methods,
+/// shared across the engine's sequential phases) and deterministic: given
+/// the same sequence of lookups/stores at the same simulated times, two
+/// runs must answer identically — eviction order included — so that
+/// cached replays stay byte-for-byte reproducible.
+pub trait InvokeCache: Send + Sync {
+    /// Probes the cache for `(service, params, pushed)` at simulated time
+    /// `now_ms`.
+    fn lookup(
+        &self,
+        service: &str,
+        params: &Forest,
+        pushed: Option<&PushedQuery>,
+        now_ms: f64,
+    ) -> CacheLookup;
+
+    /// Memoizes a *successful* invocation outcome. Failed calls are never
+    /// stored — the cache holds answers, not outages.
+    fn store(
+        &self,
+        service: &str,
+        params: &Forest,
+        pushed: Option<&PushedQuery>,
+        outcome: &InvokeOutcome,
+        now_ms: f64,
+    );
+
+    /// Notifies the cache that `service`'s circuit-breaker state flipped
+    /// (`open == true` when the breaker just tripped open). Implementations
+    /// may invalidate the service's entries, or keep serving them within
+    /// their validity windows (availability over freshness) — the default
+    /// does nothing.
+    fn on_breaker_transition(&self, service: &str, open: bool) {
+        let _ = (service, open);
+    }
+}

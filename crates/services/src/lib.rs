@@ -17,6 +17,7 @@
 //! retries with exponential backoff, per-attempt deadlines, and a
 //! per-service circuit breaker — all charged to the same simulated clock.
 
+pub mod cache;
 pub mod fault;
 pub mod net;
 pub mod push;
@@ -24,11 +25,15 @@ pub mod registry;
 pub mod service;
 pub mod worldfile;
 
+pub use cache::{CacheLookup, CachedCall, InvokeCache};
 pub use fault::{
     BreakerConfig, BreakerState, FaultDecision, FaultProfile, FlakyService, RetryPolicy,
 };
 pub use net::{NetProfile, NetStats, SimClock};
 pub use push::{bindings_result, prune_result, PushMode};
-pub use registry::{CallRecord, FailedCall, InvokeError, InvokeOutcome, Registry, ServiceError};
+pub use registry::{
+    CallRecord, FailedCall, InvokeError, InvokeOutcome, Registry, ServiceError,
+    DEFAULT_CALL_LOG_CAPACITY,
+};
 pub use service::{CallRequest, FnService, PushedQuery, Service, StaticService, TableService};
 pub use worldfile::{load_registry, load_registry_str, WorldFileError};

@@ -69,6 +69,13 @@ impl SimClock {
         SimClock::default()
     }
 
+    /// A clock starting at `now_ms` — used by long-lived sessions whose
+    /// simulated time persists across queries (TTL windows and breaker
+    /// cooldowns keep counting between runs).
+    pub fn at(now_ms: f64) -> Self {
+        SimClock { now_ms }
+    }
+
     /// Current simulated time in milliseconds.
     pub fn now_ms(&self) -> f64 {
         self.now_ms

@@ -9,7 +9,7 @@ use crate::net::{NetProfile, NetStats};
 use crate::push::{bindings_result, prune_result, PushMode};
 use crate::service::{CallRequest, PushedQuery, Service};
 use axml_xml::{forest_serialized_len, to_xml, Forest};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Mutex};
 
@@ -104,6 +104,42 @@ pub struct CallRecord {
     pub ok: bool,
 }
 
+/// Default call-log capacity — generous enough to hold every call of
+/// the paper-scale experiments, small enough that a long-lived store
+/// session cannot grow without bound. Override with
+/// [`Registry::set_call_log_capacity`].
+pub const DEFAULT_CALL_LOG_CAPACITY: usize = 65_536;
+
+/// The registry's bounded call log: a ring buffer that drops its oldest
+/// record once `capacity` is reached, counting what it dropped.
+struct CallLog {
+    entries: VecDeque<CallRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl CallLog {
+    fn new(capacity: usize) -> Self {
+        CallLog {
+            entries: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    fn push(&mut self, record: CallRecord) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+            self.dropped += 1;
+        }
+        self.entries.push_back(record);
+    }
+}
+
 /// A registry of services with network profiles, fault schedules, and
 /// statistics.
 pub struct Registry {
@@ -117,7 +153,7 @@ pub struct Registry {
     breaker_config: BreakerConfig,
     breakers: Mutex<HashMap<String, BreakerState>>,
     stats: Mutex<NetStats>,
-    log: Mutex<Vec<CallRecord>>,
+    log: Mutex<CallLog>,
 }
 
 impl Default for Registry {
@@ -140,7 +176,7 @@ impl Registry {
             breaker_config: BreakerConfig::default(),
             breakers: Mutex::new(HashMap::new()),
             stats: Mutex::new(NetStats::default()),
-            log: Mutex::new(Vec::new()),
+            log: Mutex::new(CallLog::new(DEFAULT_CALL_LOG_CAPACITY)),
         }
     }
 
@@ -497,15 +533,50 @@ impl Registry {
         self.stats.lock().unwrap().clone()
     }
 
-    /// A snapshot of the call log.
+    /// A snapshot of the call log (the most recent records, bounded by
+    /// [`Registry::set_call_log_capacity`]).
     pub fn call_log(&self) -> Vec<CallRecord> {
-        self.log.lock().unwrap().clone()
+        self.log.lock().unwrap().entries.iter().cloned().collect()
     }
 
-    /// Clears statistics and the call log.
+    /// Bounds the call log to the most recent `capacity` records
+    /// (default: [`DEFAULT_CALL_LOG_CAPACITY`]). Older records are dropped
+    /// and counted in [`Registry::dropped_log_entries`], so long-lived
+    /// store sessions don't grow memory without bound. Shrinking the
+    /// capacity trims existing excess immediately.
+    pub fn set_call_log_capacity(&mut self, capacity: usize) -> &mut Self {
+        let mut log = self.log.lock().unwrap();
+        log.capacity = capacity;
+        while log.entries.len() > capacity {
+            log.entries.pop_front();
+            log.dropped += 1;
+        }
+        drop(log);
+        self
+    }
+
+    /// Call records dropped from the bounded log since the last
+    /// [`Registry::reset_stats`].
+    pub fn dropped_log_entries(&self) -> u64 {
+        self.log.lock().unwrap().dropped
+    }
+
+    /// Clears statistics, the call log, and all circuit-breaker state, so
+    /// a reused registry starts its next run from a clean slate instead of
+    /// with breakers already open from the previous one.
     pub fn reset_stats(&self) {
         *self.stats.lock().unwrap() = NetStats::default();
-        self.log.lock().unwrap().clear();
+        let mut log = self.log.lock().unwrap();
+        log.entries.clear();
+        log.dropped = 0;
+        drop(log);
+        self.reset_breakers();
+    }
+
+    /// Clears circuit-breaker state only (all breakers closed, failure
+    /// counts zeroed).
+    pub fn reset_breakers(&self) {
+        self.breakers.lock().unwrap().clear();
     }
 }
 
@@ -772,6 +843,43 @@ mod tests {
         r.breaker_record("s", true, 300.0);
         assert!(r.breaker_allows("s", 300.0));
         assert_eq!(r.breaker_state("s").unwrap().consecutive_failures, 0);
+    }
+
+    #[test]
+    fn reset_stats_clears_breaker_state() {
+        let mut r = registry();
+        r.set_breaker_config(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ms: 1_000.0,
+        });
+        r.breaker_record("getNearbyRestos", false, 10.0);
+        r.breaker_record("getNearbyRestos", false, 20.0);
+        assert!(!r.breaker_allows("getNearbyRestos", 30.0), "breaker open");
+        // a reused registry must start its next run with breakers closed
+        r.reset_stats();
+        assert!(r.breaker_allows("getNearbyRestos", 30.0));
+        assert!(r.breaker_state("getNearbyRestos").is_none());
+        assert_eq!(r.stats().calls, 0);
+    }
+
+    #[test]
+    fn call_log_is_a_bounded_ring_buffer() {
+        let mut r = registry();
+        r.set_call_log_capacity(3);
+        for _ in 0..5 {
+            r.invoke("getNearbyRestos", Forest::new(), None).unwrap();
+        }
+        assert_eq!(r.call_log().len(), 3);
+        assert_eq!(r.dropped_log_entries(), 2);
+        // stats are unaffected by log truncation
+        assert_eq!(r.stats().calls, 5);
+        // shrinking trims immediately
+        r.set_call_log_capacity(1);
+        assert_eq!(r.call_log().len(), 1);
+        assert_eq!(r.dropped_log_entries(), 4);
+        r.reset_stats();
+        assert_eq!(r.call_log().len(), 0);
+        assert_eq!(r.dropped_log_entries(), 0);
     }
 
     #[test]

@@ -1,0 +1,509 @@
+//! The memoized call-result cache — `(service, params)` → result forest,
+//! with per-service TTL validity windows charged to the simulated clock,
+//! LRU eviction under byte/entry budgets, and invalidation hooks.
+//!
+//! Soundness: a hit is only ever served *within its validity window*. A
+//! service is assumed to answer a given parameter forest identically for
+//! `ttl` simulated milliseconds after an observed answer; the window is a
+//! per-service policy knob (`f64::INFINITY` models the paper's
+//! deterministic services, `0` disables caching for a service). Pushed
+//! queries participate in the cache key — a provider-side pruned result
+//! is correct only for the query it was pruned for, so it is never served
+//! to a different one.
+
+use axml_query::render;
+use axml_services::{CacheLookup, CachedCall, InvokeCache, InvokeOutcome, PushedQuery};
+use axml_xml::{forest_serialized_len, to_xml, Forest};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Configuration of a [`CallCache`].
+#[derive(Clone, Debug)]
+pub struct CacheConfig {
+    /// Validity window for services without a specific TTL, in simulated
+    /// milliseconds. `f64::INFINITY` (the default) never expires —
+    /// appropriate for deterministic services; `0.0` disables caching.
+    pub default_ttl_ms: f64,
+    /// Per-service TTL overrides.
+    pub ttl_overrides: HashMap<String, f64>,
+    /// Maximum number of cached entries before LRU eviction (default 4096).
+    pub max_entries: usize,
+    /// Maximum total serialized result bytes before LRU eviction
+    /// (default 16 MiB).
+    pub max_bytes: usize,
+    /// When `true`, a circuit breaker tripping open purges the service's
+    /// entries (freshness over availability). The default `false` keeps
+    /// serving cached successes within their validity windows while the
+    /// service is failing — stale-while-error availability.
+    pub invalidate_on_breaker_open: bool,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            default_ttl_ms: f64::INFINITY,
+            ttl_overrides: HashMap::new(),
+            max_entries: 4096,
+            max_bytes: 16 * 1024 * 1024,
+            invalidate_on_breaker_open: false,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// A config whose default validity window is `ttl_ms`.
+    pub fn with_ttl_ms(ttl_ms: f64) -> Self {
+        CacheConfig {
+            default_ttl_ms: ttl_ms,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Sets a per-service TTL override (builder style).
+    pub fn ttl_for(mut self, service: impl Into<String>, ttl_ms: f64) -> Self {
+        self.ttl_overrides.insert(service.into(), ttl_ms);
+        self
+    }
+
+    fn ttl(&self, service: &str) -> f64 {
+        self.ttl_overrides
+            .get(service)
+            .copied()
+            .unwrap_or(self.default_ttl_ms)
+    }
+}
+
+/// Cumulative cache counters (monotone across a store's lifetime).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes answered by a valid entry.
+    pub hits: u64,
+    /// Probes that found nothing.
+    pub misses: u64,
+    /// Probes that found an expired entry (removed on sight).
+    pub stale: u64,
+    /// Entries stored (including replacements).
+    pub insertions: u64,
+    /// Entries evicted by the LRU budget.
+    pub evictions: u64,
+    /// Entries removed by explicit or breaker-driven invalidation.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// hits / (hits + misses + stale), or 0.0 with no probes.
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.hits + self.misses + self.stale;
+        if probes == 0 {
+            0.0
+        } else {
+            self.hits as f64 / probes as f64
+        }
+    }
+}
+
+/// Cache key: service name, serialized parameter forest, and (for pushed
+/// calls) the rendered pushed pattern plus its edge kind — a pruned
+/// result is only valid for the exact query it was pruned for.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct Key {
+    service: String,
+    params_xml: String,
+    pushed: Option<(String, bool)>,
+}
+
+impl Key {
+    fn new(service: &str, params: &Forest, pushed: Option<&PushedQuery>) -> Self {
+        Key {
+            service: service.to_string(),
+            params_xml: to_xml(params),
+            pushed: pushed.map(|pq| (render(&pq.pattern), pq.via == axml_query::EdgeKind::Child)),
+        }
+    }
+}
+
+struct Entry {
+    result: Forest,
+    bytes: usize,
+    size_bytes: usize,
+    pushed: bool,
+    inserted_at_ms: f64,
+    expires_at_ms: f64,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Key, Entry>,
+    total_bytes: usize,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Inner {
+    fn remove(&mut self, key: &Key) -> Option<Entry> {
+        let e = self.map.remove(key)?;
+        self.total_bytes -= e.size_bytes;
+        Some(e)
+    }
+
+    /// Evicts least-recently-used entries until the budgets hold.
+    /// Deterministic: `last_used` ticks are unique, so the victim order
+    /// does not depend on hash-map iteration order.
+    fn evict_to_budget(&mut self, max_entries: usize, max_bytes: usize) {
+        while self.map.len() > max_entries || self.total_bytes > max_bytes {
+            let victim = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone());
+            let Some(k) = victim else { break };
+            self.remove(&k);
+            self.stats.evictions += 1;
+        }
+    }
+}
+
+/// A shared, internally synchronized call-result cache implementing the
+/// engine-facing [`InvokeCache`] contract.
+///
+/// All timestamps are **simulated** milliseconds — the engine passes its
+/// [`axml_services::SimClock`] time — so validity windows are charged to
+/// the same clock as network latency and breaker cooldowns, and every
+/// replay with the same seed observes identical hits and evictions.
+pub struct CallCache {
+    config: CacheConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Default for CallCache {
+    fn default() -> Self {
+        CallCache::new(CacheConfig::default())
+    }
+}
+
+impl CallCache {
+    /// An empty cache with the given configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        CallCache {
+            config,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// The configuration this cache enforces.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// A snapshot of the cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().unwrap().stats
+    }
+
+    /// Live entries currently held.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total serialized result bytes currently held.
+    pub fn total_bytes(&self) -> usize {
+        self.inner.lock().unwrap().total_bytes
+    }
+
+    /// Drops every entry belonging to `service` (explicit invalidation
+    /// hook). Returns the number of entries removed.
+    pub fn invalidate_service(&self, service: &str) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let doomed: Vec<Key> = inner
+            .map
+            .keys()
+            .filter(|k| k.service == service)
+            .cloned()
+            .collect();
+        let n = doomed.len();
+        for k in &doomed {
+            inner.remove(k);
+        }
+        inner.stats.invalidations += n as u64;
+        n
+    }
+
+    /// Drops every entry. Returns the number of entries removed.
+    pub fn invalidate_all(&self) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let n = inner.map.len();
+        inner.map.clear();
+        inner.total_bytes = 0;
+        inner.stats.invalidations += n as u64;
+        n
+    }
+
+    /// Eagerly drops entries whose validity window has passed at
+    /// simulated time `now_ms` (expiry is otherwise lazy, on lookup).
+    /// Returns the number of entries removed.
+    pub fn purge_expired(&self, now_ms: f64) -> usize {
+        let mut inner = self.inner.lock().unwrap();
+        let doomed: Vec<Key> = inner
+            .map
+            .iter()
+            .filter(|(_, e)| e.expires_at_ms <= now_ms)
+            .map(|(k, _)| k.clone())
+            .collect();
+        let n = doomed.len();
+        for k in &doomed {
+            inner.remove(k);
+        }
+        inner.stats.invalidations += n as u64;
+        n
+    }
+}
+
+impl InvokeCache for CallCache {
+    fn lookup(
+        &self,
+        service: &str,
+        params: &Forest,
+        pushed: Option<&PushedQuery>,
+        now_ms: f64,
+    ) -> CacheLookup {
+        let key = Key::new(service, params, pushed);
+        let mut inner = self.inner.lock().unwrap();
+        let Some(entry) = inner.map.get(&key) else {
+            inner.stats.misses += 1;
+            return CacheLookup::Miss;
+        };
+        if entry.expires_at_ms <= now_ms {
+            inner.remove(&key);
+            inner.stats.stale += 1;
+            return CacheLookup::Stale;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        let entry = inner.map.get_mut(&key).expect("entry just probed");
+        entry.last_used = tick;
+        let hit = CachedCall {
+            result: entry.result.clone(),
+            bytes: entry.bytes,
+            pushed: entry.pushed,
+            age_ms: now_ms - entry.inserted_at_ms,
+        };
+        inner.stats.hits += 1;
+        CacheLookup::Hit(hit)
+    }
+
+    fn store(
+        &self,
+        service: &str,
+        params: &Forest,
+        pushed: Option<&PushedQuery>,
+        outcome: &InvokeOutcome,
+        now_ms: f64,
+    ) {
+        let ttl = self.config.ttl(service);
+        if ttl <= 0.0 {
+            return; // caching disabled for this service
+        }
+        let size_bytes = forest_serialized_len(&outcome.result);
+        if size_bytes > self.config.max_bytes {
+            return; // a single over-budget result would evict everything
+        }
+        let key = Key::new(service, params, pushed);
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let entry = Entry {
+            result: outcome.result.clone(),
+            bytes: outcome.bytes,
+            size_bytes,
+            pushed: outcome.pushed,
+            inserted_at_ms: now_ms,
+            expires_at_ms: now_ms + ttl,
+            last_used: inner.tick,
+        };
+        if let Some(old) = inner.remove(&key) {
+            // replacement: the old window is superseded by the fresh answer
+            let _ = old;
+        }
+        inner.total_bytes += entry.size_bytes;
+        inner.map.insert(key, entry);
+        inner.stats.insertions += 1;
+        inner.evict_to_budget(self.config.max_entries, self.config.max_bytes);
+    }
+
+    fn on_breaker_transition(&self, service: &str, open: bool) {
+        if open && self.config.invalidate_on_breaker_open {
+            self.invalidate_service(service);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_xml::parse;
+
+    fn outcome(xml: &str) -> InvokeOutcome {
+        let result = parse(xml).unwrap();
+        let bytes = forest_serialized_len(&result);
+        InvokeOutcome {
+            result,
+            bytes,
+            cost_ms: 10.0,
+            pushed: false,
+            attempts: 1,
+        }
+    }
+
+    fn params(text: &str) -> Forest {
+        let mut f = Forest::new();
+        f.add_root_text(text);
+        f
+    }
+
+    #[test]
+    fn hit_within_window_stale_after() {
+        let cache = CallCache::new(CacheConfig::with_ttl_ms(100.0));
+        cache.store("s", &params("k"), None, &outcome("<a/>"), 0.0);
+        assert!(matches!(
+            cache.lookup("s", &params("k"), None, 50.0),
+            CacheLookup::Hit(_)
+        ));
+        // at exactly the boundary the entry is expired
+        assert!(matches!(
+            cache.lookup("s", &params("k"), None, 100.0),
+            CacheLookup::Stale
+        ));
+        // the expired entry was removed on sight: next probe is a miss
+        assert!(matches!(
+            cache.lookup("s", &params("k"), None, 100.0),
+            CacheLookup::Miss
+        ));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.stale, s.misses), (1, 1, 1));
+    }
+
+    #[test]
+    fn keys_distinguish_service_params_and_push() {
+        let cache = CallCache::default();
+        cache.store("s", &params("a"), None, &outcome("<a/>"), 0.0);
+        assert!(matches!(
+            cache.lookup("s", &params("b"), None, 0.0),
+            CacheLookup::Miss
+        ));
+        assert!(matches!(
+            cache.lookup("t", &params("a"), None, 0.0),
+            CacheLookup::Miss
+        ));
+        let pq = PushedQuery {
+            pattern: axml_query::parse_query("/a").unwrap(),
+            via: axml_query::EdgeKind::Child,
+        };
+        // a plain entry must not answer a pushed probe, nor vice versa
+        assert!(matches!(
+            cache.lookup("s", &params("a"), Some(&pq), 0.0),
+            CacheLookup::Miss
+        ));
+        cache.store("s", &params("a"), Some(&pq), &outcome("<b/>"), 0.0);
+        let CacheLookup::Hit(h) = cache.lookup("s", &params("a"), Some(&pq), 0.0) else {
+            panic!("pushed entry should hit");
+        };
+        assert_eq!(axml_xml::to_xml(&h.result), "<b/>");
+    }
+
+    #[test]
+    fn lru_eviction_under_entry_budget() {
+        let cache = CallCache::new(CacheConfig {
+            max_entries: 2,
+            ..CacheConfig::default()
+        });
+        cache.store("s", &params("1"), None, &outcome("<a/>"), 0.0);
+        cache.store("s", &params("2"), None, &outcome("<b/>"), 0.0);
+        // touch 1 so 2 becomes the LRU victim
+        assert!(matches!(
+            cache.lookup("s", &params("1"), None, 1.0),
+            CacheLookup::Hit(_)
+        ));
+        cache.store("s", &params("3"), None, &outcome("<c/>"), 2.0);
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(
+            cache.lookup("s", &params("2"), None, 3.0),
+            CacheLookup::Miss
+        ));
+        assert!(matches!(
+            cache.lookup("s", &params("1"), None, 3.0),
+            CacheLookup::Hit(_)
+        ));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_budget_and_oversized_results() {
+        let small = outcome("<a/>");
+        let unit = forest_serialized_len(&small.result);
+        let cache = CallCache::new(CacheConfig {
+            max_bytes: 2 * unit,
+            ..CacheConfig::default()
+        });
+        cache.store("s", &params("1"), None, &small, 0.0);
+        cache.store("s", &params("2"), None, &small, 0.0);
+        assert_eq!(cache.len(), 2);
+        cache.store("s", &params("3"), None, &small, 0.0);
+        assert_eq!(cache.len(), 2, "byte budget evicts the LRU entry");
+        assert!(cache.total_bytes() <= 2 * unit);
+        // a result bigger than the whole budget is not stored at all
+        let big = outcome("<a><b>xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx</b></a>");
+        cache.store("s", &params("4"), None, &big, 0.0);
+        assert!(matches!(
+            cache.lookup("s", &params("4"), None, 0.0),
+            CacheLookup::Miss
+        ));
+    }
+
+    #[test]
+    fn invalidation_hooks() {
+        let cache = CallCache::default();
+        cache.store("s", &params("1"), None, &outcome("<a/>"), 0.0);
+        cache.store("s", &params("2"), None, &outcome("<a/>"), 0.0);
+        cache.store("t", &params("1"), None, &outcome("<a/>"), 0.0);
+        assert_eq!(cache.invalidate_service("s"), 2);
+        assert_eq!(cache.len(), 1);
+        // breaker hook is inert by default (availability over freshness)
+        cache.on_breaker_transition("t", true);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.invalidate_all(), 1);
+        assert!(cache.is_empty());
+
+        let strict = CallCache::new(CacheConfig {
+            invalidate_on_breaker_open: true,
+            ..CacheConfig::default()
+        });
+        strict.store("t", &params("1"), None, &outcome("<a/>"), 0.0);
+        strict.on_breaker_transition("t", false);
+        assert_eq!(strict.len(), 1, "closing transition keeps entries");
+        strict.on_breaker_transition("t", true);
+        assert!(strict.is_empty(), "opening transition purges the service");
+    }
+
+    #[test]
+    fn per_service_ttl_and_purge() {
+        let cache = CallCache::new(
+            CacheConfig::with_ttl_ms(1_000.0)
+                .ttl_for("fast", 10.0)
+                .ttl_for("never", 0.0),
+        );
+        cache.store("fast", &params("1"), None, &outcome("<a/>"), 0.0);
+        cache.store("slow", &params("1"), None, &outcome("<a/>"), 0.0);
+        cache.store("never", &params("1"), None, &outcome("<a/>"), 0.0);
+        assert_eq!(cache.len(), 2, "ttl 0 disables caching for a service");
+        assert_eq!(cache.purge_expired(500.0), 1, "fast expired, slow lives");
+        assert!(matches!(
+            cache.lookup("slow", &params("1"), None, 500.0),
+            CacheLookup::Hit(_)
+        ));
+    }
+}

@@ -1,0 +1,53 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # axml-store — cross-query reuse (reconstructed Section 7)
+//!
+//! The paper evaluates single queries against a freshly loaded document,
+//! but its setting — a peer holding AXML documents whose intensional
+//! parts name *external services* — is inherently multi-query: the same
+//! document answers a stream of queries over time, and the lazy
+//! machinery that avoids *irrelevant* calls within one query says
+//! nothing about *repeated* calls across queries. This crate supplies
+//! that missing layer:
+//!
+//! * [`CallCache`] — a memoized call-result cache keyed by
+//!   `(service, parameters, pushed query)` with per-service validity
+//!   windows (TTLs) charged to the **simulated** clock, deterministic
+//!   LRU eviction under entry/byte budgets, and invalidation hooks
+//!   (explicit, TTL expiry, and optional purge when a service's circuit
+//!   breaker trips open). It implements the engine-facing
+//!   [`axml_services::InvokeCache`] contract: the engine probes it
+//!   before invoking, splices hits at zero network cost, and populates
+//!   it on successful invocations only.
+//! * [`DocumentStore`] — named documents that survive across queries,
+//!   sharing one cache.
+//! * [`Session`] — a stream of queries against one stored document, the
+//!   simulated clock persisting between queries so validity windows
+//!   measure real elapsed (simulated) time.
+//!
+//! ```
+//! use axml_gen::scenario::figure1;
+//! use axml_query::parse_query;
+//! use axml_store::{DocumentStore, SessionOptions};
+//!
+//! let s = figure1();
+//! let mut store = DocumentStore::new();
+//! store.insert("hotels", s.doc);
+//! let q = parse_query("/hotels/hotel/name/$N -> $N").unwrap();
+//! let mut session = store
+//!     .session("hotels", &s.registry, Some(&s.schema), SessionOptions::default())
+//!     .unwrap();
+//! let cold = session.query(&q);
+//! let warm = session.query(&q);
+//! assert_eq!(warm.answers, cold.answers);
+//! assert_eq!(warm.stats.calls_invoked, 0); // every call served by the cache
+//! ```
+
+pub mod cache;
+pub mod session;
+pub mod store;
+
+pub use cache::{CacheConfig, CacheStats, CallCache};
+pub use session::{Session, SessionOptions, SessionReport};
+pub use store::DocumentStore;

@@ -1,0 +1,169 @@
+//! Sessions: a stream of queries against one stored document, with the
+//! call-result cache and the simulated clock persisting across queries.
+
+use crate::cache::{CacheStats, CallCache};
+use axml_core::{Engine, EngineConfig, EngineStats, EvalReport, TraceEvent};
+use axml_query::{construct_results, render_result, Pattern};
+use axml_schema::Schema;
+use axml_services::Registry;
+use axml_xml::{to_xml, Document};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// How a [`Session`] evaluates its queries.
+#[derive(Clone, Debug)]
+pub struct SessionOptions {
+    /// Engine configuration used for every query in the session.
+    pub engine: EngineConfig,
+    /// When `true` (the default) each query runs on a *snapshot* of the
+    /// stored document, so materialized call results do not persist in
+    /// the document itself — cross-query reuse flows through the cache
+    /// alone, which is the quantity the store is built to measure. When
+    /// `false`, queries materialize into the stored document and later
+    /// queries see the spliced results directly.
+    pub snapshot_per_query: bool,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            engine: EngineConfig::default(),
+            snapshot_per_query: true,
+        }
+    }
+}
+
+impl SessionOptions {
+    /// Options with the given engine configuration (snapshot mode).
+    pub fn with_engine(engine: EngineConfig) -> Self {
+        SessionOptions {
+            engine,
+            snapshot_per_query: true,
+        }
+    }
+}
+
+/// What one session query produced.
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    /// Engine measurements for this query alone (`sim_time_ms` is the
+    /// time this query added to the session clock).
+    pub stats: EngineStats,
+    /// Whether the answer is the full answer (see [`EvalReport`]).
+    pub complete: bool,
+    /// The rendered answer tuples, deduplicated and ordered.
+    pub answers: BTreeSet<Vec<String>>,
+    /// The constructed `<results>` document, serialized.
+    pub result_xml: String,
+    /// Execution trace (empty unless the engine config enables tracing).
+    pub trace: Vec<TraceEvent>,
+    /// Cumulative cache counters *after* this query.
+    pub cache: CacheStats,
+    /// The session's simulated clock *after* this query, in ms.
+    pub clock_ms: f64,
+}
+
+/// A stream of queries against one document.
+///
+/// Each query runs through a fresh [`Engine`] wired to the session's
+/// shared [`CallCache`] and started at the session's simulated clock, so
+/// TTL validity windows measure real (simulated) elapsed time across the
+/// whole query sequence: query 3 at clock 950 ms still hits entries
+/// cached by query 1 at clock 0 ms if their windows are ≥ 950 ms wide.
+pub struct Session<'a> {
+    doc: &'a mut Document,
+    registry: &'a Registry,
+    schema: Option<&'a Schema>,
+    cache: Arc<CallCache>,
+    options: SessionOptions,
+    clock_ms: f64,
+    queries_run: usize,
+}
+
+impl<'a> Session<'a> {
+    /// A session over `doc` using the given cache; the clock starts at 0.
+    pub fn new(
+        doc: &'a mut Document,
+        registry: &'a Registry,
+        schema: Option<&'a Schema>,
+        cache: Arc<CallCache>,
+        options: SessionOptions,
+    ) -> Self {
+        Session {
+            doc,
+            registry,
+            schema,
+            cache,
+            options,
+            clock_ms: 0.0,
+            queries_run: 0,
+        }
+    }
+
+    /// The session's simulated clock, in milliseconds.
+    pub fn clock_ms(&self) -> f64 {
+        self.clock_ms
+    }
+
+    /// Queries evaluated so far.
+    pub fn queries_run(&self) -> usize {
+        self.queries_run
+    }
+
+    /// The document this session evaluates against.
+    pub fn doc(&self) -> &Document {
+        self.doc
+    }
+
+    /// The shared call cache.
+    pub fn cache(&self) -> &Arc<CallCache> {
+        &self.cache
+    }
+
+    /// Advances the simulated clock by `ms` without running a query —
+    /// models idle time between queries, during which cached entries age
+    /// toward their validity horizons.
+    pub fn advance_clock(&mut self, ms: f64) {
+        assert!(ms >= 0.0, "the simulated clock cannot run backwards");
+        self.clock_ms += ms;
+    }
+
+    /// Evaluates one query at the session's current clock and advances
+    /// the clock by the simulated time the evaluation consumed.
+    pub fn query(&mut self, query: &Pattern) -> SessionReport {
+        let mut engine = Engine::new(self.registry, self.options.engine.clone())
+            .with_cache(self.cache.as_ref())
+            .starting_at(self.clock_ms);
+        if let Some(schema) = self.schema {
+            engine = engine.with_schema(schema);
+        }
+        let report;
+        let result_doc;
+        if self.options.snapshot_per_query {
+            let mut snapshot = self.doc.clone();
+            report = engine.evaluate(&mut snapshot, query);
+            result_doc = snapshot;
+        } else {
+            report = engine.evaluate(self.doc, query);
+            result_doc = self.doc.clone();
+        }
+        self.clock_ms += report.stats.sim_time_ms;
+        self.queries_run += 1;
+        self.package(query, &result_doc, report)
+    }
+
+    fn package(&self, query: &Pattern, doc: &Document, report: EvalReport) -> SessionReport {
+        let answers: BTreeSet<Vec<String>> =
+            render_result(doc, &report.result).into_iter().collect();
+        let result_xml = to_xml(&construct_results(doc, query, &report.result));
+        SessionReport {
+            stats: report.stats,
+            complete: report.complete,
+            answers,
+            result_xml,
+            trace: report.trace,
+            cache: self.cache.stats(),
+            clock_ms: self.clock_ms,
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The long-lived document store: named AXML documents that survive
+//! across queries, sharing one [`CallCache`] so work done answering one
+//! query pays for the next.
+
+use crate::cache::{CacheConfig, CallCache};
+use crate::session::{Session, SessionOptions};
+use axml_schema::Schema;
+use axml_services::Registry;
+use axml_xml::Document;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A collection of named AXML documents plus the call-result cache they
+/// share. Documents are owned by the store and survive across queries —
+/// the peer/repository side of the paper's setting, where the same
+/// document answers a stream of queries over time.
+#[derive(Default)]
+pub struct DocumentStore {
+    docs: BTreeMap<String, Document>,
+    cache: Arc<CallCache>,
+}
+
+impl DocumentStore {
+    /// An empty store with the default cache configuration.
+    pub fn new() -> Self {
+        DocumentStore::default()
+    }
+
+    /// An empty store whose shared cache uses `config`.
+    pub fn with_cache_config(config: CacheConfig) -> Self {
+        DocumentStore {
+            docs: BTreeMap::new(),
+            cache: Arc::new(CallCache::new(config)),
+        }
+    }
+
+    /// Adds (or replaces) a document under `name`. Returns the previous
+    /// document stored under that name, if any.
+    pub fn insert(&mut self, name: impl Into<String>, doc: Document) -> Option<Document> {
+        self.docs.insert(name.into(), doc)
+    }
+
+    /// Removes and returns the document stored under `name`.
+    pub fn remove(&mut self, name: &str) -> Option<Document> {
+        self.docs.remove(name)
+    }
+
+    /// The document stored under `name`.
+    pub fn get(&self, name: &str) -> Option<&Document> {
+        self.docs.get(name)
+    }
+
+    /// Mutable access to the document stored under `name`.
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut Document> {
+        self.docs.get_mut(name)
+    }
+
+    /// The names of all stored documents, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        self.docs.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The shared call-result cache.
+    pub fn cache(&self) -> &Arc<CallCache> {
+        &self.cache
+    }
+
+    /// Opens a [`Session`] over the document stored under `name`: a
+    /// stream of queries evaluated against the document with the store's
+    /// shared cache and a simulated clock that persists between queries.
+    /// Returns `None` if no document is stored under `name`.
+    pub fn session<'a>(
+        &'a mut self,
+        name: &str,
+        registry: &'a Registry,
+        schema: Option<&'a Schema>,
+        options: SessionOptions,
+    ) -> Option<Session<'a>> {
+        let cache = Arc::clone(&self.cache);
+        let doc = self.docs.get_mut(name)?;
+        Some(Session::new(doc, registry, schema, cache, options))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_names_remove() {
+        let mut store = DocumentStore::new();
+        assert!(store.is_empty());
+        store.insert("a", Document::with_root("a"));
+        store.insert("b", Document::with_root("b"));
+        assert_eq!(store.names(), ["a", "b"]);
+        assert_eq!(store.len(), 2);
+        assert_eq!(
+            store
+                .get("a")
+                .unwrap()
+                .label(store.get("a").unwrap().root()),
+            "a"
+        );
+        assert!(store.get_mut("b").is_some());
+        let old = store.insert("a", Document::with_root("a2"));
+        assert!(old.is_some());
+        assert!(store.remove("b").is_some());
+        assert_eq!(store.names(), ["a"]);
+        assert!(store.get("missing").is_none());
+    }
+}

@@ -6,7 +6,12 @@
 //!            [--strategy nfq|lpq|topdown|naive] [--typing none|lenient|exact] \
 //!            [--push] [--fguide] [--no-parallel] [--speculate] [--stats] \
 //!            [--retries N] [--timeout-ms X] [--fault-seed N] [--fail-prob P] \
+//!            [--cache] [--cache-ttl-ms X] [--cache-capacity N] [--cache-bytes N] \
 //!            [--out results|doc]
+//! axml session --doc doc.xml --world world.xml \
+//!              --query Q1 [--query Q2 ...] [--idle-ms X] [--persist] \
+//!              [--cache-ttl-ms X] [--cache-capacity N] [--cache-bytes N] \
+//!              [--quiet] [--stats] [--trace]
 //! axml validate --doc doc.xml --schema schema.txt
 //! axml termination --doc doc.xml --schema schema.txt
 //! axml materialize --doc doc.xml --world world.xml [--max-calls N]
@@ -23,6 +28,7 @@ use activexml::core::{
 use activexml::query::{construct_results, parse_query, render, Pattern};
 use activexml::schema::{parse_schema, Schema};
 use activexml::services::{load_registry, FaultProfile, Registry};
+use activexml::store::{CacheConfig, CallCache, DocumentStore, SessionOptions};
 use activexml::xml::{parse, to_xml_with, Document, SerializeOptions};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -40,13 +46,13 @@ fn main() -> ExitCode {
 
 struct Opts {
     flags: Vec<String>,
-    values: HashMap<String, String>,
+    values: HashMap<String, Vec<String>>,
 }
 
 impl Opts {
     fn parse(args: &[String]) -> Result<Opts, String> {
         let mut flags = Vec::new();
-        let mut values = HashMap::new();
+        let mut values: HashMap<String, Vec<String>> = HashMap::new();
         let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             let Some(name) = a.strip_prefix("--") else {
@@ -54,7 +60,10 @@ impl Opts {
             };
             match it.peek() {
                 Some(v) if !v.starts_with("--") => {
-                    values.insert(name.to_string(), it.next().unwrap().clone());
+                    values
+                        .entry(name.to_string())
+                        .or_default()
+                        .push(it.next().unwrap().clone());
                 }
                 _ => flags.push(name.to_string()),
             }
@@ -62,8 +71,17 @@ impl Opts {
         Ok(Opts { flags, values })
     }
 
+    /// The last occurrence of a single-valued option.
     fn value(&self, name: &str) -> Option<&str> {
-        self.values.get(name).map(String::as_str)
+        self.values
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// Every occurrence of a repeatable option, in order.
+    fn values_of(&self, name: &str) -> &[String] {
+        self.values.get(name).map(Vec::as_slice).unwrap_or(&[])
     }
 
     fn require(&self, name: &str) -> Result<&str, String> {
@@ -84,6 +102,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     let opts = Opts::parse(rest)?;
     match cmd.as_str() {
         "query" => cmd_query(&opts),
+        "session" => cmd_session(&opts),
         "relevant" => cmd_relevant(&opts),
         "validate" => cmd_validate(&opts),
         "termination" => cmd_termination(&opts),
@@ -102,6 +121,7 @@ fn print_usage() {
         "axml — lazy query evaluation for Active XML (SIGMOD 2004)\n\n\
          commands:\n\
          \x20 query        evaluate a tree-pattern query lazily\n\
+         \x20 session      evaluate a stream of queries with a shared call cache\n\
          \x20 relevant     list the calls relevant for a query (Prop. 1)\n\
          \x20 validate     check a document against a schema\n\
          \x20 termination  static termination analysis of a document's calls\n\
@@ -186,6 +206,38 @@ fn load_query(opts: &Opts) -> Result<Pattern, String> {
     parse_query(src).map_err(|e| e.to_string())
 }
 
+/// Builds the cross-query call-cache configuration from `--cache-ttl-ms`
+/// (validity window, default: never expires), `--cache-capacity`
+/// (max entries) and `--cache-bytes` (max serialized result bytes).
+fn cache_config(opts: &Opts) -> Result<CacheConfig, String> {
+    let mut config = CacheConfig::default();
+    if let Some(v) = opts.value("cache-ttl-ms") {
+        config.default_ttl_ms = v
+            .parse()
+            .map_err(|_| format!("--cache-ttl-ms expects milliseconds, got {v:?}"))?;
+    }
+    if let Some(v) = opts.value("cache-capacity") {
+        config.max_entries = v
+            .parse()
+            .map_err(|_| format!("--cache-capacity expects a number, got {v:?}"))?;
+    }
+    if let Some(v) = opts.value("cache-bytes") {
+        config.max_bytes = v
+            .parse()
+            .map_err(|_| format!("--cache-bytes expects a number, got {v:?}"))?;
+    }
+    Ok(config)
+}
+
+/// Whether any cache option was given (`--cache` alone enables the
+/// defaults; any `--cache-*` value implies `--cache`).
+fn wants_cache(opts: &Opts) -> bool {
+    opts.flag("cache")
+        || opts.value("cache-ttl-ms").is_some()
+        || opts.value("cache-capacity").is_some()
+        || opts.value("cache-bytes").is_some()
+}
+
 fn engine_config(opts: &Opts) -> Result<EngineConfig, String> {
     let strategy = match opts.value("strategy").unwrap_or("nfq") {
         "nfq" => Strategy::Nfq,
@@ -236,9 +288,17 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     apply_fault_opts(&mut registry, opts)?;
     let schema = load_schema(opts)?;
     let config = engine_config(opts)?;
+    let cache = if wants_cache(opts) {
+        Some(CallCache::new(cache_config(opts)?))
+    } else {
+        None
+    };
     let mut engine = Engine::new(&registry, config);
     if let Some(s) = &schema {
         engine = engine.with_schema(s);
+    }
+    if let Some(c) = &cache {
+        engine = engine.with_cache(c);
     }
     let report = engine.evaluate(&mut doc, &query);
     if !report.complete {
@@ -259,19 +319,7 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         eprintln!("{}", report.stats);
     }
     if opts.flag("trace") {
-        for e in &report.trace {
-            eprintln!(
-                "round {:>3}  {:<20} at /{}{}{}  ({:.1} ms, {} attempt{})",
-                e.round,
-                e.service,
-                e.path,
-                if e.pushed { "  [pushed]" } else { "" },
-                if e.ok { "" } else { "  [FAILED]" },
-                e.cost_ms,
-                e.attempts,
-                if e.attempts == 1 { "" } else { "s" }
-            );
-        }
+        print_trace(&report.trace);
     }
     let pretty = SerializeOptions {
         pretty: true,
@@ -285,6 +333,108 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
         "doc" => println!("{}", to_xml_with(&doc, pretty)),
         other => return Err(format!("--out expects results|doc, got {other:?}")),
     }
+    Ok(())
+}
+
+fn print_trace(trace: &[activexml::core::TraceEvent]) {
+    for e in trace {
+        eprintln!(
+            "round {:>3}  {:<20} at /{}{}{}{}  ({:.1} ms, {} attempt{})",
+            e.round,
+            e.service,
+            e.path,
+            if e.cached { "  [CACHED]" } else { "" },
+            if e.pushed { "  [pushed]" } else { "" },
+            if e.ok { "" } else { "  [FAILED]" },
+            e.cost_ms,
+            e.attempts,
+            if e.attempts == 1 { "" } else { "s" }
+        );
+    }
+}
+
+/// A stream of queries against one document through the store's session
+/// machinery (reconstructed §7): the call cache and the simulated clock
+/// persist across queries, so repeated work is served at zero network
+/// cost. `--idle-ms X` inserts simulated idle time between consecutive
+/// queries (aging cached entries toward their `--cache-ttl-ms` horizon);
+/// `--persist` materializes results into the stored document instead of
+/// evaluating each query on a snapshot.
+fn cmd_session(opts: &Opts) -> Result<(), String> {
+    let doc = load_doc(opts)?;
+    let sources = opts.values_of("query");
+    if sources.is_empty() {
+        return Err("session needs at least one --query".into());
+    }
+    let queries: Vec<Pattern> = sources
+        .iter()
+        .map(|src| parse_query(src).map_err(|e| format!("{src:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let mut registry = load_world(opts)?;
+    apply_fault_opts(&mut registry, opts)?;
+    let schema = load_schema(opts)?;
+    let options = SessionOptions {
+        engine: engine_config(opts)?,
+        snapshot_per_query: !opts.flag("persist"),
+    };
+    let idle_ms: f64 = match opts.value("idle-ms") {
+        None => 0.0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--idle-ms expects milliseconds, got {v:?}"))?,
+    };
+
+    let mut store = DocumentStore::with_cache_config(cache_config(opts)?);
+    store.insert("doc", doc);
+    let mut session = store
+        .session("doc", &registry, schema.as_ref(), options)
+        .expect("document just inserted");
+
+    let mut total_invoked = 0;
+    for (i, query) in queries.iter().enumerate() {
+        if i > 0 && idle_ms > 0.0 {
+            session.advance_clock(idle_ms);
+        }
+        let report = session.query(query);
+        let s = &report.stats;
+        total_invoked += s.calls_invoked;
+        println!("-- query {}: {}", i + 1, render(query));
+        println!(
+            "   calls={}  cache: {} hits / {} misses / {} expired  \
+             sim={:.1} ms  clock={:.1} ms{}",
+            s.calls_invoked,
+            s.cache_hits,
+            s.cache_misses,
+            s.cache_stale,
+            s.sim_time_ms,
+            report.clock_ms,
+            if report.complete { "" } else { "  [PARTIAL]" }
+        );
+        if opts.flag("trace") {
+            print_trace(&report.trace);
+        }
+        if opts.flag("stats") {
+            eprintln!("{s}");
+        }
+        if !opts.flag("quiet") {
+            for row in &report.answers {
+                println!("   {}", row.join(" | "));
+            }
+        }
+    }
+    let cs = session.cache().stats();
+    println!(
+        "== session: {} queries, {} invocations, cache {} hits / {} misses / {} expired \
+         ({:.0}% hit rate), {} entries live ({} bytes)",
+        queries.len(),
+        total_invoked,
+        cs.hits,
+        cs.misses,
+        cs.stale,
+        cs.hit_rate() * 100.0,
+        session.cache().len(),
+        session.cache().total_bytes()
+    );
     Ok(())
 }
 
