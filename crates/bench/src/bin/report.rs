@@ -134,6 +134,15 @@ fn main() {
         );
         emit("e11", "ttl_ms", &rows);
     }
+    if want("e12") || want("trace") {
+        let rows = ex::e12_trace_overhead(&[50, 100, 200]);
+        ex::print_table(
+            "E12 — tracing overhead (structured observability stream)",
+            "hotels",
+            &rows,
+        );
+        emit("e12", "hotels", &rows);
+    }
     if want("a4") {
         let rows = ex::a4_incremental(&[20, 50, 100]);
         ex::print_table("A4 — incremental relevance detection", "hotels", &rows);

@@ -785,6 +785,97 @@ pub fn e11_cache(ttls_ms: &[f64]) -> Vec<Row> {
     rows
 }
 
+/// E12 — tracing overhead: the CPU cost of the structured observability
+/// stream. The E1/E3 hotel workload runs with and without a `RingSink`
+/// observer attached; the observer never touches the simulated clock, so
+/// `sim_net_ms` is asserted identical and the delta in total time is pure
+/// instrumentation cost. Best-of-`reps` damps scheduler noise. The
+/// acceptance bar is < 5% on the traced total (sim-time dominated).
+pub fn e12_trace_overhead(hotel_counts: &[usize]) -> Vec<Row> {
+    use axml_obs::RingSink;
+    let q = figure4_query();
+    let profile = NetProfile::default();
+    let reps = 3;
+    let variants: Vec<(&str, EngineConfig)> = vec![
+        (
+            "lazy-nfq-typed",
+            EngineConfig {
+                push_queries: false,
+                ..EngineConfig::default()
+            },
+        ),
+        (
+            "nfq-exact",
+            EngineConfig {
+                parallel: true,
+                layering: true,
+                push_queries: false,
+                ..EngineConfig::nfq_plain()
+            },
+        ),
+        (
+            "lazy-lpq",
+            EngineConfig {
+                parallel: true,
+                ..EngineConfig::lpq()
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for &hotels in hotel_counts {
+        let params = ScenarioParams {
+            hotels,
+            ..Default::default()
+        };
+        for (name, config) in &variants {
+            let (mut plain_ms, mut traced_ms) = (f64::INFINITY, f64::INFINITY);
+            let mut events = 0usize;
+            for _ in 0..reps {
+                let mut sc = generate(&params);
+                let (plain, _) = run_once(&mut sc, &q, config.clone(), profile);
+
+                let mut sc = generate(&params);
+                sc.registry.set_default_profile(profile);
+                sc.registry.reset_stats();
+                let mut doc = sc.doc.clone();
+                let ring = RingSink::unbounded();
+                let engine = Engine::new(&sc.registry, config.clone())
+                    .with_schema(&sc.schema)
+                    .with_observer(&ring);
+                let traced = engine.evaluate(&mut doc, &q).stats;
+
+                assert_eq!(
+                    plain.sim_time_ms, traced.sim_time_ms,
+                    "{name}: the observer changed simulated time at {hotels} hotels"
+                );
+                assert_eq!(
+                    plain.calls_invoked, traced.calls_invoked,
+                    "{name}: the observer changed the calls invoked at {hotels} hotels"
+                );
+                plain_ms = plain_ms.min(plain.total_time_ms());
+                traced_ms = traced_ms.min(traced.total_time_ms());
+                events = ring.len();
+            }
+            let overhead_pct = if plain_ms > 0.0 {
+                (traced_ms - plain_ms) / plain_ms * 100.0
+            } else {
+                0.0
+            };
+            rows.push(Row {
+                label: name.to_string(),
+                x: hotels as f64,
+                metrics: vec![
+                    ("plain_ms", plain_ms),
+                    ("traced_ms", traced_ms),
+                    ("overhead_pct", overhead_pct),
+                    ("events", events as f64),
+                ],
+            });
+        }
+    }
+    rows
+}
+
 pub fn e9_auctions(auction_counts: &[usize]) -> Vec<Row> {
     use axml_gen::auctions::{auction_query, generate_auctions, AuctionParams};
     let mut rows = Vec::new();

@@ -24,7 +24,8 @@ use crate::influence::{compute_layers, Layers};
 use crate::nfq::{build_lpqs, build_nfqs, relax_nfq_to_xpath, Nfq};
 use crate::stats::EngineStats;
 use crate::typed::TypeRefiner;
-use axml_query::{eval, EdgeKind, Pattern, SnapshotResult};
+use axml_obs::{CacheOutcome, Event, EventKind, TraceSink};
+use axml_query::{eval, render, EdgeKind, Pattern, SnapshotResult};
 use axml_schema::{SatMode, Schema};
 use axml_services::{
     CacheLookup, FailedCall, InvokeCache, InvokeError, PushedQuery, Registry, SimClock,
@@ -47,6 +48,18 @@ pub enum Strategy {
     /// Node-focused queries with the NFQA loop (§3.2/§4.1): exact
     /// relevance under unconstrained types.
     Nfq,
+}
+
+impl Strategy {
+    /// Stable name used in trace events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Naive => "naive",
+            Strategy::TopDown => "topdown",
+            Strategy::Lpq => "lpq",
+            Strategy::Nfq => "nfq",
+        }
+    }
 }
 
 /// Type-based pruning level (Section 5 / §6.1).
@@ -258,6 +271,7 @@ pub struct Engine<'a> {
     registry: &'a Registry,
     schema: Option<&'a Schema>,
     cache: Option<&'a dyn InvokeCache>,
+    observer: Option<&'a dyn TraceSink>,
     start_ms: f64,
     config: EngineConfig,
 }
@@ -269,9 +283,22 @@ impl<'a> Engine<'a> {
             registry,
             schema: None,
             cache: None,
+            observer: None,
             start_ms: 0.0,
             config,
         }
+    }
+
+    /// Attaches a structured-trace observer: every observable step of a
+    /// run (query/layer spans, candidate sets, cache probes, attempts,
+    /// invocations, breaker transitions, batch clock charges) is emitted
+    /// as an [`axml_obs::Event`]. Emission happens only on the engine's
+    /// sequential phases — detection, splice, accounting — never on
+    /// dispatch threads, so the stream's order is deterministic even for
+    /// `real_threads` parallel batches.
+    pub fn with_observer(mut self, observer: &'a dyn TraceSink) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// Attaches a schema, enabling `Typing::{Lenient, Exact}`.
@@ -334,6 +361,7 @@ impl<'a> Engine<'a> {
             registry: self.registry,
             schema: self.schema,
             cache: self.cache,
+            observer: self.observer,
             start_ms: self.start_ms,
             config: shared_config,
         };
@@ -351,6 +379,8 @@ impl<'a> Engine<'a> {
             nfq_cache: std::collections::HashMap::new(),
             affected_nfas: std::collections::HashMap::new(),
             trace: Vec::new(),
+            seq: 0,
+            layer: 0,
         };
         let typing = match (self.config.typing, self.schema) {
             (Typing::Lenient, Some(_)) => Some(SatMode::Lenient),
@@ -375,6 +405,13 @@ impl<'a> Engine<'a> {
             })
             .collect();
 
+        if run.observing() {
+            let rendered: Vec<String> = queries.iter().map(render).collect();
+            run.emit(EventKind::QueryStart {
+                strategy: "shared".to_string(),
+                query: rendered.join(" ; "),
+            });
+        }
         loop {
             let mut merged: BTreeMap<CallId, Candidate> = BTreeMap::new();
             for (nfqs, refiner) in per_query.iter_mut() {
@@ -385,11 +422,12 @@ impl<'a> Engine<'a> {
                 }
             }
             if merged.is_empty() || run.budget == 0 {
-                run.stats.truncated |= run.budget == 0 && !merged.is_empty();
+                run.note_truncation(merged.len());
                 break;
             }
             run.stats.rounds += 1;
             let cands: Vec<Candidate> = merged.into_values().collect();
+            run.emit_candidates(&cands);
             let invoked = run.invoke_set(doc, &cands, &BTreeMap::new(), self.config.parallel);
             if invoked == 0 {
                 break;
@@ -397,9 +435,18 @@ impl<'a> Engine<'a> {
         }
 
         let shared_sim = run.clock.now_ms() - self.start_ms;
-        let mut shared_stats = run.stats;
-        shared_stats.sim_time_ms = shared_sim;
-        shared_stats.final_doc_size = doc.len();
+        run.stats.sim_time_ms = shared_sim;
+        run.stats.final_doc_size = doc.len();
+        if run.observing() {
+            let kind = EventKind::QueryEnd {
+                complete: run.stats.is_complete(),
+                calls_invoked: run.stats.calls_invoked,
+                sim_time_ms: shared_sim,
+            };
+            let cpu = t0.elapsed().as_secs_f64() * 1e3;
+            run.emit_with_cpu(kind, Some(cpu));
+        }
+        let shared_stats = run.stats;
         let shared_trace = run.trace;
         queries
             .iter()
@@ -438,7 +485,15 @@ impl<'a> Engine<'a> {
             nfq_cache: std::collections::HashMap::new(),
             affected_nfas: std::collections::HashMap::new(),
             trace: Vec::new(),
+            seq: 0,
+            layer: 0,
         };
+        if run.observing() {
+            run.emit(EventKind::QueryStart {
+                strategy: self.config.strategy.name().to_string(),
+                query: render(query),
+            });
+        }
         match self.config.strategy {
             Strategy::Naive => run.run_naive(doc),
             Strategy::TopDown => run.run_lpq(doc, true),
@@ -447,18 +502,24 @@ impl<'a> Engine<'a> {
         }
         let tq = Instant::now();
         let result = eval(query, doc);
-        let mut stats = run.stats;
-        stats.final_eval_cpu = tq.elapsed();
-        stats.sim_time_ms = run.clock.now_ms() - self.start_ms;
-        stats.total_cpu = t0.elapsed();
-        stats.final_doc_size = doc.len();
-        if let Some(g) = &run.guide {
-            stats.guide_nodes = g.len();
+        run.stats.final_eval_cpu = tq.elapsed();
+        run.stats.sim_time_ms = run.clock.now_ms() - self.start_ms;
+        run.stats.total_cpu = t0.elapsed();
+        run.stats.final_doc_size = doc.len();
+        run.stats.guide_nodes = run.guide.as_ref().map_or(0, FGuide::len);
+        let complete = run.stats.is_complete();
+        if run.observing() {
+            let kind = EventKind::QueryEnd {
+                complete,
+                calls_invoked: run.stats.calls_invoked,
+                sim_time_ms: run.stats.sim_time_ms,
+            };
+            let cpu = run.stats.total_cpu.as_secs_f64() * 1e3;
+            run.emit_with_cpu(kind, Some(cpu));
         }
-        let complete = stats.is_complete();
         EvalReport {
             result,
-            stats,
+            stats: run.stats,
             trace: run.trace,
             complete,
         }
@@ -488,6 +549,10 @@ struct Run<'e, 'a, 'q> {
     /// per-NFQ-index prefix-closed union of path languages
     affected_nfas: std::collections::HashMap<usize, axml_schema::Nfa>,
     trace: Vec<TraceEvent>,
+    /// monotone event counter for the structured trace (resets per run)
+    seq: u64,
+    /// influence layer currently being processed (0 when unlayered)
+    layer: usize,
 }
 
 /// One invocation candidate.
@@ -503,6 +568,84 @@ struct Candidate {
 impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
     fn config(&self) -> &EngineConfig {
         &self.engine.config
+    }
+
+    /// Whether any trace consumer is attached (structured observer or the
+    /// legacy flat `TraceEvent` log). Callers use this to skip the clones
+    /// event construction needs on the hot path.
+    fn observing(&self) -> bool {
+        self.engine.observer.is_some() || self.engine.config.trace
+    }
+
+    /// Emits one structured event stamped with the run's current position
+    /// (seq, simulated clock, round, layer). The legacy flat
+    /// [`TraceEvent`] log is a projection of this stream: `invocation`
+    /// events are mirrored into it when [`EngineConfig::trace`] is set.
+    fn emit(&mut self, kind: EventKind) {
+        self.emit_with_cpu(kind, None);
+    }
+
+    fn emit_with_cpu(&mut self, kind: EventKind, cpu_ms: Option<f64>) {
+        if !self.observing() {
+            return;
+        }
+        if self.config().trace {
+            if let EventKind::Invocation {
+                service,
+                path,
+                pushed,
+                cached,
+                ok,
+                attempts,
+                cost_ms,
+                ..
+            } = &kind
+            {
+                self.trace.push(TraceEvent {
+                    round: self.stats.rounds,
+                    service: service.clone(),
+                    path: path.clone(),
+                    pushed: *pushed,
+                    cost_ms: *cost_ms,
+                    attempts: *attempts,
+                    ok: *ok,
+                    cached: *cached,
+                });
+            }
+        }
+        let event = Event {
+            seq: self.seq,
+            sim_ms: self.clock.now_ms(),
+            round: self.stats.rounds,
+            layer: self.layer,
+            cpu_ms,
+            kind,
+        };
+        self.seq += 1;
+        if let Some(obs) = self.engine.observer {
+            obs.emit(&event);
+        }
+    }
+
+    /// Emits one `candidates` event naming the calls detection just found
+    /// relevant — the sets the laziness oracle replays.
+    fn emit_candidates(&mut self, cands: &[Candidate]) {
+        if !self.observing() {
+            return;
+        }
+        self.emit(EventKind::Candidates {
+            calls: cands.iter().map(|c| c.call.0).collect(),
+            services: cands.iter().map(|c| c.service.clone()).collect(),
+        });
+    }
+
+    /// Flags budget truncation (once) when the budget died with relevant
+    /// candidates still pending, emitting the matching trace event.
+    fn note_truncation(&mut self, pending: usize) {
+        if self.budget == 0 && pending > 0 && !self.stats.truncated {
+            self.stats.truncated = true;
+            self.emit(EventKind::Truncated { pending });
+        }
     }
 
     /// Calls visible to queries: pre-order, never descending below a call
@@ -549,6 +692,12 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         if !self.engine.registry.has_service(&cand.service) {
             self.dead.insert(cand.call);
             self.stats.skipped_unknown += 1;
+            if self.observing() {
+                self.emit(EventKind::UnknownService {
+                    service: cand.service.clone(),
+                    call: cand.call.0,
+                });
+            }
             return None;
         }
         if !self
@@ -562,6 +711,12 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             self.dead.insert(cand.call);
             self.stats.breaker_skips += 1;
             self.engine.registry.record_breaker_skip();
+            if self.observing() {
+                self.emit(EventKind::BreakerSkip {
+                    service: cand.service.clone(),
+                    call: cand.call.0,
+                });
+            }
             return None;
         }
         let params = doc.children_to_forest(cand.node);
@@ -604,16 +759,22 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                     None => Vec::new(),
                 };
                 self.splice_result(doc, cand, &parent_path, &hit.result);
-                if self.config().trace {
-                    self.trace.push(TraceEvent {
-                        round: self.stats.rounds,
+                if self.observing() {
+                    self.emit(EventKind::CacheProbe {
                         service: cand.service.clone(),
+                        call: cand.call.0,
+                        outcome: CacheOutcome::Hit,
+                    });
+                    self.emit(EventKind::Invocation {
+                        service: cand.service.clone(),
+                        call: cand.call.0,
                         path: parent_path.join("/"),
                         pushed: hit.pushed,
-                        cost_ms: 0.0,
-                        attempts: 0,
-                        ok: true,
                         cached: true,
+                        ok: true,
+                        attempts: 0,
+                        cost_ms: 0.0,
+                        bytes: 0,
                     });
                 }
                 self.stats.cache_hits += 1;
@@ -621,10 +782,24 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             }
             CacheLookup::Stale => {
                 self.stats.cache_stale += 1;
+                if self.observing() {
+                    self.emit(EventKind::CacheProbe {
+                        service: cand.service.clone(),
+                        call: cand.call.0,
+                        outcome: CacheOutcome::Stale,
+                    });
+                }
                 false
             }
             CacheLookup::Miss => {
                 self.stats.cache_misses += 1;
+                if self.observing() {
+                    self.emit(EventKind::CacheProbe {
+                        service: cand.service.clone(),
+                        call: cand.call.0,
+                        outcome: CacheOutcome::Miss,
+                    });
+                }
                 false
             }
         }
@@ -642,6 +817,12 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         if allowed_before != allowed_after {
             if let Some(cache) = self.engine.cache {
                 cache.on_breaker_transition(service, !allowed_after);
+            }
+            if self.observing() {
+                self.emit(EventKind::BreakerTransition {
+                    service: service.to_string(),
+                    open: !allowed_after,
+                });
             }
         }
     }
@@ -679,6 +860,12 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 self.budget += 1;
                 self.dead.insert(cand.call);
                 self.stats.skipped_unknown += 1;
+                if self.observing() {
+                    self.emit(EventKind::UnknownService {
+                        service: cand.service.clone(),
+                        call: cand.call.0,
+                    });
+                }
                 None
             }
             Err(InvokeError::Failed(failed)) => Some(self.apply_failure(cand, parent_path, failed)),
@@ -735,16 +922,28 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             }
         }
         self.splice_result(doc, cand, &parent_path, &outcome.result);
-        if self.config().trace {
-            self.trace.push(TraceEvent {
-                round: self.stats.rounds,
+        if self.observing() {
+            // the registry reports the final attempt count; individual
+            // attempt events are derived here, on the sequential
+            // accounting phase (only the last attempt succeeded)
+            for i in 0..outcome.attempts {
+                self.emit(EventKind::Attempt {
+                    service: cand.service.clone(),
+                    call: cand.call.0,
+                    index: i,
+                    ok: i + 1 == outcome.attempts,
+                });
+            }
+            self.emit(EventKind::Invocation {
                 service: cand.service.clone(),
+                call: cand.call.0,
                 path: parent_path.join("/"),
                 pushed: outcome.pushed,
-                cost_ms: outcome.cost_ms,
-                attempts: outcome.attempts,
-                ok: true,
                 cached: false,
+                ok: true,
+                attempts: outcome.attempts,
+                cost_ms: outcome.cost_ms,
+                bytes: outcome.bytes,
             });
         }
         self.stats.calls_invoked += 1;
@@ -781,16 +980,25 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         self.stats.failed_calls += 1;
         self.stats.call_attempts += failed.attempts;
         self.total_call_cost_ms += failed.cost_ms;
-        if self.config().trace {
-            self.trace.push(TraceEvent {
-                round: self.stats.rounds,
+        if self.observing() {
+            for i in 0..failed.attempts {
+                self.emit(EventKind::Attempt {
+                    service: cand.service.clone(),
+                    call: cand.call.0,
+                    index: i,
+                    ok: false,
+                });
+            }
+            self.emit(EventKind::Invocation {
                 service: cand.service.clone(),
+                call: cand.call.0,
                 path: parent_path.join("/"),
                 pushed: false,
-                cost_ms: failed.cost_ms,
-                attempts: failed.attempts,
-                ok: false,
                 cached: false,
+                ok: false,
+                attempts: failed.attempts,
+                cost_ms: failed.cost_ms,
+                bytes: 0,
             });
         }
         self.record_breaker(&cand.service, false);
@@ -812,6 +1020,11 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         for c in cands {
             if let Some(cost) = self.invoke(doc, c, pushes.get(&c.call)) {
                 self.clock.advance(cost);
+                self.emit(EventKind::Batch {
+                    parallel: false,
+                    costs: vec![cost],
+                    advance_ms: cost,
+                });
                 return 1;
             }
         }
@@ -906,6 +1119,12 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                         self.budget += 1;
                         self.dead.insert(c.call);
                         self.stats.skipped_unknown += 1;
+                        if self.observing() {
+                            self.emit(EventKind::UnknownService {
+                                service: c.service.clone(),
+                                call: c.call.0,
+                            });
+                        }
                     }
                     Err(InvokeError::Failed(failed)) => {
                         costs.push(self.apply_failure(c, path, failed));
@@ -914,12 +1133,30 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 }
             }
             self.clock.advance_parallel(&costs);
+            if !costs.is_empty() {
+                let advance_ms = costs.iter().copied().fold(0.0, f64::max);
+                self.emit(EventKind::Batch {
+                    parallel: true,
+                    costs,
+                    advance_ms,
+                });
+            }
         } else {
+            let mut costs = Vec::new();
             for c in cands {
                 if let Some(cost) = self.invoke(doc, c, pushes.get(&c.call)) {
                     self.clock.advance(cost);
+                    costs.push(cost);
                     invoked += 1;
                 }
+            }
+            if !costs.is_empty() {
+                let advance_ms = costs.iter().sum();
+                self.emit(EventKind::Batch {
+                    parallel: false,
+                    costs,
+                    advance_ms,
+                });
             }
         }
         invoked
@@ -940,10 +1177,11 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 })
                 .collect();
             if cands.is_empty() || self.budget == 0 {
-                self.stats.truncated |= self.budget == 0 && !cands.is_empty();
+                self.note_truncation(cands.len());
                 break;
             }
             self.stats.rounds += 1;
+            self.emit_candidates(&cands);
             let par = self.config().parallel;
             let invoked = self.invoke_set(doc, &cands, &BTreeMap::new(), par);
             if invoked == 0 {
@@ -983,11 +1221,12 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             }
             self.stats.relevance_cpu += t.elapsed();
             if cands.is_empty() || self.budget == 0 {
-                self.stats.truncated |= self.budget == 0 && !cands.is_empty();
+                self.note_truncation(cands.len());
                 break;
             }
             cands.sort_by(|a, b| doc.cmp_document_order(a.node, b.node));
             self.stats.rounds += 1;
+            self.emit_candidates(&cands);
             let invoked = if one_at_a_time {
                 self.invoke_first(doc, &cands, &BTreeMap::new())
             } else {
@@ -1064,13 +1303,19 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
 
         for (li, layer) in layers.layers.iter().enumerate() {
             let parallel_ok = layers.independent[li] && self.config().parallel;
+            self.layer = li;
+            self.emit(EventKind::LayerStart {
+                nfqs: layer.len(),
+                independent: layers.independent[li],
+            });
             loop {
                 let (cands, pushes) = self.detect_nfq_candidates(doc, &nfqs, layer, &mut refiner);
                 if cands.is_empty() || self.budget == 0 {
-                    self.stats.truncated |= self.budget == 0 && !cands.is_empty();
+                    self.note_truncation(cands.len());
                     break;
                 }
                 self.stats.rounds += 1;
+                self.emit_candidates(&cands);
                 let invoked = if parallel_ok {
                     self.invoke_set(doc, &cands, &pushes, true)
                 } else {
@@ -1086,6 +1331,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                     break;
                 }
             }
+            self.emit(EventKind::LayerEnd);
             // §4.3: drop the `()` side branches guarding positions whose
             // layers are now fully processed
             if self.config().simplify_layers {
@@ -1130,10 +1376,11 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         loop {
             let (cands, pushes) = self.detect_nfq_candidates(doc, nfqs, &all, refiner);
             if cands.is_empty() || self.budget == 0 {
-                self.stats.truncated |= self.budget == 0 && !cands.is_empty();
+                self.note_truncation(cands.len());
                 break;
             }
             self.stats.rounds += 1;
+            self.emit_candidates(&cands);
             let avg_cost = if self.stats.calls_invoked > 0 {
                 Some(self.total_call_cost_ms / self.stats.calls_invoked as f64)
             } else {

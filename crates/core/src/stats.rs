@@ -78,7 +78,10 @@ impl EngineStats {
     }
 
     /// The fraction of cache probes answered by a valid entry, or 0.0
-    /// when no cache was consulted. Expired entries count as misses.
+    /// when no cache was consulted. Note that the denominator counts
+    /// **all** probes — hits, misses *and* stale (expired) entries — so a
+    /// probe that found an entry past its validity window drags the rate
+    /// down exactly like a miss.
     pub fn cache_hit_rate(&self) -> f64 {
         let probes = self.cache_hits + self.cache_misses + self.cache_stale;
         if probes == 0 {
@@ -98,6 +101,29 @@ impl EngineStats {
             && self.breaker_skips == 0
             && self.skipped_unknown == 0
             && !self.truncated
+    }
+
+    /// Mirrors the counters into the observability crate's
+    /// [`axml_obs::StatsView`], the dependency-free form the trace-oracle
+    /// accounting checks ([`axml_obs::check_stats`]) compare a trace
+    /// against.
+    pub fn view(&self) -> axml_obs::StatsView {
+        axml_obs::StatsView {
+            calls_invoked: self.calls_invoked,
+            call_attempts: self.call_attempts,
+            failed_calls: self.failed_calls,
+            breaker_skips: self.breaker_skips,
+            skipped_unknown: self.skipped_unknown,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            cache_stale: self.cache_stale,
+            pushed_calls: self.pushed_calls,
+            bytes_transferred: self.bytes_transferred,
+            sim_time_ms: self.sim_time_ms,
+            truncated: self.truncated,
+            complete: self.is_complete(),
+            invoked_by_service: self.invoked_by_service.clone(),
+        }
     }
 }
 
@@ -155,9 +181,11 @@ impl fmt::Display for EngineStats {
         if self.cache_hits + self.cache_misses + self.cache_stale > 0 {
             writeln!(
                 f,
-                "call cache: {} hits, {} misses, {} expired ({:.0}% hit rate)",
+                "call cache: {} hit{}, {} miss{}, {} expired ({:.0}% hit rate)",
                 self.cache_hits,
+                if self.cache_hits == 1 { "" } else { "s" },
                 self.cache_misses,
+                if self.cache_misses == 1 { "" } else { "es" },
                 self.cache_stale,
                 self.cache_hit_rate() * 100.0
             )?;
@@ -225,7 +253,7 @@ mod tests {
         };
         assert!((s.cache_hit_rate() - 0.75).abs() < 1e-9);
         let out = s.to_string();
-        assert!(out.contains("call cache: 3 hits, 1 misses, 0 expired"));
+        assert!(out.contains("call cache: 3 hits, 1 miss, 0 expired"));
         assert!(out.contains("75% hit rate"));
         assert_eq!(EngineStats::default().cache_hit_rate(), 0.0);
     }

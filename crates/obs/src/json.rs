@@ -1,0 +1,702 @@
+//! JSONL encoding of event streams — hand-rolled (the workspace takes no
+//! external dependencies) and **deterministic**: field order is fixed,
+//! floats print Rust's shortest round-trip representation, and the
+//! wall-clock-dependent `cpu_ms` field is omitted unless explicitly
+//! requested, so two runs with the same seed serialize byte-identically.
+
+use crate::event::{CacheOutcome, Event, EventKind};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------- encode
+
+fn push_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    // JSON has no Infinity/NaN literals; the engine never produces them
+    // in events, but stay total anyway
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_f64_slice(out: &mut String, vs: &[f64]) {
+    out.push('[');
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_f64(out, *v);
+    }
+    out.push(']');
+}
+
+/// Encodes one event as a single JSON object (no trailing newline).
+/// `include_cpu` adds the wall-clock `cpu_ms` field, breaking run-to-run
+/// byte identity — keep it off for goldens and determinism checks.
+pub fn event_to_json(e: &Event, include_cpu: bool) -> String {
+    let mut s = String::with_capacity(128);
+    let _ = write!(s, "{{\"seq\":{},\"sim_ms\":", e.seq);
+    push_f64(&mut s, e.sim_ms);
+    let _ = write!(s, ",\"round\":{},\"layer\":{}", e.round, e.layer);
+    if include_cpu {
+        if let Some(cpu) = e.cpu_ms {
+            s.push_str(",\"cpu_ms\":");
+            push_f64(&mut s, cpu);
+        }
+    }
+    s.push_str(",\"kind\":");
+    push_escaped(&mut s, e.kind.name());
+    match &e.kind {
+        EventKind::QueryStart { strategy, query } => {
+            s.push_str(",\"strategy\":");
+            push_escaped(&mut s, strategy);
+            s.push_str(",\"query\":");
+            push_escaped(&mut s, query);
+        }
+        EventKind::QueryEnd {
+            complete,
+            calls_invoked,
+            sim_time_ms,
+        } => {
+            let _ = write!(
+                s,
+                ",\"complete\":{complete},\"calls_invoked\":{calls_invoked}"
+            );
+            s.push_str(",\"sim_time_ms\":");
+            push_f64(&mut s, *sim_time_ms);
+        }
+        EventKind::LayerStart { nfqs, independent } => {
+            let _ = write!(s, ",\"nfqs\":{nfqs},\"independent\":{independent}");
+        }
+        EventKind::LayerEnd => {}
+        EventKind::Candidates { calls, services } => {
+            s.push_str(",\"calls\":[");
+            for (i, c) in calls.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                let _ = write!(s, "{c}");
+            }
+            s.push_str("],\"services\":[");
+            for (i, svc) in services.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                push_escaped(&mut s, svc);
+            }
+            s.push(']');
+        }
+        EventKind::CacheProbe {
+            service,
+            call,
+            outcome,
+        } => {
+            s.push_str(",\"service\":");
+            push_escaped(&mut s, service);
+            let _ = write!(s, ",\"call\":{call},\"outcome\":");
+            push_escaped(&mut s, outcome.as_str());
+        }
+        EventKind::Attempt {
+            service,
+            call,
+            index,
+            ok,
+        } => {
+            s.push_str(",\"service\":");
+            push_escaped(&mut s, service);
+            let _ = write!(s, ",\"call\":{call},\"index\":{index},\"ok\":{ok}");
+        }
+        EventKind::Invocation {
+            service,
+            call,
+            path,
+            pushed,
+            cached,
+            ok,
+            attempts,
+            cost_ms,
+            bytes,
+        } => {
+            s.push_str(",\"service\":");
+            push_escaped(&mut s, service);
+            let _ = write!(s, ",\"call\":{call},\"path\":");
+            push_escaped(&mut s, path);
+            let _ = write!(
+                s,
+                ",\"pushed\":{pushed},\"cached\":{cached},\"ok\":{ok},\"attempts\":{attempts},\"cost_ms\":"
+            );
+            push_f64(&mut s, *cost_ms);
+            let _ = write!(s, ",\"bytes\":{bytes}");
+        }
+        EventKind::BreakerTransition { service, open } => {
+            s.push_str(",\"service\":");
+            push_escaped(&mut s, service);
+            let _ = write!(s, ",\"open\":{open}");
+        }
+        EventKind::BreakerSkip { service, call } | EventKind::UnknownService { service, call } => {
+            s.push_str(",\"service\":");
+            push_escaped(&mut s, service);
+            let _ = write!(s, ",\"call\":{call}");
+        }
+        EventKind::Batch {
+            parallel,
+            costs,
+            advance_ms,
+        } => {
+            let _ = write!(s, ",\"parallel\":{parallel},\"costs\":");
+            push_f64_slice(&mut s, costs);
+            s.push_str(",\"advance_ms\":");
+            push_f64(&mut s, *advance_ms);
+        }
+        EventKind::Truncated { pending } => {
+            let _ = write!(s, ",\"pending\":{pending}");
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Encodes a stream as JSONL, one event per line, trailing newline after
+/// every line. Deterministic (omits `cpu_ms`).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&event_to_json(e, false));
+        out.push('\n');
+    }
+    out
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Why a JSONL line failed to parse back into an [`Event`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number in the JSONL input.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed JSON value (the subset the trace format uses).
+#[derive(Clone, Debug, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn boolean(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        _ => return Err("bad escape".into()),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // consume one UTF-8 scalar
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8")?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+fn req<'a>(v: &'a Value, key: &str) -> Result<&'a Value, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn req_num(v: &Value, key: &str) -> Result<f64, String> {
+    req(v, key)?
+        .num()
+        .ok_or_else(|| format!("field {key:?} is not a number"))
+}
+
+fn req_usize(v: &Value, key: &str) -> Result<usize, String> {
+    Ok(req_num(v, key)? as usize)
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    Ok(req_num(v, key)? as u64)
+}
+
+fn req_bool(v: &Value, key: &str) -> Result<bool, String> {
+    req(v, key)?
+        .boolean()
+        .ok_or_else(|| format!("field {key:?} is not a bool"))
+}
+
+fn req_str(v: &Value, key: &str) -> Result<String, String> {
+    Ok(req(v, key)?
+        .str()
+        .ok_or_else(|| format!("field {key:?} is not a string"))?
+        .to_string())
+}
+
+/// Parses one JSON object (one JSONL line) back into an [`Event`].
+pub fn event_from_json(line: &str) -> Result<Event, String> {
+    let mut p = Parser::new(line);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    let kind_name = req_str(&v, "kind")?;
+    let kind = match kind_name.as_str() {
+        "query_start" => EventKind::QueryStart {
+            strategy: req_str(&v, "strategy")?,
+            query: req_str(&v, "query")?,
+        },
+        "query_end" => EventKind::QueryEnd {
+            complete: req_bool(&v, "complete")?,
+            calls_invoked: req_usize(&v, "calls_invoked")?,
+            sim_time_ms: req_num(&v, "sim_time_ms")?,
+        },
+        "layer_start" => EventKind::LayerStart {
+            nfqs: req_usize(&v, "nfqs")?,
+            independent: req_bool(&v, "independent")?,
+        },
+        "layer_end" => EventKind::LayerEnd,
+        "candidates" => {
+            let calls = req(&v, "calls")?
+                .arr()
+                .ok_or("field \"calls\" is not an array")?
+                .iter()
+                .map(|x| x.num().map(|n| n as u64).ok_or("non-numeric call id"))
+                .collect::<Result<Vec<u64>, _>>()?;
+            let services = req(&v, "services")?
+                .arr()
+                .ok_or("field \"services\" is not an array")?
+                .iter()
+                .map(|x| x.str().map(String::from).ok_or("non-string service"))
+                .collect::<Result<Vec<String>, _>>()?;
+            EventKind::Candidates { calls, services }
+        }
+        "cache_probe" => EventKind::CacheProbe {
+            service: req_str(&v, "service")?,
+            call: req_u64(&v, "call")?,
+            outcome: CacheOutcome::from_name(&req_str(&v, "outcome")?)
+                .ok_or("unknown cache outcome")?,
+        },
+        "attempt" => EventKind::Attempt {
+            service: req_str(&v, "service")?,
+            call: req_u64(&v, "call")?,
+            index: req_usize(&v, "index")?,
+            ok: req_bool(&v, "ok")?,
+        },
+        "invocation" => EventKind::Invocation {
+            service: req_str(&v, "service")?,
+            call: req_u64(&v, "call")?,
+            path: req_str(&v, "path")?,
+            pushed: req_bool(&v, "pushed")?,
+            cached: req_bool(&v, "cached")?,
+            ok: req_bool(&v, "ok")?,
+            attempts: req_usize(&v, "attempts")?,
+            cost_ms: req_num(&v, "cost_ms")?,
+            bytes: req_usize(&v, "bytes")?,
+        },
+        "breaker" => EventKind::BreakerTransition {
+            service: req_str(&v, "service")?,
+            open: req_bool(&v, "open")?,
+        },
+        "breaker_skip" => EventKind::BreakerSkip {
+            service: req_str(&v, "service")?,
+            call: req_u64(&v, "call")?,
+        },
+        "unknown_service" => EventKind::UnknownService {
+            service: req_str(&v, "service")?,
+            call: req_u64(&v, "call")?,
+        },
+        "batch" => EventKind::Batch {
+            parallel: req_bool(&v, "parallel")?,
+            costs: req(&v, "costs")?
+                .arr()
+                .ok_or("field \"costs\" is not an array")?
+                .iter()
+                .map(|x| x.num().ok_or("non-numeric cost"))
+                .collect::<Result<Vec<f64>, _>>()?,
+            advance_ms: req_num(&v, "advance_ms")?,
+        },
+        "truncated" => EventKind::Truncated {
+            pending: req_usize(&v, "pending")?,
+        },
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(Event {
+        seq: req_u64(&v, "seq")?,
+        sim_ms: req_num(&v, "sim_ms")?,
+        round: req_usize(&v, "round")?,
+        layer: req_usize(&v, "layer")?,
+        cpu_ms: v.get("cpu_ms").and_then(Value::num),
+        kind,
+    })
+}
+
+/// Parses a whole JSONL trace (blank lines ignored).
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, ParseError> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(event_from_json(line).map_err(|message| ParseError {
+            line: i + 1,
+            message,
+        })?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event {
+                seq: 0,
+                sim_ms: 0.0,
+                round: 0,
+                layer: 0,
+                cpu_ms: None,
+                kind: EventKind::QueryStart {
+                    strategy: "nfq".into(),
+                    query: "/a/b[c=\"v\"]".into(),
+                },
+            },
+            Event {
+                seq: 1,
+                sim_ms: 0.0,
+                round: 1,
+                layer: 0,
+                cpu_ms: None,
+                kind: EventKind::Candidates {
+                    calls: vec![0, 3],
+                    services: vec!["getRating".into(), "weird \"name\"\n".into()],
+                },
+            },
+            Event {
+                seq: 2,
+                sim_ms: 12.5,
+                round: 1,
+                layer: 0,
+                cpu_ms: None,
+                kind: EventKind::Invocation {
+                    service: "getRating".into(),
+                    call: 0,
+                    path: "hotels/hotel/rating".into(),
+                    pushed: false,
+                    cached: false,
+                    ok: true,
+                    attempts: 2,
+                    cost_ms: 12.5,
+                    bytes: 77,
+                },
+            },
+            Event {
+                seq: 3,
+                sim_ms: 12.5,
+                round: 1,
+                layer: 2,
+                cpu_ms: None,
+                kind: EventKind::Batch {
+                    parallel: true,
+                    costs: vec![12.5, 3.0],
+                    advance_ms: 12.5,
+                },
+            },
+            Event {
+                seq: 4,
+                sim_ms: 12.5,
+                round: 1,
+                layer: 2,
+                cpu_ms: Some(1.25),
+                kind: EventKind::QueryEnd {
+                    complete: true,
+                    calls_invoked: 1,
+                    sim_time_ms: 12.5,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrips() {
+        let events = sample();
+        let text = to_jsonl(&events);
+        let back = parse_jsonl(&text).unwrap();
+        // cpu_ms is deliberately dropped by the deterministic encoding
+        let mut expect = events.clone();
+        for e in &mut expect {
+            e.cpu_ms = None;
+        }
+        assert_eq!(back, expect);
+        // re-encoding is byte-stable
+        assert_eq!(to_jsonl(&back), text);
+    }
+
+    #[test]
+    fn cpu_field_roundtrips_when_requested() {
+        let e = &sample()[4];
+        let line = event_to_json(e, true);
+        assert!(line.contains("\"cpu_ms\":1.25"), "{line}");
+        let back = event_from_json(&line).unwrap();
+        assert_eq!(back.cpu_ms, Some(1.25));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = parse_jsonl("{\"seq\":0}\nnot json\n").unwrap_err();
+        assert_eq!(err.line, 1); // first line is missing fields already
+        let err = parse_jsonl(
+            "{\"kind\":\"layer_end\",\"seq\":0,\"sim_ms\":0,\"round\":0,\"layer\":0}\n{oops\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn escapes_are_reversible() {
+        let nasty = "q\"\\\n\t\u{1}端";
+        let e = Event {
+            seq: 9,
+            sim_ms: 1.0,
+            round: 0,
+            layer: 0,
+            cpu_ms: None,
+            kind: EventKind::QueryStart {
+                strategy: nasty.into(),
+                query: nasty.into(),
+            },
+        };
+        let back = event_from_json(&event_to_json(&e, false)).unwrap();
+        assert_eq!(back, e);
+    }
+}

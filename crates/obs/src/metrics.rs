@@ -1,0 +1,385 @@
+//! Metric aggregation over an event stream: per-service and per-layer
+//! histograms of latency, retries absorbed, bytes moved and cache hit
+//! rates, derived entirely from the trace (no engine access needed).
+
+use crate::event::{CacheOutcome, Event, EventKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A small exact histogram: keeps every sample, answers quantiles.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Histogram {
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Sum of samples (positive zero when empty — `Iterator::sum` for
+    /// floats starts from `-0.0`, which would leak into displays).
+    pub fn sum(&self) -> f64 {
+        self.samples.iter().fold(0.0, |a, b| a + b)
+    }
+
+    /// Mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.samples.len() as f64
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Quantile by nearest-rank (q in [0,1]); 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+}
+
+/// Aggregates for one service.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceMetrics {
+    /// Calls actually invoked (excludes cache hits).
+    pub invoked: usize,
+    /// Calls that failed permanently.
+    pub failed: usize,
+    /// Latency of each real invocation, in simulated ms.
+    pub latency_ms: Histogram,
+    /// Retries absorbed: attempts beyond the first on ultimately
+    /// successful calls.
+    pub retries_absorbed: usize,
+    /// Result bytes moved over the simulated network.
+    pub bytes: usize,
+    /// Cache probes that hit.
+    pub cache_hits: usize,
+    /// Cache probes that found an expired entry.
+    pub cache_stale: usize,
+    /// Cache probes that found nothing.
+    pub cache_misses: usize,
+    /// Breaker refusals.
+    pub breaker_skips: usize,
+}
+
+impl ServiceMetrics {
+    /// Fraction of cache probes served from cache (0 when never probed).
+    /// Stale probes count in the denominator, mirroring
+    /// `EngineStats::cache_hit_rate`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_stale + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Aggregates for one influence layer.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LayerMetrics {
+    /// Times the layer started processing (once per query that reached it).
+    pub activations: usize,
+    /// Calls invoked while this layer was current.
+    pub invocations: usize,
+    /// Parallel batches charged under this layer.
+    pub parallel_batches: usize,
+    /// Simulated ms the clock advanced while in this layer.
+    pub sim_ms: Histogram,
+}
+
+/// Everything the aggregator derives from one stream.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsReport {
+    /// Query spans seen (`query_start` events).
+    pub queries: usize,
+    /// Query spans that ended complete.
+    pub complete: usize,
+    /// Total calls invoked across all spans.
+    pub calls_invoked: usize,
+    /// Total simulated ms consumed across all spans.
+    pub sim_time_ms: f64,
+    /// Total CPU ms, when the stream carried `cpu_ms` (None otherwise).
+    pub cpu_time_ms: Option<f64>,
+    /// Per-service aggregates, keyed by service name.
+    pub services: BTreeMap<String, ServiceMetrics>,
+    /// Per-layer aggregates, keyed by layer index.
+    pub layers: BTreeMap<usize, LayerMetrics>,
+}
+
+impl MetricsReport {
+    /// Latency histogram pooled over every service.
+    pub fn overall_latency(&self) -> Histogram {
+        let mut h = Histogram::default();
+        for m in self.services.values() {
+            for s in &m.latency_ms.samples {
+                h.record(*s);
+            }
+        }
+        h
+    }
+}
+
+/// Folds an event stream into a [`MetricsReport`]. Accepts streams
+/// containing several query spans (e.g. a whole session).
+pub fn aggregate(events: &[Event]) -> MetricsReport {
+    let mut r = MetricsReport::default();
+    for e in events {
+        match &e.kind {
+            EventKind::QueryStart { .. } => r.queries += 1,
+            EventKind::QueryEnd {
+                complete,
+                calls_invoked,
+                sim_time_ms,
+            } => {
+                if *complete {
+                    r.complete += 1;
+                }
+                r.calls_invoked += calls_invoked;
+                r.sim_time_ms += sim_time_ms;
+                if let Some(cpu) = e.cpu_ms {
+                    *r.cpu_time_ms.get_or_insert(0.0) += cpu;
+                }
+            }
+            EventKind::LayerStart { .. } => {
+                r.layers.entry(e.layer).or_default().activations += 1;
+            }
+            EventKind::CacheProbe {
+                service, outcome, ..
+            } => {
+                let m = r.services.entry(service.clone()).or_default();
+                match outcome {
+                    CacheOutcome::Hit => m.cache_hits += 1,
+                    CacheOutcome::Stale => m.cache_stale += 1,
+                    CacheOutcome::Miss => m.cache_misses += 1,
+                }
+            }
+            EventKind::Invocation {
+                service,
+                cached: false,
+                ok,
+                attempts,
+                cost_ms,
+                bytes,
+                ..
+            } => {
+                let m = r.services.entry(service.clone()).or_default();
+                m.invoked += 1;
+                if *ok {
+                    m.retries_absorbed += attempts.saturating_sub(1);
+                } else {
+                    m.failed += 1;
+                }
+                m.latency_ms.record(*cost_ms);
+                m.bytes += bytes;
+                r.layers.entry(e.layer).or_default().invocations += 1;
+            }
+            EventKind::BreakerSkip { service, .. } => {
+                r.services.entry(service.clone()).or_default().breaker_skips += 1;
+            }
+            EventKind::Batch {
+                parallel,
+                advance_ms,
+                ..
+            } => {
+                let l = r.layers.entry(e.layer).or_default();
+                if *parallel {
+                    l.parallel_batches += 1;
+                }
+                l.sim_ms.record(*advance_ms);
+            }
+            _ => {}
+        }
+    }
+    r
+}
+
+impl fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} queries ({} complete), {} calls invoked, {:.1}ms simulated",
+            self.queries, self.complete, self.calls_invoked, self.sim_time_ms
+        )?;
+        if let Some(cpu) = self.cpu_time_ms {
+            writeln!(f, "cpu time: {cpu:.2}ms")?;
+        }
+        let overall = self.overall_latency();
+        if overall.count() > 0 {
+            writeln!(
+                f,
+                "latency: mean {:.1}ms, p50 {:.1}ms, p95 {:.1}ms, max {:.1}ms",
+                overall.mean(),
+                overall.quantile(0.5),
+                overall.quantile(0.95),
+                overall.max()
+            )?;
+        }
+        for (name, m) in &self.services {
+            writeln!(
+                f,
+                "  service {name}: {} invoked ({} failed), {} retries absorbed, {}B, cache {}h/{}s/{}m ({:.0}% hit), {} breaker skips, mean {:.1}ms",
+                m.invoked,
+                m.failed,
+                m.retries_absorbed,
+                m.bytes,
+                m.cache_hits,
+                m.cache_stale,
+                m.cache_misses,
+                m.cache_hit_rate() * 100.0,
+                m.breaker_skips,
+                m.latency_ms.mean()
+            )?;
+        }
+        for (idx, l) in &self.layers {
+            writeln!(
+                f,
+                "  layer {idx}: {} activations, {} invocations, {} parallel batches, {:.1}ms simulated",
+                l.activations,
+                l.invocations,
+                l.parallel_batches,
+                l.sim_ms.sum()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64, layer: usize, kind: EventKind) -> Event {
+        Event {
+            seq,
+            sim_ms: 0.0,
+            round: 1,
+            layer,
+            cpu_ms: None,
+            kind,
+        }
+    }
+
+    #[test]
+    fn aggregates_services_and_layers() {
+        let events = vec![
+            ev(
+                0,
+                0,
+                EventKind::QueryStart {
+                    strategy: "nfq".into(),
+                    query: "q".into(),
+                },
+            ),
+            ev(
+                1,
+                0,
+                EventKind::CacheProbe {
+                    service: "s".into(),
+                    call: 0,
+                    outcome: CacheOutcome::Miss,
+                },
+            ),
+            ev(
+                2,
+                0,
+                EventKind::Invocation {
+                    service: "s".into(),
+                    call: 0,
+                    path: "a/b".into(),
+                    pushed: false,
+                    cached: false,
+                    ok: true,
+                    attempts: 3,
+                    cost_ms: 10.0,
+                    bytes: 42,
+                },
+            ),
+            ev(
+                3,
+                0,
+                EventKind::Batch {
+                    parallel: true,
+                    costs: vec![10.0],
+                    advance_ms: 10.0,
+                },
+            ),
+            ev(
+                4,
+                0,
+                EventKind::QueryEnd {
+                    complete: true,
+                    calls_invoked: 1,
+                    sim_time_ms: 10.0,
+                },
+            ),
+        ];
+        let r = aggregate(&events);
+        assert_eq!(r.queries, 1);
+        assert_eq!(r.complete, 1);
+        assert_eq!(r.calls_invoked, 1);
+        let s = &r.services["s"];
+        assert_eq!(s.invoked, 1);
+        assert_eq!(s.retries_absorbed, 2);
+        assert_eq!(s.bytes, 42);
+        assert_eq!(s.cache_misses, 1);
+        let l = &r.layers[&0];
+        assert_eq!(l.invocations, 1);
+        assert_eq!(l.parallel_batches, 1);
+        assert!((l.sim_ms.sum() - 10.0).abs() < 1e-9);
+        assert!(r.cpu_time_ms.is_none());
+        let text = r.to_string();
+        assert!(text.contains("service s: 1 invoked"), "{text}");
+    }
+
+    #[test]
+    fn cached_invocations_do_not_count_as_invoked() {
+        let events = vec![ev(
+            0,
+            0,
+            EventKind::Invocation {
+                service: "s".into(),
+                call: 0,
+                path: "p".into(),
+                pushed: false,
+                cached: true,
+                ok: true,
+                attempts: 0,
+                cost_ms: 0.0,
+                bytes: 0,
+            },
+        )];
+        let r = aggregate(&events);
+        assert_eq!(r.services.get("s").map_or(0, |m| m.invoked), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::default();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 2.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+        assert_eq!(h.max(), 4.0);
+        assert!((h.mean() - 2.5).abs() < 1e-9);
+    }
+}

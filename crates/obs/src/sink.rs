@@ -1,0 +1,297 @@
+//! Pluggable trace sinks. The engine emits every [`Event`] to one
+//! [`TraceSink`]; sinks decide whether to keep it in memory
+//! ([`RingSink`]), append it to a JSONL stream ([`JsonlSink`]), render it
+//! for a human ([`PrettySink`]) or drop it ([`NullSink`]).
+
+use crate::event::{Event, EventKind};
+use crate::json::event_to_json;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Receives the engine's event stream.
+///
+/// Emission always happens from the engine's sequential phases, so a sink
+/// observes events in their deterministic order; the `Send + Sync` bound
+/// only exists so an observer handle can be shared across the engine's
+/// worker threads structurally (they never emit).
+pub trait TraceSink: Send + Sync {
+    /// Accept one event.
+    fn emit(&self, event: &Event);
+}
+
+/// Keeps the most recent `capacity` events in memory (unbounded when
+/// constructed with [`RingSink::unbounded`]).
+pub struct RingSink {
+    capacity: usize,
+    events: Mutex<Vec<Event>>,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events; older events are dropped.
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity,
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A ring that never drops events.
+    pub fn unbounded() -> Self {
+        RingSink::new(usize::MAX)
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// Retained event count.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for RingSink {
+    fn emit(&self, event: &Event) {
+        let mut events = self.events.lock().unwrap();
+        if events.len() == self.capacity {
+            events.remove(0);
+        }
+        events.push(event.clone());
+    }
+}
+
+/// Streams events as JSONL to any writer. Uses the deterministic
+/// encoding by default (no `cpu_ms`); see [`JsonlSink::with_cpu`].
+pub struct JsonlSink<W: Write + Send> {
+    writer: Mutex<W>,
+    include_cpu: bool,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Deterministic JSONL stream (omits wall-clock `cpu_ms`).
+    pub fn new(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+            include_cpu: false,
+        }
+    }
+
+    /// Include `cpu_ms` fields — richer but no longer byte-reproducible.
+    pub fn with_cpu(writer: W) -> Self {
+        JsonlSink {
+            writer: Mutex::new(writer),
+            include_cpu: true,
+        }
+    }
+
+    /// Flush and recover the underlying writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self.writer.into_inner().unwrap();
+        let _ = w.flush();
+        w
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn emit(&self, event: &Event) {
+        let mut w = self.writer.lock().unwrap();
+        let _ = writeln!(w, "{}", event_to_json(event, self.include_cpu));
+    }
+}
+
+/// Renders events as an indented, human-readable span tree.
+pub struct PrettySink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> PrettySink<W> {
+    /// Pretty-print to `writer`.
+    pub fn new(writer: W) -> Self {
+        PrettySink {
+            writer: Mutex::new(writer),
+        }
+    }
+}
+
+/// Renders one event as the pretty printer's line (without trailing
+/// newline). Exposed so the CLI can format ring-buffered events after a
+/// run.
+pub fn pretty_line(e: &Event) -> String {
+    let indent = match &e.kind {
+        EventKind::QueryStart { .. } | EventKind::QueryEnd { .. } => 0,
+        EventKind::LayerStart { .. } | EventKind::LayerEnd | EventKind::Truncated { .. } => 1,
+        EventKind::Candidates { .. } | EventKind::Batch { .. } => 2,
+        EventKind::Invocation { .. }
+        | EventKind::BreakerTransition { .. }
+        | EventKind::BreakerSkip { .. }
+        | EventKind::UnknownService { .. } => 3,
+        EventKind::CacheProbe { .. } | EventKind::Attempt { .. } => 4,
+    };
+    let pad = "  ".repeat(indent);
+    let body = match &e.kind {
+        EventKind::QueryStart { strategy, query } => {
+            format!("query start [{strategy}] {query}")
+        }
+        EventKind::QueryEnd {
+            complete,
+            calls_invoked,
+            sim_time_ms,
+        } => {
+            let cpu = e
+                .cpu_ms
+                .map(|c| format!(", cpu {c:.2}ms"))
+                .unwrap_or_default();
+            format!(
+                "query end: {} ({calls_invoked} calls, sim {sim_time_ms}ms{cpu})",
+                if *complete { "complete" } else { "PARTIAL" }
+            )
+        }
+        EventKind::LayerStart { nfqs, independent } => format!(
+            "layer {} start ({nfqs} NFQs{})",
+            e.layer,
+            if *independent { ", independent" } else { "" }
+        ),
+        EventKind::LayerEnd => format!("layer {} end", e.layer),
+        EventKind::Candidates { calls, services } => {
+            let list: Vec<String> = calls
+                .iter()
+                .zip(services)
+                .map(|(c, s)| format!("#{c}:{s}"))
+                .collect();
+            format!("candidates [{}]", list.join(", "))
+        }
+        EventKind::CacheProbe {
+            service,
+            call,
+            outcome,
+        } => format!("cache probe #{call}:{service} -> {}", outcome.as_str()),
+        EventKind::Attempt {
+            service,
+            call,
+            index,
+            ok,
+        } => format!(
+            "attempt {index} #{call}:{service} -> {}",
+            if *ok { "ok" } else { "fail" }
+        ),
+        EventKind::Invocation {
+            service,
+            call,
+            path,
+            pushed,
+            cached,
+            ok,
+            attempts,
+            cost_ms,
+            bytes,
+        } => {
+            let mut flags = Vec::new();
+            if *cached {
+                flags.push("cached");
+            }
+            if *pushed {
+                flags.push("pushed");
+            }
+            if !*ok {
+                flags.push("FAILED");
+            }
+            let flags = if flags.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", flags.join(", "))
+            };
+            format!(
+                "invoke #{call}:{service} at {path}{flags} ({attempts} attempts, {cost_ms}ms, {bytes}B)"
+            )
+        }
+        EventKind::BreakerTransition { service, open } => format!(
+            "breaker {service} -> {}",
+            if *open { "OPEN" } else { "closed" }
+        ),
+        EventKind::BreakerSkip { service, call } => {
+            format!("breaker skip #{call}:{service}")
+        }
+        EventKind::UnknownService { service, call } => {
+            format!("unknown service #{call}:{service}")
+        }
+        EventKind::Batch {
+            parallel,
+            costs,
+            advance_ms,
+        } => format!(
+            "batch of {} ({}) -> +{advance_ms}ms",
+            costs.len(),
+            if *parallel {
+                "parallel, max"
+            } else {
+                "sequential, sum"
+            }
+        ),
+        EventKind::Truncated { pending } => {
+            format!("TRUNCATED with {pending} candidates pending")
+        }
+    };
+    format!("{:>9.2}ms {pad}{body}", e.sim_ms)
+}
+
+impl<W: Write + Send> TraceSink for PrettySink<W> {
+    fn emit(&self, event: &Event) {
+        let mut w = self.writer.lock().unwrap();
+        let _ = writeln!(w, "{}", pretty_line(event));
+    }
+}
+
+/// Discards everything.
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(seq: u64) -> Event {
+        Event {
+            seq,
+            sim_ms: seq as f64,
+            round: 0,
+            layer: 0,
+            cpu_ms: None,
+            kind: EventKind::LayerEnd,
+        }
+    }
+
+    #[test]
+    fn ring_caps_and_drops_oldest() {
+        let ring = RingSink::new(2);
+        for i in 0..5 {
+            ring.emit(&ev(i));
+        }
+        let kept: Vec<u64> = ring.events().iter().map(|e| e.seq).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let sink = JsonlSink::new(Vec::new());
+        sink.emit(&ev(0));
+        sink.emit(&ev(1));
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("{\"seq\":0,"));
+    }
+
+    #[test]
+    fn pretty_lines_render() {
+        let line = pretty_line(&ev(0));
+        assert!(line.contains("layer 0 end"), "{line}");
+    }
+}

@@ -3,6 +3,7 @@
 
 use crate::cache::{CacheStats, CallCache};
 use axml_core::{Engine, EngineConfig, EngineStats, EvalReport, TraceEvent};
+use axml_obs::TraceSink;
 use axml_query::{construct_results, render_result, Pattern};
 use axml_schema::Schema;
 use axml_services::Registry;
@@ -76,6 +77,7 @@ pub struct Session<'a> {
     schema: Option<&'a Schema>,
     cache: Arc<CallCache>,
     options: SessionOptions,
+    observer: Option<&'a dyn TraceSink>,
     clock_ms: f64,
     queries_run: usize,
 }
@@ -95,9 +97,19 @@ impl<'a> Session<'a> {
             schema,
             cache,
             options,
+            observer: None,
             clock_ms: 0.0,
             queries_run: 0,
         }
+    }
+
+    /// Attaches a structured-trace observer shared by every query in the
+    /// session: each query's engine emits into it, producing one stream
+    /// of consecutive query spans on the session's (monotone) simulated
+    /// clock.
+    pub fn with_observer(mut self, observer: &'a dyn TraceSink) -> Self {
+        self.observer = Some(observer);
+        self
     }
 
     /// The session's simulated clock, in milliseconds.
@@ -136,6 +148,9 @@ impl<'a> Session<'a> {
             .starting_at(self.clock_ms);
         if let Some(schema) = self.schema {
             engine = engine.with_schema(schema);
+        }
+        if let Some(observer) = self.observer {
+            engine = engine.with_observer(observer);
         }
         let report;
         let result_doc;

@@ -7,11 +7,12 @@
 //!            [--push] [--fguide] [--no-parallel] [--speculate] [--stats] \
 //!            [--retries N] [--timeout-ms X] [--fault-seed N] [--fail-prob P] \
 //!            [--cache] [--cache-ttl-ms X] [--cache-capacity N] [--cache-bytes N] \
+//!            [--trace-json PATH] [--trace-summary] \
 //!            [--out results|doc]
 //! axml session --doc doc.xml --world world.xml \
 //!              --query Q1 [--query Q2 ...] [--idle-ms X] [--persist] \
 //!              [--cache-ttl-ms X] [--cache-capacity N] [--cache-bytes N] \
-//!              [--quiet] [--stats] [--trace]
+//!              [--quiet] [--stats] [--trace] [--trace-json PATH] [--trace-summary]
 //! axml validate --doc doc.xml --schema schema.txt
 //! axml termination --doc doc.xml --schema schema.txt
 //! axml materialize --doc doc.xml --world world.xml [--max-calls N]
@@ -25,6 +26,7 @@
 use activexml::core::{
     build_lpqs, build_nfqs, compute_layers, Engine, EngineConfig, Speculation, Strategy, Typing,
 };
+use activexml::obs::{aggregate, to_jsonl, RingSink};
 use activexml::query::{construct_results, parse_query, render, Pattern};
 use activexml::schema::{parse_schema, Schema};
 use activexml::services::{load_registry, FaultProfile, Registry};
@@ -281,6 +283,28 @@ fn engine_config(opts: &Opts) -> Result<EngineConfig, String> {
     })
 }
 
+/// Builds the structured-trace collector when `--trace-json` or
+/// `--trace-summary` asks for one. Events are collected in memory during
+/// the run and written out afterwards, so one stream serves both outputs.
+fn trace_collector(opts: &Opts) -> Option<RingSink> {
+    (opts.value("trace-json").is_some() || opts.flag("trace-summary")).then(RingSink::unbounded)
+}
+
+/// Writes the collected stream: `--trace-json PATH` gets the
+/// deterministic JSONL encoding (byte-identical across same-seed runs);
+/// `--trace-summary` prints the aggregated per-service/per-layer metrics
+/// to stderr.
+fn finish_trace(opts: &Opts, ring: &RingSink) -> Result<(), String> {
+    let events = ring.events();
+    if let Some(path) = opts.value("trace-json") {
+        std::fs::write(path, to_jsonl(&events)).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+    if opts.flag("trace-summary") {
+        eprint!("{}", aggregate(&events));
+    }
+    Ok(())
+}
+
 fn cmd_query(opts: &Opts) -> Result<(), String> {
     let mut doc = load_doc(opts)?;
     let query = load_query(opts)?;
@@ -293,6 +317,7 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     } else {
         None
     };
+    let ring = trace_collector(opts);
     let mut engine = Engine::new(&registry, config);
     if let Some(s) = &schema {
         engine = engine.with_schema(s);
@@ -300,7 +325,13 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     if let Some(c) = &cache {
         engine = engine.with_cache(c);
     }
+    if let Some(r) = &ring {
+        engine = engine.with_observer(r);
+    }
     let report = engine.evaluate(&mut doc, &query);
+    if let Some(r) = &ring {
+        finish_trace(opts, r)?;
+    }
     if !report.complete {
         eprintln!(
             "warning: partial answer — {} call(s) failed permanently, \
@@ -384,11 +415,15 @@ fn cmd_session(opts: &Opts) -> Result<(), String> {
             .map_err(|_| format!("--idle-ms expects milliseconds, got {v:?}"))?,
     };
 
+    let ring = trace_collector(opts);
     let mut store = DocumentStore::with_cache_config(cache_config(opts)?);
     store.insert("doc", doc);
     let mut session = store
         .session("doc", &registry, schema.as_ref(), options)
         .expect("document just inserted");
+    if let Some(r) = &ring {
+        session = session.with_observer(r);
+    }
 
     let mut total_invoked = 0;
     for (i, query) in queries.iter().enumerate() {
@@ -435,6 +470,9 @@ fn cmd_session(opts: &Opts) -> Result<(), String> {
         session.cache().len(),
         session.cache().total_bytes()
     );
+    if let Some(r) = &ring {
+        finish_trace(opts, r)?;
+    }
     Ok(())
 }
 

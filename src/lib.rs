@@ -14,6 +14,7 @@
 
 pub use axml_core as core;
 pub use axml_gen as gen;
+pub use axml_obs as obs;
 pub use axml_query as query;
 pub use axml_schema as schema;
 pub use axml_services as services;

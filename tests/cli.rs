@@ -208,6 +208,62 @@ fn helpful_errors() {
 }
 
 #[test]
+fn trace_json_is_deterministic_and_parses_back() {
+    let t = TempFiles::new("trace");
+    let doc = t.write("doc.xml", DOC);
+    let world = t.write("world.xml", WORLD);
+    let schema = t.write("schema.txt", SCHEMA);
+    let run = |out_name: &str| {
+        let trace = t.dir.join(out_name).to_string_lossy().into_owned();
+        let out = axml()
+            .args([
+                "query",
+                "--doc",
+                &doc,
+                "--world",
+                &world,
+                "--schema",
+                &schema,
+                "--query",
+                QUERY,
+                "--threads",
+                "--fault-seed",
+                "1",
+                "--trace-json",
+                &trace,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        std::fs::read_to_string(&trace).unwrap()
+    };
+    let first = run("a.jsonl");
+    let second = run("b.jsonl");
+    assert_eq!(
+        first, second,
+        "same-seed traces must be byte-identical (threaded batches included)"
+    );
+    let events = activexml::obs::parse_jsonl(&first).expect("trace parses back");
+    assert!(events
+        .iter()
+        .any(|e| matches!(e.kind, activexml::obs::EventKind::QueryEnd { .. })));
+    let violations = activexml::obs::check_all(&events, None);
+    assert!(
+        violations.is_empty(),
+        "CLI trace fails the oracle:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
 fn relevant_command_lists_relevant_calls() {
     let t = TempFiles::new("relevant");
     let doc = t.write("doc.xml", DOC);

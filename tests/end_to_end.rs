@@ -148,6 +148,40 @@ fn non_terminating_workload_hits_the_budget() {
 }
 
 #[test]
+fn trace_oracle_holds_across_strategies() {
+    // laziness and layer-order soundness, checked from the structured
+    // trace alone, for every call-finding family on the standard workload
+    use activexml::gen::{figure4_query, generate, ScenarioParams};
+    use activexml::obs::{check_all, RingSink};
+
+    let configs = [
+        ("naive", EngineConfig::naive()),
+        ("lpq", EngineConfig::lpq()),
+        ("nfq_plain", EngineConfig::nfq_plain()),
+        ("lazy-default", EngineConfig::default()),
+    ];
+    for (name, config) in configs {
+        let mut sc = generate(&ScenarioParams::default());
+        sc.registry.set_default_profile(NetProfile::latency(10.0));
+        let ring = RingSink::unbounded();
+        let report = Engine::new(&sc.registry, config)
+            .with_schema(&sc.schema)
+            .with_observer(&ring)
+            .evaluate(&mut sc.doc, &figure4_query());
+        let violations = check_all(&ring.events(), Some(&report.stats.view()));
+        assert!(
+            violations.is_empty(),
+            "{name}: trace-oracle violations:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}
+
+#[test]
 fn facade_reexports_compose() {
     // everything reachable from the facade crate
     let _ = activexml::xml::Document::with_root("r");

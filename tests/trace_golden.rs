@@ -1,0 +1,105 @@
+//! Golden structured-trace snapshots: the paper-walkthrough (Figure 1)
+//! scenario's event stream is pinned byte-for-byte as JSONL under the
+//! default schedule, under a threaded parallel schedule, and under a
+//! deterministic fault seed. Each case also asserts two-run determinism,
+//! parse-back round-tripping, and trace-oracle cleanliness against the
+//! engine's own accounting.
+//!
+//! Regenerate the pinned files with `AXML_UPDATE_GOLDEN=1 cargo test`.
+
+use activexml::core::{Engine, EngineConfig, EngineStats};
+use activexml::gen::{figure1, figure4_query};
+use activexml::obs::{assert_clean, parse_jsonl, to_jsonl, EventKind, RingSink};
+use activexml::services::{FaultProfile, NetProfile};
+use std::path::PathBuf;
+
+/// Runs the Figure 1 walkthrough under `config` (and optional faults) with
+/// an observer attached; returns the deterministic JSONL and the stats.
+fn run(config: EngineConfig, faults: Option<FaultProfile>) -> (String, EngineStats) {
+    let mut sc = figure1();
+    sc.registry.set_default_profile(NetProfile::latency(10.0));
+    if let Some(f) = faults {
+        sc.registry.set_default_fault_profile(f);
+    }
+    let ring = RingSink::unbounded();
+    let engine = Engine::new(&sc.registry, config.clone())
+        .with_schema(&sc.schema)
+        .with_observer(&ring);
+    let report = engine.evaluate(&mut sc.doc, &figure4_query());
+    let events = ring.events();
+    if config.trace {
+        // the legacy TraceEvent vector is a projection of the stream
+        let invocations = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Invocation { .. }))
+            .count();
+        assert_eq!(report.trace.len(), invocations);
+    }
+    (to_jsonl(&events), report.stats)
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check_golden(name: &str, config: EngineConfig, faults: Option<FaultProfile>) {
+    let (first, stats) = run(config.clone(), faults);
+    let (second, _) = run(config, faults);
+    assert_eq!(first, second, "{name}: two same-seed runs diverged");
+
+    let events = parse_jsonl(&first).expect("trace JSONL parses back");
+    assert_eq!(
+        to_jsonl(&events),
+        first,
+        "{name}: parse/serialize round-trip"
+    );
+    assert_clean(&events, Some(&stats.view()));
+
+    let path = golden_path(name);
+    if std::env::var("AXML_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &first).unwrap();
+        return;
+    }
+    let pinned = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nrun with AXML_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        first, pinned,
+        "{name}: trace diverged from the pinned golden; if the change is \
+         intended, regenerate with AXML_UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_default_schedule() {
+    check_golden("figure1_default.jsonl", EngineConfig::default(), None);
+}
+
+#[test]
+fn golden_threaded_parallel_batches() {
+    check_golden(
+        "figure1_threads.jsonl",
+        EngineConfig {
+            parallel: true,
+            real_threads: true,
+            trace: true,
+            ..EngineConfig::default()
+        },
+        None,
+    );
+}
+
+#[test]
+fn golden_fault_seed_1() {
+    check_golden(
+        "figure1_faults.jsonl",
+        EngineConfig::default(),
+        Some(FaultProfile::chaos(1, 0.3)),
+    );
+}
