@@ -143,6 +143,15 @@ fn main() {
         );
         emit("e12", "hotels", &rows);
     }
+    if want("e13") || want("hedging") {
+        let rows = ex::e13_hedging_deadlines(&[15.0, 30.0, 60.0], &[50.0, 250.0, 450.0, 600.0]);
+        ex::print_table(
+            "E13 — deadline-aware evaluation: hedging and end-to-end deadlines",
+            "trigger/deadline_ms",
+            &rows,
+        );
+        emit("e13", "trigger/deadline_ms", &rows);
+    }
     if want("a4") {
         let rows = ex::a4_incremental(&[20, 50, 100]);
         ex::print_table("A4 — incremental relevance detection", "hotels", &rows);

@@ -907,3 +907,121 @@ pub fn e9_auctions(auction_counts: &[usize]) -> Vec<Row> {
     }
     rows
 }
+
+/// E13 — deadline-aware evaluation: hedged invocations and end-to-end
+/// deadlines against a heavy-tailed latency profile.
+///
+/// The workload is the Figure 4 query over 100 hotels with a 10 ms base
+/// latency where a deterministic 30 % of call sites run 20× slower — the
+/// classic tail-at-scale shape. The `hedged` series sweeps the hedge
+/// trigger: once a call's simulated cost passes the trigger, a duplicate
+/// leg (with an independent deterministic fate) races it and the first
+/// success wins. The `no-hedge` series is the identical workload without
+/// hedging, so the pair isolates the mechanism.
+///
+/// Asserted invariants, not just reported numbers: hedging never changes
+/// the answer, never makes a batch slower on this profile (no failures,
+/// so the winner always completes no later than the primary), and its
+/// wasted work obeys the per-leg bound — each loser leg wastes at most
+/// its own cost, ≤ `slowdown_factor × latency` per hedge, and the waste
+/// is *off-clock* (loser legs never extend the batch).
+///
+/// The `deadline` series sweeps an end-to-end budget over the same
+/// workload (hedging off): the engine must close the round at the
+/// deadline with a sound partial answer — `answer_frac` rises with the
+/// budget and `sim_net_ms` never overruns it.
+pub fn e13_hedging_deadlines(triggers_ms: &[f64], deadlines_ms: &[f64]) -> Vec<Row> {
+    use axml_core::HedgeConfig;
+    let mut rows = Vec::new();
+    let q = figure4_query();
+    let params = ScenarioParams {
+        hotels: 100,
+        ..Default::default()
+    };
+    let profile = NetProfile::latency(10.0);
+    let tail = FaultProfile {
+        seed: 7,
+        fail_prob: 0.0,
+        transient_failures: 0,
+        timeout_prob: 0.0,
+        slowdown_prob: 0.3,
+        slowdown_factor: 20.0,
+    };
+    let run_with = |config: EngineConfig| {
+        let mut sc = generate(&params);
+        sc.registry.set_default_fault_profile(tail);
+        run_once(&mut sc, &q, config, profile)
+    };
+    let (base, reference) = run_with(EngineConfig::default());
+    let metrics_of = |stats: &EngineStats, frac: f64| {
+        vec![
+            ("sim_net_ms", stats.sim_time_ms),
+            ("calls", stats.calls_invoked as f64),
+            ("hedges", stats.hedged_calls as f64),
+            ("hedge_wins", stats.hedge_wins as f64),
+            ("wasted_ms", stats.hedge_wasted_ms),
+            ("failed", stats.failed_calls as f64),
+            ("answer_frac", frac),
+            ("complete", if stats.is_complete() { 1.0 } else { 0.0 }),
+        ]
+    };
+    for &t in triggers_ms {
+        rows.push(Row {
+            label: "no-hedge".into(),
+            x: t,
+            metrics: metrics_of(&base, 1.0),
+        });
+        let (stats, answers) = run_with(EngineConfig {
+            hedge: HedgeConfig {
+                threshold_ms: t,
+                latency_factor: f64::INFINITY,
+            },
+            ..EngineConfig::default()
+        });
+        assert_eq!(
+            answers, reference,
+            "hedging changed the answer at trigger {t}"
+        );
+        assert!(
+            stats.sim_time_ms <= base.sim_time_ms,
+            "hedging made the workload slower at trigger {t} ({} > {})",
+            stats.sim_time_ms,
+            base.sim_time_ms
+        );
+        assert!(
+            stats.hedge_wasted_ms <= stats.hedged_calls as f64 * (20.0 * 10.0),
+            "wasted work exceeds the per-leg bound at trigger {t}"
+        );
+        rows.push(Row {
+            label: "hedged".into(),
+            x: t,
+            metrics: metrics_of(&stats, 1.0),
+        });
+    }
+    for &d in deadlines_ms {
+        let (stats, answers) = run_with(EngineConfig {
+            deadline_ms: d,
+            ..EngineConfig::default()
+        });
+        assert!(
+            answers.is_subset(&reference),
+            "a deadline produced answers outside the reference at {d} ms"
+        );
+        assert!(
+            stats.sim_time_ms <= d + 1e-9,
+            "the engine overran a {d} ms deadline ({} ms simulated)",
+            stats.sim_time_ms
+        );
+        let frac = if reference.is_empty() {
+            1.0
+        } else {
+            answers.len() as f64 / reference.len() as f64
+        };
+        rows.push(Row {
+            label: "deadline".into(),
+            x: d,
+            metrics: metrics_of(&stats, frac),
+        });
+    }
+    rows
+}

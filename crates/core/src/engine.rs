@@ -24,11 +24,12 @@ use crate::influence::{compute_layers, Layers};
 use crate::nfq::{build_lpqs, build_nfqs, relax_nfq_to_xpath, Nfq};
 use crate::stats::EngineStats;
 use crate::typed::TypeRefiner;
-use axml_obs::{CacheOutcome, Event, EventKind, TraceSink};
+use axml_obs::{CacheOutcome, Event, EventKind, ShedReason, TraceSink};
 use axml_query::{eval, render, EdgeKind, Pattern, SnapshotResult};
 use axml_schema::{SatMode, Schema};
 use axml_services::{
-    CacheLookup, FailedCall, InvokeCache, InvokeError, PushedQuery, Registry, SimClock,
+    CacheLookup, Deadline, FailedCall, InvokeCache, InvokeError, InvokeOutcome, PushedQuery,
+    Registry, SimClock,
 };
 use axml_xml::{CallId, Document, NodeId};
 use std::collections::{BTreeMap, BTreeSet, HashSet};
@@ -127,6 +128,90 @@ pub struct EngineConfig {
     /// "calling functions in parallel *just in case*", trading possibly
     /// wasted calls for wall-clock.
     pub speculation: Speculation,
+    /// End-to-end deadline for the whole run, in simulated ms from the
+    /// run's start. When the budget runs out the engine stops dispatching
+    /// and closes the round with the same sound partial-answer semantics
+    /// as invocation-budget exhaustion — `truncated` with the distinct
+    /// `deadline_exceeded` cause. In-flight calls are clipped to the
+    /// remaining budget (per-attempt timeouts and backoff sleeps never
+    /// overrun it); zero-cost cache hits are still served after expiry.
+    /// `f64::INFINITY` (the default) disables the deadline.
+    pub deadline_ms: f64,
+    /// Hedged-invocation policy for parallel batches (off by default).
+    pub hedge: HedgeConfig,
+    /// Adaptive load-shedding policy (off by default).
+    pub shed: ShedConfig,
+}
+
+/// When to fire a duplicate *hedge leg* for a slow call inside a parallel
+/// batch. The first leg to complete wins; the loser is cancelled at zero
+/// answer-state cost and only its already-elapsed simulated time is
+/// charged to [`EngineStats::hedge_wasted_ms`]. Exactly one logical
+/// outcome (the winner's) reaches the stats, the trace and the circuit
+/// breaker. Both triggers default to `f64::INFINITY` (hedging off); when
+/// both are set the earlier trigger fires the hedge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HedgeConfig {
+    /// Fixed trigger: fire the hedge once a call's elapsed simulated cost
+    /// passes this many ms.
+    pub threshold_ms: f64,
+    /// Adaptive trigger: fire once the elapsed cost passes this multiple
+    /// of the service's observed latency EWMA (no effect until the
+    /// service has at least one observation).
+    pub latency_factor: f64,
+}
+
+impl HedgeConfig {
+    /// Whether any trigger is configured.
+    pub fn enabled(&self) -> bool {
+        self.threshold_ms.is_finite() || self.latency_factor.is_finite()
+    }
+
+    /// The elapsed-cost point (ms) at which a hedge fires for a service
+    /// with the given latency EWMA; `f64::INFINITY` means never.
+    fn trigger_ms(&self, ewma: Option<f64>) -> f64 {
+        let adaptive = match ewma {
+            Some(e) if self.latency_factor.is_finite() => self.latency_factor * e,
+            _ => f64::INFINITY,
+        };
+        self.threshold_ms.min(adaptive)
+    }
+}
+
+impl Default for HedgeConfig {
+    /// Hedging off.
+    fn default() -> Self {
+        HedgeConfig {
+            threshold_ms: f64::INFINITY,
+            latency_factor: f64::INFINITY,
+        }
+    }
+}
+
+/// Admission gate in front of the circuit breaker: sheds the
+/// lowest-priority candidate calls (latest in document order) when a
+/// service is overloaded. A shed call is recorded as a skip — like a
+/// breaker refusal — keeping the answer a sound partial result.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShedConfig {
+    /// Maximum calls admitted per service within one batch; further
+    /// candidates are shed with [`axml_obs::ShedReason::Inflight`].
+    /// `usize::MAX` (the default) disables the gate.
+    pub max_inflight_per_batch: usize,
+    /// Shed every candidate of a service whose latency EWMA exceeds this
+    /// many ms ([`axml_obs::ShedReason::Latency`]). `f64::INFINITY` (the
+    /// default) disables the gate.
+    pub ewma_limit_ms: f64,
+}
+
+impl Default for ShedConfig {
+    /// Shedding off.
+    fn default() -> Self {
+        ShedConfig {
+            max_inflight_per_batch: usize::MAX,
+            ewma_limit_ms: f64::INFINITY,
+        }
+    }
 }
 
 /// When to fire *all* currently relevant calls in one batch, ignoring the
@@ -169,6 +254,9 @@ impl Default for EngineConfig {
             trace: false,
             real_threads: false,
             speculation: Speculation::Off,
+            deadline_ms: f64::INFINITY,
+            hedge: HedgeConfig::default(),
+            shed: ShedConfig::default(),
         }
     }
 }
@@ -247,6 +335,9 @@ pub struct TraceEvent {
     /// Whether the answer was served from the cross-query call-result
     /// cache instead of a service invocation (reconstructed §7).
     pub cached: bool,
+    /// Whether a duplicate hedge leg was fired for this call (the
+    /// recorded cost and outcome are the race winner's).
+    pub hedged: bool,
 }
 
 /// The outcome of one engine run.
@@ -381,6 +472,10 @@ impl<'a> Engine<'a> {
             trace: Vec::new(),
             seq: 0,
             layer: 0,
+            deadline: Deadline::after(self.start_ms, self.config.deadline_ms),
+            deadline_hit: false,
+            batch_admitted: BTreeMap::new(),
+            pending_hedged: false,
         };
         let typing = match (self.config.typing, self.schema) {
             (Typing::Lenient, Some(_)) => Some(SatMode::Lenient),
@@ -430,6 +525,7 @@ impl<'a> Engine<'a> {
             run.emit_candidates(&cands);
             let invoked = run.invoke_set(doc, &cands, &BTreeMap::new(), self.config.parallel);
             if invoked == 0 {
+                run.note_truncation(run.pending_count(&cands));
                 break;
             }
         }
@@ -487,6 +583,10 @@ impl<'a> Engine<'a> {
             trace: Vec::new(),
             seq: 0,
             layer: 0,
+            deadline: Deadline::after(self.start_ms, self.config.deadline_ms),
+            deadline_hit: false,
+            batch_admitted: BTreeMap::new(),
+            pending_hedged: false,
         };
         if run.observing() {
             run.emit(EventKind::QueryStart {
@@ -553,6 +653,16 @@ struct Run<'e, 'a, 'q> {
     seq: u64,
     /// influence layer currently being processed (0 when unlayered)
     layer: usize,
+    /// absolute end-to-end deadline on the simulated clock
+    deadline: Deadline,
+    /// set when a dispatch was refused because the deadline had expired
+    /// (or a call burned its whole remaining budget)
+    deadline_hit: bool,
+    /// per-batch admitted-call counts per service, for the shed gate
+    batch_admitted: BTreeMap<String, usize>,
+    /// whether the invocation currently being applied was hedged — read
+    /// by the legacy `TraceEvent` mirror in `emit_with_cpu`
+    pending_hedged: bool,
 }
 
 /// One invocation candidate.
@@ -563,6 +673,162 @@ struct Candidate {
     service: String,
     /// the query nodes whose NFQs retrieved it (empty for LPQ/naive)
     foci: BTreeSet<axml_query::PNodeId>,
+}
+
+/// Accounting for one fired hedge leg, produced on the dispatch side and
+/// consumed by the batch's sequential accounting phase.
+struct HedgeLeg {
+    /// Elapsed cost (ms into the call) at which the hedge fired.
+    fired_at_ms: f64,
+    /// The primary leg's own cost, had it run alone.
+    primary_cost_ms: f64,
+    /// The hedge leg's own cost, measured from its firing point.
+    hedge_cost_ms: f64,
+    /// Whether the hedge leg won the race.
+    hedge_won: bool,
+    /// The losing leg's elapsed run time up to the winner's completion —
+    /// the work hedging wasted (never charged to the simulated clock).
+    wasted_ms: f64,
+}
+
+/// Resolves a primary/hedge race into exactly one logical outcome. The
+/// hedge leg starts `fired_at_ms` into the primary's run; the first leg
+/// to *succeed* wins and cancels the other, so the logical call completes
+/// at the winner's completion point. When both legs fail the call fails
+/// when the later leg gives up (the primary's attempt count is reported).
+fn combine_hedge(
+    primary: Result<InvokeOutcome, InvokeError>,
+    hedge: Result<InvokeOutcome, InvokeError>,
+    fired_at_ms: f64,
+) -> (Result<InvokeOutcome, InvokeError>, HedgeLeg) {
+    // prepare() verified the service exists, so neither leg can be
+    // `Unknown`; map it to a zero-cost failure defensively.
+    let failed_of = |e: InvokeError| match e {
+        InvokeError::Failed(f) => f,
+        InvokeError::Unknown(service) => FailedCall {
+            service,
+            attempts: 0,
+            cost_ms: 0.0,
+            timed_out: false,
+            deadline_exceeded: false,
+        },
+    };
+    match (primary, hedge) {
+        (Ok(p), Ok(h)) => {
+            let h_done = fired_at_ms + h.cost_ms;
+            if h_done < p.cost_ms {
+                let leg = HedgeLeg {
+                    fired_at_ms,
+                    primary_cost_ms: p.cost_ms,
+                    hedge_cost_ms: h.cost_ms,
+                    hedge_won: true,
+                    wasted_ms: p.cost_ms.min(h_done),
+                };
+                (
+                    Ok(InvokeOutcome {
+                        cost_ms: h_done,
+                        ..h
+                    }),
+                    leg,
+                )
+            } else {
+                let leg = HedgeLeg {
+                    fired_at_ms,
+                    primary_cost_ms: p.cost_ms,
+                    hedge_cost_ms: h.cost_ms,
+                    hedge_won: false,
+                    wasted_ms: h.cost_ms.min((p.cost_ms - fired_at_ms).max(0.0)),
+                };
+                (Ok(p), leg)
+            }
+        }
+        (Ok(p), Err(he)) => {
+            let hf = failed_of(he);
+            let leg = HedgeLeg {
+                fired_at_ms,
+                primary_cost_ms: p.cost_ms,
+                hedge_cost_ms: hf.cost_ms,
+                hedge_won: false,
+                wasted_ms: hf.cost_ms.min((p.cost_ms - fired_at_ms).max(0.0)),
+            };
+            (Ok(p), leg)
+        }
+        (Err(pe), Ok(h)) => {
+            let pf = failed_of(pe);
+            let h_done = fired_at_ms + h.cost_ms;
+            let leg = HedgeLeg {
+                fired_at_ms,
+                primary_cost_ms: pf.cost_ms,
+                hedge_cost_ms: h.cost_ms,
+                hedge_won: true,
+                wasted_ms: pf.cost_ms.min(h_done),
+            };
+            (
+                Ok(InvokeOutcome {
+                    cost_ms: h_done,
+                    ..h
+                }),
+                leg,
+            )
+        }
+        (Err(pe), Err(he)) => {
+            let pf = failed_of(pe);
+            let hf = failed_of(he);
+            let completion = pf.cost_ms.max(fired_at_ms + hf.cost_ms);
+            let leg = HedgeLeg {
+                fired_at_ms,
+                primary_cost_ms: pf.cost_ms,
+                hedge_cost_ms: hf.cost_ms,
+                hedge_won: false,
+                wasted_ms: hf.cost_ms,
+            };
+            let combined = FailedCall {
+                service: pf.service,
+                attempts: pf.attempts,
+                cost_ms: completion,
+                timed_out: pf.timed_out || hf.timed_out,
+                deadline_exceeded: pf.deadline_exceeded || hf.deadline_exceeded,
+            };
+            (Err(InvokeError::Failed(combined)), leg)
+        }
+    }
+}
+
+/// Dispatches one call with the hedging policy: the primary leg runs
+/// under the full remaining deadline budget; when its elapsed cost
+/// passes `hedge_after_ms` a duplicate hedge leg fires (with an
+/// independent deterministic fault fate) and the race is resolved by
+/// [`combine_hedge`]. Pure with respect to engine state, so threaded and
+/// sequential batch dispatch behave identically.
+fn dispatch_hedged(
+    registry: &Registry,
+    service: &str,
+    params: axml_xml::Forest,
+    pushed: Option<&PushedQuery>,
+    remaining_ms: f64,
+    hedge_after_ms: f64,
+) -> (Result<InvokeOutcome, InvokeError>, Option<HedgeLeg>) {
+    if !hedge_after_ms.is_finite() || remaining_ms - hedge_after_ms <= 0.0 {
+        return (
+            registry.invoke_within(service, params, pushed, remaining_ms),
+            None,
+        );
+    }
+    let primary = registry.invoke_within(service, params.clone(), pushed, remaining_ms);
+    let primary_cost = match &primary {
+        Ok(o) => Some(o.cost_ms),
+        Err(InvokeError::Failed(f)) => Some(f.cost_ms),
+        Err(InvokeError::Unknown(_)) => None,
+    };
+    match primary_cost {
+        Some(cost) if cost > hedge_after_ms => {
+            let hedge =
+                registry.invoke_hedge(service, params, pushed, remaining_ms - hedge_after_ms);
+            let (combined, leg) = combine_hedge(primary, hedge, hedge_after_ms);
+            (combined, Some(leg))
+        }
+        _ => (primary, None),
+    }
 }
 
 impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
@@ -610,6 +876,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                     attempts: *attempts,
                     ok: *ok,
                     cached: *cached,
+                    hedged: self.pending_hedged,
                 });
             }
         }
@@ -639,13 +906,32 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         });
     }
 
-    /// Flags budget truncation (once) when the budget died with relevant
-    /// candidates still pending, emitting the matching trace event.
+    /// Flags truncation (once) when the run died with relevant candidates
+    /// still pending, emitting the matching trace event. Deadline expiry
+    /// closes the round with the same sound partial-answer semantics as
+    /// invocation-budget exhaustion but a distinct cause — a
+    /// `deadline` event and [`EngineStats::deadline_exceeded`].
     fn note_truncation(&mut self, pending: usize) {
-        if self.budget == 0 && pending > 0 && !self.stats.truncated {
+        if pending == 0 || self.stats.truncated {
+            return;
+        }
+        if self.deadline_hit || self.deadline.expired(self.clock.now_ms()) {
+            self.stats.truncated = true;
+            self.stats.deadline_exceeded = true;
+            self.emit(EventKind::DeadlineExceeded { pending });
+        } else if self.budget == 0 {
             self.stats.truncated = true;
             self.emit(EventKind::Truncated { pending });
         }
+    }
+
+    /// Candidates of `cands` that are still undispatched and not dead —
+    /// the pending count reported when a round closes without progress.
+    fn pending_count(&self, cands: &[Candidate]) -> usize {
+        cands
+            .iter()
+            .filter(|c| !self.dead.contains(&c.call))
+            .count()
     }
 
     /// Calls visible to queries: pre-order, never descending below a call
@@ -682,6 +968,14 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             // exhausted at re-detection time.
             return None;
         }
+        if self.deadline.expired(self.clock.now_ms()) {
+            // no dead-marking: the call stays detectable, so a zero-cost
+            // cache hit (probed before this gate) can still resolve it.
+            // The driving loops flag deadline truncation when a round
+            // closes without progress.
+            self.deadline_hit = true;
+            return None;
+        }
         if !doc.is_alive(cand.node) {
             return None;
         }
@@ -696,6 +990,22 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 self.emit(EventKind::UnknownService {
                     service: cand.service.clone(),
                     call: cand.call.0,
+                });
+            }
+            return None;
+        }
+        if let Some(reason) = self.shed_reason(&cand.service) {
+            // the admission gate refuses the dispatch before the breaker
+            // even sees it; like a breaker skip, the call is marked
+            // exhausted so the answer degrades to a sound partial result
+            // instead of spinning
+            self.dead.insert(cand.call);
+            self.stats.shed_skips += 1;
+            if self.observing() {
+                self.emit(EventKind::Shed {
+                    service: cand.service.clone(),
+                    call: cand.call.0,
+                    reason,
                 });
             }
             return None;
@@ -726,7 +1036,29 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         };
         // reserve budget now: threaded batches dispatch before applying
         self.budget -= 1;
+        *self.batch_admitted.entry(cand.service.clone()).or_default() += 1;
         Some((params, parent_path))
+    }
+
+    /// Whether the admission gate sheds a candidate of `service` right
+    /// now, and why. Checked per batch: the in-flight gate counts calls
+    /// already admitted for the service in the current batch, the latency
+    /// gate reads the service's observed cost EWMA.
+    fn shed_reason(&self, service: &str) -> Option<ShedReason> {
+        let shed = &self.config().shed;
+        if shed.max_inflight_per_batch != usize::MAX
+            && self.batch_admitted.get(service).copied().unwrap_or(0) >= shed.max_inflight_per_batch
+        {
+            return Some(ShedReason::Inflight);
+        }
+        if shed.ewma_limit_ms.is_finite() {
+            if let Some(ewma) = self.engine.registry.latency_ewma(service) {
+                if ewma > shed.ewma_limit_ms {
+                    return Some(ShedReason::Latency);
+                }
+            }
+        }
+        None
     }
 
     /// Probes the cross-query call-result cache for a candidate
@@ -844,10 +1176,11 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         }
         let (params, parent_path) = self.prepare(doc, cand)?;
         let cache_params = self.engine.cache.map(|_| params.clone());
+        let remaining = self.deadline.remaining_ms(self.clock.now_ms());
         match self
             .engine
             .registry
-            .invoke_with_policy(&cand.service, params, pushed)
+            .invoke_within(&cand.service, params, pushed, remaining)
         {
             Ok(outcome) => {
                 if let (Some(cache), Some(p)) = (self.engine.cache, cache_params) {
@@ -958,6 +1291,9 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             .invoked_by_service
             .entry(cand.service.clone())
             .or_default() += 1;
+        self.engine
+            .registry
+            .latency_observe(&cand.service, outcome.cost_ms);
         self.record_breaker(&cand.service, true);
         outcome.cost_ms
     }
@@ -980,6 +1316,12 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         self.stats.failed_calls += 1;
         self.stats.call_attempts += failed.attempts;
         self.total_call_cost_ms += failed.cost_ms;
+        if failed.deadline_exceeded {
+            // the call burned its whole remaining deadline budget — the
+            // driving loop will close the round as deadline-truncated if
+            // candidates are still pending
+            self.deadline_hit = true;
+        }
         if self.observing() {
             for i in 0..failed.attempts {
                 self.emit(EventKind::Attempt {
@@ -1001,6 +1343,9 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 bytes: 0,
             });
         }
+        self.engine
+            .registry
+            .latency_observe(&cand.service, failed.cost_ms);
         self.record_breaker(&cand.service, false);
         failed.cost_ms
     }
@@ -1017,6 +1362,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         cands: &[Candidate],
         pushes: &BTreeMap<CallId, PushedQuery>,
     ) -> usize {
+        self.batch_admitted.clear();
         for c in cands {
             if let Some(cost) = self.invoke(doc, c, pushes.get(&c.call)) {
                 self.clock.advance(cost);
@@ -1046,6 +1392,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         parallel: bool,
     ) -> usize {
         let mut invoked = 0;
+        self.batch_admitted.clear();
         if parallel {
             // phase 0/1: serve cache hits immediately (zero cost, so they
             // don't contribute to the batch's clock advance), then
@@ -1063,25 +1410,37 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                     prepared.push((c, params, path));
                 }
             }
+            // the remaining deadline budget and each call's hedge trigger
+            // are fixed here, on the sequential phase, before any dispatch
+            // — the latency EWMA only moves during phase 3, so threaded
+            // and sequential dispatch see identical values
+            let remaining = self.deadline.remaining_ms(self.clock.now_ms());
+            let hedge_cfg = self.config().hedge;
+            let registry = self.engine.registry;
+            let triggers: Vec<f64> = prepared
+                .iter()
+                .map(|(c, _, _)| hedge_cfg.trigger_ms(registry.latency_ewma(&c.service)))
+                .collect();
             // phase 2: dispatch — one OS thread per call when configured,
             // sequentially under the logical clock otherwise. Either way
             // the whole batch is dispatched before any result is applied,
             // so a mid-batch failure cannot starve its siblings and both
             // modes observe identical fault and breaker schedules.
-            let registry = self.engine.registry;
-            let results: Vec<Result<axml_services::InvokeOutcome, InvokeError>> = if self
-                .config()
-                .real_threads
-            {
+            type Dispatched = (Result<InvokeOutcome, InvokeError>, Option<HedgeLeg>);
+            let results: Vec<Dispatched> = if self.config().real_threads {
                 std::thread::scope(|scope| {
                     let handles: Vec<_> = prepared
                         .iter()
-                        .map(|(c, params, _)| {
+                        .zip(&triggers)
+                        .map(|((c, params, _), trigger)| {
                             let params = params.clone();
                             let pushed = pushes.get(&c.call);
                             let service = c.service.clone();
+                            let trigger = *trigger;
                             scope.spawn(move || {
-                                registry.invoke_with_policy(&service, params, pushed)
+                                dispatch_hedged(
+                                    registry, &service, params, pushed, remaining, trigger,
+                                )
                             })
                         })
                         .collect();
@@ -1093,14 +1452,42 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             } else {
                 prepared
                     .iter()
-                    .map(|(c, params, _)| {
-                        registry.invoke_with_policy(&c.service, params.clone(), pushes.get(&c.call))
+                    .zip(&triggers)
+                    .map(|((c, params, _), trigger)| {
+                        dispatch_hedged(
+                            registry,
+                            &c.service,
+                            params.clone(),
+                            pushes.get(&c.call),
+                            remaining,
+                            *trigger,
+                        )
                     })
                     .collect()
             };
-            // phase 3: splice sequentially, deterministically
+            // phase 3: splice sequentially, deterministically. A fired
+            // hedge leg is accounted here, exactly once per logical call:
+            // the `hedge` event precedes the single invocation outcome.
             let mut costs = Vec::new();
-            for ((c, params, path), res) in prepared.into_iter().zip(results) {
+            for ((c, params, path), (res, hedge)) in prepared.into_iter().zip(results) {
+                if let Some(leg) = &hedge {
+                    self.stats.hedged_calls += 1;
+                    if leg.hedge_won {
+                        self.stats.hedge_wins += 1;
+                    }
+                    self.stats.hedge_wasted_ms += leg.wasted_ms;
+                    if self.observing() {
+                        self.emit(EventKind::Hedge {
+                            service: c.service.clone(),
+                            call: c.call.0,
+                            fired_at_ms: leg.fired_at_ms,
+                            primary_cost_ms: leg.primary_cost_ms,
+                            hedge_cost_ms: leg.hedge_cost_ms,
+                            hedge_won: leg.hedge_won,
+                        });
+                    }
+                    self.pending_hedged = true;
+                }
                 match res {
                     Ok(outcome) => {
                         if let Some(cache) = self.engine.cache {
@@ -1131,6 +1518,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                         invoked += 1;
                     }
                 }
+                self.pending_hedged = false;
             }
             self.clock.advance_parallel(&costs);
             if !costs.is_empty() {
@@ -1185,7 +1573,10 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             let par = self.config().parallel;
             let invoked = self.invoke_set(doc, &cands, &BTreeMap::new(), par);
             if invoked == 0 {
-                break; // everything left is dead
+                // everything left is dead — or undispatchable because the
+                // deadline expired
+                self.note_truncation(self.pending_count(&cands));
+                break;
             }
         }
     }
@@ -1244,6 +1635,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                     .filter(|c| !self.dead.contains(&c.call))
                     .collect();
                 if !still.is_empty() {
+                    self.note_truncation(still.len());
                     break;
                 }
             }
@@ -1328,6 +1720,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                     break;
                 }
                 if invoked == 0 {
+                    self.note_truncation(self.pending_count(&cands));
                     break;
                 }
             }
@@ -1402,6 +1795,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 self.invoke_first(doc, &sorted, &pushes)
             };
             if invoked == 0 {
+                self.note_truncation(self.pending_count(&cands));
                 break;
             }
         }

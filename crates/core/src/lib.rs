@@ -39,11 +39,14 @@ pub mod stats;
 pub mod typed;
 
 pub use containment::{lpq_subsumes, nfq_subsumes, prune_subsumed_lpqs, prune_subsumed_nfqs};
-pub use engine::{Engine, EngineConfig, EvalReport, Speculation, Strategy, TraceEvent, Typing};
+pub use engine::{
+    Engine, EngineConfig, EvalReport, HedgeConfig, ShedConfig, Speculation, Strategy, TraceEvent,
+    Typing,
+};
 pub use fguide::{filter_candidates, FGuide};
 pub use influence::{compute_layers, may_influence, Layers};
 pub use nfq::{build_lpqs, build_nfq, build_nfqs, relax_nfq_to_xpath, Lpq, Nfq};
-pub use stats::EngineStats;
+pub use stats::{plural, EngineStats};
 pub use typed::TypeRefiner;
 
 /// The paper's first contribution as a one-shot API: "an algorithm that,

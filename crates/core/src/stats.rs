@@ -58,6 +58,21 @@ pub struct EngineStats {
     pub cache_stale: usize,
     /// True when the invocation budget was exhausted before completeness.
     pub truncated: bool,
+    /// True when truncation was caused by the end-to-end deadline rather
+    /// than the invocation budget (`truncated` is also set).
+    pub deadline_exceeded: bool,
+    /// Candidate calls shed by the admission gate (in-flight or latency
+    /// limit); like breaker skips, their subtrees are missing from the
+    /// (partial) answer.
+    pub shed_skips: usize,
+    /// Hedge legs fired inside parallel batches (at most one per call).
+    pub hedged_calls: usize,
+    /// Hedged calls whose duplicate leg finished first and won the race.
+    pub hedge_wins: usize,
+    /// Simulated ms of work thrown away by cancelled hedge losers — the
+    /// losing leg's cost up to the winner's completion instant. Never
+    /// charged to `sim_time_ms`; tracked to bound hedging waste.
+    pub hedge_wasted_ms: f64,
     /// Per-service invocation counts.
     pub invoked_by_service: BTreeMap<String, usize>,
     /// CPU time of the final snapshot evaluation.
@@ -92,14 +107,16 @@ impl EngineStats {
     }
 
     /// Whether the run resolved every relevant call: no permanent
-    /// failures, no breaker refusals, no unknown services, and no budget
-    /// truncation. This is the engine's answer-completeness criterion —
+    /// failures, no breaker refusals, no unknown services, no shed calls,
+    /// and no budget or deadline truncation. This is the engine's
+    /// answer-completeness criterion —
     /// when it holds, the result is the full answer; otherwise the answer
     /// is partial (missing exactly the subtrees below unresolved calls).
     pub fn is_complete(&self) -> bool {
         self.failed_calls == 0
             && self.breaker_skips == 0
             && self.skipped_unknown == 0
+            && self.shed_skips == 0
             && !self.truncated
     }
 
@@ -121,9 +138,24 @@ impl EngineStats {
             bytes_transferred: self.bytes_transferred,
             sim_time_ms: self.sim_time_ms,
             truncated: self.truncated,
+            deadline_exceeded: self.deadline_exceeded,
+            shed_skips: self.shed_skips,
+            hedged_calls: self.hedged_calls,
+            hedge_wins: self.hedge_wins,
             complete: self.is_complete(),
             invoked_by_service: self.invoked_by_service.clone(),
         }
+    }
+}
+
+/// The pluralization suffix for `n` of something: empty for exactly one,
+/// `suffix` otherwise. Shared by the stats display and the CLI's trace
+/// printer so count lines always agree on grammar.
+pub fn plural(n: usize, suffix: &'static str) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        suffix
     }
 }
 
@@ -135,7 +167,9 @@ impl fmt::Display for EngineStats {
             self.calls_invoked,
             self.pushed_calls,
             self.skipped_unknown,
-            if self.truncated {
+            if self.deadline_exceeded {
+                " [DEADLINE]"
+            } else if self.truncated {
                 " [TRUNCATED]"
             } else if !self.is_complete() {
                 " [PARTIAL]"
@@ -148,6 +182,25 @@ impl fmt::Display for EngineStats {
                 f,
                 "  {} calls failed permanently, {} refused by open breaker",
                 self.failed_calls, self.breaker_skips
+            )?;
+        }
+        if self.shed_skips > 0 {
+            writeln!(
+                f,
+                "  {} call{} shed by the admission gate [SHED]",
+                self.shed_skips,
+                plural(self.shed_skips, "s")
+            )?;
+        }
+        if self.hedged_calls > 0 {
+            writeln!(
+                f,
+                "  {} hedge leg{} fired, {} win{}, {:.1} ms wasted [HEDGED]",
+                self.hedged_calls,
+                plural(self.hedged_calls, "s"),
+                self.hedge_wins,
+                plural(self.hedge_wins, "s"),
+                self.hedge_wasted_ms
             )?;
         }
         let retries = self
@@ -183,9 +236,9 @@ impl fmt::Display for EngineStats {
                 f,
                 "call cache: {} hit{}, {} miss{}, {} expired ({:.0}% hit rate)",
                 self.cache_hits,
-                if self.cache_hits == 1 { "" } else { "s" },
+                plural(self.cache_hits, "s"),
                 self.cache_misses,
-                if self.cache_misses == 1 { "" } else { "es" },
+                plural(self.cache_misses, "es"),
                 self.cache_stale,
                 self.cache_hit_rate() * 100.0
             )?;
@@ -241,6 +294,47 @@ mod tests {
         assert!(!quiet.contains("speculative"));
         assert!(!quiet.contains("violations"));
         assert!(!quiet.contains("call cache"));
+        assert!(!quiet.contains("SHED"));
+        assert!(!quiet.contains("HEDGED"));
+        assert!(!quiet.contains("DEADLINE"));
+    }
+
+    #[test]
+    fn deadline_hedge_shed_render() {
+        let s = EngineStats {
+            truncated: true,
+            deadline_exceeded: true,
+            shed_skips: 1,
+            hedged_calls: 2,
+            hedge_wins: 1,
+            hedge_wasted_ms: 12.5,
+            ..Default::default()
+        };
+        let out = s.to_string();
+        assert!(out.contains("[DEADLINE]"), "{out}");
+        assert!(
+            out.contains("1 call shed by the admission gate [SHED]"),
+            "{out}"
+        );
+        assert!(
+            out.contains("2 hedge legs fired, 1 win, 12.5 ms wasted [HEDGED]"),
+            "{out}"
+        );
+        assert!(!s.is_complete());
+        // shed alone degrades completeness too
+        let shed_only = EngineStats {
+            shed_skips: 3,
+            ..Default::default()
+        };
+        assert!(!shed_only.is_complete());
+        assert!(shed_only.to_string().contains("3 calls shed"));
+    }
+
+    #[test]
+    fn plural_helper() {
+        assert_eq!(plural(0, "s"), "s");
+        assert_eq!(plural(1, "s"), "");
+        assert_eq!(plural(2, "es"), "es");
     }
 
     #[test]

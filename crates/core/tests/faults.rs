@@ -307,6 +307,111 @@ fn same_seed_means_byte_identical_reports() {
     }
 }
 
+// ---------------- deadline rows ----------------
+
+#[test]
+fn mode_deadline_expired_before_layer_0_invokes_nothing() {
+    // a zero deadline expires before the first dispatch: the run closes
+    // immediately as deadline-truncated, with every candidate pending
+    for (name, base) in strategies() {
+        let config = EngineConfig {
+            deadline_ms: 0.0,
+            ..base
+        };
+        let (report, d) = run(&registry(), config);
+        assert!(!report.complete, "{name}");
+        assert_eq!(report.stats.calls_invoked, 0, "{name}: nothing may start");
+        assert_eq!(report.stats.failed_calls, 0, "{name}");
+        assert!(report.stats.truncated, "{name}");
+        assert!(report.stats.deadline_exceeded, "{name}");
+        assert_eq!(report.stats.sim_time_ms, 0.0, "{name}");
+        assert!(answers(&d, &report).is_empty(), "{name}");
+    }
+}
+
+#[test]
+fn mode_deadline_expiry_mid_run_yields_sound_partial_answer() {
+    // sequential dispatch at 10 ms per call with a 35 ms budget: three
+    // calls land, the fourth burns the remaining 5 ms to the deadline,
+    // the rest are never dispatched — and the clock never passes expiry
+    for (name, base) in [
+        ("nfq-plain", EngineConfig::nfq_plain()),
+        ("naive-seq", EngineConfig::naive()),
+        ("top-down", EngineConfig::top_down()),
+    ] {
+        let config = EngineConfig {
+            deadline_ms: 35.0,
+            parallel: false,
+            ..base
+        };
+        let (report, d) = run(&registry(), config);
+        assert!(!report.complete, "{name}");
+        assert_eq!(report.stats.calls_invoked, 3, "{name}: 3 × 10 ms fit");
+        assert_eq!(
+            report.stats.failed_calls, 1,
+            "{name}: the in-flight call is cut at the deadline"
+        );
+        assert!(report.stats.deadline_exceeded, "{name}");
+        assert!(report.stats.truncated, "{name}");
+        assert!(
+            report.stats.sim_time_ms <= 35.0 + 1e-9,
+            "{name}: clock overran the deadline ({} ms)",
+            report.stats.sim_time_ms
+        );
+        assert_eq!(answers(&d, &report).len(), 3, "{name}");
+    }
+}
+
+#[test]
+fn mode_deadline_expiry_mid_batch_clips_every_leg() {
+    // a parallel batch dispatched with 5 ms of budget left: every 10 ms
+    // call is clipped, burns exactly the remainder, and fails with the
+    // deadline cause; the batch advance lands the clock exactly on expiry
+    let config = EngineConfig {
+        deadline_ms: 5.0,
+        ..EngineConfig::default()
+    };
+    let (report, d) = run(&registry(), config);
+    assert!(!report.complete);
+    assert_eq!(report.stats.calls_invoked, 0);
+    assert_eq!(report.stats.failed_calls, 8, "all batch legs cut");
+    assert_eq!(report.stats.sim_time_ms, 5.0, "clock stops at expiry");
+    assert!(answers(&d, &report).is_empty());
+}
+
+#[test]
+fn mode_deadline_expiry_during_backoff_never_overruns() {
+    // transient faults force retries whose backoff sleeps dwarf the
+    // deadline budget: the scheduled pauses must be clipped so the clock
+    // never passes expiry, and the cut is reported as deadline truncation
+    for deadline_ms in [15.0, 40.0, 80.0] {
+        let mut r = registry();
+        r.set_fault_profile("svcB", FaultProfile::transient(seed(), 3));
+        r.set_retry_policy(RetryPolicy {
+            max_retries: 4,
+            base_backoff_ms: 50.0,
+            backoff_factor: 2.0,
+            timeout_ms: f64::INFINITY,
+        });
+        let config = EngineConfig {
+            deadline_ms,
+            parallel: false,
+            ..EngineConfig::default()
+        };
+        let (report, _) = run(&r, config);
+        assert!(!report.complete, "deadline {deadline_ms}");
+        assert!(
+            report.stats.sim_time_ms <= deadline_ms + 1e-9,
+            "deadline {deadline_ms}: backoff overran the budget ({} ms)",
+            report.stats.sim_time_ms
+        );
+        assert!(
+            report.stats.deadline_exceeded || report.stats.failed_calls > 0,
+            "deadline {deadline_ms}: the cut must surface as degradation"
+        );
+    }
+}
+
 #[test]
 fn different_seeds_reach_the_same_complete_answer_when_absorbed() {
     // chaos transients are absorbed by the default retry budget, so the

@@ -75,6 +75,14 @@ pub struct StatsView {
     pub sim_time_ms: f64,
     /// Whether the invocation budget truncated the run.
     pub truncated: bool,
+    /// Whether truncation was caused by the end-to-end deadline.
+    pub deadline_exceeded: bool,
+    /// Calls shed by the admission gate.
+    pub shed_skips: usize,
+    /// Hedge legs fired inside parallel batches.
+    pub hedged_calls: usize,
+    /// Hedged calls whose hedge leg won the race.
+    pub hedge_wins: usize,
     /// The engine's `is_complete()` verdict.
     pub complete: bool,
     /// Per-service invocation counts.
@@ -280,6 +288,90 @@ fn check_span(span: &[Event], out: &mut Vec<Violation>) {
         }
     }
 
+    // -- hedging: at most one hedge leg per logical call, each hedged
+    //    call resolves to exactly one invocation (one outcome per call),
+    //    and Σ hedge legs never exceeds the span's real invocations
+    let mut hedged: BTreeMap<u64, u64> = BTreeMap::new(); // call -> hedge seq
+    let mut real_invocations = 0usize;
+    let mut outcomes: BTreeMap<u64, usize> = BTreeMap::new(); // call -> invocation count
+    for e in span {
+        match &e.kind {
+            EventKind::Hedge { call, service, .. } if hedged.insert(*call, e.seq).is_some() => {
+                out.push(violation(
+                    "hedge",
+                    Some(e.seq),
+                    format!("call #{call} ({service}) hedged more than once"),
+                ));
+            }
+            EventKind::Invocation { call, cached, .. } => {
+                if !cached {
+                    real_invocations += 1;
+                }
+                *outcomes.entry(*call).or_insert(0) += 1;
+            }
+            _ => {}
+        }
+    }
+    for (call, hedge_seq) in &hedged {
+        let n = outcomes.get(call).copied().unwrap_or(0);
+        if n != 1 {
+            out.push(violation(
+                "hedge",
+                Some(*hedge_seq),
+                format!(
+                    "hedged call #{call} resolved to {n} invocation outcomes, expected exactly 1"
+                ),
+            ));
+        }
+    }
+    if hedged.len() > real_invocations {
+        out.push(violation(
+            "hedge",
+            None,
+            format!(
+                "{} hedge legs fired but the span only resolved {real_invocations} real invocations",
+                hedged.len()
+            ),
+        ));
+    }
+
+    // -- shedding: a shed call was never dispatched, so it must have no
+    //    invocation outcome anywhere in the span
+    for e in span {
+        if let EventKind::Shed { call, service, .. } = &e.kind {
+            if outcomes.contains_key(call) {
+                out.push(violation(
+                    "shed",
+                    Some(e.seq),
+                    format!("call #{call} ({service}) was shed yet has an invocation outcome"),
+                ));
+            }
+        }
+    }
+
+    // -- deadline: once the deadline event fires, no later real
+    //    invocation starts in this span (zero-cost cache hits are fine)
+    let mut deadline_seq: Option<u64> = None;
+    for e in span {
+        match &e.kind {
+            EventKind::DeadlineExceeded { .. } => deadline_seq = Some(e.seq),
+            EventKind::Invocation {
+                call,
+                cached: false,
+                ..
+            } => {
+                if let Some(d) = deadline_seq {
+                    out.push(violation(
+                        "deadline",
+                        Some(e.seq),
+                        format!("call #{call} invoked after the deadline expired at seq {d}"),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+
     // -- query_end consistency with the span's own degradation events
     if let Some((end_event, complete)) = span.iter().rev().find_map(|e| match &e.kind {
         EventKind::QueryEnd { complete, .. } => Some((e, *complete)),
@@ -327,6 +419,10 @@ pub fn check_stats(events: &[Event], stats: &StatsView) -> Vec<Violation> {
     let mut unknown = 0usize;
     let mut probes = (0usize, 0usize, 0usize); // hit, stale, miss
     let mut truncated = false;
+    let mut deadline = false;
+    let mut sheds = 0usize;
+    let mut hedges = 0usize;
+    let mut hedge_wins = 0usize;
 
     for e in events {
         match &e.kind {
@@ -362,6 +458,18 @@ pub fn check_stats(events: &[Event], stats: &StatsView) -> Vec<Violation> {
                 CacheOutcome::Miss => probes.2 += 1,
             },
             EventKind::Truncated { .. } => truncated = true,
+            EventKind::DeadlineExceeded { .. } => {
+                // deadline expiry is a truncation with a distinct cause
+                truncated = true;
+                deadline = true;
+            }
+            EventKind::Shed { .. } => sheds += 1,
+            EventKind::Hedge { hedge_won, .. } => {
+                hedges += 1;
+                if *hedge_won {
+                    hedge_wins += 1;
+                }
+            }
             _ => {}
         }
     }
@@ -386,7 +494,21 @@ pub fn check_stats(events: &[Event], stats: &StatsView) -> Vec<Violation> {
     expect("pushed_calls", pushed, stats.pushed_calls);
     expect("breaker_skips", breaker_skips, stats.breaker_skips);
     expect("skipped_unknown", unknown, stats.skipped_unknown);
+    expect("shed_skips", sheds, stats.shed_skips);
+    expect("hedged_calls", hedges, stats.hedged_calls);
+    expect("hedge_wins", hedge_wins, stats.hedge_wins);
 
+    if deadline != stats.deadline_exceeded {
+        out.push(violation(
+            "accounting",
+            None,
+            format!(
+                "trace {} deadline events but stats say deadline_exceeded={}",
+                if deadline { "contains" } else { "has no" },
+                stats.deadline_exceeded
+            ),
+        ));
+    }
     if truncated != stats.truncated {
         out.push(violation(
             "accounting",
@@ -487,6 +609,7 @@ pub fn assert_clean(events: &[Event], stats: Option<&StatsView>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::ShedReason;
 
     fn ev(seq: u64, sim_ms: f64, layer: usize, kind: EventKind) -> Event {
         Event {
@@ -653,6 +776,107 @@ mod tests {
         stats.complete = false;
         let vs = check_stats(&clean_span(), &stats);
         assert!(vs.iter().any(|v| v.check == "completeness"), "{vs:?}");
+    }
+
+    #[test]
+    fn clean_hedged_span_passes() {
+        let mut span = clean_span();
+        span.insert(
+            3,
+            ev(
+                30,
+                0.0,
+                0,
+                EventKind::Hedge {
+                    service: "s".into(),
+                    call: 7,
+                    fired_at_ms: 2.0,
+                    primary_cost_ms: 9.0,
+                    hedge_cost_ms: 3.0,
+                    hedge_won: true,
+                },
+            ),
+        );
+        for (i, e) in span.iter_mut().enumerate() {
+            e.seq = i as u64;
+        }
+        let mut stats = clean_stats();
+        stats.hedged_calls = 1;
+        stats.hedge_wins = 1;
+        assert_clean(&span, Some(&stats));
+    }
+
+    #[test]
+    fn double_hedge_flagged() {
+        let mut span = clean_span();
+        let hedge = |seq| {
+            ev(
+                seq,
+                0.0,
+                0,
+                EventKind::Hedge {
+                    service: "s".into(),
+                    call: 7,
+                    fired_at_ms: 2.0,
+                    primary_cost_ms: 9.0,
+                    hedge_cost_ms: 3.0,
+                    hedge_won: false,
+                },
+            )
+        };
+        span.insert(3, hedge(0));
+        span.insert(4, hedge(0));
+        for (i, e) in span.iter_mut().enumerate() {
+            e.seq = i as u64;
+        }
+        let vs = check_trace(&span);
+        assert!(vs.iter().any(|v| v.check == "hedge"), "{vs:?}");
+    }
+
+    #[test]
+    fn shed_call_with_an_outcome_flagged() {
+        let mut span = clean_span();
+        // call 7 is invoked by the clean span, so shedding it contradicts
+        span.insert(
+            3,
+            ev(
+                0,
+                0.0,
+                0,
+                EventKind::Shed {
+                    service: "s".into(),
+                    call: 7,
+                    reason: ShedReason::Inflight,
+                },
+            ),
+        );
+        for (i, e) in span.iter_mut().enumerate() {
+            e.seq = i as u64;
+        }
+        let vs = check_trace(&span);
+        assert!(vs.iter().any(|v| v.check == "shed"), "{vs:?}");
+    }
+
+    #[test]
+    fn invocation_after_deadline_flagged() {
+        let mut span = clean_span();
+        // the deadline fires before the invocation at index 3
+        span.insert(3, ev(0, 0.0, 0, EventKind::DeadlineExceeded { pending: 1 }));
+        for (i, e) in span.iter_mut().enumerate() {
+            e.seq = i as u64;
+        }
+        let vs = check_trace(&span);
+        assert!(vs.iter().any(|v| v.check == "deadline"), "{vs:?}");
+    }
+
+    #[test]
+    fn deadline_stats_must_match_the_trace() {
+        let span = clean_span();
+        let mut stats = clean_stats();
+        stats.deadline_exceeded = true;
+        stats.truncated = true;
+        let vs = check_stats(&span, &stats);
+        assert!(vs.iter().any(|v| v.check == "accounting"), "{vs:?}");
     }
 
     #[test]

@@ -45,6 +45,34 @@ impl CacheOutcome {
     }
 }
 
+/// Why the admission gate shed a candidate call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The service's in-flight-per-batch limit was reached.
+    Inflight,
+    /// The service's latency EWMA crossed the configured limit.
+    Latency,
+}
+
+impl ShedReason {
+    /// Wire name used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedReason::Inflight => "inflight",
+            ShedReason::Latency => "latency",
+        }
+    }
+
+    /// Parses a wire name back.
+    pub fn from_name(s: &str) -> Option<ShedReason> {
+        match s {
+            "inflight" => Some(ShedReason::Inflight),
+            "latency" => Some(ShedReason::Latency),
+            _ => None,
+        }
+    }
+}
+
 /// What one event records.
 #[derive(Clone, Debug, PartialEq)]
 pub enum EventKind {
@@ -165,6 +193,41 @@ pub enum EventKind {
         /// Candidates still relevant when the budget died.
         pending: usize,
     },
+    /// A hedge leg was fired for a slow call and the race was resolved.
+    /// Exactly one outcome (the winner's) is recorded per logical call,
+    /// so a hedge is *not* a degradation.
+    Hedge {
+        /// Service name.
+        service: String,
+        /// The hedged call's id.
+        call: u64,
+        /// Simulated ms into the call at which the hedge leg fired.
+        fired_at_ms: f64,
+        /// The primary leg's own simulated cost, in ms.
+        primary_cost_ms: f64,
+        /// The hedge leg's own simulated cost (excluding the firing
+        /// offset), in ms.
+        hedge_cost_ms: f64,
+        /// Whether the hedge leg finished first and its outcome won.
+        hedge_won: bool,
+    },
+    /// The admission gate shed a candidate call before dispatch — like a
+    /// breaker skip, the answer degrades to a sound partial result.
+    Shed {
+        /// Service name.
+        service: String,
+        /// The shed call's id.
+        call: u64,
+        /// Which limit triggered the shed.
+        reason: ShedReason,
+    },
+    /// The end-to-end deadline expired with relevant calls still pending;
+    /// no later invocation starts in this span. A `Truncated`-style event
+    /// with a distinct cause.
+    DeadlineExceeded {
+        /// Candidates still relevant when the deadline expired.
+        pending: usize,
+    },
 }
 
 impl EventKind {
@@ -184,6 +247,9 @@ impl EventKind {
             EventKind::UnknownService { .. } => "unknown_service",
             EventKind::Batch { .. } => "batch",
             EventKind::Truncated { .. } => "truncated",
+            EventKind::Hedge { .. } => "hedge",
+            EventKind::Shed { .. } => "shed",
+            EventKind::DeadlineExceeded { .. } => "deadline",
         }
     }
 }
@@ -211,15 +277,19 @@ pub struct Event {
 
 impl Event {
     /// True for the event kinds whose presence means the answer is
-    /// partial: permanent failures, breaker refusals, unknown services
-    /// and budget truncation. `EngineStats::is_complete()` must be `true`
-    /// exactly when a trace contains none of these.
+    /// partial: permanent failures, breaker refusals, unknown services,
+    /// shed calls, budget truncation and deadline expiry.
+    /// `EngineStats::is_complete()` must be `true` exactly when a trace
+    /// contains none of these. A [`EventKind::Hedge`] is *not* a
+    /// degradation: the logical call still resolved to one outcome.
     pub fn is_degradation(&self) -> bool {
         match &self.kind {
             EventKind::Invocation { ok, .. } => !ok,
             EventKind::BreakerSkip { .. }
             | EventKind::UnknownService { .. }
-            | EventKind::Truncated { .. } => true,
+            | EventKind::Truncated { .. }
+            | EventKind::Shed { .. }
+            | EventKind::DeadlineExceeded { .. } => true,
             _ => false,
         }
     }

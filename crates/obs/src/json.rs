@@ -4,7 +4,7 @@
 //! wall-clock-dependent `cpu_ms` field is omitted unless explicitly
 //! requested, so two runs with the same seed serialize byte-identically.
 
-use crate::event::{CacheOutcome, Event, EventKind};
+use crate::event::{CacheOutcome, Event, EventKind, ShedReason};
 use std::fmt::Write as _;
 
 // ---------------------------------------------------------------- encode
@@ -166,8 +166,36 @@ pub fn event_to_json(e: &Event, include_cpu: bool) -> String {
             s.push_str(",\"advance_ms\":");
             push_f64(&mut s, *advance_ms);
         }
-        EventKind::Truncated { pending } => {
+        EventKind::Truncated { pending } | EventKind::DeadlineExceeded { pending } => {
             let _ = write!(s, ",\"pending\":{pending}");
+        }
+        EventKind::Hedge {
+            service,
+            call,
+            fired_at_ms,
+            primary_cost_ms,
+            hedge_cost_ms,
+            hedge_won,
+        } => {
+            s.push_str(",\"service\":");
+            push_escaped(&mut s, service);
+            let _ = write!(s, ",\"call\":{call},\"fired_at_ms\":");
+            push_f64(&mut s, *fired_at_ms);
+            s.push_str(",\"primary_cost_ms\":");
+            push_f64(&mut s, *primary_cost_ms);
+            s.push_str(",\"hedge_cost_ms\":");
+            push_f64(&mut s, *hedge_cost_ms);
+            let _ = write!(s, ",\"hedge_won\":{hedge_won}");
+        }
+        EventKind::Shed {
+            service,
+            call,
+            reason,
+        } => {
+            s.push_str(",\"service\":");
+            push_escaped(&mut s, service);
+            let _ = write!(s, ",\"call\":{call},\"reason\":");
+            push_escaped(&mut s, reason.as_str());
         }
     }
     s.push('}');
@@ -547,6 +575,22 @@ pub fn event_from_json(line: &str) -> Result<Event, String> {
         "truncated" => EventKind::Truncated {
             pending: req_usize(&v, "pending")?,
         },
+        "hedge" => EventKind::Hedge {
+            service: req_str(&v, "service")?,
+            call: req_u64(&v, "call")?,
+            fired_at_ms: req_num(&v, "fired_at_ms")?,
+            primary_cost_ms: req_num(&v, "primary_cost_ms")?,
+            hedge_cost_ms: req_num(&v, "hedge_cost_ms")?,
+            hedge_won: req_bool(&v, "hedge_won")?,
+        },
+        "shed" => EventKind::Shed {
+            service: req_str(&v, "service")?,
+            call: req_u64(&v, "call")?,
+            reason: ShedReason::from_name(&req_str(&v, "reason")?).ok_or("unknown shed reason")?,
+        },
+        "deadline" => EventKind::DeadlineExceeded {
+            pending: req_usize(&v, "pending")?,
+        },
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok(Event {
@@ -659,6 +703,57 @@ mod tests {
         }
         assert_eq!(back, expect);
         // re-encoding is byte-stable
+        assert_eq!(to_jsonl(&back), text);
+    }
+
+    #[test]
+    fn hedge_shed_deadline_roundtrip() {
+        let mk = |seq, kind| Event {
+            seq,
+            sim_ms: 1.0,
+            round: 1,
+            layer: 0,
+            cpu_ms: None,
+            kind,
+        };
+        let events = vec![
+            mk(
+                0,
+                EventKind::Hedge {
+                    service: "s".into(),
+                    call: 3,
+                    fired_at_ms: 12.5,
+                    primary_cost_ms: 40.0,
+                    hedge_cost_ms: 10.0,
+                    hedge_won: true,
+                },
+            ),
+            mk(
+                1,
+                EventKind::Shed {
+                    service: "s".into(),
+                    call: 4,
+                    reason: ShedReason::Inflight,
+                },
+            ),
+            mk(
+                2,
+                EventKind::Shed {
+                    service: "s".into(),
+                    call: 5,
+                    reason: ShedReason::Latency,
+                },
+            ),
+            mk(3, EventKind::DeadlineExceeded { pending: 2 }),
+        ];
+        let text = to_jsonl(&events);
+        assert!(text.contains("\"kind\":\"hedge\""), "{text}");
+        assert!(text.contains("\"kind\":\"shed\""), "{text}");
+        assert!(text.contains("\"kind\":\"deadline\""), "{text}");
+        assert!(text.contains("\"reason\":\"inflight\""), "{text}");
+        assert!(text.contains("\"reason\":\"latency\""), "{text}");
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, events);
         assert_eq!(to_jsonl(&back), text);
     }
 

@@ -43,7 +43,7 @@ impl Histogram {
         self.samples.iter().copied().fold(0.0, f64::max)
     }
 
-    /// Quantile by nearest-rank (q in [0,1]); 0 when empty.
+    /// Quantile by nearest-rank (q in \[0,1\]); 0 when empty.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.samples.is_empty() {
             return 0.0;
@@ -77,6 +77,12 @@ pub struct ServiceMetrics {
     pub cache_misses: usize,
     /// Breaker refusals.
     pub breaker_skips: usize,
+    /// Hedge legs fired against this service.
+    pub hedges: usize,
+    /// Hedge legs that won their race.
+    pub hedge_wins: usize,
+    /// Calls shed by the admission gate.
+    pub sheds: usize,
 }
 
 impl ServiceMetrics {
@@ -195,6 +201,18 @@ pub fn aggregate(events: &[Event]) -> MetricsReport {
             EventKind::BreakerSkip { service, .. } => {
                 r.services.entry(service.clone()).or_default().breaker_skips += 1;
             }
+            EventKind::Hedge {
+                service, hedge_won, ..
+            } => {
+                let m = r.services.entry(service.clone()).or_default();
+                m.hedges += 1;
+                if *hedge_won {
+                    m.hedge_wins += 1;
+                }
+            }
+            EventKind::Shed { service, .. } => {
+                r.services.entry(service.clone()).or_default().sheds += 1;
+            }
             EventKind::Batch {
                 parallel,
                 advance_ms,
@@ -248,6 +266,13 @@ impl fmt::Display for MetricsReport {
                 m.breaker_skips,
                 m.latency_ms.mean()
             )?;
+            if m.hedges > 0 || m.sheds > 0 {
+                writeln!(
+                    f,
+                    "    hedging: {} legs fired ({} won), {} calls shed",
+                    m.hedges, m.hedge_wins, m.sheds
+                )?;
+            }
         }
         for (idx, l) in &self.layers {
             writeln!(

@@ -125,13 +125,17 @@ impl<W: Write + Send> PrettySink<W> {
 pub fn pretty_line(e: &Event) -> String {
     let indent = match &e.kind {
         EventKind::QueryStart { .. } | EventKind::QueryEnd { .. } => 0,
-        EventKind::LayerStart { .. } | EventKind::LayerEnd | EventKind::Truncated { .. } => 1,
+        EventKind::LayerStart { .. }
+        | EventKind::LayerEnd
+        | EventKind::Truncated { .. }
+        | EventKind::DeadlineExceeded { .. } => 1,
         EventKind::Candidates { .. } | EventKind::Batch { .. } => 2,
         EventKind::Invocation { .. }
         | EventKind::BreakerTransition { .. }
         | EventKind::BreakerSkip { .. }
-        | EventKind::UnknownService { .. } => 3,
-        EventKind::CacheProbe { .. } | EventKind::Attempt { .. } => 4,
+        | EventKind::UnknownService { .. }
+        | EventKind::Shed { .. } => 3,
+        EventKind::CacheProbe { .. } | EventKind::Attempt { .. } | EventKind::Hedge { .. } => 4,
     };
     let pad = "  ".repeat(indent);
     let body = match &e.kind {
@@ -235,6 +239,23 @@ pub fn pretty_line(e: &Event) -> String {
         ),
         EventKind::Truncated { pending } => {
             format!("TRUNCATED with {pending} candidates pending")
+        }
+        EventKind::Hedge {
+            service,
+            call,
+            fired_at_ms,
+            primary_cost_ms,
+            hedge_cost_ms,
+            hedge_won,
+        } => format!(
+            "hedge #{call}:{service} fired at {fired_at_ms}ms (primary {primary_cost_ms}ms, hedge {hedge_cost_ms}ms) -> {} won",
+            if *hedge_won { "hedge" } else { "primary" }
+        ),
+        EventKind::Shed { service, call, reason } => {
+            format!("shed #{call}:{service} ({})", reason.as_str())
+        }
+        EventKind::DeadlineExceeded { pending } => {
+            format!("DEADLINE EXCEEDED with {pending} candidates pending")
         }
     };
     format!("{:>9.2}ms {pad}{body}", e.sim_ms)

@@ -213,6 +213,13 @@ impl RetryPolicy {
         }
         self.base_backoff_ms * self.backoff_factor.powi(retry.min(30) as i32)
     }
+
+    /// The backoff actually scheduled before retry `retry` when only
+    /// `remaining_ms` of an end-to-end deadline budget is left: never
+    /// negative, never more than the remaining budget.
+    pub fn backoff_within(&self, retry: usize, remaining_ms: f64) -> f64 {
+        self.backoff_ms(retry).min(remaining_ms.max(0.0))
+    }
 }
 
 /// Per-service circuit-breaker configuration.
@@ -298,6 +305,12 @@ impl<S: Service> Service for FlakyService<S> {
 const SALT_FLAKY: u64 = 0xf1ab_f1ab_f1ab_f1ab;
 const SALT_TIMEOUT: u64 = 0x7134_e007_7134_e007;
 const SALT_SLOW: u64 = 0x510d_0000_510d_0000;
+
+/// Fingerprint salt for hedge legs: a hedged duplicate of a call draws
+/// its fault schedule from `fingerprint ^ SALT_HEDGE`, so the hedge leg
+/// sees an *independent* (but still deterministic) fate — the point of
+/// hedging is that a duplicate sent elsewhere may dodge the tail.
+pub(crate) const SALT_HEDGE: u64 = 0x4ed6_4ed6_4ed6_4ed6;
 
 /// FNV-1a over raw bytes.
 pub(crate) fn fnv64(data: &[u8]) -> u64 {
@@ -387,6 +400,16 @@ mod tests {
         assert_eq!(p.backoff_ms(1), 50.0);
         assert_eq!(p.backoff_ms(2), 100.0);
         assert_eq!(RetryPolicy::none().backoff_ms(3), 0.0);
+    }
+
+    #[test]
+    fn backoff_within_clips_to_the_remaining_budget() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff_within(0, f64::INFINITY), 25.0);
+        assert_eq!(p.backoff_within(2, 40.0), 40.0);
+        assert_eq!(p.backoff_within(2, 100.0), 100.0);
+        assert_eq!(p.backoff_within(0, 0.0), 0.0);
+        assert_eq!(p.backoff_within(0, -5.0), 0.0);
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub use cache::{CacheLookup, CachedCall, InvokeCache};
 pub use fault::{
     BreakerConfig, BreakerState, FaultDecision, FaultProfile, FlakyService, RetryPolicy,
 };
-pub use net::{NetProfile, NetStats, SimClock};
+pub use net::{Deadline, NetProfile, NetStats, SimClock};
 pub use push::{bindings_result, prune_result, PushMode};
 pub use registry::{
     CallRecord, FailedCall, InvokeError, InvokeOutcome, Registry, ServiceError,

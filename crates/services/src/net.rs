@@ -97,6 +97,76 @@ impl SimClock {
     }
 }
 
+/// An absolute end-to-end expiry point on the simulated clock.
+///
+/// A deadline is an *instant*, not a duration: it is fixed when a run
+/// starts (`Deadline::after(start_ms, budget_ms)`) and every later
+/// decision asks how much budget remains at the current simulated time.
+/// Because the simulated clock is deterministic, so is every deadline
+/// decision — the same seed and flags expire at the same instant on
+/// every run, threaded or not.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Deadline {
+    expiry_ms: f64,
+}
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn never() -> Self {
+        Deadline {
+            expiry_ms: f64::INFINITY,
+        }
+    }
+
+    /// A deadline at the absolute simulated instant `expiry_ms`.
+    pub fn at(expiry_ms: f64) -> Self {
+        Deadline { expiry_ms }
+    }
+
+    /// A deadline `budget_ms` after `start_ms` (infinite budget = never).
+    pub fn after(start_ms: f64, budget_ms: f64) -> Self {
+        if budget_ms.is_finite() {
+            Deadline {
+                expiry_ms: start_ms + budget_ms.max(0.0),
+            }
+        } else {
+            Deadline::never()
+        }
+    }
+
+    /// The absolute expiry instant in simulated milliseconds.
+    pub fn expiry_ms(&self) -> f64 {
+        self.expiry_ms
+    }
+
+    /// Whether this deadline can ever expire.
+    pub fn is_finite(&self) -> bool {
+        self.expiry_ms.is_finite()
+    }
+
+    /// Budget left at simulated time `now_ms` (clamped at zero;
+    /// `f64::INFINITY` for a never-expiring deadline).
+    pub fn remaining_ms(&self, now_ms: f64) -> f64 {
+        if self.expiry_ms.is_finite() {
+            (self.expiry_ms - now_ms).max(0.0)
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Whether the deadline has expired at simulated time `now_ms`.
+    pub fn expired(&self, now_ms: f64) -> bool {
+        now_ms >= self.expiry_ms
+    }
+}
+
+impl Default for Deadline {
+    /// Never expires.
+    fn default() -> Self {
+        Deadline::never()
+    }
+}
+
 /// Aggregate traffic statistics.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct NetStats {
@@ -189,6 +259,29 @@ mod tests {
         assert_eq!(c.now_ms(), 80.0);
         c.advance_parallel(&[]);
         assert_eq!(c.now_ms(), 80.0);
+    }
+
+    #[test]
+    fn deadline_budget_accounting() {
+        let d = Deadline::after(100.0, 50.0);
+        assert!(d.is_finite());
+        assert_eq!(d.expiry_ms(), 150.0);
+        assert_eq!(d.remaining_ms(100.0), 50.0);
+        assert_eq!(d.remaining_ms(140.0), 10.0);
+        assert_eq!(d.remaining_ms(200.0), 0.0);
+        assert!(!d.expired(149.9));
+        assert!(d.expired(150.0));
+
+        let never = Deadline::after(5.0, f64::INFINITY);
+        assert_eq!(never, Deadline::never());
+        assert!(!never.is_finite());
+        assert_eq!(never.remaining_ms(1e12), f64::INFINITY);
+        assert!(!never.expired(1e12));
+
+        // a non-positive budget is already expired at its start instant
+        let spent = Deadline::after(10.0, -3.0);
+        assert!(spent.expired(10.0));
+        assert_eq!(spent.remaining_ms(10.0), 0.0);
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! network profile to compute simulated costs, plays the provider's side of
 //! pushed queries (Section 7), and records traffic statistics.
 
-use crate::fault::{fnv64, BreakerConfig, BreakerState, FaultDecision, FaultProfile, RetryPolicy};
+use crate::fault::{
+    fnv64, BreakerConfig, BreakerState, FaultDecision, FaultProfile, RetryPolicy, SALT_HEDGE,
+};
 use crate::net::{NetProfile, NetStats};
 use crate::push::{bindings_result, prune_result, PushMode};
 use crate::service::{CallRequest, PushedQuery, Service};
@@ -42,6 +44,9 @@ pub struct FailedCall {
     pub cost_ms: f64,
     /// Whether the final attempt failed by exceeding the deadline.
     pub timed_out: bool,
+    /// Whether the call was cut short because the end-to-end deadline
+    /// budget ran out (rather than by exhausting its retries).
+    pub deadline_exceeded: bool,
 }
 
 /// Failure modes of [`Registry::invoke_with_policy`].
@@ -152,9 +157,14 @@ pub struct Registry {
     retry: RetryPolicy,
     breaker_config: BreakerConfig,
     breakers: Mutex<HashMap<String, BreakerState>>,
+    latency: Mutex<HashMap<String, f64>>,
     stats: Mutex<NetStats>,
     log: Mutex<CallLog>,
 }
+
+/// Smoothing factor of the per-service latency EWMA: each observation
+/// moves the estimate 30% of the way toward the observed cost.
+const LATENCY_EWMA_ALPHA: f64 = 0.3;
 
 impl Default for Registry {
     fn default() -> Self {
@@ -175,6 +185,7 @@ impl Registry {
             retry: RetryPolicy::default(),
             breaker_config: BreakerConfig::default(),
             breakers: Mutex::new(HashMap::new()),
+            latency: Mutex::new(HashMap::new()),
             stats: Mutex::new(NetStats::default()),
             log: Mutex::new(CallLog::new(DEFAULT_CALL_LOG_CAPACITY)),
         }
@@ -377,37 +388,157 @@ impl Registry {
         params: Forest,
         pushed: Option<&PushedQuery>,
     ) -> Result<InvokeOutcome, InvokeError> {
+        self.invoke_budgeted(name, params, pushed, f64::INFINITY, 0)
+    }
+
+    /// [`Registry::invoke_with_policy`] under an end-to-end deadline: at
+    /// most `budget_ms` of simulated cost may be burned by this call.
+    /// Backoff pauses and per-attempt timeouts are clipped to the
+    /// remaining budget, and once the budget is gone no further attempt
+    /// starts — the call fails with
+    /// [`FailedCall::deadline_exceeded`]` == true` and exactly `budget_ms`
+    /// burned. An infinite budget is identical to `invoke_with_policy`.
+    pub fn invoke_within(
+        &self,
+        name: &str,
+        params: Forest,
+        pushed: Option<&PushedQuery>,
+        budget_ms: f64,
+    ) -> Result<InvokeOutcome, InvokeError> {
+        self.invoke_budgeted(name, params, pushed, budget_ms, 0)
+    }
+
+    /// The hedge leg of a hedged invocation: same call, same budget
+    /// semantics as [`Registry::invoke_within`], but the fault-schedule
+    /// fingerprint is salted so the duplicate draws an *independent*
+    /// deterministic fate — the point of hedging is that the duplicate may
+    /// dodge the tail the primary hit.
+    pub fn invoke_hedge(
+        &self,
+        name: &str,
+        params: Forest,
+        pushed: Option<&PushedQuery>,
+        budget_ms: f64,
+    ) -> Result<InvokeOutcome, InvokeError> {
+        self.invoke_budgeted(name, params, pushed, budget_ms, SALT_HEDGE)
+    }
+
+    fn invoke_budgeted(
+        &self,
+        name: &str,
+        params: Forest,
+        pushed: Option<&PushedQuery>,
+        budget_ms: f64,
+        fp_salt: u64,
+    ) -> Result<InvokeOutcome, InvokeError> {
         let service = self
             .services
             .get(name)
             .ok_or_else(|| InvokeError::Unknown(name.to_string()))?;
+        if budget_ms <= 0.0 {
+            // already expired: nothing is attempted and nothing burned
+            // (the engine's deadline gate normally prevents this dispatch)
+            self.stats.lock().unwrap().record_failed_call();
+            self.log.lock().unwrap().push(CallRecord {
+                service: name.to_string(),
+                bytes: 0,
+                cost_ms: 0.0,
+                pushed: false,
+                attempts: 0,
+                ok: false,
+            });
+            return Err(InvokeError::Failed(FailedCall {
+                service: name.to_string(),
+                attempts: 0,
+                cost_ms: 0.0,
+                timed_out: false,
+                deadline_exceeded: true,
+            }));
+        }
         let fault = self.fault_profile_for(name);
         let fault_active = fault.map(|f| !f.is_inert()).unwrap_or(false);
         if !fault_active {
-            // fast path: identical to the fault-free model
-            return self
-                .invoke(name, params, pushed)
-                .map_err(|ServiceError::Unknown(n)| InvokeError::Unknown(n));
+            if budget_ms.is_infinite() {
+                // fast path: identical to the fault-free model
+                return self
+                    .invoke(name, params, pushed)
+                    .map_err(|ServiceError::Unknown(n)| InvokeError::Unknown(n));
+            }
+            // fault-free but deadline-bounded: the single attempt either
+            // fits the budget or burns the whole of it
+            let (result, bytes, was_pushed, cost_ms) = self.answer(service, name, &params, pushed);
+            if cost_ms <= budget_ms {
+                self.stats
+                    .lock()
+                    .unwrap()
+                    .record(bytes, cost_ms, was_pushed);
+                self.log.lock().unwrap().push(CallRecord {
+                    service: name.to_string(),
+                    bytes,
+                    cost_ms,
+                    pushed: was_pushed,
+                    attempts: 1,
+                    ok: true,
+                });
+                return Ok(InvokeOutcome {
+                    result,
+                    bytes,
+                    cost_ms,
+                    pushed: was_pushed,
+                    attempts: 1,
+                });
+            }
+            self.stats
+                .lock()
+                .unwrap()
+                .record_failed_attempt(budget_ms, true);
+            self.stats.lock().unwrap().record_failed_call();
+            self.log.lock().unwrap().push(CallRecord {
+                service: name.to_string(),
+                bytes: 0,
+                cost_ms: budget_ms,
+                pushed: false,
+                attempts: 1,
+                ok: false,
+            });
+            return Err(InvokeError::Failed(FailedCall {
+                service: name.to_string(),
+                attempts: 1,
+                cost_ms: budget_ms,
+                timed_out: true,
+                deadline_exceeded: true,
+            }));
         }
         let fault = fault.expect("fault_active implies a profile");
         let policy = self.retry;
         let net = self.net_profile(name);
-        let fingerprint = fnv64(to_xml(&params).as_bytes());
+        let fingerprint = fnv64(to_xml(&params).as_bytes()) ^ fp_salt;
         // deterministic services: the answer is computed at most once and
         // reused across attempts
         let mut answer: Option<(Forest, usize, bool, f64)> = None;
         let mut total_cost = 0.0;
         let mut timed_out = false;
+        let mut deadline_exceeded = false;
+        let mut attempts_made = 0usize;
         let attempts_allowed = policy.max_retries + 1;
         for attempt in 0..attempts_allowed {
             if attempt > 0 {
-                let pause = policy.backoff_ms(attempt - 1);
+                let pause = policy.backoff_within(attempt - 1, budget_ms - total_cost);
                 total_cost += pause;
                 self.stats.lock().unwrap().record_backoff(pause);
+                if total_cost >= budget_ms {
+                    // the deadline expired while backing off: the retry
+                    // never starts
+                    deadline_exceeded = true;
+                    break;
+                }
             }
+            attempts_made = attempt + 1;
+            // the per-attempt timeout never outlives the remaining budget
+            let attempt_timeout = policy.timeout_ms.min(budget_ms - total_cost);
             match fault.decide(name, fingerprint, attempt) {
                 FaultDecision::Fail => {
-                    let cost = net.latency_ms.min(policy.timeout_ms);
+                    let cost = net.latency_ms.min(attempt_timeout);
                     total_cost += cost;
                     timed_out = false;
                     self.stats
@@ -418,13 +549,13 @@ impl Registry {
                 FaultDecision::Timeout => {
                     // with no deadline configured an unbounded hang would
                     // never terminate, so it degrades to a fast failure
-                    let cost = if policy.timeout_ms.is_finite() {
-                        policy.timeout_ms
+                    let cost = if attempt_timeout.is_finite() {
+                        attempt_timeout
                     } else {
                         net.latency_ms
                     };
                     total_cost += cost;
-                    timed_out = policy.timeout_ms.is_finite();
+                    timed_out = attempt_timeout.is_finite();
                     self.stats
                         .lock()
                         .unwrap()
@@ -439,14 +570,14 @@ impl Registry {
                         .get_or_insert_with(|| self.answer(service, name, &params, pushed))
                         .clone();
                     let cost = base_cost * factor;
-                    if cost > policy.timeout_ms {
+                    if cost > attempt_timeout {
                         // the slowdown ran past the deadline
-                        total_cost += policy.timeout_ms;
+                        total_cost += attempt_timeout;
                         timed_out = true;
                         self.stats
                             .lock()
                             .unwrap()
-                            .record_failed_attempt(policy.timeout_ms, true);
+                            .record_failed_attempt(attempt_timeout, true);
                     } else {
                         total_cost += cost;
                         self.stats.lock().unwrap().record(bytes, cost, was_pushed);
@@ -468,6 +599,11 @@ impl Registry {
                     }
                 }
             }
+            if total_cost >= budget_ms {
+                // the failed attempt consumed the rest of the budget
+                deadline_exceeded = true;
+                break;
+            }
         }
         self.stats.lock().unwrap().record_failed_call();
         self.log.lock().unwrap().push(CallRecord {
@@ -475,14 +611,15 @@ impl Registry {
             bytes: 0,
             cost_ms: total_cost,
             pushed: false,
-            attempts: attempts_allowed,
+            attempts: attempts_made,
             ok: false,
         });
         Err(InvokeError::Failed(FailedCall {
             service: name.to_string(),
-            attempts: attempts_allowed,
+            attempts: attempts_made,
             cost_ms: total_cost,
             timed_out,
+            deadline_exceeded,
         }))
     }
 
@@ -521,6 +658,26 @@ impl Registry {
     /// Counts a call the caller skipped because the breaker was open.
     pub fn record_breaker_skip(&self) {
         self.stats.lock().unwrap().record_breaker_skip();
+    }
+
+    /// Feeds one observed call cost into the per-service latency EWMA.
+    /// Like [`Registry::breaker_record`], callers invoke this from a
+    /// deterministic (sequential) phase so the estimate's evolution is
+    /// independent of thread interleaving.
+    pub fn latency_observe(&self, service: &str, cost_ms: f64) {
+        let mut latency = self.latency.lock().unwrap();
+        match latency.get_mut(service) {
+            Some(est) => *est += LATENCY_EWMA_ALPHA * (cost_ms - *est),
+            None => {
+                latency.insert(service.to_string(), cost_ms);
+            }
+        }
+    }
+
+    /// The current latency EWMA of one service, in simulated ms
+    /// (`None` before the first observation).
+    pub fn latency_ewma(&self, service: &str) -> Option<f64> {
+        self.latency.lock().unwrap().get(service).copied()
     }
 
     /// Breaker bookkeeping for one service, if any calls completed.
@@ -571,6 +728,7 @@ impl Registry {
         log.dropped = 0;
         drop(log);
         self.reset_breakers();
+        self.latency.lock().unwrap().clear();
     }
 
     /// Clears circuit-breaker state only (all breakers closed, failure
@@ -818,6 +976,145 @@ mod tests {
             (out.map(|o| (o.bytes, o.cost_ms, o.attempts)), r.stats())
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn infinite_budget_matches_invoke_with_policy() {
+        let run = |budget: bool| {
+            let mut r = registry();
+            r.set_profile("getNearbyRestos", NetProfile::default());
+            r.set_default_fault_profile(FaultProfile::chaos(99, 0.9));
+            r.set_retry_policy(RetryPolicy::default().with_timeout_ms(2_000.0));
+            let out = if budget {
+                r.invoke_within("getNearbyRestos", Forest::new(), None, f64::INFINITY)
+            } else {
+                r.invoke_with_policy("getNearbyRestos", Forest::new(), None)
+            };
+            (out.map(|o| (o.bytes, o.cost_ms, o.attempts)), r.stats())
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn deadline_expires_during_backoff() {
+        let mut r = registry();
+        r.set_profile("getNearbyRestos", NetProfile::latency(10.0));
+        r.set_fault_profile("getNearbyRestos", FaultProfile::permanent(1));
+        r.set_retry_policy(RetryPolicy {
+            max_retries: 3,
+            base_backoff_ms: 25.0,
+            backoff_factor: 2.0,
+            timeout_ms: f64::INFINITY,
+        });
+        // attempt 0 burns 10, backoff 0 would burn 25 — budget 20 dies
+        // mid-backoff, so only one attempt ever runs
+        let err = r
+            .invoke_within("getNearbyRestos", Forest::new(), None, 20.0)
+            .unwrap_err();
+        let InvokeError::Failed(failed) = err else {
+            panic!("expected Failed");
+        };
+        assert!(failed.deadline_exceeded);
+        assert_eq!(failed.attempts, 1);
+        assert!((failed.cost_ms - 20.0).abs() < 1e-9, "{}", failed.cost_ms);
+        assert_eq!(r.stats().failed_attempts, 1);
+        assert!((r.stats().backoff_ms - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deadline_clips_the_final_attempt() {
+        let mut r = registry();
+        r.set_profile("getNearbyRestos", NetProfile::latency(10.0));
+        r.set_fault_profile("getNearbyRestos", FaultProfile::timeouts(1));
+        r.set_retry_policy(RetryPolicy {
+            max_retries: 0,
+            base_backoff_ms: 0.0,
+            backoff_factor: 1.0,
+            timeout_ms: f64::INFINITY,
+        });
+        // no per-attempt timeout, but the budget bounds the hang at 7ms
+        let err = r
+            .invoke_within("getNearbyRestos", Forest::new(), None, 7.0)
+            .unwrap_err();
+        let InvokeError::Failed(failed) = err else {
+            panic!("expected Failed");
+        };
+        assert!(failed.deadline_exceeded);
+        assert!(failed.timed_out);
+        assert!((failed.cost_ms - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fault_free_call_past_its_budget_fails_deadline() {
+        let mut r = registry();
+        r.set_profile("getNearbyRestos", NetProfile::latency(10.0));
+        let err = r
+            .invoke_within("getNearbyRestos", Forest::new(), None, 4.0)
+            .unwrap_err();
+        let InvokeError::Failed(failed) = err else {
+            panic!("expected Failed");
+        };
+        assert!(failed.deadline_exceeded);
+        assert!(failed.timed_out);
+        assert_eq!(failed.attempts, 1);
+        assert!((failed.cost_ms - 4.0).abs() < 1e-9);
+        // a roomy budget succeeds without behavioral change
+        r.reset_stats();
+        let ok = r
+            .invoke_within("getNearbyRestos", Forest::new(), None, 100.0)
+            .unwrap();
+        assert_eq!(ok.cost_ms, 10.0);
+    }
+
+    #[test]
+    fn exhausted_budget_attempts_nothing() {
+        let r = registry();
+        let err = r
+            .invoke_within("getNearbyRestos", Forest::new(), None, 0.0)
+            .unwrap_err();
+        let InvokeError::Failed(failed) = err else {
+            panic!("expected Failed");
+        };
+        assert!(failed.deadline_exceeded);
+        assert_eq!(failed.attempts, 0);
+        assert_eq!(failed.cost_ms, 0.0);
+        assert_eq!(r.stats().attempts, 0);
+    }
+
+    #[test]
+    fn hedge_legs_draw_an_independent_fault_schedule() {
+        let mut r = registry();
+        r.set_profile("getNearbyRestos", NetProfile::latency(10.0));
+        // the primary site is permanently down; the hedge leg's salted
+        // fingerprint dodges it for some seed — find one deterministically
+        let hedged_survives = (0u64..64).any(|seed| {
+            r.set_fault_profile(
+                "getNearbyRestos",
+                FaultProfile {
+                    seed,
+                    fail_prob: 0.5,
+                    transient_failures: usize::MAX,
+                    ..FaultProfile::none()
+                },
+            );
+            r.set_retry_policy(RetryPolicy::none());
+            let primary = r.invoke_with_policy("getNearbyRestos", Forest::new(), None);
+            let hedge = r.invoke_hedge("getNearbyRestos", Forest::new(), None, f64::INFINITY);
+            primary.is_err() && hedge.is_ok()
+        });
+        assert!(hedged_survives, "some seed lets the hedge dodge the fault");
+    }
+
+    #[test]
+    fn latency_ewma_tracks_observations() {
+        let r = registry();
+        assert_eq!(r.latency_ewma("s"), None);
+        r.latency_observe("s", 100.0);
+        assert_eq!(r.latency_ewma("s"), Some(100.0));
+        r.latency_observe("s", 0.0);
+        assert!((r.latency_ewma("s").unwrap() - 70.0).abs() < 1e-9);
+        r.reset_stats();
+        assert_eq!(r.latency_ewma("s"), None);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Property tests for the retry/backoff schedule and its interaction
+//! with end-to-end deadline budgets: backoff grows monotonically with
+//! the retry index, is capped (the exponent saturates), and — with a
+//! deadline attached — no scheduled backoff ever exceeds the remaining
+//! budget.
+
+use axml_services::{Deadline, RetryPolicy};
+use proptest::prelude::*;
+
+fn policy_strategy() -> impl Strategy<Value = RetryPolicy> {
+    (
+        0usize..8,
+        0.0f64..200.0,
+        1.0f64..4.0,
+        prop_oneof![Just(f64::INFINITY), 1.0f64..5_000.0],
+    )
+        .prop_map(
+            |(max_retries, base_backoff_ms, backoff_factor, timeout_ms)| RetryPolicy {
+                max_retries,
+                base_backoff_ms,
+                backoff_factor,
+                timeout_ms,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn backoff_is_monotone_in_the_retry_index(
+        policy in policy_strategy(),
+        retry in 0usize..64,
+    ) {
+        // factor ≥ 1, so each retry waits at least as long as the last
+        prop_assert!(policy.backoff_ms(retry + 1) >= policy.backoff_ms(retry));
+        prop_assert!(policy.backoff_ms(retry) >= 0.0);
+    }
+
+    #[test]
+    fn backoff_exponent_is_capped(
+        policy in policy_strategy(),
+        retry in 30usize..1_000,
+    ) {
+        // the exponent saturates at 30: arbitrarily late retries wait
+        // exactly as long as retry 30, never overflowing to infinity
+        prop_assert_eq!(policy.backoff_ms(retry), policy.backoff_ms(30));
+        prop_assert!(policy.backoff_ms(retry).is_finite());
+    }
+
+    #[test]
+    fn scheduled_backoff_never_exceeds_the_remaining_budget(
+        policy in policy_strategy(),
+        retry in 0usize..64,
+        start_ms in 0.0f64..10_000.0,
+        budget_ms in 0.0f64..500.0,
+        elapsed_ms in 0.0f64..1_000.0,
+    ) {
+        let deadline = Deadline::after(start_ms, budget_ms);
+        let remaining = deadline.remaining_ms(start_ms + elapsed_ms);
+        let pause = policy.backoff_within(retry, remaining);
+        prop_assert!(pause <= remaining, "pause {pause} > remaining {remaining}");
+        prop_assert!(pause <= policy.backoff_ms(retry));
+        prop_assert!(pause >= 0.0);
+        // with no deadline the clip is a no-op
+        let free = Deadline::never().remaining_ms(start_ms + elapsed_ms);
+        prop_assert_eq!(policy.backoff_within(retry, free), policy.backoff_ms(retry));
+    }
+}

@@ -71,6 +71,13 @@ pub struct SessionReport {
 /// TTL validity windows measure real (simulated) elapsed time across the
 /// whole query sequence: query 3 at clock 950 ms still hits entries
 /// cached by query 1 at clock 0 ms if their windows are ≥ 950 ms wide.
+///
+/// A `deadline_ms` in [`SessionOptions::engine`] is a *per-query* budget,
+/// anchored at each query's own start clock — a session at clock 950 ms
+/// with a 100 ms deadline gives the next query until 1050 ms. Because
+/// cache hits cost zero simulated time, re-asking a deadline-truncated
+/// query makes monotone progress through the shared cache (see the
+/// `per_query_deadlines_converge_through_the_session_cache` test).
 pub struct Session<'a> {
     doc: &'a mut Document,
     registry: &'a Registry,

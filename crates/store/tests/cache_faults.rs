@@ -364,3 +364,102 @@ fn persistent_mode_materializes_instead_of_caching() {
     assert_eq!(probes(&warm.stats), 0, "no calls remain to probe for");
     assert_eq!(warm.answers, cold.answers);
 }
+
+#[test]
+fn exhausted_deadline_still_serves_zero_cost_cache_hits() {
+    // The deadline gate sits BEHIND the cache probe: a hit costs zero
+    // simulated time, so even a query whose budget is already spent at
+    // its first instant completes entirely out of the cache.
+    let mut store = store(CacheConfig::default());
+    let r = registry();
+    let cold = run_query(&mut store, &r);
+    assert!(cold.complete);
+
+    let opts = SessionOptions::with_engine(EngineConfig {
+        deadline_ms: 0.0,
+        ..EngineConfig::default()
+    });
+    let mut session = store.session("d", &r, None, opts).unwrap();
+    let warm = session.query(&query());
+    assert!(
+        warm.complete,
+        "an exhausted deadline must not refuse zero-cost hits"
+    );
+    assert_eq!(warm.stats.cache_hits, 8);
+    assert_eq!(warm.stats.calls_invoked, 0);
+    assert!(!warm.stats.deadline_exceeded);
+    assert_eq!(warm.stats.sim_time_ms, 0.0);
+    assert_eq!(warm.answers, cold.answers);
+}
+
+#[test]
+fn expired_deadline_on_a_cold_cache_degrades_cleanly() {
+    // Without cached answers the same zero-budget query invokes nothing
+    // and closes the round as a sound (empty) partial answer with the
+    // distinct deadline cause — not a generic truncation.
+    let mut store = store(CacheConfig::default());
+    let r = registry();
+    let opts = SessionOptions::with_engine(EngineConfig {
+        deadline_ms: 0.0,
+        ..EngineConfig::default()
+    });
+    let mut session = store.session("d", &r, None, opts).unwrap();
+    let starved = session.query(&query());
+    assert!(!starved.complete);
+    assert!(starved.stats.deadline_exceeded);
+    assert!(starved.stats.truncated);
+    assert_eq!(starved.stats.calls_invoked, 0);
+    assert_eq!(starved.stats.failed_calls, 0);
+    assert_eq!(starved.stats.sim_time_ms, 0.0);
+    assert!(starved.answers.is_empty());
+    drop(session);
+
+    // the starved query poisoned nothing: a normal run then completes
+    let healthy = run_query(&mut store, &r);
+    assert!(healthy.complete);
+    assert_eq!(healthy.stats.calls_invoked, 8);
+}
+
+#[test]
+fn per_query_deadlines_converge_through_the_session_cache() {
+    // Each query gets a FRESH 25 ms budget relative to its own start —
+    // the session clock does not eat later queries' deadlines — and the
+    // calls each query does land in the shared cache. Re-asking the same
+    // query therefore makes monotone progress and eventually completes,
+    // even though no single query's budget covers the whole workload.
+    let mut store = store(CacheConfig::default());
+    let r = registry();
+    let opts = SessionOptions::with_engine(EngineConfig {
+        parallel: false,
+        deadline_ms: 25.0,
+        ..EngineConfig::default()
+    });
+    let mut session = store.session("d", &r, None, opts).unwrap();
+    let q = query();
+    let mut answered_so_far = 0usize;
+    let mut completed_at = None;
+    for round in 0..8 {
+        let report = session.query(&q);
+        assert!(
+            report.stats.sim_time_ms <= 25.0 + 1e-9,
+            "round {round}: a query may never overrun its own deadline"
+        );
+        let answered = report.stats.cache_hits + report.stats.calls_invoked;
+        assert!(
+            answered > answered_so_far,
+            "round {round}: every round must make progress"
+        );
+        answered_so_far = answered;
+        if report.complete {
+            assert!(!report.stats.deadline_exceeded);
+            assert_eq!(report.answers.len(), 8);
+            completed_at = Some(round);
+            break;
+        }
+        assert!(report.stats.deadline_exceeded);
+    }
+    assert!(
+        completed_at.is_some(),
+        "the cache must carry the workload past its per-query deadline"
+    );
+}

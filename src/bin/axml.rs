@@ -6,11 +6,17 @@
 //!            [--strategy nfq|lpq|topdown|naive] [--typing none|lenient|exact] \
 //!            [--push] [--fguide] [--no-parallel] [--speculate] [--stats] \
 //!            [--retries N] [--timeout-ms X] [--fault-seed N] [--fail-prob P] \
+//!            [--latency-ms X] \
+//!            [--deadline-ms X] [--hedge-threshold-ms X] [--hedge-quantile F] \
+//!            [--shed-inflight N] [--shed-ewma-ms X] \
 //!            [--cache] [--cache-ttl-ms X] [--cache-capacity N] [--cache-bytes N] \
 //!            [--trace-json PATH] [--trace-summary] \
 //!            [--out results|doc]
 //! axml session --doc doc.xml --world world.xml \
 //!              --query Q1 [--query Q2 ...] [--idle-ms X] [--persist] \
+//!              [--latency-ms X] \
+//!              [--deadline-ms X] [--hedge-threshold-ms X] [--hedge-quantile F] \
+//!              [--shed-inflight N] [--shed-ewma-ms X] \
 //!              [--cache-ttl-ms X] [--cache-capacity N] [--cache-bytes N] \
 //!              [--quiet] [--stats] [--trace] [--trace-json PATH] [--trace-summary]
 //! axml validate --doc doc.xml --schema schema.txt
@@ -24,7 +30,8 @@
 //! format of `axml-services::worldfile`.
 
 use activexml::core::{
-    build_lpqs, build_nfqs, compute_layers, Engine, EngineConfig, Speculation, Strategy, Typing,
+    build_lpqs, build_nfqs, compute_layers, plural, Engine, EngineConfig, HedgeConfig, ShedConfig,
+    Speculation, Strategy, Typing,
 };
 use activexml::obs::{aggregate, to_jsonl, RingSink};
 use activexml::query::{construct_results, parse_query, render, Pattern};
@@ -169,7 +176,17 @@ fn load_world(opts: &Opts) -> Result<Registry, String> {
 /// run everything under injected faults) enables a deterministic chaos
 /// profile on every service, with failure probability `--fail-prob`
 /// (default 0.3). Seed 0 — or no seed — keeps invocations fault-free.
+/// `--latency-ms X` gives every service a simulated per-call network
+/// latency (world-file services default to zero cost) — without it,
+/// `--deadline-ms`, `--hedge-threshold-ms` and `--shed-ewma-ms` have
+/// nothing to measure.
 fn apply_fault_opts(registry: &mut Registry, opts: &Opts) -> Result<(), String> {
+    if let Some(v) = opts.value("latency-ms") {
+        let ms: f64 = v
+            .parse()
+            .map_err(|_| format!("--latency-ms expects milliseconds, got {v:?}"))?;
+        registry.set_default_profile(activexml::services::NetProfile::latency(ms));
+    }
     let mut policy = registry.retry_policy();
     if let Some(v) = opts.value("retries") {
         policy.max_retries = v
@@ -260,6 +277,34 @@ fn engine_config(opts: &Opts) -> Result<EngineConfig, String> {
             .parse()
             .map_err(|_| format!("--max-calls expects a number, got {v:?}"))?,
     };
+    let deadline_ms = match opts.value("deadline-ms") {
+        None => f64::INFINITY,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--deadline-ms expects milliseconds, got {v:?}"))?,
+    };
+    let mut hedge = HedgeConfig::default();
+    if let Some(v) = opts.value("hedge-threshold-ms") {
+        hedge.threshold_ms = v
+            .parse()
+            .map_err(|_| format!("--hedge-threshold-ms expects milliseconds, got {v:?}"))?;
+    }
+    if let Some(v) = opts.value("hedge-quantile") {
+        hedge.latency_factor = v
+            .parse()
+            .map_err(|_| format!("--hedge-quantile expects a factor, got {v:?}"))?;
+    }
+    let mut shed = ShedConfig::default();
+    if let Some(v) = opts.value("shed-inflight") {
+        shed.max_inflight_per_batch = v
+            .parse()
+            .map_err(|_| format!("--shed-inflight expects a number, got {v:?}"))?;
+    }
+    if let Some(v) = opts.value("shed-ewma-ms") {
+        shed.ewma_limit_ms = v
+            .parse()
+            .map_err(|_| format!("--shed-ewma-ms expects milliseconds, got {v:?}"))?;
+    }
     Ok(EngineConfig {
         strategy,
         typing,
@@ -280,6 +325,9 @@ fn engine_config(opts: &Opts) -> Result<EngineConfig, String> {
         } else {
             Speculation::Off
         },
+        deadline_ms,
+        hedge,
+        shed,
     })
 }
 
@@ -335,11 +383,15 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
     if !report.complete {
         eprintln!(
             "warning: partial answer — {} call(s) failed permanently, \
-             {} refused by open breaker, {} unknown service(s){}",
+             {} refused by open breaker, {} shed by the admission gate, \
+             {} unknown service(s){}",
             report.stats.failed_calls,
             report.stats.breaker_skips,
+            report.stats.shed_skips,
             report.stats.skipped_unknown,
-            if report.stats.truncated {
+            if report.stats.deadline_exceeded {
+                ", deadline exceeded"
+            } else if report.stats.truncated {
                 ", budget exhausted"
             } else {
                 ""
@@ -370,16 +422,17 @@ fn cmd_query(opts: &Opts) -> Result<(), String> {
 fn print_trace(trace: &[activexml::core::TraceEvent]) {
     for e in trace {
         eprintln!(
-            "round {:>3}  {:<20} at /{}{}{}{}  ({:.1} ms, {} attempt{})",
+            "round {:>3}  {:<20} at /{}{}{}{}{}  ({:.1} ms, {} attempt{})",
             e.round,
             e.service,
             e.path,
             if e.cached { "  [CACHED]" } else { "" },
+            if e.hedged { "  [HEDGED]" } else { "" },
             if e.pushed { "  [pushed]" } else { "" },
             if e.ok { "" } else { "  [FAILED]" },
             e.cost_ms,
             e.attempts,
-            if e.attempts == 1 { "" } else { "s" }
+            plural(e.attempts, "s")
         );
     }
 }

@@ -283,3 +283,116 @@ fn relevant_command_lists_relevant_calls() {
     assert!(stdout.contains("of 4 embedded calls"), "{stdout}");
     assert!(stdout.contains("getNearbyRestos"), "{stdout}");
 }
+
+#[test]
+fn deadline_flag_degrades_to_a_partial_answer_with_a_distinct_cause() {
+    let t = TempFiles::new("deadline");
+    let doc = t.write("doc.xml", DOC);
+    let world = t.write("world.xml", WORLD);
+    let out = axml()
+        .args([
+            "query",
+            "--doc",
+            &doc,
+            "--world",
+            &world,
+            "--query",
+            QUERY,
+            "--deadline-ms",
+            "0",
+            "--stats",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("partial answer"), "{stderr}");
+    assert!(stderr.contains("deadline exceeded"), "{stderr}");
+    assert!(
+        stderr.contains("[DEADLINE]"),
+        "stats marker missing: {stderr}"
+    );
+}
+
+#[test]
+fn hedge_and_shed_flags_keep_traces_deterministic() {
+    let t = TempFiles::new("hedge");
+    let doc = t.write("doc.xml", DOC);
+    let world = t.write("world.xml", WORLD);
+    let schema = t.write("schema.txt", SCHEMA);
+    let run = |out_name: &str| {
+        let trace = t.dir.join(out_name).to_string_lossy().into_owned();
+        let out = axml()
+            .args([
+                "query",
+                "--doc",
+                &doc,
+                "--world",
+                &world,
+                "--schema",
+                &schema,
+                "--query",
+                QUERY,
+                "--threads",
+                "--fault-seed",
+                "1",
+                "--latency-ms",
+                "40",
+                "--deadline-ms",
+                "5000",
+                "--hedge-threshold-ms",
+                "10",
+                "--shed-inflight",
+                "1",
+                "--trace",
+                "--trace-json",
+                &trace,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            std::fs::read_to_string(&trace).unwrap(),
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+        )
+    };
+    let (first, stderr) = run("a.jsonl");
+    let (second, _) = run("b.jsonl");
+    assert_eq!(
+        first, second,
+        "same-seed hedged traces must be byte-identical (threaded batches included)"
+    );
+    let events = activexml::obs::parse_jsonl(&first).expect("trace parses back");
+    let hedges = events
+        .iter()
+        .filter(|e| matches!(e.kind, activexml::obs::EventKind::Hedge { .. }))
+        .count();
+    let sheds = events
+        .iter()
+        .filter(|e| matches!(e.kind, activexml::obs::EventKind::Shed { .. }))
+        .count();
+    assert!(hedges > 0, "a 10 ms trigger under 40 ms latency must hedge");
+    assert!(sheds > 0, "an in-flight limit of 1 must shed");
+    assert!(
+        stderr.contains("[HEDGED]"),
+        "trace marker missing: {stderr}"
+    );
+    let violations = activexml::obs::check_all(&events, None);
+    assert!(
+        violations.is_empty(),
+        "CLI hedged trace fails the oracle:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

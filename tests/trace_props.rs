@@ -3,7 +3,7 @@
 //! accounting identity between the trace, the metric aggregator and
 //! `EngineStats` must hold, and the trace oracle must come back clean.
 
-use activexml::core::{Engine, EngineConfig, EngineStats};
+use activexml::core::{Engine, EngineConfig, EngineStats, HedgeConfig, ShedConfig};
 use activexml::gen::{figure4_query, generate, ScenarioParams};
 use activexml::obs::{aggregate, check_all, Event, EventKind, RingSink};
 use activexml::services::{FaultProfile, NetProfile};
@@ -21,6 +21,21 @@ fn config_matrix() -> Vec<EngineConfig> {
         EngineConfig::default(),
         EngineConfig {
             real_threads: true,
+            ..EngineConfig::default()
+        },
+        // everything on: deadline, hedging and shedding compose with the
+        // fault layer without breaking a single accounting identity
+        EngineConfig {
+            real_threads: true,
+            deadline_ms: 90.0,
+            hedge: HedgeConfig {
+                threshold_ms: 8.0,
+                latency_factor: 3.0,
+            },
+            shed: ShedConfig {
+                max_inflight_per_batch: 6,
+                ewma_limit_ms: 400.0,
+            },
             ..EngineConfig::default()
         },
     ]
@@ -53,7 +68,7 @@ proptest! {
         hotels in 1usize..25,
         intensional_rating_fraction in 0.0f64..1.0,
         intensional_restos_fraction in 0.0f64..1.0,
-        cfg_idx in 0usize..5,
+        cfg_idx in 0usize..6,
         fault_seed in 0u64..100,   // 0 = fault-free
     ) {
         // (the vendored proptest caps strategies at 6-tuples)
