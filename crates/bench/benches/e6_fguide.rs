@@ -30,7 +30,7 @@ fn bench_fguide(c: &mut Criterion) {
                     let mut found = 0usize;
                     for nfq in &nfqs {
                         let cands: Vec<_> = guide
-                            .eval_linear(&nfq.lin, nfq.via)
+                            .eval_linear(d, &nfq.lin, nfq.via)
                             .into_iter()
                             .map(|(n, _)| n)
                             .collect();

@@ -8,14 +8,29 @@
 use axml_bench::experiments as ex;
 use axml_services::NetProfile;
 
+/// Removes `--flag VALUE` from `args`, returning the value.
+fn take_value(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|i| {
+        let v = args.get(i + 1).cloned().unwrap_or_else(|| ".".into());
+        args.drain(i..=(i + 1).min(args.len() - 1));
+        v
+    })
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // --csv DIR writes each selected experiment as CSV next to printing it
-    let csv_dir: Option<String> = args.iter().position(|a| a == "--csv").map(|i| {
-        let dir = args.get(i + 1).cloned().unwrap_or_else(|| ".".into());
-        args.drain(i..=(i + 1).min(args.len() - 1));
-        dir
-    });
+    let csv_dir: Option<String> = take_value(&mut args, "--csv");
+    // E14 artifact/assertion knobs (see EXPERIMENTS.md):
+    //   --e14-json PATH          write the BENCH_E14.json artifact
+    //   --e14-min-speedup N      exit nonzero unless the full hot path hits
+    //                            an N× speedup on the largest NFQA profile
+    //   --e14-baseline PATH      exit nonzero if any speedup ratio regressed
+    //                            >20% vs the committed baseline artifact
+    let e14_json: Option<String> = take_value(&mut args, "--e14-json");
+    let e14_min_speedup: Option<f64> =
+        take_value(&mut args, "--e14-min-speedup").map(|v| v.parse().expect("--e14-min-speedup"));
+    let e14_baseline: Option<String> = take_value(&mut args, "--e14-baseline");
     let emit = |name: &str, xname: &str, rows: &[ex::Row]| {
         if let Some(dir) = &csv_dir {
             let path = format!("{dir}/{name}.csv");
@@ -161,5 +176,92 @@ fn main() {
         let rows = ex::a2_nfq_evals(&[20, 50, 100]);
         ex::print_table("A2 — NFQ re-evaluation counts", "hotels", &rows);
         emit("a2", "hotels", &rows);
+    }
+    if want("e14") || want("hotpath") {
+        let rows = ex::e14_hotpath(&[50, 200, 400], 2);
+        ex::print_table(
+            "E14 — hot-path evaluator ablation (interning / index / delta)",
+            "hotels",
+            &rows,
+        );
+        emit("e14", "hotels", &rows);
+        if let Some(path) = &e14_json {
+            match std::fs::write(path, ex::e14_to_json(&rows)) {
+                Ok(()) => eprintln!("report: wrote {path}"),
+                Err(e) => {
+                    eprintln!("report: writing {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let speedup_of = |rows: &[ex::Row], series: &str, hotels: f64| -> Option<f64> {
+            rows.iter()
+                .find(|r| r.label == series && r.x == hotels)
+                .and_then(|r| {
+                    r.metrics
+                        .iter()
+                        .find(|(n, _)| *n == "speedup")
+                        .map(|(_, v)| *v)
+                })
+        };
+        let largest = rows.iter().map(|r| r.x).fold(0.0_f64, f64::max);
+        if let Some(min) = e14_min_speedup {
+            // the headline claim: the full hot path (interned+index+delta vs
+            // the seed evaluator) at the largest document size, best query
+            // shape — sequential NFQA is where the delta scoping pays
+            let (series, got) = rows
+                .iter()
+                .filter(|r| r.x == largest && r.label.ends_with("/interned+index+delta"))
+                .filter_map(|r| speedup_of(&rows, &r.label, largest).map(|s| (r.label.clone(), s)))
+                .fold((String::new(), 0.0_f64), |best, cur| {
+                    if cur.1 > best.1 {
+                        cur
+                    } else {
+                        best
+                    }
+                });
+            if got < min {
+                eprintln!(
+                    "report: E14 speedup regression — best full hot-path series \
+                     ({series}) at {largest} hotels reached {got:.2}x, needs >= {min}x"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("report: E14 headline speedup {got:.2}x ({series}, floor {min}x) — ok");
+        }
+        if let Some(bpath) = &e14_baseline {
+            // compare speedup *ratios* only — cpu_ms is machine-dependent,
+            // the ratio of seed to optimised CPU on the same machine is not
+            let text = std::fs::read_to_string(bpath)
+                .unwrap_or_else(|e| panic!("report: reading {bpath}: {e}"));
+            let mut regressed = false;
+            for b in ex::e14_parse_json(&text) {
+                // gate only the rows where the baseline claims a real win:
+                // rows near 1.0x (e.g. interning alone) jitter ±10% and
+                // would flake a 20% tolerance
+                if b.speedup < 2.0 {
+                    continue;
+                }
+                let Some(got) = speedup_of(&rows, &b.series, b.hotels) else {
+                    continue; // sweep changed shape; baseline row is obsolete
+                };
+                if got < b.speedup * 0.8 {
+                    eprintln!(
+                        "report: E14 regression — {} at {} hotels: {:.2}x, \
+                         baseline {:.2}x (-{:.0}%)",
+                        b.series,
+                        b.hotels,
+                        got,
+                        b.speedup,
+                        (1.0 - got / b.speedup) * 100.0
+                    );
+                    regressed = true;
+                }
+            }
+            if regressed {
+                std::process::exit(1);
+            }
+            eprintln!("report: E14 within 20% of baseline {bpath} — ok");
+        }
     }
 }

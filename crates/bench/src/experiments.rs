@@ -908,6 +908,189 @@ pub fn e9_auctions(auction_counts: &[usize]) -> Vec<Row> {
     rows
 }
 
+/// E14 — the hot-path evaluator ablation: interned-label matching, the
+/// label→node index, and delta-scoped NFQ re-evaluation, measured as real
+/// CPU milliseconds per full lazy evaluation. `NetProfile::free()` zeroes
+/// the simulated network, so wall-clock ≈ evaluator CPU. Four cumulative
+/// modes per (query shape, document size) cell:
+///
+/// * `seed` — string-compare evaluator, no index, full NFQ re-evaluation
+///   every round (the pre-optimisation engine),
+/// * `interned` — u32 symbol compares,
+/// * `interned+index` — plus index-driven descendant steps,
+/// * `interned+index+delta` — plus delta-scoped NFQ re-evaluation.
+///
+/// Answers are asserted identical across all modes (the flags are pure CPU
+/// trades); `speedup` is seed-mode CPU over this mode's CPU for the same
+/// cell, so the ratio is machine-independent. Best-of-`reps` damps
+/// scheduler noise. `BENCH_E14.json` (written by the `report` binary) is
+/// the machine artifact CI asserts against.
+pub fn e14_hotpath(hotel_counts: &[usize], reps: usize) -> Vec<Row> {
+    use axml_query::{parse_query, EvalOptions};
+    use std::time::Instant;
+    let shapes: Vec<(&str, Pattern)> = vec![
+        ("figure4", figure4_query()),
+        (
+            "descendant",
+            parse_query("//restaurant[rating=\"*****\"]/name/$N -> $N").unwrap(),
+        ),
+    ];
+    let modes: Vec<(&'static str, bool, EvalOptions)> = vec![
+        (
+            "seed",
+            false,
+            EvalOptions {
+                interning: false,
+                index: false,
+            },
+        ),
+        (
+            "interned",
+            false,
+            EvalOptions {
+                interning: true,
+                index: false,
+            },
+        ),
+        (
+            "interned+index",
+            false,
+            EvalOptions {
+                interning: true,
+                index: true,
+            },
+        ),
+        (
+            "interned+index+delta",
+            true,
+            EvalOptions {
+                interning: true,
+                index: true,
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for &hotels in hotel_counts {
+        let params = ScenarioParams {
+            hotels,
+            ..Default::default()
+        };
+        for (shape, q) in &shapes {
+            let mut seed_ms: Option<f64> = None;
+            let mut reference: Option<BTreeSet<Vec<String>>> = None;
+            for (mode, incremental, opts) in &modes {
+                let config = EngineConfig {
+                    incremental_detection: *incremental,
+                    eval_options: *opts,
+                    ..EngineConfig::nfq_plain()
+                };
+                let mut best = f64::INFINITY;
+                let mut best_analysis = f64::INFINITY;
+                let mut answers = BTreeSet::new();
+                for _ in 0..reps.max(1) {
+                    let mut sc = generate(&params);
+                    let t = Instant::now();
+                    let (stats, a) = run_once(&mut sc, q, config.clone(), NetProfile::free());
+                    best = best.min(t.elapsed().as_secs_f64() * 1e3);
+                    best_analysis = best_analysis.min(stats.relevance_cpu.as_secs_f64() * 1e3);
+                    answers = a;
+                }
+                match &reference {
+                    None => reference = Some(answers),
+                    Some(r) => assert_eq!(
+                        &answers, r,
+                        "{mode} changed the {shape} answer at {hotels} hotels"
+                    ),
+                }
+                let speedup = match seed_ms {
+                    None => {
+                        seed_ms = Some(best);
+                        1.0
+                    }
+                    Some(s) => s / best.max(1e-9),
+                };
+                rows.push(Row {
+                    label: format!("{shape}/{mode}"),
+                    x: hotels as f64,
+                    metrics: vec![
+                        ("cpu_ms", best),
+                        ("analysis_ms", best_analysis),
+                        ("speedup", speedup),
+                    ],
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Serializes E14 rows as the `BENCH_E14.json` artifact: one row object
+/// per line so the file diffs cleanly and [`e14_parse_json`] can read it
+/// back without a JSON library.
+pub fn e14_to_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e14\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"series\": \"{}\", \"hotels\": {}, ",
+            r.label, r.x
+        ));
+        let m: Vec<String> = r
+            .metrics
+            .iter()
+            .map(|(n, v)| format!("\"{n}\": {v:.4}"))
+            .collect();
+        out.push_str(&m.join(", "));
+        out.push_str(&format!("}}{sep}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One parsed `BENCH_E14.json` row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct E14Entry {
+    /// `shape/mode` series label.
+    pub series: String,
+    /// Document size (hotels).
+    pub hotels: f64,
+    /// Measured CPU milliseconds (machine-dependent — not compared).
+    pub cpu_ms: f64,
+    /// Seed-mode CPU over this mode's CPU (machine-independent).
+    pub speedup: f64,
+}
+
+/// Parses the artifact written by [`e14_to_json`] (line-per-row; no JSON
+/// library needed). Unknown lines are skipped, so the format may grow
+/// fields without breaking old readers.
+pub fn e14_parse_json(text: &str) -> Vec<E14Entry> {
+    fn str_field(line: &str, key: &str) -> Option<String> {
+        let tag = format!("\"{key}\": \"");
+        let start = line.find(&tag)? + tag.len();
+        let end = line[start..].find('"')? + start;
+        Some(line[start..end].to_string())
+    }
+    fn num_field(line: &str, key: &str) -> Option<f64> {
+        let tag = format!("\"{key}\": ");
+        let start = line.find(&tag)? + tag.len();
+        let end = line[start..]
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+            .map(|i| i + start)
+            .unwrap_or(line.len());
+        line[start..end].parse().ok()
+    }
+    text.lines()
+        .filter_map(|line| {
+            Some(E14Entry {
+                series: str_field(line, "series")?,
+                hotels: num_field(line, "hotels")?,
+                cpu_ms: num_field(line, "cpu_ms")?,
+                speedup: num_field(line, "speedup")?,
+            })
+        })
+        .collect()
+}
+
 /// E13 — deadline-aware evaluation: hedged invocations and end-to-end
 /// deadlines against a heavy-tailed latency profile.
 ///

@@ -25,14 +25,16 @@ use crate::nfq::{build_lpqs, build_nfqs, relax_nfq_to_xpath, Nfq};
 use crate::stats::EngineStats;
 use crate::typed::TypeRefiner;
 use axml_obs::{CacheOutcome, Event, EventKind, ShedReason, TraceSink};
-use axml_query::{eval, render, EdgeKind, Pattern, SnapshotResult};
-use axml_schema::{SatMode, Schema};
+use axml_query::{
+    eval_with, render, EdgeKind, EvalOptions, EvaluatorCache, PLabel, Pattern, SnapshotResult,
+};
+use axml_schema::{SatMode, Schema, SymNfa};
 use axml_services::{
     CacheLookup, Deadline, FailedCall, InvokeCache, InvokeError, InvokeOutcome, PushedQuery,
     Registry, SimClock,
 };
 use axml_xml::{CallId, Document, NodeId};
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::time::Instant;
 
 /// Which family of call-finding queries drives the rewriting.
@@ -115,6 +117,19 @@ pub struct EngineConfig {
     /// candidate sets. A further answer to §4.1's "costly reevaluation of
     /// NFQs after each call".
     pub incremental_detection: bool,
+    /// Capacity of the splice log backing incremental detection, a ring
+    /// buffer mirroring the registry's `set_call_log_capacity` model: the
+    /// newest records win. When records an NFQ would need have been
+    /// evicted, incremental detection degrades *soundly* to a full
+    /// re-evaluation for that NFQ — never to a stale answer. Keeps
+    /// long-running sessions (many queries over one engine) from growing
+    /// the log without bound.
+    pub splice_log_capacity: usize,
+    /// Hot-path toggles of the tree-pattern evaluator (label interning,
+    /// label→node index). Both on by default; the `--no-interning` /
+    /// `--no-index` CLI flags switch them off for debugging and A/B
+    /// benchmarking. Every combination computes identical results.
+    pub eval_options: EvalOptions,
     /// Record an execution trace: one [`TraceEvent`] per invocation, in
     /// order (round, service, document position, push, cost).
     pub trace: bool,
@@ -251,6 +266,8 @@ impl Default for EngineConfig {
             containment_pruning: true,
             enforce_output_types: false,
             incremental_detection: false,
+            splice_log_capacity: 4096,
+            eval_options: EvalOptions::default(),
             trace: false,
             real_threads: false,
             speculation: Speculation::Off,
@@ -466,9 +483,13 @@ impl<'a> Engine<'a> {
             budget: self.config.max_invocations,
             total_call_cost_ms: 0.0,
             splice_seq: 0,
-            splice_log: Vec::new(),
-            nfq_cache: std::collections::HashMap::new(),
-            affected_nfas: std::collections::HashMap::new(),
+            splice_log: VecDeque::new(),
+            splice_floor: 0,
+            nfq_cache: HashMap::new(),
+            affected_nfas: HashMap::new(),
+            affected_sym: HashMap::new(),
+            pos_sym: HashMap::new(),
+            eval_cache: EvaluatorCache::default(),
             trace: Vec::new(),
             seq: 0,
             layer: 0,
@@ -544,11 +565,12 @@ impl<'a> Engine<'a> {
         }
         let shared_stats = run.stats;
         let shared_trace = run.trace;
+        let mut final_cache = EvaluatorCache::default();
         queries
             .iter()
             .map(|q| {
                 let tq = Instant::now();
-                let result = eval(q, doc);
+                let result = eval_with(q, doc, self.config.eval_options, &mut final_cache);
                 let mut stats = shared_stats.clone();
                 stats.final_eval_cpu = tq.elapsed();
                 stats.total_cpu = t0.elapsed();
@@ -577,9 +599,13 @@ impl<'a> Engine<'a> {
             budget: self.config.max_invocations,
             total_call_cost_ms: 0.0,
             splice_seq: 0,
-            splice_log: Vec::new(),
-            nfq_cache: std::collections::HashMap::new(),
-            affected_nfas: std::collections::HashMap::new(),
+            splice_log: VecDeque::new(),
+            splice_floor: 0,
+            nfq_cache: HashMap::new(),
+            affected_nfas: HashMap::new(),
+            affected_sym: HashMap::new(),
+            pos_sym: HashMap::new(),
+            eval_cache: EvaluatorCache::default(),
             trace: Vec::new(),
             seq: 0,
             layer: 0,
@@ -601,7 +627,7 @@ impl<'a> Engine<'a> {
             Strategy::Nfq => run.run_nfq(doc),
         }
         let tq = Instant::now();
-        let result = eval(query, doc);
+        let result = eval_with(query, doc, self.config.eval_options, &mut run.eval_cache);
         run.stats.final_eval_cpu = tq.elapsed();
         run.stats.sim_time_ms = run.clock.now_ms() - self.start_ms;
         run.stats.total_cpu = t0.elapsed();
@@ -629,6 +655,50 @@ impl<'a> Engine<'a> {
 /// Cached candidate triple: node, call identity, service name.
 type CachedCandidate = (NodeId, CallId, String);
 
+/// Does the NFQ's output node accept a call to `service`? The output is a
+/// function node by construction; anything else never matches a call.
+fn output_accepts(nfq: &Nfq, service: &str) -> bool {
+    match &nfq.pattern.node(nfq.output).label {
+        PLabel::Fun(m) => m.accepts(service),
+        _ => false,
+    }
+}
+
+/// One splice, as remembered for incremental detection: which call was
+/// consumed, where, and under which label path (interned against the
+/// document's symbol table).
+#[derive(Clone, Debug)]
+struct SpliceRecord {
+    /// Monotone splice sequence number.
+    seq: u64,
+    /// The node slot the consumed call occupied (slots are reused; pair
+    /// with `consumed` for a reliable identity).
+    node: NodeId,
+    /// The call the splice consumed.
+    consumed: CallId,
+    /// Label path of the call's parent, as interned symbols.
+    parent_syms: Vec<u32>,
+}
+
+/// Cached relevance state of one NFQ, for incremental detection.
+#[derive(Clone, Debug, Default)]
+struct NfqCacheEntry {
+    /// `splice_seq` at evaluation time.
+    seq: u64,
+    /// `Document::next_call_id` at evaluation time — calls with an id at
+    /// or above it appeared after this entry was built.
+    call_watermark: u64,
+    /// *Positional* candidates: visible calls whose parent path matches
+    /// the NFQ's linear path (via the `via` edge), **before** side
+    /// conditions and service tests. Positions of surviving nodes never
+    /// change under splices, so this set is delta-maintainable; the
+    /// non-monotone residual conditions are re-checked on every use.
+    positional: Vec<CachedCandidate>,
+    /// The fully filtered candidates of the last evaluation — reused
+    /// verbatim while no splice touches the NFQ's observable region.
+    retrieved: Vec<CachedCandidate>,
+}
+
 /// Per-run mutable state.
 struct Run<'e, 'a, 'q> {
     engine: &'e Engine<'a>,
@@ -640,14 +710,27 @@ struct Run<'e, 'a, 'q> {
     guide: Option<FGuide>,
     budget: usize,
     total_call_cost_ms: f64,
-    /// monotone splice counter + log of (seq, parent label path), for
+    /// monotone splice counter + bounded log of splice records, for
     /// incremental detection
     splice_seq: u64,
-    splice_log: Vec<(u64, Vec<String>)>,
+    splice_log: VecDeque<SpliceRecord>,
+    /// sequence number below which records have been evicted from the
+    /// ring buffer (0 = nothing evicted); queries about older history
+    /// must degrade to "assume affected"
+    splice_floor: u64,
     /// per-NFQ-index cached candidates and their freshness
-    nfq_cache: std::collections::HashMap<usize, (u64, Vec<CachedCandidate>)>,
+    nfq_cache: HashMap<usize, NfqCacheEntry>,
     /// per-NFQ-index prefix-closed union of path languages
-    affected_nfas: std::collections::HashMap<usize, axml_schema::Nfa>,
+    affected_nfas: HashMap<usize, axml_schema::Nfa>,
+    /// symbol-compiled `affected_nfas`, stamped with the `sym_count` they
+    /// were compiled at (recompiled when the symbol table grows)
+    affected_sym: HashMap<usize, (usize, SymNfa)>,
+    /// per-NFQ-index symbol-compiled *position* language (the linear path,
+    /// suffix-closed for descendant-ended NFQs), same staleness stamp
+    pos_sym: HashMap<usize, (usize, SymNfa)>,
+    /// reusable evaluator memo tables (the NFQA loop re-evaluates
+    /// patterns once per round)
+    eval_cache: EvaluatorCache,
     trace: Vec<TraceEvent>,
     /// monotone event counter for the structured trace (resets per run)
     seq: u64,
@@ -1216,8 +1299,9 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         result: &axml_xml::Forest,
     ) {
         if let Some(g) = &mut self.guide {
-            g.remove_call(parent_path, cand.node);
+            g.remove_call(doc, parent_path, cand.node);
         }
+        let parent = doc.parent(cand.node);
         let inserted = doc.splice_call(cand.node, result);
         if let Some(g) = &mut self.guide {
             for &r in &inserted {
@@ -1226,8 +1310,20 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         }
         self.splice_seq += 1;
         if self.config().incremental_detection {
-            self.splice_log
-                .push((self.splice_seq, parent_path.to_vec()));
+            // ring buffer: evict the oldest record when full and remember
+            // the eviction horizon, so stale queries degrade soundly
+            let cap = self.config().splice_log_capacity.max(1);
+            if self.splice_log.len() >= cap {
+                if let Some(evicted) = self.splice_log.pop_front() {
+                    self.splice_floor = self.splice_floor.max(evicted.seq);
+                }
+            }
+            self.splice_log.push_back(SpliceRecord {
+                seq: self.splice_seq,
+                node: cand.node,
+                consumed: cand.call,
+                parent_syms: parent.map(|p| doc.path_syms(p)).unwrap_or_default(),
+            });
         }
     }
 
@@ -1596,7 +1692,8 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             let mut seen: HashSet<CallId> = HashSet::new();
             for lpq in &lpqs {
                 self.stats.relevance_evals += 1;
-                let r = eval(&lpq.pattern, doc);
+                let opts = self.config().eval_options;
+                let r = eval_with(&lpq.pattern, doc, opts, &mut self.eval_cache);
                 for node in r.bindings_of(lpq.output) {
                     if let Some((id, svc)) = doc.call_info(node) {
                         if !self.dead.contains(&id) && seen.insert(id) {
@@ -1749,6 +1846,8 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 for ni in changed_nfqs {
                     self.nfq_cache.remove(&ni);
                     self.affected_nfas.remove(&ni);
+                    self.affected_sym.remove(&ni);
+                    self.pos_sym.remove(&ni);
                 }
             }
         }
@@ -1804,10 +1903,14 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
     /// Did any splice after `since` touch a position observable by NFQ
     /// `i`'s pattern? Tested on the prefix closure of the union of the
     /// pattern's root-path languages (conservative: may say yes
-    /// needlessly, never no wrongly).
-    fn affected_since(&mut self, i: usize, nfq: &Nfq, since: u64) -> bool {
-        use axml_schema::Sym;
-        if self.splice_log.iter().all(|(seq, _)| *seq <= since) {
+    /// needlessly, never no wrongly). When the ring buffer has evicted
+    /// records newer than `since`, the answer degrades to `true` — the
+    /// lost history might have contained a relevant splice.
+    fn affected_since(&mut self, doc: &Document, i: usize, nfq: &Nfq, since: u64) -> bool {
+        if since < self.splice_floor {
+            return true; // history evicted: assume affected
+        }
+        if self.splice_log.iter().all(|r| r.seq <= since) {
             return false;
         }
         self.affected_nfas.entry(i).or_insert_with(|| {
@@ -1824,13 +1927,97 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 .collect();
             axml_schema::Nfa::union_of(&parts).prefix_closure()
         });
-        let nfa = &self.affected_nfas[&i];
-        self.splice_log.iter().any(|(seq, word)| {
-            *seq > since && {
-                let syms: Vec<Sym> = word.iter().map(|l| Sym::Name(l.as_str().into())).collect();
-                nfa.accepts(&syms)
+        // symbol-compiled form, recompiled whenever the symbol table grew
+        // (a label unknown at compile time may have been interned since)
+        let sym_count = doc.sym_count();
+        if !matches!(self.affected_sym.get(&i), Some((stamp, _)) if *stamp == sym_count) {
+            let compiled = self.affected_nfas[&i].compile_syms(|l| doc.lookup_sym(l));
+            self.affected_sym.insert(i, (sym_count, compiled));
+        }
+        let nfa = &self.affected_sym[&i].1;
+        self.splice_log
+            .iter()
+            .any(|r| r.seq > since && nfa.accepts(&r.parent_syms))
+    }
+
+    /// Is the call node visible (not nested inside another call's
+    /// parameters) and positioned where NFQ `i`'s linear path (via its
+    /// output edge) can retrieve it? Pure position test — side conditions
+    /// and service tests are checked elsewhere.
+    fn call_position_matches(&mut self, doc: &Document, i: usize, nfq: &Nfq, call: NodeId) -> bool {
+        // visibility: every strict ancestor must be a data node
+        let mut cur = doc.parent(call);
+        while let Some(p) = cur {
+            if !doc.is_data(p) {
+                return false;
             }
-        })
+            cur = doc.parent(p);
+        }
+        // position language: L(lin), suffix-closed for descendant-ended
+        // NFQs (calls strictly below any node matching the path)
+        let sym_count = doc.sym_count();
+        if !matches!(self.pos_sym.get(&i), Some((stamp, _)) if *stamp == sym_count) {
+            let mut nfa = axml_schema::Nfa::from_linear_path(&nfq.lin);
+            if nfq.via == EdgeKind::Descendant {
+                nfa = nfa.suffix_closure();
+            }
+            self.pos_sym
+                .insert(i, (sym_count, nfa.compile_syms(|l| doc.lookup_sym(l))));
+        }
+        let word = match doc.parent(call) {
+            Some(p) => doc.path_syms(p),
+            None => Vec::new(),
+        };
+        self.pos_sym[&i].1.accepts(&word)
+    }
+
+    /// The *positional* candidate set of NFQ `i`: visible calls whose
+    /// parent path matches the NFQ's linear path. With a usable cache
+    /// entry (its history still covered by the splice log), this is
+    /// delta-scoped: cached candidates are kept unless their call was
+    /// consumed by a splice, and only calls created since the entry's
+    /// watermark are position-tested. Without one, it falls back to a
+    /// fresh scan of the document's (unordered) call list.
+    fn positional_candidates(
+        &mut self,
+        doc: &Document,
+        i: usize,
+        nfq: &Nfq,
+        base: Option<NfqCacheEntry>,
+    ) -> Vec<CachedCandidate> {
+        let (mut out, watermark) = match base {
+            Some(e) if e.seq >= self.splice_floor => {
+                self.stats.nfq_delta_evals += 1;
+                let retired: HashSet<(NodeId, CallId)> = self
+                    .splice_log
+                    .iter()
+                    .filter(|r| r.seq > e.seq)
+                    .map(|r| (r.node, r.consumed))
+                    .collect();
+                let kept: Vec<CachedCandidate> = e
+                    .positional
+                    .into_iter()
+                    .filter(|&(n, id, _)| !retired.contains(&(n, id)))
+                    .collect();
+                (kept, e.call_watermark)
+            }
+            _ => (Vec::new(), 0),
+        };
+        for &c in doc.calls_unordered() {
+            let Some((id, svc)) = doc.call_info(c) else {
+                continue;
+            };
+            if id.0 < watermark {
+                continue; // already covered by the cached set
+            }
+            let svc = svc.clone();
+            if self.call_position_matches(doc, i, nfq, c) {
+                out.push((c, id, svc.to_string()));
+            }
+        }
+        out.sort_by_key(|e| e.1);
+        out.dedup_by_key(|e| e.1);
+        out
     }
 
     /// Evaluates the NFQs of one layer and assembles the candidate set and
@@ -1860,12 +2047,13 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             // incremental detection: reuse the cached candidate set when
             // no splice since the last evaluation touched a position this
             // NFQ's pattern can observe
+            let mut delta_base: Option<NfqCacheEntry> = None;
             if self.config().incremental_detection {
                 let entry = self.nfq_cache.get(&i).cloned();
-                if let Some((last_seq, cached)) = entry {
-                    if !self.affected_since(i, nfq, last_seq) {
+                if let Some(entry) = entry {
+                    if !self.affected_since(doc, i, nfq, entry.seq) {
                         self.stats.nfq_evals_skipped += 1;
-                        for (node, id, svc) in cached {
+                        for (node, id, svc) in entry.retrieved {
                             if self.dead.contains(&id) || !doc.is_alive(node) {
                                 continue;
                             }
@@ -1886,6 +2074,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                         }
                         continue;
                     }
+                    delta_base = Some(entry);
                 }
             }
             let effective = match refiner.as_mut() {
@@ -1896,9 +2085,10 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 None => nfq.clone(),
             };
             self.stats.relevance_evals += 1;
+            let mut positional: Vec<CachedCandidate> = Vec::new();
             let retrieved: Vec<NodeId> = if let Some(g) = &self.guide {
                 let cands: Vec<NodeId> = g
-                    .eval_linear(&effective.lin, effective.via)
+                    .eval_linear(doc, &effective.lin, effective.via)
                     .into_iter()
                     .filter(|(_, svc)| match refiner.as_mut() {
                         Some(r) => r.satisfies(svc.as_str(), nfq.focus),
@@ -1907,8 +2097,48 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                     .map(|(n, _)| n)
                     .collect();
                 filter_candidates(&effective, doc, &cands)
+            } else if self.config().incremental_detection && nfq.pattern.join_variables().is_empty()
+            {
+                // delta-scoped re-evaluation: maintain the positional set
+                // from the splice log / call-id watermark instead of
+                // re-walking the document, then re-check the (possibly
+                // non-monotone) residual conditions on the survivors.
+                // Join NFQs fall through to the full evaluation: residual
+                // filtering is join-blind.
+                positional = self.positional_candidates(doc, i, nfq, delta_base);
+                let pos_nodes: Vec<NodeId> = positional
+                    .iter()
+                    .filter(|(_, _, svc)| output_accepts(&effective, svc))
+                    .map(|&(n, _, _)| n)
+                    .collect();
+                let got = filter_candidates(&effective, doc, &pos_nodes);
+                #[cfg(debug_assertions)]
+                {
+                    // cross-check against the seed evaluator (string
+                    // compares, no index) — an independent code path
+                    let full: BTreeSet<NodeId> = eval_with(
+                        &effective.pattern,
+                        doc,
+                        EvalOptions {
+                            interning: false,
+                            index: false,
+                        },
+                        &mut EvaluatorCache::default(),
+                    )
+                    .bindings_of(effective.output)
+                    .into_iter()
+                    .collect();
+                    let mine: BTreeSet<NodeId> = got.iter().copied().collect();
+                    assert_eq!(
+                        mine, full,
+                        "delta-scoped NFQ candidates diverged from full evaluation"
+                    );
+                }
+                got
             } else {
-                eval(&effective.pattern, doc).bindings_of(effective.output)
+                let opts = self.config().eval_options;
+                eval_with(&effective.pattern, doc, opts, &mut self.eval_cache)
+                    .bindings_of(effective.output)
             };
             let mut cache_entry: Vec<CachedCandidate> = Vec::new();
             for node in retrieved {
@@ -1933,7 +2163,23 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                     .insert(nfq.focus);
             }
             if self.config().incremental_detection {
-                self.nfq_cache.insert(i, (self.splice_seq, cache_entry));
+                // an empty positional set with watermark 0 makes a later
+                // delta attempt rescan every call — correct for entries
+                // built by the guide / full-eval branches
+                let call_watermark = if positional.is_empty() {
+                    0
+                } else {
+                    doc.next_call_id()
+                };
+                self.nfq_cache.insert(
+                    i,
+                    NfqCacheEntry {
+                        seq: self.splice_seq,
+                        call_watermark,
+                        positional,
+                        retrieved: cache_entry,
+                    },
+                );
             }
         }
         self.stats.relevance_cpu += t.elapsed();

@@ -17,10 +17,11 @@ use axml_query::{EdgeKind, LinearPath, Matcher, PNodeId, StepTest};
 use axml_xml::{Document, Label, NodeId};
 use std::collections::HashMap;
 
-/// One node of the guide tree.
+/// One node of the guide tree. Children are keyed by the document's
+/// interned label symbols, so guide navigation is integer compares.
 #[derive(Clone, Debug, Default)]
 struct GNode {
-    children: HashMap<String, usize>,
+    children: HashMap<u32, usize>,
     /// Call nodes whose parent path ends at this guide node.
     extent: Vec<(NodeId, Label)>,
 }
@@ -40,7 +41,7 @@ struct GNode {
 /// // calls strictly below /hotels/hotel
 /// let q = parse_query("/hotels/hotel/x").unwrap();
 /// let lin = LinearPath::to_node(&q, q.result_nodes()[0], false);
-/// assert_eq!(guide.eval_linear(&lin, EdgeKind::Descendant).len(), 1);
+/// assert_eq!(guide.eval_linear(&doc, &lin, EdgeKind::Descendant).len(), 1);
 /// ```
 #[derive(Clone, Debug)]
 pub struct FGuide {
@@ -73,20 +74,19 @@ impl FGuide {
         }
         // element: descend, creating the path lazily only when a call is
         // found below (to keep the guide call-path-only, prune afterwards)
-        let label = doc.label(node).to_string();
-        let next = self.child_or_create(at, &label);
+        let next = self.child_or_create(at, doc.sym(node));
         for &c in doc.children(node) {
             self.scan(doc, c, next);
         }
     }
 
-    fn child_or_create(&mut self, at: usize, label: &str) -> usize {
-        if let Some(&c) = self.nodes[at].children.get(label) {
+    fn child_or_create(&mut self, at: usize, sym: u32) -> usize {
+        if let Some(&c) = self.nodes[at].children.get(&sym) {
             return c;
         }
         let id = self.nodes.len();
         self.nodes.push(GNode::default());
-        self.nodes[at].children.insert(label.to_string(), id);
+        self.nodes[at].children.insert(sym, id);
         id
     }
 
@@ -107,8 +107,8 @@ impl FGuide {
 
     /// Removes one call (identified by node id) from the extent at the
     /// given parent label path. Call this *before* splicing its result.
-    pub fn remove_call(&mut self, parent_path: &[String], node: NodeId) {
-        if let Some(at) = self.walk(parent_path) {
+    pub fn remove_call(&mut self, doc: &Document, parent_path: &[String], node: NodeId) {
+        if let Some(at) = self.walk(doc, parent_path) {
             self.nodes[at].extent.retain(|(n, _)| *n != node);
         }
     }
@@ -119,15 +119,19 @@ impl FGuide {
     pub fn add_subtree(&mut self, doc: &Document, node: NodeId, parent_path: &[String]) {
         let mut at = self.root;
         for label in parent_path {
-            at = self.child_or_create(at, label);
+            // labels on the path of a live node are always interned
+            let sym = doc
+                .lookup_sym(label)
+                .expect("parent-path label missing from document symbol table");
+            at = self.child_or_create(at, sym);
         }
         self.scan(doc, node, at);
     }
 
-    fn walk(&self, path: &[String]) -> Option<usize> {
+    fn walk(&self, doc: &Document, path: &[String]) -> Option<usize> {
         let mut at = self.root;
         for label in path {
-            at = *self.nodes[at].children.get(label)?;
+            at = *self.nodes[at].children.get(&doc.lookup_sym(label)?)?;
         }
         Some(at)
     }
@@ -135,10 +139,29 @@ impl FGuide {
     /// Evaluates a linear path query (`lin` followed by a `()` step via
     /// `via`) on the guide. Returns the candidate call nodes — the same set
     /// the LPQ would retrieve on the document (Section 6.2's equivalence).
-    pub fn eval_linear(&self, lin: &LinearPath, via: EdgeKind) -> Vec<(NodeId, Label)> {
+    /// Step tests are compiled to the document's label symbols up front,
+    /// so the walk itself is integer compares.
+    pub fn eval_linear(
+        &self,
+        doc: &Document,
+        lin: &LinearPath,
+        via: EdgeKind,
+    ) -> Vec<(NodeId, Label)> {
+        // compile step tests: None = any label; Some(None) = unmatchable
+        let steps: Vec<(EdgeKind, Option<Option<u32>>)> = lin
+            .steps
+            .iter()
+            .map(|s| {
+                let test = match &s.test {
+                    StepTest::Label(l) => Some(doc.lookup_sym(l.as_str())),
+                    StepTest::Any => None,
+                };
+                (s.edge, test)
+            })
+            .collect();
         // NFA-style state set walk over the guide tree
         let mut out = Vec::new();
-        self.eval_at(self.root, &lin.steps, via, &mut out);
+        self.eval_at(self.root, &steps, via, &mut out);
         let mut seen = std::collections::HashSet::new();
         out.retain(|(n, _)| seen.insert(*n));
         out
@@ -147,7 +170,7 @@ impl FGuide {
     fn eval_at(
         &self,
         at: usize,
-        steps: &[axml_query::LinStep],
+        steps: &[(EdgeKind, Option<Option<u32>>)],
         via: EdgeKind,
         out: &mut Vec<(NodeId, Label)>,
     ) {
@@ -161,16 +184,17 @@ impl FGuide {
                     self.collect_subtree(at, out);
                 }
             },
-            Some(step) => {
-                let test_ok = |label: &str| match &step.test {
-                    StepTest::Label(l) => l.as_str() == label,
-                    StepTest::Any => true,
-                };
-                for (label, &c) in &self.nodes[at].children {
-                    if test_ok(label) {
+            Some(&(edge, ref test)) => {
+                for (&sym, &c) in &self.nodes[at].children {
+                    let test_ok = match test {
+                        Some(Some(want)) => sym == *want,
+                        Some(None) => false, // label never interned: no match
+                        None => true,
+                    };
+                    if test_ok {
                         self.eval_at(c, &steps[1..], via, out);
                     }
-                    if step.edge == EdgeKind::Descendant {
+                    if edge == EdgeKind::Descendant {
                         // the descendant step may skip this child
                         self.eval_at(c, steps, via, out);
                     }
@@ -326,7 +350,7 @@ mod tests {
             let on_doc = axml_query::eval(&lpq.pattern, &d);
             let mut doc_calls: Vec<NodeId> = on_doc.bindings_of(lpq.output);
             let mut guide_calls: Vec<NodeId> = g
-                .eval_linear(&lpq.lin, lpq.via)
+                .eval_linear(&d, &lpq.lin, lpq.via)
                 .into_iter()
                 .map(|(n, _)| n)
                 .collect();
@@ -355,7 +379,7 @@ mod tests {
              </restaurant>",
         )
         .unwrap();
-        g.remove_call(&parent_path, call);
+        g.remove_call(&d, &parent_path, call);
         let inserted = d.splice_call(call, &result);
         for &r in &inserted {
             g.add_subtree(&d, r, &parent_path);
@@ -372,12 +396,12 @@ mod tests {
             false,
         );
         let mut a: Vec<NodeId> = g
-            .eval_linear(&lin, EdgeKind::Child)
+            .eval_linear(&d, &lin, EdgeKind::Child)
             .into_iter()
             .map(|x| x.0)
             .collect();
         let mut b: Vec<NodeId> = rebuilt
-            .eval_linear(&lin, EdgeKind::Child)
+            .eval_linear(&d, &lin, EdgeKind::Child)
             .into_iter()
             .map(|x| x.0)
             .collect();
@@ -394,7 +418,7 @@ mod tests {
         // //() under /hotels/hotel: rating + nearby calls of both hotels
         let q = parse_query("/hotels/hotel/x").unwrap();
         let lin = LinearPath::to_node(&q, q.result_nodes()[0], false);
-        let found = g.eval_linear(&lin, EdgeKind::Descendant);
+        let found = g.eval_linear(&d, &lin, EdgeKind::Descendant);
         assert_eq!(found.len(), 4);
     }
 
@@ -414,7 +438,7 @@ mod tests {
         // positional candidates: nearby calls of BOTH hotels
         let g = FGuide::build(&d);
         let candidates: Vec<NodeId> = g
-            .eval_linear(&nfq.lin, nfq.via)
+            .eval_linear(&d, &nfq.lin, nfq.via)
             .into_iter()
             .map(|(n, _)| n)
             .collect();
@@ -445,7 +469,7 @@ mod tests {
             let full = axml_query::eval(&nfq.pattern, &d);
             let mut via_nfq: Vec<NodeId> = full.bindings_of(nfq.output);
             let candidates: Vec<NodeId> = g
-                .eval_linear(&nfq.lin, nfq.via)
+                .eval_linear(&d, &nfq.lin, nfq.via)
                 .into_iter()
                 .map(|(n, _)| n)
                 .collect();
@@ -463,6 +487,6 @@ mod tests {
         assert_eq!(g.total_extent(), 0);
         let q = parse_query("/hotels/x").unwrap();
         let lin = LinearPath::to_node(&q, q.result_nodes()[0], false);
-        assert!(g.eval_linear(&lin, EdgeKind::Child).is_empty());
+        assert!(g.eval_linear(&d, &lin, EdgeKind::Child).is_empty());
     }
 }

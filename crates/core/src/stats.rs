@@ -46,6 +46,12 @@ pub struct EngineStats {
     /// NFQ evaluations skipped by incremental detection (cached candidate
     /// sets reused because no splice touched the NFQ's region).
     pub nfq_evals_skipped: usize,
+    /// NFQ re-evaluations served by the delta-scoped path: the cached
+    /// positional candidate set was updated from the splice log and the
+    /// call-id watermark instead of re-walking the whole document. Counted
+    /// inside `relevance_evals` (a delta evaluation is still an
+    /// evaluation).
+    pub nfq_delta_evals: usize,
     /// Relevant calls answered from the cross-query call-result cache at
     /// zero network cost (reconstructed §7). Not counted in
     /// `calls_invoked` — a hit performs no service invocation.
@@ -229,6 +235,13 @@ impl fmt::Display for EngineStats {
                 f,
                 "  {} evaluations skipped (incremental)",
                 self.nfq_evals_skipped
+            )?;
+        }
+        if self.nfq_delta_evals > 0 {
+            writeln!(
+                f,
+                "  {} evaluations delta-scoped (incremental)",
+                self.nfq_delta_evals
             )?;
         }
         if self.cache_hits + self.cache_misses + self.cache_stale > 0 {

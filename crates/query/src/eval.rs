@@ -17,10 +17,18 @@
 //!   variables are checked by a memoized boolean match; full enumeration
 //!   happens only where bindings are observable. This keeps the evaluator
 //!   polynomial on join-free queries.
+//! * Hot-path engineering: pattern step tests are compiled once per
+//!   `(pattern, document)` pair against the document's interned symbol
+//!   table, so the per-node label test is a `u32` compare; join variables
+//!   bind symbols, not owned strings; descendant steps can enumerate
+//!   candidates from the document's label→node index instead of scanning
+//!   subtrees; and memo tables can be reused across evaluations via
+//!   [`EvaluatorCache`]. The [`EvalOptions`] toggles exist for debugging
+//!   and benchmarking — every mode computes the same result.
 
-use crate::pattern::{EdgeKind, PLabel, PNodeId, Pattern};
+use crate::pattern::{EdgeKind, FunMatch, PLabel, PNodeId, Pattern};
 use axml_xml::{Document, NodeId};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One result of the query: the restriction of an embedding to the result
 /// nodes (pattern node → document node).
@@ -46,37 +54,93 @@ impl SnapshotResult {
 
     /// The document nodes bound to a given pattern node across all tuples.
     pub fn bindings_of(&self, p: PNodeId) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self
-            .tuples
-            .iter()
-            .filter_map(|t| t.get(&p).copied())
-            .collect();
+        let mut v: Vec<NodeId> = Vec::with_capacity(self.tuples.len());
+        v.extend(self.tuples.iter().filter_map(|t| t.get(&p).copied()));
         v.sort();
         v.dedup();
         v
     }
 }
 
+/// Renders a snapshot result as borrowed label texts (one row per tuple).
+/// The zero-copy counterpart of [`render_result`].
+pub fn render_result_refs<'d>(doc: &'d Document, r: &SnapshotResult) -> Vec<Vec<&'d str>> {
+    let mut out = Vec::with_capacity(r.tuples.len());
+    for t in &r.tuples {
+        let mut row = Vec::with_capacity(t.len());
+        row.extend(t.values().map(|&n| doc.label(n)));
+        out.push(row);
+    }
+    out
+}
+
 /// Renders a snapshot result as readable strings (label of each bound node).
 pub fn render_result(doc: &Document, r: &SnapshotResult) -> Vec<Vec<String>> {
-    r.tuples
-        .iter()
-        .map(|t| t.values().map(|&n| doc.label(n).to_string()).collect())
+    render_result_refs(doc, r)
+        .into_iter()
+        .map(|row| row.into_iter().map(str::to_string).collect())
         .collect()
+}
+
+/// Debug/bench toggles for the evaluator's hot-path machinery. Every
+/// combination computes the same result — the flags only trade CPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EvalOptions {
+    /// Compare labels as interned `u32` symbols (compiled per pattern ×
+    /// document) instead of string compares.
+    pub interning: bool,
+    /// Let descendant steps enumerate candidates from the document's
+    /// label→node index instead of scanning subtrees (used where the index
+    /// is the cheaper side; see `Evaluator::desc_candidates`).
+    pub index: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            interning: true,
+            index: true,
+        }
+    }
+}
+
+/// Reusable memo-table allocations for repeated evaluations (the NFQA loop
+/// re-evaluates patterns after every splice). The tables are cleared on
+/// reuse — only the capacity survives, entries never leak across calls.
+#[derive(Debug, Default)]
+pub struct EvaluatorCache {
+    memo: HashMap<(PNodeId, NodeId), bool>,
+    desc_memo: HashMap<(PNodeId, NodeId), bool>,
 }
 
 /// Evaluates `q` on `d` and returns the snapshot result.
 pub fn eval(pattern: &Pattern, doc: &Document) -> SnapshotResult {
+    eval_with(
+        pattern,
+        doc,
+        EvalOptions::default(),
+        &mut EvaluatorCache::default(),
+    )
+}
+
+/// [`eval`] with explicit hot-path options and a reusable memo cache.
+pub fn eval_with(
+    pattern: &Pattern,
+    doc: &Document,
+    opts: EvalOptions,
+    cache: &mut EvaluatorCache,
+) -> SnapshotResult {
     if pattern.is_empty() {
         return SnapshotResult::default();
     }
-    let mut ev = Evaluator::new(pattern, doc);
+    let mut ev = Evaluator::with_cache(pattern, doc, opts, cache);
     let mut out = SnapshotResult::default();
     for &root in doc.roots() {
         for (_, frag) in ev.embed(pattern.root(), root, &VarEnv::default()) {
             out.tuples.insert(frag);
         }
     }
+    ev.release(cache);
     out
 }
 
@@ -99,8 +163,8 @@ pub fn matches(pattern: &Pattern, doc: &Document) -> bool {
 /// pattern nodes under some embedding, plus the nodes on the document paths
 /// realizing descendant edges. This is the "grey area" of Figure 3 and the
 /// basis of the pruned-result mode when pushing queries (Section 7).
-pub fn contributing_nodes(pattern: &Pattern, doc: &Document) -> HashSet<NodeId> {
-    let mut out = HashSet::new();
+pub fn contributing_nodes(pattern: &Pattern, doc: &Document) -> std::collections::HashSet<NodeId> {
+    let mut out = std::collections::HashSet::new();
     if pattern.is_empty() {
         return out;
     }
@@ -132,7 +196,8 @@ pub fn contributing_nodes(pattern: &Pattern, doc: &Document) -> HashSet<NodeId> 
 /// Enumerates the *full embeddings* of the pattern (every pattern node's
 /// image). OR nodes map to the image of their chosen branch. Exponential in
 /// the worst case — intended for provider-side pruning of (small) service
-/// results, not for document-scale evaluation.
+/// results, not for document-scale evaluation. Candidates are enumerated in
+/// document order, so the output order is stable across evaluator modes.
 pub fn embeddings(pattern: &Pattern, doc: &Document) -> Vec<BTreeMap<PNodeId, NodeId>> {
     let mut out = Vec::new();
     if pattern.is_empty() {
@@ -155,10 +220,15 @@ pub struct Matcher<'a> {
 }
 
 impl<'a> Matcher<'a> {
-    /// Creates a matcher.
+    /// Creates a matcher with default [`EvalOptions`].
     pub fn new(pattern: &'a Pattern, doc: &'a Document) -> Self {
+        Matcher::with_options(pattern, doc, EvalOptions::default())
+    }
+
+    /// Creates a matcher with explicit hot-path options.
+    pub fn with_options(pattern: &'a Pattern, doc: &'a Document, opts: EvalOptions) -> Self {
         Matcher {
-            ev: Evaluator::new(pattern, doc),
+            ev: Evaluator::with_opts(pattern, doc, opts),
         }
     }
 
@@ -172,16 +242,20 @@ impl<'a> Matcher<'a> {
     /// children? (OR nodes test their branches' labels.)
     pub fn label_matches(&mut self, p: PNodeId, v: NodeId) -> bool {
         if let PLabel::Or = self.ev.pat.node(p).label {
-            let branches = self.ev.pat.node(p).children.clone();
-            return branches.into_iter().any(|b| self.label_matches(b, v));
+            let pat = self.ev.pat;
+            return pat
+                .node(p)
+                .children
+                .iter()
+                .any(|&b| self.label_matches(b, v));
         }
         self.ev.local_ok(p, v)
     }
 
     /// Does some child of `v` match pattern node `p` (join-blind)?
     pub fn child_matches(&mut self, p: PNodeId, v: NodeId) -> bool {
-        let kids = self.ev.doc.children(v).to_vec();
-        kids.into_iter().any(|u| self.ev.smatch(p, u))
+        let doc = self.ev.doc;
+        doc.children(v).iter().any(|&u| self.ev.smatch(p, u))
     }
 
     /// Does some strict descendant of `v` match pattern node `p`
@@ -191,12 +265,43 @@ impl<'a> Matcher<'a> {
     }
 }
 
-/// Variable environment: variable name → required label text.
-type VarEnv = BTreeMap<String, String>;
+/// Variable environment for join variables: join-variable id (index into
+/// the pattern's sorted join-variable list) → required label, as the
+/// document's interned symbol. Symbol equality coincides with label-text
+/// equality within one document, so this is equivalent to the textual
+/// environment it replaces — without owned strings.
+type VarEnv = BTreeMap<u32, u32>;
+
+/// A pattern-node label test compiled against one document's symbol table.
+#[derive(Clone, Debug)]
+enum CTest {
+    /// `Const(l)`: a data node whose label symbol equals the payload.
+    /// `None` means the text was never interned in this document — the
+    /// test can never succeed.
+    DataSym(Option<u32>),
+    /// `Var`/`Wildcard`: any data node.
+    AnyData,
+    /// `Fun(Any)`: any function node.
+    AnyCall,
+    /// `Fun(OneOf)`: a function node whose service symbol is listed
+    /// (names absent from the symbol table are dropped — they cannot
+    /// match any live call).
+    CallOneOf(Vec<u32>),
+    /// OR nodes are handled transparently by the traversal.
+    Or,
+}
+
+/// Buckets larger than this are only enumerated when the scan alternative
+/// is the whole forest (the step's context is a root); for small buckets
+/// the index wins regardless of context.
+const SMALL_BUCKET: usize = 16;
 
 struct Evaluator<'a> {
     pat: &'a Pattern,
     doc: &'a Document,
+    opts: EvalOptions,
+    /// per pattern node: label test compiled against `doc`'s symbol table
+    ctest: Vec<CTest>,
     /// memoized join-blind structural match
     memo: HashMap<(PNodeId, NodeId), bool>,
     /// memoized "∃ strict data-reachable descendant matching p"
@@ -204,24 +309,42 @@ struct Evaluator<'a> {
     /// per pattern node: does its subtree contain a result node or a join
     /// variable (requiring full enumeration)?
     needs_enum: Vec<bool>,
-    join_vars: HashSet<String>,
+    /// per pattern node: join-variable id if the node is a join variable
+    var_id: Vec<Option<u32>>,
 }
 
 impl<'a> Evaluator<'a> {
     fn new(pat: &'a Pattern, doc: &'a Document) -> Self {
-        let join_vars: HashSet<String> = pat
-            .join_variables()
-            .into_iter()
-            .map(|l| l.to_string())
-            .collect();
+        Evaluator::with_opts(pat, doc, EvalOptions::default())
+    }
+
+    fn with_opts(pat: &'a Pattern, doc: &'a Document, opts: EvalOptions) -> Self {
+        let join_vars = pat.join_variables();
         let mut needs_enum = vec![false; pat.len()];
+        let mut var_id = vec![None; pat.len()];
+        let mut ctest = Vec::with_capacity(pat.len());
+        for id in pat.node_ids() {
+            ctest.push(match &pat.node(id).label {
+                PLabel::Const(l) => CTest::DataSym(doc.lookup_sym(l.as_str())),
+                PLabel::Var(_) | PLabel::Wildcard => CTest::AnyData,
+                PLabel::Fun(FunMatch::Any) => CTest::AnyCall,
+                PLabel::Fun(FunMatch::OneOf(names)) => CTest::CallOneOf(
+                    names
+                        .iter()
+                        .filter_map(|l| doc.lookup_sym(l.as_str()))
+                        .collect(),
+                ),
+                PLabel::Or => CTest::Or,
+            });
+        }
         // bottom-up: creation order guarantees parents precede children,
         // so compute in reverse order.
         for id in pat.node_ids().collect::<Vec<_>>().into_iter().rev() {
             let n = pat.node(id);
             let mut need = n.is_result;
             if let PLabel::Var(v) = &n.label {
-                if join_vars.contains(v.as_str()) {
+                if let Ok(i) = join_vars.binary_search(v) {
+                    var_id[id.index()] = Some(i as u32);
                     need = true;
                 }
             }
@@ -235,16 +358,56 @@ impl<'a> Evaluator<'a> {
         Evaluator {
             pat,
             doc,
+            opts,
+            ctest,
             memo: HashMap::new(),
             desc_memo: HashMap::new(),
             needs_enum,
-            join_vars,
+            var_id,
         }
+    }
+
+    /// Like [`Evaluator::with_opts`], but stealing the memo allocations of
+    /// a cache. Pair with [`Evaluator::release`].
+    fn with_cache(
+        pat: &'a Pattern,
+        doc: &'a Document,
+        opts: EvalOptions,
+        cache: &mut EvaluatorCache,
+    ) -> Self {
+        let mut ev = Evaluator::with_opts(pat, doc, opts);
+        ev.memo = std::mem::take(&mut cache.memo);
+        ev.memo.clear();
+        ev.desc_memo = std::mem::take(&mut cache.desc_memo);
+        ev.desc_memo.clear();
+        ev
+    }
+
+    /// Returns the memo allocations to the cache for the next evaluation.
+    fn release(self, cache: &mut EvaluatorCache) {
+        cache.memo = self.memo;
+        cache.desc_memo = self.desc_memo;
     }
 
     /// Does the local (label-only) test of pattern node `p` accept doc node
     /// `v`, ignoring variables' join constraints?
     fn local_ok(&self, p: PNodeId, v: NodeId) -> bool {
+        if !self.opts.interning {
+            return self.local_ok_str(p, v);
+        }
+        match &self.ctest[p.index()] {
+            CTest::DataSym(Some(s)) => self.doc.is_data(v) && self.doc.sym(v) == *s,
+            CTest::DataSym(None) => false,
+            CTest::AnyData => self.doc.is_data(v),
+            CTest::AnyCall => self.doc.is_call(v),
+            CTest::CallOneOf(syms) => self.doc.is_call(v) && syms.contains(&self.doc.sym(v)),
+            CTest::Or => unreachable!("OR nodes are handled transparently"),
+        }
+    }
+
+    /// The pre-interning label test (string compares), kept for the
+    /// `interning: false` debug/bench mode.
+    fn local_ok_str(&self, p: PNodeId, v: NodeId) -> bool {
         match &self.pat.node(p).label {
             PLabel::Const(l) => self.doc.is_data(v) && self.doc.label(v) == l.as_str(),
             PLabel::Var(_) | PLabel::Wildcard => self.doc.is_data(v),
@@ -269,21 +432,48 @@ impl<'a> Evaluator<'a> {
     }
 
     fn smatch_uncached(&mut self, p: PNodeId, v: NodeId) -> bool {
-        if let PLabel::Or = self.pat.node(p).label {
-            let branches = self.pat.node(p).children.clone();
-            return branches.into_iter().any(|b| self.smatch(b, v));
+        let pat = self.pat;
+        if let PLabel::Or = pat.node(p).label {
+            return pat.node(p).children.iter().any(|&b| self.smatch(b, v));
         }
         if !self.local_ok(p, v) {
             return false;
         }
-        let children = self.pat.node(p).children.clone();
-        children.into_iter().all(|pc| match self.pat.node(pc).edge {
-            EdgeKind::Child => {
-                let kids = self.doc.children(v).to_vec();
-                kids.into_iter().any(|u| self.smatch(pc, u))
-            }
-            EdgeKind::Descendant => self.desc_exists(pc, v),
-        })
+        let doc = self.doc;
+        pat.node(p)
+            .children
+            .iter()
+            .all(|&pc| match pat.node(pc).edge {
+                EdgeKind::Child => doc.children(v).iter().any(|&u| self.smatch(pc, u)),
+                EdgeKind::Descendant => self.desc_exists(pc, v),
+            })
+    }
+
+    /// The bucket of the label→node index to enumerate for a descendant
+    /// step to pattern node `p` below `v` — when that is the cheaper side.
+    /// `None` means "scan the subtree". Only a perf choice: both sides
+    /// compute the same answer.
+    fn desc_bucket(&self, p: PNodeId, v: NodeId) -> Option<&'a [NodeId]> {
+        if !self.opts.index {
+            return None;
+        }
+        let bucket = match &self.ctest[p.index()] {
+            CTest::DataSym(Some(s)) => self.doc.nodes_with_sym(*s),
+            CTest::DataSym(None) => &[],
+            CTest::AnyCall => self.doc.calls_unordered(),
+            // OneOf with a single known service: that service's bucket
+            // (it contains every node labeled with the name, calls and
+            // data alike — `smatch` filters). Multi-name tests fall back.
+            CTest::CallOneOf(syms) if syms.len() == 1 => self.doc.nodes_with_sym(syms[0]),
+            CTest::CallOneOf(_) | CTest::AnyData | CTest::Or => return None,
+        };
+        // the index wins when the scan alternative is the whole forest, or
+        // when the bucket is small enough that ancestor walks beat any scan
+        if self.doc.parent(v).is_none() || bucket.len() <= SMALL_BUCKET {
+            Some(bucket)
+        } else {
+            None
+        }
     }
 
     /// ∃ strict descendant `u` of `v` (not descending below function nodes)
@@ -294,8 +484,16 @@ impl<'a> Evaluator<'a> {
         }
         self.desc_memo.insert((p, v), false);
         let mut found = false;
-        if self.doc.is_data(v) {
-            for u in self.doc.children(v).to_vec() {
+        if let Some(bucket) = self.desc_bucket(p, v) {
+            for &u in bucket {
+                if self.doc.reaches_through_data(v, u) && self.smatch(p, u) {
+                    found = true;
+                    break;
+                }
+            }
+        } else if self.doc.is_data(v) {
+            let doc = self.doc;
+            for &u in doc.children(v) {
                 if self.smatch(p, u) || self.desc_exists(p, u) {
                     found = true;
                     break;
@@ -306,16 +504,51 @@ impl<'a> Evaluator<'a> {
         found
     }
 
-    /// Candidate doc nodes for pattern child `pc` under image `v`.
+    /// Candidate doc nodes for pattern child `pc` under image `v`, in
+    /// **arbitrary** order (callers deduplicate or collect into sets).
     fn candidates(&mut self, pc: PNodeId, v: NodeId) -> Vec<NodeId> {
         match self.pat.node(pc).edge {
-            EdgeKind::Child => self
-                .doc
-                .children(v)
-                .to_vec()
-                .into_iter()
-                .filter(|&u| self.smatch(pc, u))
-                .collect(),
+            EdgeKind::Child => {
+                let doc = self.doc;
+                let mut out = Vec::new();
+                for &u in doc.children(v) {
+                    if self.smatch(pc, u) {
+                        out.push(u);
+                    }
+                }
+                out
+            }
+            EdgeKind::Descendant => {
+                let mut out = Vec::new();
+                if let Some(bucket) = self.desc_bucket(pc, v) {
+                    for &u in bucket {
+                        if self.doc.reaches_through_data(v, u) && self.smatch(pc, u) {
+                            out.push(u);
+                        }
+                    }
+                } else {
+                    self.collect_desc(pc, v, &mut out);
+                }
+                out
+            }
+        }
+    }
+
+    /// Candidate doc nodes for `pc` under `v` in document order (pre-order
+    /// subtree scan), for consumers whose output order is observable
+    /// ([`embeddings`]).
+    fn candidates_ordered(&mut self, pc: PNodeId, v: NodeId) -> Vec<NodeId> {
+        match self.pat.node(pc).edge {
+            EdgeKind::Child => {
+                let doc = self.doc;
+                let mut out = Vec::new();
+                for &u in doc.children(v) {
+                    if self.smatch(pc, u) {
+                        out.push(u);
+                    }
+                }
+                out
+            }
             EdgeKind::Descendant => {
                 let mut out = Vec::new();
                 self.collect_desc(pc, v, &mut out);
@@ -328,7 +561,8 @@ impl<'a> Evaluator<'a> {
         if !self.doc.is_data(v) {
             return;
         }
-        for u in self.doc.children(v).to_vec() {
+        let doc = self.doc;
+        for &u in doc.children(v) {
             if self.smatch(pc, u) {
                 out.push(u);
             }
@@ -347,10 +581,11 @@ impl<'a> Evaluator<'a> {
                 vec![]
             };
         }
-        if let PLabel::Or = self.pat.node(p).label {
-            let branches = self.pat.node(p).children.clone();
+        let pat = self.pat;
+        if let PLabel::Or = pat.node(p).label {
             let mut out = Vec::new();
-            for b in branches {
+            for i in 0..pat.node(p).children.len() {
+                let b = pat.node(p).children[i];
                 out.extend(self.embed(b, v, env));
             }
             dedup_pairs(&mut out);
@@ -360,46 +595,49 @@ impl<'a> Evaluator<'a> {
             return vec![];
         }
         let mut env = env.clone();
-        if let PLabel::Var(name) = &self.pat.node(p).label {
-            if self.join_vars.contains(name.as_str()) {
-                let label = self.doc.label(v).to_string();
-                match env.get(name.as_str()) {
-                    Some(bound) if bound != &label => return vec![],
-                    Some(_) => {}
-                    None => {
-                        env.insert(name.to_string(), label);
-                    }
+        if let Some(vid) = self.var_id[p.index()] {
+            let sym = self.doc.sym(v);
+            match env.get(&vid) {
+                Some(&bound) if bound != sym => return vec![],
+                Some(_) => {}
+                None => {
+                    env.insert(vid, sym);
                 }
             }
         }
         let mut base = ResultTuple::new();
-        if self.pat.node(p).is_result {
+        if pat.node(p).is_result {
             base.insert(p, v);
         }
         let mut combos: Vec<(VarEnv, ResultTuple)> = vec![(env, base)];
-        for pc in self.pat.node(p).children.clone() {
+        for i in 0..pat.node(p).children.len() {
+            let pc = pat.node(p).children[i];
             let mut next: Vec<(VarEnv, ResultTuple)> = Vec::new();
-            for (cenv, cfrag) in &combos {
+            // indexed loop: the body re-borrows `self` mutably, so holding
+            // an iterator over `combos` (cloned below anyway) buys nothing
+            #[allow(clippy::needless_range_loop)]
+            for ci in 0..combos.len() {
                 if !self.needs_enum[pc.index()] {
                     // existence is independent of result fragments; the
                     // variable environment may still constrain it only via
                     // join vars, which the fast path ignores — safe because
                     // needs_enum is true whenever a join var occurs below.
-                    let ok = match self.pat.node(pc).edge {
+                    let ok = match pat.node(pc).edge {
                         EdgeKind::Child => {
-                            let kids = self.doc.children(v).to_vec();
-                            kids.into_iter().any(|u| self.smatch(pc, u))
+                            let doc = self.doc;
+                            doc.children(v).iter().any(|&u| self.smatch(pc, u))
                         }
                         EdgeKind::Descendant => self.desc_exists(pc, v),
                     };
                     if ok {
-                        next.push((cenv.clone(), cfrag.clone()));
+                        next.push(combos[ci].clone());
                     }
                     continue;
                 }
                 for u in self.candidates(pc, v) {
-                    for (e2, f2) in self.embed(pc, u, cenv) {
-                        let mut merged = cfrag.clone();
+                    let cenv = combos[ci].0.clone();
+                    for (e2, f2) in self.embed(pc, u, &cenv) {
+                        let mut merged = combos[ci].1.clone();
                         merged.extend(f2);
                         next.push((e2, merged));
                     }
@@ -423,10 +661,11 @@ impl<'a> Evaluator<'a> {
         v: NodeId,
         env: &VarEnv,
     ) -> Vec<BTreeMap<PNodeId, NodeId>> {
-        if let PLabel::Or = self.pat.node(p).label {
-            let branches = self.pat.node(p).children.clone();
+        let pat = self.pat;
+        if let PLabel::Or = pat.node(p).label {
             let mut out = Vec::new();
-            for b in branches {
+            for i in 0..pat.node(p).children.len() {
+                let b = pat.node(p).children[i];
                 out.extend(self.embed_full(b, v, env));
             }
             return out;
@@ -435,32 +674,34 @@ impl<'a> Evaluator<'a> {
             return vec![];
         }
         let mut env = env.clone();
-        if let PLabel::Var(name) = &self.pat.node(p).label {
-            if self.join_vars.contains(name.as_str()) {
-                let label = self.doc.label(v).to_string();
-                match env.get(name.as_str()) {
-                    Some(bound) if bound != &label => return vec![],
-                    Some(_) => {}
-                    None => {
-                        env.insert(name.to_string(), label);
-                    }
+        if let Some(vid) = self.var_id[p.index()] {
+            let sym = self.doc.sym(v);
+            match env.get(&vid) {
+                Some(&bound) if bound != sym => return vec![],
+                Some(_) => {}
+                None => {
+                    env.insert(vid, sym);
                 }
             }
         }
         let mut base = BTreeMap::new();
         base.insert(p, v);
         let mut combos: Vec<(VarEnv, BTreeMap<PNodeId, NodeId>)> = vec![(env, base)];
-        for pc in self.pat.node(p).children.clone() {
+        for i in 0..pat.node(p).children.len() {
+            let pc = pat.node(p).children[i];
             let mut next = Vec::new();
-            for (cenv, cmap) in &combos {
-                for u in self.candidates(pc, v) {
-                    for sub in self.embed_full(pc, u, cenv) {
+            // indexed for the same reason as `embed`'s combo loop
+            #[allow(clippy::needless_range_loop)]
+            for ci in 0..combos.len() {
+                for u in self.candidates_ordered(pc, v) {
+                    let cenv = combos[ci].0.clone();
+                    for sub in self.embed_full(pc, u, &cenv) {
                         // recompute env effects of the subtree: embed_full
                         // doesn't thread env back, so re-check join vars
-                        if !self.join_consistent(cenv, &sub) {
+                        if !self.join_consistent(&cenv, &sub) {
                             continue;
                         }
-                        let mut merged = cmap.clone();
+                        let mut merged = combos[ci].1.clone();
                         merged.extend(sub.clone());
                         let mut env2 = cenv.clone();
                         self.extend_env(&mut env2, &sub);
@@ -477,23 +718,21 @@ impl<'a> Evaluator<'a> {
     }
 
     fn join_consistent(&self, env: &VarEnv, emb: &BTreeMap<PNodeId, NodeId>) -> bool {
-        let mut local: HashMap<&str, &str> = HashMap::new();
+        let mut local: HashMap<u32, u32> = HashMap::new();
         for (&p, &v) in emb {
-            if let PLabel::Var(name) = &self.pat.node(p).label {
-                if self.join_vars.contains(name.as_str()) {
-                    let label = self.doc.label(v);
-                    if let Some(prev) = env.get(name.as_str()) {
-                        if prev != label {
-                            return false;
-                        }
+            if let Some(vid) = self.var_id[p.index()] {
+                let sym = self.doc.sym(v);
+                if let Some(&prev) = env.get(&vid) {
+                    if prev != sym {
+                        return false;
                     }
-                    if let Some(prev) = local.get(name.as_str()) {
-                        if *prev != label {
-                            return false;
-                        }
-                    }
-                    local.insert(name.as_str(), label);
                 }
+                if let Some(&prev) = local.get(&vid) {
+                    if prev != sym {
+                        return false;
+                    }
+                }
+                local.insert(vid, sym);
             }
         }
         true
@@ -501,11 +740,8 @@ impl<'a> Evaluator<'a> {
 
     fn extend_env(&self, env: &mut VarEnv, emb: &BTreeMap<PNodeId, NodeId>) {
         for (&p, &v) in emb {
-            if let PLabel::Var(name) = &self.pat.node(p).label {
-                if self.join_vars.contains(name.as_str()) {
-                    env.entry(name.to_string())
-                        .or_insert_with(|| self.doc.label(v).to_string());
-                }
+            if let Some(vid) = self.var_id[p.index()] {
+                env.entry(vid).or_insert_with(|| self.doc.sym(v));
             }
         }
     }
@@ -540,11 +776,35 @@ mod tests {
         .unwrap()
     }
 
+    /// Every flag combination must produce the seed evaluator's result.
+    fn eval_all_modes(q: &Pattern, d: &Document) -> SnapshotResult {
+        let reference = eval_with(
+            q,
+            d,
+            EvalOptions {
+                interning: false,
+                index: false,
+            },
+            &mut EvaluatorCache::default(),
+        );
+        let mut cache = EvaluatorCache::default();
+        for interning in [false, true] {
+            for index in [false, true] {
+                let got = eval_with(q, d, EvalOptions { interning, index }, &mut cache);
+                assert_eq!(
+                    got, reference,
+                    "interning={interning} index={index} diverged"
+                );
+            }
+        }
+        reference
+    }
+
     #[test]
     fn simple_path_matches() {
         let d = hotels_doc();
         let q = parse_query("/hotels/hotel/name").unwrap();
-        let r = eval(&q, &d);
+        let r = eval_all_modes(&q, &d);
         assert_eq!(r.len(), 2);
     }
 
@@ -552,10 +812,11 @@ mod tests {
     fn value_predicate_filters() {
         let d = hotels_doc();
         let q = parse_query("/hotels/hotel[rating=\"*****\"]/name").unwrap();
-        let r = eval(&q, &d);
+        let r = eval_all_modes(&q, &d);
         assert_eq!(r.len(), 1);
         let names = render_result(&d, &r);
         assert_eq!(names, vec![vec!["name".to_string()]]);
+        assert_eq!(render_result_refs(&d, &r), vec![vec!["name"]]);
     }
 
     #[test]
@@ -565,7 +826,7 @@ mod tests {
             "/hotels/hotel//restaurant[rating=\"*****\"][name=$X][address=$Y] -> $X,$Y",
         )
         .unwrap();
-        let r = eval(&q, &d);
+        let r = eval_all_modes(&q, &d);
         assert_eq!(r.len(), 2); // Jo/2nd Av and Lu/Penn St
         let mut rendered = render_result(&d, &r);
         rendered.sort();
@@ -592,6 +853,7 @@ mod tests {
         let d = parse("<a>x</a>").unwrap();
         let q = parse_query("/a//a").unwrap();
         assert!(!matches(&q, &d), "descendant must be strict");
+        assert!(eval_all_modes(&q, &d).is_empty());
     }
 
     #[test]
@@ -599,7 +861,7 @@ mod tests {
         let d = hotels_doc();
         // getHotels call is a child of hotels but not a data node
         let q = parse_query("/hotels/*").unwrap();
-        let r = eval(&q, &d);
+        let r = eval_all_modes(&q, &d);
         // only the two hotel elements, not the call
         assert_eq!(r.len(), 2);
     }
@@ -608,10 +870,10 @@ mod tests {
     fn function_pattern_nodes_match_calls() {
         let d = hotels_doc();
         let q = parse_query("/hotels/getHotels()").unwrap();
-        let r = eval(&q, &d);
+        let r = eval_all_modes(&q, &d);
         assert_eq!(r.len(), 1);
         let q2 = parse_query("/hotels/hotel/nearby/*()").unwrap();
-        let r2 = eval(&q2, &d);
+        let r2 = eval_all_modes(&q2, &d);
         assert_eq!(r2.len(), 1);
         let bound = r2.bindings_of(q2.result_nodes()[0]);
         assert!(d.is_call(bound[0]));
@@ -622,9 +884,11 @@ mod tests {
         let d = parse("<r><axml:call service=\"f\"><secret>x</secret></axml:call></r>").unwrap();
         let q = parse_query("/r//secret").unwrap();
         assert!(!matches(&q, &d), "call parameters are not document content");
+        assert!(eval_all_modes(&q, &d).is_empty());
         // but the call node itself is visible to function tests
         let q2 = parse_query("/r//*()").unwrap();
         assert!(matches(&q2, &d));
+        assert_eq!(eval_all_modes(&q2, &d).len(), 1);
     }
 
     #[test]
@@ -634,13 +898,14 @@ mod tests {
         assert!(matches(&q, &d));
         let d2 = parse("<r><a>1</a><b>2</b></r>").unwrap();
         assert!(!matches(&q, &d2));
+        assert!(eval_all_modes(&q, &d2).is_empty());
     }
 
     #[test]
     fn join_variables_across_tuples() {
         let d = parse("<r><a>1</a><a>2</a><b>2</b></r>").unwrap();
         let q = parse_query("/r[a=$V][b=$V] -> $V").unwrap();
-        let r = eval(&q, &d);
+        let r = eval_all_modes(&q, &d);
         // only the a=2, b=2 combination survives; both bindings of $V in the
         // tuple render as "2"
         assert_eq!(r.len(), 1);
@@ -683,7 +948,7 @@ mod tests {
         .unwrap();
         let q = parse_query("/hotels/hotel[rating=\"*****\"]/nearby//restaurant[name=$X] -> $X")
             .unwrap();
-        assert!(eval(&q, &d).is_empty());
+        assert!(eval_all_modes(&q, &d).is_empty());
     }
 
     #[test]
@@ -727,8 +992,41 @@ mod tests {
     fn result_of_last_step_default() {
         let d = hotels_doc();
         let q = parse_query("/hotels/hotel/rating").unwrap();
-        let r = eval(&q, &d);
+        let r = eval_all_modes(&q, &d);
         // two distinct rating element nodes, one per hotel
         assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn cache_reuse_does_not_leak_state() {
+        let mut cache = EvaluatorCache::default();
+        let d1 = hotels_doc();
+        let q1 = parse_query("/hotels/hotel/name").unwrap();
+        let r1 = eval_with(&q1, &d1, EvalOptions::default(), &mut cache);
+        assert_eq!(r1.len(), 2);
+        // a different document reusing NodeId/PNodeId coordinates: stale
+        // memo entries would be visible here
+        let d2 = parse("<hotels><hotel><name>X</name></hotel></hotels>").unwrap();
+        let r2 = eval_with(&q1, &d2, EvalOptions::default(), &mut cache);
+        assert_eq!(r2.len(), 1);
+        let q2 = parse_query("/hotels/hotel/rating").unwrap();
+        let r3 = eval_with(&q2, &d2, EvalOptions::default(), &mut cache);
+        assert!(r3.is_empty());
+    }
+
+    #[test]
+    fn root_anchored_descendant_uses_index_and_agrees() {
+        // a root-context descendant step over a large bucket exercises the
+        // index enumeration path (doc root, bucket > SMALL_BUCKET)
+        let mut xml = String::from("<r>");
+        for i in 0..40 {
+            xml.push_str(&format!("<g><t>v{i}</t></g>"));
+        }
+        xml.push_str("<axml:call service=\"f\"><t>hidden</t></axml:call></r>");
+        let d = parse(&xml).unwrap();
+        let q = parse_query("//t").unwrap();
+        let r = eval_all_modes(&q, &d);
+        // the 40 visible <t> nodes; the call-parameter <t> is invisible
+        assert_eq!(r.len(), 40);
     }
 }

@@ -28,8 +28,8 @@ pub mod pattern;
 pub use construct::construct_results;
 pub use display::render;
 pub use eval::{
-    contributing_nodes, embeddings, eval, matches, render_result, Matcher, ResultTuple,
-    SnapshotResult,
+    contributing_nodes, embeddings, eval, eval_with, matches, render_result, render_result_refs,
+    EvalOptions, EvaluatorCache, Matcher, ResultTuple, SnapshotResult,
 };
 pub use linear::{LinStep, LinearPath, StepTest};
 pub use parser::{parse_query, QueryParseError};

@@ -24,6 +24,9 @@ use std::collections::{BTreeSet, HashMap};
 pub struct Dfa {
     /// Concrete labels: symbol indices `0..labels.len()`.
     labels: Vec<Label>,
+    /// label → symbol index, the O(1) step function of [`Dfa::accepts`]
+    /// (labels are sorted and distinct, so the map mirrors `labels`).
+    label_index: HashMap<Label, usize>,
     /// `trans[state][symbol]` — complete (a dead state absorbs misses).
     /// Symbols: `0..k` = labels, `k` = data, `k+1` = other.
     trans: Vec<Vec<usize>>,
@@ -106,8 +109,14 @@ impl Dfa {
             trans.push(row);
             i += 1;
         }
+        let label_index = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.clone(), i))
+            .collect();
         Dfa {
             labels,
+            label_index,
             trans,
             accept,
             start: 0,
@@ -118,6 +127,7 @@ impl Dfa {
     pub fn complement(&self) -> Dfa {
         Dfa {
             labels: self.labels.clone(),
+            label_index: self.label_index.clone(),
             trans: self.trans.clone(),
             accept: self.accept.iter().map(|a| !a).collect(),
             start: self.start,
@@ -130,11 +140,7 @@ impl Dfa {
         for sym in word {
             let idx = match sym {
                 Sym::Data => self.data_sym(),
-                Sym::Name(l) => self
-                    .labels
-                    .iter()
-                    .position(|x| x == l)
-                    .unwrap_or(self.other_sym()),
+                Sym::Name(l) => self.label_index.get(l).copied().unwrap_or(self.other_sym()),
             };
             s = self.trans[s][idx];
         }

@@ -272,6 +272,102 @@ impl Nfa {
     pub fn some_word_prefixes(&self, other: &Nfa) -> bool {
         self.intersects(&other.prefix_closure())
     }
+
+    /// Compiles the automaton against a label→symbol table (typically a
+    /// document's interner), yielding a [`SymNfa`] whose step function is
+    /// integer compares. `lookup` returns the symbol of a label text, or
+    /// `None` when the text was never interned — such transitions can
+    /// never fire on words drawn from that document and compile to a
+    /// dead test. [`TransTest::Data`] transitions also compile dead:
+    /// `SymNfa` words are *name* symbols (label paths of element nodes),
+    /// which never carry the `data` symbol.
+    pub fn compile_syms(&self, mut lookup: impl FnMut(&str) -> Option<u32>) -> SymNfa {
+        SymNfa {
+            edges: self
+                .edges
+                .iter()
+                .map(|outs| {
+                    outs.iter()
+                        .map(|(t, target)| {
+                            let st = match t {
+                                TransTest::AnySym => SymTest::Any,
+                                TransTest::Data => SymTest::Never,
+                                TransTest::Name(l) => match lookup(l.as_str()) {
+                                    Some(s) => SymTest::Sym(s),
+                                    None => SymTest::Never,
+                                },
+                            };
+                            (st, *target)
+                        })
+                        .collect()
+                })
+                .collect(),
+            start: self.start.clone(),
+            accept: self.accept.clone(),
+        }
+    }
+}
+
+/// A transition test of a [`SymNfa`] (compiled against one symbol table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SymTest {
+    /// Exactly this interned symbol.
+    Sym(u32),
+    /// Any symbol.
+    Any,
+    /// Never fires (label absent from the table, or a `data` test).
+    Never,
+}
+
+/// An [`Nfa`] compiled against one document's symbol table: words are
+/// interned label symbols and every transition test is an integer compare.
+/// Symbol tables are append-only, so a compiled automaton stays valid as
+/// the document grows — but labels interned *after* compilation are
+/// unknown to it; recompile when the table's size changes (see
+/// `Document::sym_count`).
+#[derive(Clone, Debug)]
+pub struct SymNfa {
+    edges: Vec<Vec<(SymTest, usize)>>,
+    start: Vec<usize>,
+    accept: Vec<bool>,
+}
+
+impl SymNfa {
+    /// Does the automaton accept the word of name symbols?
+    pub fn accepts(&self, word: &[u32]) -> bool {
+        let n = self.edges.len();
+        let mut cur = vec![false; n];
+        for &s in &self.start {
+            cur[s] = true;
+        }
+        for &sym in word {
+            let mut next = vec![false; n];
+            let mut any = false;
+            for (s, active) in cur.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                for &(test, t) in &self.edges[s] {
+                    let fire = match test {
+                        SymTest::Any => true,
+                        SymTest::Sym(want) => want == sym,
+                        SymTest::Never => false,
+                    };
+                    if fire {
+                        next[t] = true;
+                        any = true;
+                    }
+                }
+            }
+            if !any {
+                return false;
+            }
+            cur = next;
+        }
+        cur.iter()
+            .enumerate()
+            .any(|(s, &active)| active && self.accept[s])
+    }
 }
 
 /// Thompson construction with an ε edge list, eliminated in `finish`.
@@ -524,6 +620,31 @@ mod tests {
         let dead = parse_re("a").unwrap();
         let nfa = Nfa::from_re(&LabelRe::Seq(vec![LabelRe::Empty, dead]));
         assert!(nfa.is_language_empty());
+    }
+
+    #[test]
+    fn sym_compiled_nfa_agrees_with_label_nfa() {
+        // a tiny symbol table over the test alphabet
+        let table = ["a", "b", "c", "x"]; // note: "y" is not interned
+        let lookup = |s: &str| table.iter().position(|t| *t == s).map(|i| i as u32);
+        for src in ["/a/b", "/a//b/c", "//x", "/a/*//b"] {
+            let nfa = Nfa::from_linear_path(&lin_of(src)).prefix_closure();
+            let sym_nfa = nfa.compile_syms(lookup);
+            for w in words(&["a", "b", "c", "x"], 4) {
+                let syms: Vec<u32> = w
+                    .iter()
+                    .map(|s| match s {
+                        Sym::Name(l) => lookup(l.as_str()).unwrap(),
+                        Sym::Data => unreachable!(),
+                    })
+                    .collect();
+                assert_eq!(
+                    sym_nfa.accepts(&syms),
+                    nfa.accepts(&w),
+                    "mismatch on {src} with {w:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -31,6 +31,10 @@ pub struct CachedCall {
 }
 
 /// The outcome of a cache probe.
+// `Hit` carries a whole result forest (its document now also holds the
+// symbol table and label index); the value is transient — destructured at
+// the probe site — so indirection would only add an allocation per hit.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum CacheLookup {
     /// A valid entry: splice it in at zero network cost.

@@ -67,6 +67,52 @@ struct Node {
     parent: Option<NodeId>,
     children: Vec<NodeId>,
     alive: bool,
+    /// Interned symbol of the node's label (element name, text value or
+    /// service name) in the document's symbol table.
+    sym: u32,
+    /// Position of this node inside its label bucket (see
+    /// [`Document::nodes_with_sym`]); maintained for O(1) removal.
+    bucket_pos: u32,
+    /// Position inside the call registry (call nodes only).
+    call_pos: u32,
+}
+
+/// Per-document label interner: every distinct label text gets a stable
+/// `u32` symbol, so label equality inside one document is an integer
+/// compare. Symbols are never reclaimed — the table only grows.
+#[derive(Clone, Debug, Default)]
+struct SymTab {
+    by_text: std::collections::HashMap<Label, u32>,
+    labels: Vec<Label>,
+}
+
+impl SymTab {
+    /// Interns arbitrary text (allocates a `Label` only on first sight).
+    fn intern_str(&mut self, text: &str) -> u32 {
+        if let Some(&s) = self.by_text.get(text) {
+            return s;
+        }
+        let l = Label::from(text);
+        let s = self.labels.len() as u32;
+        self.labels.push(l.clone());
+        self.by_text.insert(l, s);
+        s
+    }
+
+    /// Interns an existing label (clones only the `Arc`).
+    fn intern_label(&mut self, l: &Label) -> u32 {
+        if let Some(&s) = self.by_text.get(l.as_str()) {
+            return s;
+        }
+        let s = self.labels.len() as u32;
+        self.labels.push(l.clone());
+        self.by_text.insert(l.clone(), s);
+        s
+    }
+
+    fn lookup(&self, text: &str) -> Option<u32> {
+        self.by_text.get(text).copied()
+    }
 }
 
 /// An ordered labeled tree (or forest) with data and function nodes.
@@ -80,6 +126,13 @@ pub struct Document {
     roots: Vec<NodeId>,
     free: Vec<u32>,
     next_call: u64,
+    symtab: SymTab,
+    /// Label→node index: interned symbol → live nodes carrying that label,
+    /// in arbitrary order (removal is `swap_remove`). Maintained by every
+    /// mutator, including [`Document::splice_call`].
+    buckets: std::collections::HashMap<u32, Vec<NodeId>>,
+    /// All live function-call nodes, in arbitrary order.
+    call_list: Vec<NodeId>,
 }
 
 /// A forest of AXML trees — the shape of a service-call result.
@@ -119,19 +172,64 @@ impl Document {
     }
 
     fn alloc(&mut self, kind: NodeKind, parent: Option<NodeId>) -> NodeId {
+        let sym = match &kind {
+            NodeKind::Element(l) | NodeKind::Call(_, l) => self.symtab.intern_label(l),
+            NodeKind::Text(t) => self.symtab.intern_str(t),
+        };
+        let is_call = matches!(kind, NodeKind::Call(..));
         let node = Node {
             kind,
             parent,
             children: Vec::new(),
             alive: true,
+            sym,
+            bucket_pos: 0,
+            call_pos: 0,
         };
-        if let Some(slot) = self.free.pop() {
+        let id = if let Some(slot) = self.free.pop() {
             self.nodes[slot as usize] = node;
             NodeId(slot)
         } else {
             let id = NodeId(self.nodes.len() as u32);
             self.nodes.push(node);
             id
+        };
+        let bucket = self.buckets.entry(sym).or_default();
+        self.nodes[id.index()].bucket_pos = bucket.len() as u32;
+        bucket.push(id);
+        if is_call {
+            self.nodes[id.index()].call_pos = self.call_list.len() as u32;
+            self.call_list.push(id);
+        }
+        id
+    }
+
+    /// Unlinks a node from its label bucket (and the call registry) in O(1).
+    fn index_remove(&mut self, id: NodeId) {
+        let (sym, pos, is_call, call_pos) = {
+            let n = &self.nodes[id.index()];
+            (
+                n.sym,
+                n.bucket_pos as usize,
+                matches!(n.kind, NodeKind::Call(..)),
+                n.call_pos as usize,
+            )
+        };
+        let bucket = self
+            .buckets
+            .get_mut(&sym)
+            .expect("freed node missing from its label bucket");
+        bucket.swap_remove(pos);
+        if pos < bucket.len() {
+            let moved = bucket[pos];
+            self.nodes[moved.index()].bucket_pos = pos as u32;
+        }
+        if is_call {
+            self.call_list.swap_remove(call_pos);
+            if call_pos < self.call_list.len() {
+                let moved = self.call_list[call_pos];
+                self.nodes[moved.index()].call_pos = call_pos as u32;
+            }
         }
     }
 
@@ -287,6 +385,88 @@ impl Document {
             .find(|&n| matches!(self.node(n).kind, NodeKind::Call(c, _) if c == call))
     }
 
+    /// The next [`CallId`] value this document will assign. Call ids are
+    /// monotone, so this is a watermark: every call created after reading
+    /// it carries an id ≥ the returned value, and every existing call a
+    /// smaller one.
+    pub fn next_call_id(&self) -> u64 {
+        self.next_call
+    }
+
+    /// Interned symbol of the node's label. Two live nodes of the same
+    /// document carry equal labels iff their symbols are equal.
+    pub fn sym(&self, id: NodeId) -> u32 {
+        self.node(id).sym
+    }
+
+    /// Symbol for a label text, if that text has ever been interned in this
+    /// document. `None` means no node currently (or previously) carried it.
+    pub fn lookup_sym(&self, text: &str) -> Option<u32> {
+        self.symtab.lookup(text)
+    }
+
+    /// Text of an interned symbol.
+    ///
+    /// # Panics
+    /// Panics if `sym` was not produced by this document's interner.
+    pub fn sym_text(&self, sym: u32) -> &str {
+        self.symtab.labels[sym as usize].as_str()
+    }
+
+    /// Number of distinct interned label texts. Monotonically increasing;
+    /// useful as a cheap version stamp for symbol-compiled artifacts.
+    pub fn sym_count(&self) -> usize {
+        self.symtab.labels.len()
+    }
+
+    /// The live nodes carrying the label with the given symbol, in
+    /// **arbitrary** order (the index uses `swap_remove` on deletion).
+    /// Returns an empty slice for unknown symbols.
+    pub fn nodes_with_sym(&self, sym: u32) -> &[NodeId] {
+        self.buckets.get(&sym).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All live function-call nodes, in **arbitrary** order. An O(1)
+    /// alternative to [`Document::calls`] when document order is
+    /// irrelevant.
+    pub fn calls_unordered(&self) -> &[NodeId] {
+        &self.call_list
+    }
+
+    /// `true` if `desc` is a strict descendant of `anc` and every node on
+    /// the path from `anc` (inclusive) down to `desc` (exclusive) is a data
+    /// node — i.e. query navigation starting at `anc` can reach `desc`
+    /// without descending into call parameters.
+    pub fn reaches_through_data(&self, anc: NodeId, desc: NodeId) -> bool {
+        if anc == desc {
+            return false;
+        }
+        let mut cur = self.parent(desc);
+        while let Some(p) = cur {
+            if p == anc {
+                return self.is_data(anc);
+            }
+            if !self.is_data(p) {
+                return false;
+            }
+            cur = self.parent(p);
+        }
+        false
+    }
+
+    /// Interned symbols on the path from a root down to `id` (inclusive).
+    /// The symbol-level counterpart of [`Document::path_labels`].
+    pub fn path_syms(&self, id: NodeId) -> Vec<u32> {
+        let mut path = Vec::new();
+        let mut cur = Some(id);
+        while let Some(n) = cur {
+            path.push(self.sym(n));
+            cur = self.parent(n);
+        }
+        path.reverse();
+        path
+    }
+
     /// Labels on the path from a root down to `id` (inclusive).
     pub fn path_labels(&self, id: NodeId) -> Vec<String> {
         let mut path = Vec::new();
@@ -411,6 +591,7 @@ impl Document {
         for c in children {
             self.free_subtree(c);
         }
+        self.index_remove(id);
         self.nodes[id.index()].alive = false;
         self.nodes[id.index()].parent = None;
         self.free.push(id.0);
@@ -508,6 +689,53 @@ impl Document {
         for &f in &self.free {
             if self.nodes[f as usize].alive {
                 return Err(format!("n{f} in free list but alive"));
+            }
+        }
+        // label→node index: every live node sits in exactly the bucket of
+        // its symbol at its recorded position, and buckets hold only live
+        // nodes of the right symbol
+        let bucket_total: usize = self.buckets.values().map(Vec::len).sum();
+        if bucket_total != self.len() {
+            return Err(format!(
+                "label index holds {bucket_total} entries but {} nodes are live",
+                self.len()
+            ));
+        }
+        for (sym, bucket) in &self.buckets {
+            for (pos, &id) in bucket.iter().enumerate() {
+                let n = &self.nodes[id.index()];
+                if !n.alive {
+                    return Err(format!("freed {id:?} still in bucket {sym}"));
+                }
+                if n.sym != *sym {
+                    return Err(format!("{id:?} in bucket {sym} but has sym {}", n.sym));
+                }
+                if n.bucket_pos as usize != pos {
+                    return Err(format!("{id:?} bucket_pos {} != {pos}", n.bucket_pos));
+                }
+                if self.symtab.lookup(self.label(id)) != Some(*sym) {
+                    return Err(format!("{id:?} label not interned as {sym}"));
+                }
+            }
+        }
+        let live_calls = self
+            .nodes
+            .iter()
+            .filter(|n| n.alive && matches!(n.kind, NodeKind::Call(..)))
+            .count();
+        if self.call_list.len() != live_calls {
+            return Err(format!(
+                "call registry holds {} entries but {live_calls} calls are live",
+                self.call_list.len()
+            ));
+        }
+        for (pos, &id) in self.call_list.iter().enumerate() {
+            let n = &self.nodes[id.index()];
+            if !n.alive || !matches!(n.kind, NodeKind::Call(..)) {
+                return Err(format!("call registry entry {id:?} is not a live call"));
+            }
+            if n.call_pos as usize != pos {
+                return Err(format!("{id:?} call_pos {} != {pos}", n.call_pos));
             }
         }
         Ok(())
@@ -725,5 +953,73 @@ mod tests {
     fn splice_on_data_node_panics() {
         let (mut d, hotel, _) = sample();
         d.splice_call(hotel, &Forest::new());
+    }
+
+    #[test]
+    fn symbols_agree_with_labels() {
+        let (d, hotel, call) = sample();
+        assert_eq!(d.sym_text(d.sym(hotel)), "hotel");
+        assert_eq!(d.lookup_sym("hotel"), Some(d.sym(hotel)));
+        assert_eq!(d.lookup_sym("no-such-label"), None);
+        // call nodes intern their service name
+        assert_eq!(d.sym_text(d.sym(call)), "getRating");
+        // symbol equality iff label equality
+        for a in d.all_nodes() {
+            for b in d.all_nodes() {
+                assert_eq!(d.sym(a) == d.sym(b), d.label(a) == d.label(b));
+            }
+        }
+        assert_eq!(
+            d.path_syms(call),
+            d.path_labels(call)
+                .iter()
+                .map(|l| d.lookup_sym(l).unwrap())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn label_index_tracks_splices() {
+        let (mut d, _, call) = sample();
+        assert_eq!(
+            d.nodes_with_sym(d.lookup_sym("getRating").unwrap()).len(),
+            1
+        );
+        assert_eq!(d.calls_unordered(), &[call]);
+        let mut res = Forest::new();
+        let r = res.add_root("rating-value");
+        res.add_text(r, "*****");
+        res.add_root_call("getMore");
+        d.splice_call(call, &res);
+        d.check_integrity().unwrap();
+        // the consumed call (and its text parameter) left the index
+        assert!(d
+            .nodes_with_sym(d.lookup_sym("getRating").unwrap())
+            .is_empty());
+        assert_eq!(
+            d.nodes_with_sym(d.lookup_sym("rating-value").unwrap())
+                .len(),
+            1
+        );
+        assert_eq!(d.calls_unordered().len(), 1);
+        assert_eq!(d.label(d.calls_unordered()[0]), "getMore");
+        // symbols survive even when the last carrier is freed
+        assert!(d.lookup_sym("getRating").is_some());
+    }
+
+    #[test]
+    fn reaches_through_data_skips_call_parameters() {
+        let (d, hotel, call) = sample();
+        let rating = d.parent(call).unwrap();
+        let param = d.children(call)[0];
+        assert!(d.reaches_through_data(d.root(), call));
+        assert!(d.reaches_through_data(hotel, rating));
+        assert!(d.reaches_through_data(rating, call));
+        // call parameters are not document content
+        assert!(!d.reaches_through_data(rating, param));
+        assert!(!d.reaches_through_data(d.root(), param));
+        // not a strict descendant
+        assert!(!d.reaches_through_data(hotel, hotel));
+        assert!(!d.reaches_through_data(call, hotel));
     }
 }

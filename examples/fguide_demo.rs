@@ -45,7 +45,7 @@ fn main() {
     let mut via_guide = 0usize;
     for nfq in &nfqs {
         let cands: Vec<_> = guide
-            .eval_linear(&nfq.lin, nfq.via)
+            .eval_linear(&doc, &nfq.lin, nfq.via)
             .into_iter()
             .map(|(n, _)| n)
             .collect();

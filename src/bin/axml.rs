@@ -5,6 +5,7 @@
 //!            [--world world.xml] [--schema schema.txt] \
 //!            [--strategy nfq|lpq|topdown|naive] [--typing none|lenient|exact] \
 //!            [--push] [--fguide] [--no-parallel] [--speculate] [--stats] \
+//!            [--no-interning] [--no-index] \
 //!            [--retries N] [--timeout-ms X] [--fault-seed N] [--fail-prob P] \
 //!            [--latency-ms X] \
 //!            [--deadline-ms X] [--hedge-threshold-ms X] [--hedge-quantile F] \
@@ -34,7 +35,7 @@ use activexml::core::{
     Speculation, Strategy, Typing,
 };
 use activexml::obs::{aggregate, to_jsonl, RingSink};
-use activexml::query::{construct_results, parse_query, render, Pattern};
+use activexml::query::{construct_results, parse_query, render, EvalOptions, Pattern};
 use activexml::schema::{parse_schema, Schema};
 use activexml::services::{load_registry, FaultProfile, Registry};
 use activexml::store::{CacheConfig, CallCache, DocumentStore, SessionOptions};
@@ -328,6 +329,11 @@ fn engine_config(opts: &Opts) -> Result<EngineConfig, String> {
         deadline_ms,
         hedge,
         shed,
+        eval_options: EvalOptions {
+            interning: !opts.flag("no-interning"),
+            index: !opts.flag("no-index"),
+        },
+        ..EngineConfig::default()
     })
 }
 

@@ -95,6 +95,34 @@ fn golden_threaded_parallel_batches() {
     );
 }
 
+/// The hot-path machinery must be trace-invisible: the *same* golden file
+/// as the default schedule, byte for byte, with delta-scoped incremental
+/// detection on and with the whole hot path off. No new golden is pinned —
+/// divergence from `figure1_default.jsonl` is the failure.
+#[test]
+fn golden_default_schedule_is_eval_mode_invariant() {
+    use activexml::query::EvalOptions;
+    check_golden(
+        "figure1_default.jsonl",
+        EngineConfig {
+            incremental_detection: true,
+            ..EngineConfig::default()
+        },
+        None,
+    );
+    check_golden(
+        "figure1_default.jsonl",
+        EngineConfig {
+            eval_options: EvalOptions {
+                interning: false,
+                index: false,
+            },
+            ..EngineConfig::default()
+        },
+        None,
+    );
+}
+
 #[test]
 fn golden_fault_seed_1() {
     check_golden(
