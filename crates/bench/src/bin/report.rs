@@ -31,6 +31,16 @@ fn main() {
     let e14_min_speedup: Option<f64> =
         take_value(&mut args, "--e14-min-speedup").map(|v| v.parse().expect("--e14-min-speedup"));
     let e14_baseline: Option<String> = take_value(&mut args, "--e14-baseline");
+    // E15 artifact/assertion knobs (see EXPERIMENTS.md):
+    //   --e15-json PATH          write the BENCH_E15.json artifact
+    //   --e15-min-scaling N      exit nonzero unless the largest worker pool
+    //                            reaches an N× qps scaling over 1 worker
+    //   --e15-baseline PATH      exit nonzero if any scaling ratio regressed
+    //                            >20% vs the committed baseline artifact
+    let e15_json: Option<String> = take_value(&mut args, "--e15-json");
+    let e15_min_scaling: Option<f64> =
+        take_value(&mut args, "--e15-min-scaling").map(|v| v.parse().expect("--e15-min-scaling"));
+    let e15_baseline: Option<String> = take_value(&mut args, "--e15-baseline");
     let emit = |name: &str, xname: &str, rows: &[ex::Row]| {
         if let Some(dir) = &csv_dir {
             let path = format!("{dir}/{name}.csv");
@@ -262,6 +272,81 @@ fn main() {
                 std::process::exit(1);
             }
             eprintln!("report: E14 within 20% of baseline {bpath} — ok");
+        }
+    }
+    if want("e15") || want("serving") {
+        let rows = ex::e15_concurrent(&[1, 2, 4, 8], 16, 4);
+        ex::print_table(
+            "E15 — multi-tenant serving throughput (work-stealing session pool)",
+            "workers",
+            &rows,
+        );
+        emit("e15", "workers", &rows);
+        if let Some(path) = &e15_json {
+            match std::fs::write(path, ex::e15_to_json(&rows)) {
+                Ok(()) => eprintln!("report: wrote {path}"),
+                Err(e) => {
+                    eprintln!("report: writing {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let scaling_of = |rows: &[ex::Row], series: &str, workers: f64| -> Option<f64> {
+            rows.iter()
+                .find(|r| r.label == series && r.x == workers)
+                .and_then(|r| {
+                    r.metrics
+                        .iter()
+                        .find(|(n, _)| *n == "scaling")
+                        .map(|(_, v)| *v)
+                })
+        };
+        let largest = rows.iter().map(|r| r.x).fold(0.0_f64, f64::max);
+        if let Some(min) = e15_min_scaling {
+            // the headline claim: qps at the largest pool over qps at 1
+            // worker — wait-overlap scaling, independent of core count
+            let got = scaling_of(&rows, "serve", largest).unwrap_or(0.0);
+            if got < min {
+                eprintln!(
+                    "report: E15 scaling regression — {largest} workers reached \
+                     {got:.2}x the single-worker throughput, needs >= {min}x"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("report: E15 scaling {got:.2}x at {largest} workers (floor {min}x) — ok");
+        }
+        if let Some(bpath) = &e15_baseline {
+            // compare scaling *ratios* only — qps is machine-dependent, the
+            // ratio of pooled to single-worker qps on the same machine is not
+            let text = std::fs::read_to_string(bpath)
+                .unwrap_or_else(|e| panic!("report: reading {bpath}: {e}"));
+            let mut regressed = false;
+            for b in ex::e15_parse_json(&text) {
+                // gate only rows where the baseline claims a real win; the
+                // 1-worker row is 1.0x by construction and would only jitter
+                if b.scaling < 1.5 {
+                    continue;
+                }
+                let Some(got) = scaling_of(&rows, &b.series, b.workers) else {
+                    continue; // sweep changed shape; baseline row is obsolete
+                };
+                if got < b.scaling * 0.8 {
+                    eprintln!(
+                        "report: E15 regression — {} at {} workers: {:.2}x, \
+                         baseline {:.2}x (-{:.0}%)",
+                        b.series,
+                        b.workers,
+                        got,
+                        b.scaling,
+                        (1.0 - got / b.scaling) * 100.0
+                    );
+                    regressed = true;
+                }
+            }
+            if regressed {
+                std::process::exit(1);
+            }
+            eprintln!("report: E15 within 20% of baseline {bpath} — ok");
         }
     }
 }

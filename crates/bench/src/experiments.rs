@@ -1060,32 +1060,195 @@ pub struct E14Entry {
     pub speedup: f64,
 }
 
+/// Extracts a `"key": "value"` string field from one artifact line.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts a `"key": number` field from one artifact line.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let end = line[start..]
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .map(|i| i + start)
+        .unwrap_or(line.len());
+    line[start..end].parse().ok()
+}
+
 /// Parses the artifact written by [`e14_to_json`] (line-per-row; no JSON
 /// library needed). Unknown lines are skipped, so the format may grow
 /// fields without breaking old readers.
 pub fn e14_parse_json(text: &str) -> Vec<E14Entry> {
-    fn str_field(line: &str, key: &str) -> Option<String> {
-        let tag = format!("\"{key}\": \"");
-        let start = line.find(&tag)? + tag.len();
-        let end = line[start..].find('"')? + start;
-        Some(line[start..end].to_string())
-    }
-    fn num_field(line: &str, key: &str) -> Option<f64> {
-        let tag = format!("\"{key}\": ");
-        let start = line.find(&tag)? + tag.len();
-        let end = line[start..]
-            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
-            .map(|i| i + start)
-            .unwrap_or(line.len());
-        line[start..end].parse().ok()
-    }
     text.lines()
         .filter_map(|line| {
             Some(E14Entry {
-                series: str_field(line, "series")?,
-                hotels: num_field(line, "hotels")?,
-                cpu_ms: num_field(line, "cpu_ms")?,
-                speedup: num_field(line, "speedup")?,
+                series: json_str_field(line, "series")?,
+                hotels: json_num_field(line, "hotels")?,
+                cpu_ms: json_num_field(line, "cpu_ms")?,
+                speedup: json_num_field(line, "speedup")?,
+            })
+        })
+        .collect()
+}
+
+/// E15 — multi-tenant serving throughput: N sessions, each a stream of
+/// queries over its *own* stored document, scheduled onto the store's
+/// work-stealing worker pool, swept over pool sizes.
+///
+/// Every call is backed by a service that really sleeps (wall-clock, not
+/// simulated) — the serving regime the scheduler exists for, where query
+/// latency is dominated by waiting on external providers. Throughput then
+/// scales with how many of those waits overlap, so the sweep's
+/// machine-independent headline is `scaling` = qps at `w` workers over
+/// qps at 1 worker (sleeping threads overlap even on a single core; CPU
+/// count does not gate it). The cache is disabled (TTL 0) and every
+/// tenant's call parameters are distinct, so every query pays its full
+/// provider cost — no cross-query reuse flatters the numbers.
+///
+/// Asserted invariant: per-session answers are identical across all pool
+/// sizes (scheduling moves waits, never answers).
+///
+/// Reported per pool size: `qps`, latency `p50_ms`/`p99_ms` (from the
+/// run's `axml-obs` histogram), `wall_ms`, and `scaling`. `BENCH_E15.json`
+/// (written by the `report` binary) is the machine artifact CI gates on.
+pub fn e15_concurrent(
+    worker_counts: &[usize],
+    sessions: usize,
+    queries_per_session: usize,
+) -> Vec<Row> {
+    use axml_query::parse_query;
+    use axml_services::{CallRequest, FnService, Registry};
+    use axml_store::{CacheConfig, DocumentStore, SchedulerMode, SessionSpec};
+    use axml_xml::{parse, Document};
+    use std::time::Duration;
+
+    /// Real wall-clock latency of one provider call.
+    const SERVICE_WALL_MS: u64 = 2;
+    /// Calls each query must resolve (sequentially, within one engine).
+    const CALLS_PER_QUERY: usize = 4;
+
+    let mut registry = Registry::new();
+    registry.register(FnService::new("lookup", |req: &CallRequest| {
+        std::thread::sleep(Duration::from_millis(SERVICE_WALL_MS));
+        let key = req.first_text().unwrap_or("?");
+        parse(&format!("<item><id>{key}</id></item>")).unwrap()
+    }));
+    registry.set_default_profile(NetProfile::free());
+
+    let mut store = DocumentStore::with_cache_config(CacheConfig::with_ttl_ms(0.0));
+    for s in 0..sessions {
+        let mut d = Document::with_root("r");
+        let root = d.root();
+        for c in 0..CALLS_PER_QUERY {
+            let call = d.add_call(root, "lookup");
+            d.add_text(call, format!("tenant{s}-{c}"));
+        }
+        store.insert(format!("t{s}"), d);
+    }
+    let query = parse_query("/r/item/id/$I -> $I").unwrap();
+    let specs: Vec<SessionSpec> = (0..sessions)
+        .map(|s| {
+            SessionSpec::new(
+                format!("tenant-{s}"),
+                format!("t{s}"),
+                vec![query.clone(); queries_per_session],
+            )
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut base_qps: Option<f64> = None;
+    // (session name, per-query answer sets) — the 1-worker run pins it
+    type SessionAnswers = Vec<(String, Vec<BTreeSet<Vec<String>>>)>;
+    let mut reference: Option<SessionAnswers> = None;
+    for &workers in worker_counts {
+        let report = store.serve(
+            &specs,
+            &registry,
+            None,
+            &SchedulerMode::Concurrent { workers },
+            None,
+        );
+        let answers = report.answers_by_session();
+        match &reference {
+            None => reference = Some(answers),
+            Some(r) => assert_eq!(
+                &answers, r,
+                "worker count {workers} changed a session's answers"
+            ),
+        }
+        let hist = report.latency_histogram();
+        let qps = report.queries_per_sec();
+        let scaling = match base_qps {
+            None => {
+                base_qps = Some(qps);
+                1.0
+            }
+            Some(b) => qps / b.max(1e-9),
+        };
+        rows.push(Row {
+            label: "serve".to_string(),
+            x: workers as f64,
+            metrics: vec![
+                ("qps", qps),
+                ("p50_ms", hist.quantile(0.5)),
+                ("p99_ms", hist.quantile(0.99)),
+                ("wall_ms", report.wall_ms),
+                ("scaling", scaling),
+            ],
+        });
+    }
+    rows
+}
+
+/// Serializes E15 rows as the `BENCH_E15.json` artifact (same
+/// line-per-row shape as [`e14_to_json`]).
+pub fn e15_to_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e15\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"series\": \"{}\", \"workers\": {}, ",
+            r.label, r.x
+        ));
+        let m: Vec<String> = r
+            .metrics
+            .iter()
+            .map(|(n, v)| format!("\"{n}\": {v:.4}"))
+            .collect();
+        out.push_str(&m.join(", "));
+        out.push_str(&format!("}}{sep}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One parsed `BENCH_E15.json` row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct E15Entry {
+    /// Series label (currently always `serve`).
+    pub series: String,
+    /// Worker-pool size.
+    pub workers: f64,
+    /// Measured queries/sec (machine-dependent — not compared).
+    pub qps: f64,
+    /// qps at this pool size over qps at 1 worker (machine-independent).
+    pub scaling: f64,
+}
+
+/// Parses the artifact written by [`e15_to_json`].
+pub fn e15_parse_json(text: &str) -> Vec<E15Entry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(E15Entry {
+                series: json_str_field(line, "series")?,
+                workers: json_num_field(line, "workers")?,
+                qps: json_num_field(line, "qps")?,
+                scaling: json_num_field(line, "scaling")?,
             })
         })
         .collect()

@@ -32,4 +32,6 @@ pub use check::{assert_clean, check_all, check_stats, check_trace, StatsView, Vi
 pub use event::{CacheOutcome, Event, EventKind, ShedReason};
 pub use json::{event_from_json, event_to_json, parse_jsonl, to_jsonl, ParseError};
 pub use metrics::{aggregate, Histogram, LayerMetrics, MetricsReport, ServiceMetrics};
-pub use sink::{pretty_line, JsonlSink, NullSink, PrettySink, RingSink, TraceSink};
+pub use sink::{
+    pretty_line, JsonlSink, NullSink, PerSessionSinks, PrettySink, RingSink, TraceSink,
+};

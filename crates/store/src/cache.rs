@@ -10,11 +10,27 @@
 //! queries participate in the cache key — a provider-side pruned result
 //! is correct only for the query it was pruned for, so it is never served
 //! to a different one.
+//!
+//! Two implementations share these semantics:
+//!
+//! * [`CallCache`] — the serving-path cache, hash-**sharded** so N
+//!   concurrent sessions don't serialize on one lock. Each shard has its
+//!   own mutex and counters; LRU ticks come from one atomic so recency is
+//!   globally ordered, and eviction locks the shards in index order to
+//!   pick the global least-recently-used victim. Under any single-threaded
+//!   sequence of operations its observable decisions (hit/miss/stale,
+//!   victims, counters) are *identical* to the single-lock cache — pinned
+//!   by the equivalence proptests in `tests/sharded_props.rs`.
+//! * [`SingleLockCache`] — the original one-mutex implementation, kept as
+//!   the executable specification the sharded cache is tested against.
 
 use axml_query::render;
 use axml_services::{CacheLookup, CachedCall, InvokeCache, InvokeOutcome, PushedQuery};
 use axml_xml::{forest_serialized_len, to_xml, Forest};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Configuration of a [`CallCache`].
@@ -27,15 +43,20 @@ pub struct CacheConfig {
     /// Per-service TTL overrides.
     pub ttl_overrides: HashMap<String, f64>,
     /// Maximum number of cached entries before LRU eviction (default 4096).
+    /// The budget is global, not per shard.
     pub max_entries: usize,
     /// Maximum total serialized result bytes before LRU eviction
-    /// (default 16 MiB).
+    /// (default 16 MiB). The budget is global, not per shard.
     pub max_bytes: usize,
     /// When `true`, a circuit breaker tripping open purges the service's
     /// entries (freshness over availability). The default `false` keeps
     /// serving cached successes within their validity windows while the
     /// service is failing — stale-while-error availability.
     pub invalidate_on_breaker_open: bool,
+    /// Number of lock shards in a [`CallCache`] (default 8, minimum 1).
+    /// Purely a concurrency knob: shard count never changes hit/miss/TTL/
+    /// LRU/invalidation decisions, only which mutex a key contends on.
+    pub shards: usize,
 }
 
 impl Default for CacheConfig {
@@ -46,6 +67,7 @@ impl Default for CacheConfig {
             max_entries: 4096,
             max_bytes: 16 * 1024 * 1024,
             invalidate_on_breaker_open: false,
+            shards: 8,
         }
     }
 }
@@ -62,6 +84,12 @@ impl CacheConfig {
     /// Sets a per-service TTL override (builder style).
     pub fn ttl_for(mut self, service: impl Into<String>, ttl_ms: f64) -> Self {
         self.ttl_overrides.insert(service.into(), ttl_ms);
+        self
+    }
+
+    /// Sets the shard count (builder style; clamped to ≥ 1).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
         self
     }
 
@@ -100,6 +128,18 @@ impl CacheStats {
             self.hits as f64 / probes as f64
         }
     }
+
+    /// Component-wise sum (used to fold per-shard counters into totals).
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            stale: self.stale + other.stale,
+            insertions: self.insertions + other.insertions,
+            evictions: self.evictions + other.evictions,
+            invalidations: self.invalidations + other.invalidations,
+        }
+    }
 }
 
 /// Cache key: service name, serialized parameter forest, and (for pushed
@@ -120,6 +160,15 @@ impl Key {
             pushed: pushed.map(|pq| (render(&pq.pattern), pq.via == axml_query::EdgeKind::Child)),
         }
     }
+
+    /// Which of `n` shards this key lives in. `DefaultHasher` with a fixed
+    /// initial state is deterministic within a build, which is all the
+    /// placement needs — semantics never depend on the shard chosen.
+    fn shard(&self, n: usize) -> usize {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() % n as u64) as usize
+    }
 }
 
 struct Entry {
@@ -131,6 +180,284 @@ struct Entry {
     expires_at_ms: f64,
     last_used: u64,
 }
+
+// ---------------------------------------------------------------------------
+// Sharded cache (the serving path)
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<Key, Entry>,
+    bytes: usize,
+    stats: CacheStats,
+}
+
+impl Shard {
+    fn remove(&mut self, key: &Key) -> Option<Entry> {
+        let e = self.map.remove(key)?;
+        self.bytes -= e.size_bytes;
+        Some(e)
+    }
+}
+
+/// A shared, internally synchronized call-result cache implementing the
+/// engine-facing [`InvokeCache`] contract.
+///
+/// All timestamps are **simulated** milliseconds — the engine passes its
+/// [`axml_services::SimClock`] time — so validity windows are charged to
+/// the same clock as network latency and breaker cooldowns, and every
+/// replay with the same seed observes identical hits and evictions.
+///
+/// Internally hash-sharded (see [`CacheConfig::shards`]): lookups and
+/// stores lock only the key's shard, so concurrent sessions touching
+/// different keys do not contend. Budgets and LRU order stay *global*:
+/// recency ticks are drawn from one atomic counter and eviction locks all
+/// shards (in index order, so two evictors cannot deadlock) to remove the
+/// globally least-recently-used entry — exactly the victim the single-lock
+/// cache would pick.
+pub struct CallCache {
+    config: CacheConfig,
+    shards: Vec<Mutex<Shard>>,
+    tick: AtomicU64,
+}
+
+impl Default for CallCache {
+    fn default() -> Self {
+        CallCache::new(CacheConfig::default())
+    }
+}
+
+impl CallCache {
+    /// An empty cache with the given configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        let n = config.shards.max(1);
+        CallCache {
+            config,
+            shards: (0..n).map(|_| Mutex::new(Shard::default())).collect(),
+            tick: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this cache enforces.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A snapshot of the cumulative counters, summed over all shards.
+    pub fn stats(&self) -> CacheStats {
+        self.shard_stats()
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merged(s))
+    }
+
+    /// Per-shard counter snapshots, in shard-index order. Summing them
+    /// component-wise yields exactly [`CallCache::stats`] — the identity
+    /// the `axml-obs` stats oracle checks.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().stats)
+            .collect()
+    }
+
+    /// Per-shard `(hits, misses, stale)` probe counters in the shape
+    /// [`axml_obs::StatsView`]'s `cache_shards` field expects — the
+    /// harness-side bridge for the shard-sum accounting check.
+    pub fn shard_probe_counters(&self) -> Vec<(usize, usize, usize)> {
+        self.shard_stats()
+            .iter()
+            .map(|s| (s.hits as usize, s.misses as usize, s.stale as usize))
+            .collect()
+    }
+
+    /// Live entries currently held.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().map.len())
+            .sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total serialized result bytes currently held.
+    pub fn total_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().bytes).sum()
+    }
+
+    /// Drops every entry belonging to `service` (explicit invalidation
+    /// hook). Returns the number of entries removed.
+    pub fn invalidate_service(&self, service: &str) -> usize {
+        let mut n = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            let doomed: Vec<Key> = shard
+                .map
+                .keys()
+                .filter(|k| k.service == service)
+                .cloned()
+                .collect();
+            for k in &doomed {
+                shard.remove(k);
+            }
+            shard.stats.invalidations += doomed.len() as u64;
+            n += doomed.len();
+        }
+        n
+    }
+
+    /// Drops every entry. Returns the number of entries removed.
+    pub fn invalidate_all(&self) -> usize {
+        let mut n = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            let removed = shard.map.len();
+            shard.map.clear();
+            shard.bytes = 0;
+            shard.stats.invalidations += removed as u64;
+            n += removed;
+        }
+        n
+    }
+
+    /// Eagerly drops entries whose validity window has passed at
+    /// simulated time `now_ms` (expiry is otherwise lazy, on lookup).
+    /// Returns the number of entries removed.
+    pub fn purge_expired(&self, now_ms: f64) -> usize {
+        let mut n = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            let doomed: Vec<Key> = shard
+                .map
+                .iter()
+                .filter(|(_, e)| e.expires_at_ms <= now_ms)
+                .map(|(k, _)| k.clone())
+                .collect();
+            for k in &doomed {
+                shard.remove(k);
+            }
+            shard.stats.invalidations += doomed.len() as u64;
+            n += doomed.len();
+        }
+        n
+    }
+
+    /// Evicts globally least-recently-used entries until the budgets hold.
+    /// Locks every shard in index order (a fixed total order, so two
+    /// concurrent evictors cannot deadlock) and picks victims by global
+    /// minimum `last_used` — ticks are unique, so the choice is
+    /// deterministic and identical to the single-lock cache's.
+    fn evict_to_budget(&self) {
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock().unwrap()).collect();
+        loop {
+            let entries: usize = guards.iter().map(|g| g.map.len()).sum();
+            let bytes: usize = guards.iter().map(|g| g.bytes).sum();
+            if entries <= self.config.max_entries && bytes <= self.config.max_bytes {
+                return;
+            }
+            let victim = guards
+                .iter()
+                .enumerate()
+                .flat_map(|(i, g)| g.map.iter().map(move |(k, e)| (e.last_used, i, k.clone())))
+                .min_by_key(|(last_used, _, _)| *last_used);
+            let Some((_, i, key)) = victim else { return };
+            guards[i].remove(&key);
+            guards[i].stats.evictions += 1;
+        }
+    }
+}
+
+impl InvokeCache for CallCache {
+    fn lookup(
+        &self,
+        service: &str,
+        params: &Forest,
+        pushed: Option<&PushedQuery>,
+        now_ms: f64,
+    ) -> CacheLookup {
+        let key = Key::new(service, params, pushed);
+        let mut shard = self.shards[key.shard(self.shards.len())].lock().unwrap();
+        let Some(entry) = shard.map.get(&key) else {
+            shard.stats.misses += 1;
+            return CacheLookup::Miss;
+        };
+        if entry.expires_at_ms <= now_ms {
+            shard.remove(&key);
+            shard.stats.stale += 1;
+            return CacheLookup::Stale;
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = shard.map.get_mut(&key).expect("entry just probed");
+        entry.last_used = tick;
+        let hit = CachedCall {
+            result: entry.result.clone(),
+            bytes: entry.bytes,
+            pushed: entry.pushed,
+            age_ms: now_ms - entry.inserted_at_ms,
+        };
+        shard.stats.hits += 1;
+        CacheLookup::Hit(hit)
+    }
+
+    fn store(
+        &self,
+        service: &str,
+        params: &Forest,
+        pushed: Option<&PushedQuery>,
+        outcome: &InvokeOutcome,
+        now_ms: f64,
+    ) {
+        let ttl = self.config.ttl(service);
+        if ttl <= 0.0 {
+            return; // caching disabled for this service
+        }
+        let size_bytes = forest_serialized_len(&outcome.result);
+        if size_bytes > self.config.max_bytes {
+            return; // a single over-budget result would evict everything
+        }
+        let key = Key::new(service, params, pushed);
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = Entry {
+            result: outcome.result.clone(),
+            bytes: outcome.bytes,
+            size_bytes,
+            pushed: outcome.pushed,
+            inserted_at_ms: now_ms,
+            expires_at_ms: now_ms + ttl,
+            last_used: tick,
+        };
+        {
+            let mut shard = self.shards[key.shard(self.shards.len())].lock().unwrap();
+            if let Some(old) = shard.remove(&key) {
+                // replacement: the old window is superseded by the fresh answer
+                let _ = old;
+            }
+            shard.bytes += entry.size_bytes;
+            shard.map.insert(key, entry);
+            shard.stats.insertions += 1;
+            // the shard lock is released before eviction takes all locks
+        }
+        self.evict_to_budget();
+    }
+
+    fn on_breaker_transition(&self, service: &str, open: bool) {
+        if open && self.config.invalidate_on_breaker_open {
+            self.invalidate_service(service);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Single-lock reference implementation
+// ---------------------------------------------------------------------------
 
 #[derive(Default)]
 struct Inner {
@@ -164,28 +491,26 @@ impl Inner {
     }
 }
 
-/// A shared, internally synchronized call-result cache implementing the
-/// engine-facing [`InvokeCache`] contract.
-///
-/// All timestamps are **simulated** milliseconds — the engine passes its
-/// [`axml_services::SimClock`] time — so validity windows are charged to
-/// the same clock as network latency and breaker cooldowns, and every
-/// replay with the same seed observes identical hits and evictions.
-pub struct CallCache {
+/// The original one-mutex call cache, kept as the executable
+/// specification for [`CallCache`]: under identical single-threaded event
+/// sequences both make identical hit/miss/stale/LRU/invalidation
+/// decisions (see `tests/sharded_props.rs`).
+pub struct SingleLockCache {
     config: CacheConfig,
     inner: Mutex<Inner>,
 }
 
-impl Default for CallCache {
+impl Default for SingleLockCache {
     fn default() -> Self {
-        CallCache::new(CacheConfig::default())
+        SingleLockCache::new(CacheConfig::default())
     }
 }
 
-impl CallCache {
-    /// An empty cache with the given configuration.
+impl SingleLockCache {
+    /// An empty cache with the given configuration (`config.shards` is
+    /// ignored — there is only one lock).
     pub fn new(config: CacheConfig) -> Self {
-        CallCache {
+        SingleLockCache {
             config,
             inner: Mutex::new(Inner::default()),
         }
@@ -216,8 +541,8 @@ impl CallCache {
         self.inner.lock().unwrap().total_bytes
     }
 
-    /// Drops every entry belonging to `service` (explicit invalidation
-    /// hook). Returns the number of entries removed.
+    /// Drops every entry belonging to `service`. Returns the number of
+    /// entries removed.
     pub fn invalidate_service(&self, service: &str) -> usize {
         let mut inner = self.inner.lock().unwrap();
         let doomed: Vec<Key> = inner
@@ -244,9 +569,8 @@ impl CallCache {
         n
     }
 
-    /// Eagerly drops entries whose validity window has passed at
-    /// simulated time `now_ms` (expiry is otherwise lazy, on lookup).
-    /// Returns the number of entries removed.
+    /// Eagerly drops entries expired at simulated time `now_ms`. Returns
+    /// the number of entries removed.
     pub fn purge_expired(&self, now_ms: f64) -> usize {
         let mut inner = self.inner.lock().unwrap();
         let doomed: Vec<Key> = inner
@@ -264,7 +588,7 @@ impl CallCache {
     }
 }
 
-impl InvokeCache for CallCache {
+impl InvokeCache for SingleLockCache {
     fn lookup(
         &self,
         service: &str,
@@ -505,5 +829,50 @@ mod tests {
             cache.lookup("slow", &params("1"), None, 500.0),
             CacheLookup::Hit(_)
         ));
+    }
+
+    #[test]
+    fn shard_stats_sum_to_totals() {
+        let cache = CallCache::new(CacheConfig::default().with_shards(4));
+        assert_eq!(cache.shard_count(), 4);
+        for i in 0..20 {
+            cache.store("s", &params(&format!("{i}")), None, &outcome("<a/>"), 0.0);
+            cache.lookup("s", &params(&format!("{i}")), None, 1.0);
+            cache.lookup("s", &params(&format!("missing-{i}")), None, 1.0);
+        }
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        let summed = per_shard
+            .iter()
+            .fold(CacheStats::default(), |acc, s| acc.merged(s));
+        assert_eq!(summed, cache.stats());
+        assert_eq!(summed.hits, 20);
+        assert_eq!(summed.misses, 20);
+        assert_eq!(summed.insertions, 20);
+        // keys actually spread across shards (20 distinct keys, 4 shards)
+        let populated = per_shard.iter().filter(|s| s.insertions > 0).count();
+        assert!(populated > 1, "all keys hashed into one shard");
+    }
+
+    #[test]
+    fn single_lock_reference_matches_on_a_smoke_sequence() {
+        let sharded = CallCache::new(CacheConfig::with_ttl_ms(100.0).with_shards(4));
+        let single = SingleLockCache::new(CacheConfig::with_ttl_ms(100.0));
+        for (i, now) in [(1, 0.0), (2, 10.0), (3, 20.0)] {
+            let p = params(&format!("{i}"));
+            sharded.store("s", &p, None, &outcome("<a/>"), now);
+            single.store("s", &p, None, &outcome("<a/>"), now);
+        }
+        for now in [50.0, 99.9, 100.0, 200.0] {
+            for i in 1..=3 {
+                let p = params(&format!("{i}"));
+                let a = matches!(sharded.lookup("s", &p, None, now), CacheLookup::Hit(_));
+                let b = matches!(single.lookup("s", &p, None, now), CacheLookup::Hit(_));
+                assert_eq!(a, b, "divergence at t={now} key={i}");
+            }
+        }
+        assert_eq!(sharded.stats(), single.stats());
+        assert_eq!(sharded.len(), single.len());
+        assert_eq!(sharded.total_bytes(), single.total_bytes());
     }
 }

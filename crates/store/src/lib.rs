@@ -21,10 +21,16 @@
 //!   before invoking, splices hits at zero network cost, and populates
 //!   it on successful invocations only.
 //! * [`DocumentStore`] — named documents that survive across queries,
-//!   sharing one cache.
+//!   sharing one cache. Documents are stored as atomically published
+//!   copy-on-write versions ([`axml_xml::VersionedDocument`]), so any
+//!   number of sessions read concurrently with snapshot isolation.
 //! * [`Session`] — a stream of queries against one stored document, the
 //!   simulated clock persisting between queries so validity windows
 //!   measure real elapsed (simulated) time.
+//! * [`DocumentStore::serve`] — the multi-tenant scheduler: N session
+//!   specs run on a work-stealing worker pool, or under a seeded
+//!   deterministic interleaving whose recorded schedule replays serially
+//!   (the concurrency test oracle; see [`sched`]).
 //!
 //! ```
 //! use axml_gen::scenario::figure1;
@@ -45,9 +51,13 @@
 //! ```
 
 pub mod cache;
+pub mod sched;
 pub mod session;
 pub mod store;
 
-pub use cache::{CacheConfig, CacheStats, CallCache};
+pub use cache::{CacheConfig, CacheStats, CallCache, SingleLockCache};
+pub use sched::{
+    QueryOutcome, ScheduleEntry, SchedulerMode, ServeReport, SessionOutcome, SessionSpec,
+};
 pub use session::{Session, SessionOptions, SessionReport};
 pub use store::DocumentStore;

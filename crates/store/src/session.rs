@@ -1,5 +1,12 @@
 //! Sessions: a stream of queries against one stored document, with the
 //! call-result cache and the simulated clock persisting across queries.
+//!
+//! A session never borrows its document exclusively: it holds a handle
+//! to the document's version chain ([`VersionedDocument`]), snapshots the
+//! currently published version for each query, and evaluates against a
+//! private copy-on-write working copy. That is what lets N sessions run
+//! concurrently over one store with snapshot isolation — see
+//! [`crate::sched`] for the scheduler that drives them.
 
 use crate::cache::{CacheStats, CallCache};
 use axml_core::{Engine, EngineConfig, EngineStats, EvalReport, TraceEvent};
@@ -7,7 +14,7 @@ use axml_obs::TraceSink;
 use axml_query::{construct_results, render_result, Pattern};
 use axml_schema::Schema;
 use axml_services::Registry;
-use axml_xml::{to_xml, Document};
+use axml_xml::{to_xml, DocSnapshot, Document, VersionedDocument};
 use std::collections::BTreeSet;
 use std::sync::Arc;
 
@@ -20,8 +27,9 @@ pub struct SessionOptions {
     /// stored document, so materialized call results do not persist in
     /// the document itself — cross-query reuse flows through the cache
     /// alone, which is the quantity the store is built to measure. When
-    /// `false`, queries materialize into the stored document and later
-    /// queries see the spliced results directly.
+    /// `false`, queries materialize into the stored document: the working
+    /// copy with its spliced results is *published* as the document's next
+    /// version, and later queries (of this or any other session) see it.
     pub snapshot_per_query: bool,
 }
 
@@ -62,6 +70,8 @@ pub struct SessionReport {
     pub cache: CacheStats,
     /// The session's simulated clock *after* this query, in ms.
     pub clock_ms: f64,
+    /// The document version this query evaluated against.
+    pub doc_version: u64,
 }
 
 /// A stream of queries against one document.
@@ -78,8 +88,14 @@ pub struct SessionReport {
 /// cache hits cost zero simulated time, re-asking a deadline-truncated
 /// query makes monotone progress through the shared cache (see the
 /// `per_query_deadlines_converge_through_the_session_cache` test).
+///
+/// Every query reads a frozen snapshot of the document's current version
+/// (snapshot isolation: concurrent publications never tear a read). In
+/// persistent mode the materialized working copy is published as the next
+/// version when the query finishes — last writer wins at whole-version
+/// granularity.
 pub struct Session<'a> {
-    doc: &'a mut Document,
+    doc: Arc<VersionedDocument>,
     registry: &'a Registry,
     schema: Option<&'a Schema>,
     cache: Arc<CallCache>,
@@ -92,7 +108,7 @@ pub struct Session<'a> {
 impl<'a> Session<'a> {
     /// A session over `doc` using the given cache; the clock starts at 0.
     pub fn new(
-        doc: &'a mut Document,
+        doc: Arc<VersionedDocument>,
         registry: &'a Registry,
         schema: Option<&'a Schema>,
         cache: Arc<CallCache>,
@@ -129,9 +145,16 @@ impl<'a> Session<'a> {
         self.queries_run
     }
 
-    /// The document this session evaluates against.
-    pub fn doc(&self) -> &Document {
-        self.doc
+    /// A snapshot of the currently published version of the document this
+    /// session evaluates against.
+    pub fn doc(&self) -> DocSnapshot {
+        self.doc.snapshot()
+    }
+
+    /// The document's version chain (shared with the store and with any
+    /// concurrent sessions over the same document).
+    pub fn versioned(&self) -> &Arc<VersionedDocument> {
+        &self.doc
     }
 
     /// The shared call cache.
@@ -159,22 +182,28 @@ impl<'a> Session<'a> {
         if let Some(observer) = self.observer {
             engine = engine.with_observer(observer);
         }
-        let report;
-        let result_doc;
-        if self.options.snapshot_per_query {
-            let mut snapshot = self.doc.clone();
-            report = engine.evaluate(&mut snapshot, query);
-            result_doc = snapshot;
-        } else {
-            report = engine.evaluate(self.doc, query);
-            result_doc = self.doc.clone();
-        }
+        let snapshot = self.doc.snapshot();
+        let doc_version = snapshot.version();
+        let mut working = snapshot.to_document();
+        let report = engine.evaluate(&mut working, query);
         self.clock_ms += report.stats.sim_time_ms;
         self.queries_run += 1;
-        self.package(query, &result_doc, report)
+        let session_report = self.package(query, &working, report, doc_version);
+        if !self.options.snapshot_per_query {
+            // materialize: publish the spliced working copy as the next
+            // version so later queries find no calls left to invoke
+            self.doc.publish(working);
+        }
+        session_report
     }
 
-    fn package(&self, query: &Pattern, doc: &Document, report: EvalReport) -> SessionReport {
+    fn package(
+        &self,
+        query: &Pattern,
+        doc: &Document,
+        report: EvalReport,
+        doc_version: u64,
+    ) -> SessionReport {
         let answers: BTreeSet<Vec<String>> =
             render_result(doc, &report.result).into_iter().collect();
         let result_xml = to_xml(&construct_results(doc, query, &report.result));
@@ -186,6 +215,7 @@ impl<'a> Session<'a> {
             trace: report.trace,
             cache: self.cache.stats(),
             clock_ms: self.clock_ms,
+            doc_version,
         }
     }
 }

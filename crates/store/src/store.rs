@@ -1,12 +1,18 @@
 //! The long-lived document store: named AXML documents that survive
 //! across queries, sharing one [`CallCache`] so work done answering one
 //! query pays for the next.
+//!
+//! Documents are held as [`VersionedDocument`]s — atomically published
+//! copy-on-write versions — so any number of sessions can read (and,
+//! in persistent mode, publish) concurrently with snapshot isolation:
+//! a reader sees exactly the version that was current when it took its
+//! snapshot, never a partially applied splice.
 
 use crate::cache::{CacheConfig, CallCache};
 use crate::session::{Session, SessionOptions};
 use axml_schema::Schema;
 use axml_services::Registry;
-use axml_xml::Document;
+use axml_xml::{DocSnapshot, Document, VersionedDocument};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -16,7 +22,7 @@ use std::sync::Arc;
 /// document answers a stream of queries over time.
 #[derive(Default)]
 pub struct DocumentStore {
-    docs: BTreeMap<String, Document>,
+    docs: BTreeMap<String, Arc<VersionedDocument>>,
     cache: Arc<CallCache>,
 }
 
@@ -34,25 +40,31 @@ impl DocumentStore {
         }
     }
 
-    /// Adds (or replaces) a document under `name`. Returns the previous
-    /// document stored under that name, if any.
+    /// Adds (or replaces) a document under `name` (as version 0 of a
+    /// fresh version chain). Returns the previously published document
+    /// stored under that name, if any.
     pub fn insert(&mut self, name: impl Into<String>, doc: Document) -> Option<Document> {
-        self.docs.insert(name.into(), doc)
+        self.docs
+            .insert(name.into(), Arc::new(VersionedDocument::new(doc)))
+            .map(|v| v.snapshot().to_document())
     }
 
-    /// Removes and returns the document stored under `name`.
+    /// Removes the document stored under `name`, returning its currently
+    /// published version.
     pub fn remove(&mut self, name: &str) -> Option<Document> {
-        self.docs.remove(name)
+        self.docs.remove(name).map(|v| v.snapshot().to_document())
     }
 
-    /// The document stored under `name`.
-    pub fn get(&self, name: &str) -> Option<&Document> {
+    /// A frozen snapshot of the currently published version of the
+    /// document stored under `name`.
+    pub fn get(&self, name: &str) -> Option<DocSnapshot> {
+        self.docs.get(name).map(|v| v.snapshot())
+    }
+
+    /// The version chain stored under `name` — the handle concurrent
+    /// sessions share. Snapshot it to read; publish to it to write.
+    pub fn versioned(&self, name: &str) -> Option<&Arc<VersionedDocument>> {
         self.docs.get(name)
-    }
-
-    /// Mutable access to the document stored under `name`.
-    pub fn get_mut(&mut self, name: &str) -> Option<&mut Document> {
-        self.docs.get_mut(name)
     }
 
     /// The names of all stored documents, sorted.
@@ -79,15 +91,18 @@ impl DocumentStore {
     /// stream of queries evaluated against the document with the store's
     /// shared cache and a simulated clock that persists between queries.
     /// Returns `None` if no document is stored under `name`.
+    ///
+    /// Takes `&self`: sessions do not borrow the document exclusively, so
+    /// any number can be open (and running, on different threads) at once.
     pub fn session<'a>(
-        &'a mut self,
+        &self,
         name: &str,
         registry: &'a Registry,
         schema: Option<&'a Schema>,
         options: SessionOptions,
     ) -> Option<Session<'a>> {
         let cache = Arc::clone(&self.cache);
-        let doc = self.docs.get_mut(name)?;
+        let doc = Arc::clone(self.docs.get(name)?);
         Some(Session::new(doc, registry, schema, cache, options))
     }
 }
@@ -111,11 +126,26 @@ mod tests {
                 .label(store.get("a").unwrap().root()),
             "a"
         );
-        assert!(store.get_mut("b").is_some());
+        assert!(store.versioned("b").is_some());
         let old = store.insert("a", Document::with_root("a2"));
         assert!(old.is_some());
         assert!(store.remove("b").is_some());
         assert_eq!(store.names(), ["a"]);
         assert!(store.get("missing").is_none());
+    }
+
+    #[test]
+    fn published_versions_are_visible_through_get() {
+        let mut store = DocumentStore::new();
+        store.insert("a", Document::with_root("a"));
+        let v = Arc::clone(store.versioned("a").unwrap());
+        let before = store.get("a").unwrap();
+        let mut work = before.to_document();
+        work.add_element(work.root(), "child");
+        v.publish(work);
+        assert!(before.children(before.root()).is_empty());
+        let after = store.get("a").unwrap();
+        assert_eq!(after.children(after.root()).len(), 1);
+        assert_eq!(after.version(), before.version() + 1);
     }
 }

@@ -244,7 +244,7 @@ fn expired_entry_falls_through_to_the_retry_and_breaker_path() {
 fn expiry_respects_the_session_clock_not_query_count() {
     // Queries at clock 0, ~80, ~160… against a 10 s window: all hits.
     // One 11 s idle gap and the same query misses everything.
-    let mut store = store(CacheConfig::with_ttl_ms(10_000.0));
+    let store = store(CacheConfig::with_ttl_ms(10_000.0));
     let r = registry();
     let mut session = store
         .session("d", &r, None, SessionOptions::default())
@@ -314,7 +314,7 @@ fn fingerprint(reports: &[SessionReport]) -> String {
 #[test]
 fn chaos_replay_is_byte_identical_under_a_fixed_seed() {
     let one = || {
-        let mut store = store(CacheConfig::with_ttl_ms(300.0));
+        let store = store(CacheConfig::with_ttl_ms(300.0));
         let mut r = registry();
         r.set_default_fault_profile(FaultProfile::chaos(seed(), 0.5));
         r.set_retry_policy(RetryPolicy::default().with_timeout_ms(200.0));
@@ -348,7 +348,7 @@ fn persistent_mode_materializes_instead_of_caching() {
     // snapshot_per_query = false: the first query splices results into
     // the stored document itself, so the second finds no calls at all —
     // zero invocations *and* zero cache probes.
-    let mut store = store(CacheConfig::default());
+    let store = store(CacheConfig::default());
     let r = registry();
     let opts = SessionOptions {
         engine: EngineConfig::default(),
@@ -427,7 +427,7 @@ fn per_query_deadlines_converge_through_the_session_cache() {
     // calls each query does land in the shared cache. Re-asking the same
     // query therefore makes monotone progress and eventually completes,
     // even though no single query's budget covers the whole workload.
-    let mut store = store(CacheConfig::default());
+    let store = store(CacheConfig::default());
     let r = registry();
     let opts = SessionOptions::with_engine(EngineConfig {
         parallel: false,

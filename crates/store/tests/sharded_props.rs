@@ -1,0 +1,228 @@
+//! Property: sharding is invisible. The hash-sharded [`CallCache`] and
+//! the single-lock reference implementation ([`SingleLockCache`]) are
+//! driven through identical event sequences — stores, lookups,
+//! invalidations, purges, breaker transitions, at monotone simulated
+//! times, under tight LRU budgets and finite TTLs — and must make
+//! identical observable decisions: the same hit/stale/miss outcome (and
+//! payload) for every probe, the same removal counts, the same final
+//! counters, entry count, and byte total. The shard count is itself a
+//! generated dimension, so `shards = 1` pins the sharded code path to the
+//! reference under the trivial layout too.
+
+use axml_services::{CacheLookup, InvokeCache, InvokeOutcome, PushedQuery};
+use axml_store::{CacheConfig, CallCache, SingleLockCache};
+use axml_xml::{forest_serialized_len, parse, to_xml, Forest};
+use proptest::prelude::*;
+
+const SERVICES: [&str; 3] = ["alpha", "beta", "gamma"];
+const PAYLOADS: [&str; 4] = [
+    "<a/>",
+    "<b>x</b>",
+    "<c><d>result</d><d>result</d></c>",
+    "<e>xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx</e>",
+];
+
+fn params(i: usize) -> Forest {
+    let mut f = Forest::new();
+    f.add_root_text(format!("param-{i}"));
+    f
+}
+
+fn payload(i: usize) -> InvokeOutcome {
+    let result = parse(PAYLOADS[i % PAYLOADS.len()]).unwrap();
+    let bytes = forest_serialized_len(&result);
+    InvokeOutcome {
+        result,
+        bytes,
+        cost_ms: 10.0,
+        pushed: false,
+        attempts: 1,
+    }
+}
+
+fn pushed_query() -> PushedQuery {
+    PushedQuery {
+        pattern: axml_query::parse_query("/probe").unwrap(),
+        via: axml_query::EdgeKind::Child,
+    }
+}
+
+/// A lookup outcome flattened to comparable data.
+#[derive(Debug, PartialEq)]
+enum Probe {
+    Hit {
+        xml: String,
+        bytes: usize,
+        pushed: bool,
+        age_ms: f64,
+    },
+    Stale,
+    Miss,
+}
+
+fn probe(lookup: CacheLookup) -> Probe {
+    match lookup {
+        CacheLookup::Hit(h) => Probe::Hit {
+            xml: to_xml(&h.result),
+            bytes: h.bytes,
+            pushed: h.pushed,
+            age_ms: h.age_ms,
+        },
+        CacheLookup::Stale => Probe::Stale,
+        CacheLookup::Miss => Probe::Miss,
+    }
+}
+
+/// One event in the generated sequence. Fields are interpreted per
+/// opcode; unused fields are simply ignored, which keeps shrinking
+/// well-behaved (no dependent strategies).
+type Op = (u8, usize, usize, usize, f64);
+
+fn apply<C: InvokeCache>(
+    cache: &C,
+    op: &Op,
+    now_ms: f64,
+    invalidate_service: impl Fn(&str) -> usize,
+    invalidate_all: impl Fn() -> usize,
+    purge: impl Fn(f64) -> usize,
+) -> (Option<Probe>, Option<usize>) {
+    let (kind, svc, key, pay, _) = *op;
+    let service = SERVICES[svc % SERVICES.len()];
+    let pushed = (key % 2 == 1).then(pushed_query);
+    match kind % 6 {
+        0 | 1 => (
+            Some(probe(cache.lookup(
+                service,
+                &params(key),
+                pushed.as_ref(),
+                now_ms,
+            ))),
+            None,
+        ),
+        2 | 3 => {
+            cache.store(
+                service,
+                &params(key),
+                pushed.as_ref(),
+                &payload(pay),
+                now_ms,
+            );
+            (None, None)
+        }
+        4 => match key % 3 {
+            0 => (None, Some(invalidate_service(service))),
+            1 => (None, Some(invalidate_all())),
+            _ => (None, Some(purge(now_ms))),
+        },
+        _ => {
+            cache.on_breaker_transition(service, key % 2 == 0);
+            (None, None)
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The core equivalence property: identical event sequences produce
+    /// identical observable behavior regardless of shard count.
+    #[test]
+    fn sharded_cache_matches_single_lock_reference(
+        ops in proptest::collection::vec(
+            (0u8..6, 0usize..3, 0usize..6, 0usize..4, 0.0f64..30.0),
+            1..60,
+        ),
+        shards_idx in 0usize..4,
+        ttl_idx in 0usize..3,
+        max_entries in 2usize..8,
+        tight_bytes in any::<bool>(),
+        breaker_purges in any::<bool>(),
+    ) {
+        let shards = [1usize, 2, 4, 8][shards_idx];
+        let ttl_ms = [f64::INFINITY, 75.0, 15.0][ttl_idx];
+        let unit = forest_serialized_len(&parse(PAYLOADS[0]).unwrap());
+        let config = CacheConfig {
+            default_ttl_ms: ttl_ms,
+            max_entries,
+            max_bytes: if tight_bytes { 4 * unit } else { 16 * 1024 * 1024 },
+            invalidate_on_breaker_open: breaker_purges,
+            ..CacheConfig::default()
+        }
+        // per-service windows must shard-agnostically apply too
+        .ttl_for("beta", 40.0)
+        .with_shards(shards);
+
+        let sharded = CallCache::new(config.clone());
+        let single = SingleLockCache::new(config);
+
+        let mut now_ms = 0.0;
+        for (i, op) in ops.iter().enumerate() {
+            now_ms += op.4; // monotone simulated clock
+            let a = apply(
+                &sharded,
+                op,
+                now_ms,
+                |s| sharded.invalidate_service(s),
+                || sharded.invalidate_all(),
+                |t| sharded.purge_expired(t),
+            );
+            let b = apply(
+                &single,
+                op,
+                now_ms,
+                |s| single.invalidate_service(s),
+                || single.invalidate_all(),
+                |t| single.purge_expired(t),
+            );
+            prop_assert_eq!(
+                a, b,
+                "op {} ({:?}) diverged at t={} with {} shard(s)",
+                i, op, now_ms, shards
+            );
+            prop_assert_eq!(sharded.len(), single.len(), "len after op {}", i);
+            prop_assert_eq!(
+                sharded.total_bytes(), single.total_bytes(),
+                "bytes after op {}", i
+            );
+        }
+        prop_assert_eq!(sharded.stats(), single.stats());
+
+        // per-shard counters are a partition of the totals
+        let folded = sharded
+            .shard_stats()
+            .iter()
+            .fold(axml_store::CacheStats::default(), |acc, s| acc.merged(s));
+        prop_assert_eq!(folded, sharded.stats());
+        prop_assert_eq!(sharded.shard_count(), shards);
+    }
+
+    /// The shard-sum identity feeds the `axml-obs` accounting oracle:
+    /// filling `StatsView::cache_shards` from a live cache always passes
+    /// the shard-sum check against totals taken from the same cache.
+    #[test]
+    fn shard_probe_counters_satisfy_the_obs_identity(
+        keys in proptest::collection::vec((0usize..8, 0usize..4), 1..40),
+        shards_idx in 0usize..4,
+    ) {
+        let shards = [1usize, 2, 4, 8][shards_idx];
+        let cache = CallCache::new(CacheConfig::default().with_shards(shards));
+        for &(key, pay) in &keys {
+            // probe-then-store so hits, misses, and replacements all occur
+            cache.lookup("s", &params(key), None, 0.0);
+            cache.store("s", &params(key), None, &payload(pay), 0.0);
+        }
+        let totals = cache.stats();
+        let view = axml_obs::StatsView {
+            cache_hits: totals.hits as usize,
+            cache_misses: totals.misses as usize,
+            cache_stale: totals.stale as usize,
+            cache_shards: cache.shard_probe_counters(),
+            ..axml_obs::StatsView::default()
+        };
+        let violations = axml_obs::check_stats(&[], &view);
+        prop_assert!(
+            !violations.iter().any(|v| v.message.contains("per-shard")),
+            "{violations:?}"
+        );
+    }
+}

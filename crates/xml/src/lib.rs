@@ -30,6 +30,7 @@ pub mod escape;
 pub mod label;
 pub mod parse;
 pub mod serialize;
+pub mod snapshot;
 pub mod tree;
 
 pub use label::Label;
@@ -37,4 +38,5 @@ pub use parse::{parse, ParseError, MAX_DEPTH};
 pub use serialize::{
     forest_serialized_len, serialized_len, subtree_to_xml, to_xml, to_xml_with, SerializeOptions,
 };
+pub use snapshot::{DocSnapshot, VersionedDocument};
 pub use tree::{CallId, Descendants, Document, Forest, NodeId, NodeKind};

@@ -6,9 +6,23 @@
 //! services. The children of a function node are the parameters of the call;
 //! when the call is invoked its result forest replaces the function node
 //! in place (see [`Document::splice_call`]).
+//!
+//! Storage is paged and copy-on-write: nodes live in fixed-size pages held
+//! behind [`Arc`]s, and the symbol table and label index share structure the
+//! same way. `Document::clone` therefore copies only page *pointers* — O(n /
+//! PAGE_SIZE) — and a clone that mutates pays for exactly the pages it
+//! touches. This is what makes per-query snapshots and the multi-session
+//! serving layer (see `axml-store`) affordable: N concurrent sessions
+//! snapshot one shared document and each works on a logically private copy.
 
 use crate::label::Label;
 use std::fmt;
+use std::sync::Arc;
+
+/// Nodes per storage page (a power of two so id→page is a shift/mask).
+const PAGE_BITS: usize = 6;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+const PAGE_MASK: usize = PAGE_SIZE - 1;
 
 /// Index of a node inside a [`Document`] arena.
 ///
@@ -77,6 +91,13 @@ struct Node {
     call_pos: u32,
 }
 
+/// A fixed-capacity run of up to [`PAGE_SIZE`] consecutive arena slots.
+/// Pages are shared between document clones until one side writes.
+#[derive(Clone, Debug, Default)]
+struct Page {
+    nodes: Vec<Node>,
+}
+
 /// Per-document label interner: every distinct label text gets a stable
 /// `u32` symbol, so label equality inside one document is an integer
 /// compare. Symbols are never reclaimed — the table only grows.
@@ -120,17 +141,26 @@ impl SymTab {
 /// Most documents have a single root; service results are forests and a
 /// splice at the root can turn a document into a forest, so the type
 /// supports multiple roots throughout.
+///
+/// Cloning is cheap (copy-on-write pages, see the module docs), which is
+/// what snapshot-per-query sessions and concurrent serving build on.
 #[derive(Clone, Debug, Default)]
 pub struct Document {
-    nodes: Vec<Node>,
+    /// Node storage: `slots` arena slots packed into `Arc`-shared pages of
+    /// [`PAGE_SIZE`]. Every page except the last is full.
+    pages: Vec<Arc<Page>>,
+    /// Total allocated slots (live + freed), i.e. the arena's high-water
+    /// mark; slot `i` lives in `pages[i >> PAGE_BITS]`.
+    slots: u32,
     roots: Vec<NodeId>,
     free: Vec<u32>,
     next_call: u64,
-    symtab: SymTab,
+    symtab: Arc<SymTab>,
     /// Label→node index: interned symbol → live nodes carrying that label,
     /// in arbitrary order (removal is `swap_remove`). Maintained by every
-    /// mutator, including [`Document::splice_call`].
-    buckets: std::collections::HashMap<u32, Vec<NodeId>>,
+    /// mutator, including [`Document::splice_call`]. Buckets are shared
+    /// between clones until written.
+    buckets: std::collections::HashMap<u32, Arc<Vec<NodeId>>>,
     /// All live function-call nodes, in arbitrary order.
     call_list: Vec<NodeId>,
 }
@@ -171,10 +201,39 @@ impl Document {
         self.roots[0]
     }
 
+    /// Shared read access to an arena slot (may be freed).
+    #[inline]
+    fn node_raw(&self, index: usize) -> &Node {
+        &self.pages[index >> PAGE_BITS].nodes[index & PAGE_MASK]
+    }
+
+    /// Exclusive access to an arena slot; clones the owning page first if
+    /// it is shared with another document (copy-on-write).
+    #[inline]
+    fn node_raw_mut(&mut self, index: usize) -> &mut Node {
+        let page = Arc::make_mut(&mut self.pages[index >> PAGE_BITS]);
+        &mut page.nodes[index & PAGE_MASK]
+    }
+
+    fn intern_str(&mut self, text: &str) -> u32 {
+        // Look up first so already-interned labels never unshare the table.
+        if let Some(s) = self.symtab.lookup(text) {
+            return s;
+        }
+        Arc::make_mut(&mut self.symtab).intern_str(text)
+    }
+
+    fn intern_label(&mut self, l: &Label) -> u32 {
+        if let Some(s) = self.symtab.lookup(l.as_str()) {
+            return s;
+        }
+        Arc::make_mut(&mut self.symtab).intern_label(l)
+    }
+
     fn alloc(&mut self, kind: NodeKind, parent: Option<NodeId>) -> NodeId {
         let sym = match &kind {
-            NodeKind::Element(l) | NodeKind::Call(_, l) => self.symtab.intern_label(l),
-            NodeKind::Text(t) => self.symtab.intern_str(t),
+            NodeKind::Element(l) | NodeKind::Call(_, l) => self.intern_label(l),
+            NodeKind::Text(t) => self.intern_str(t),
         };
         let is_call = matches!(kind, NodeKind::Call(..));
         let node = Node {
@@ -187,18 +246,28 @@ impl Document {
             call_pos: 0,
         };
         let id = if let Some(slot) = self.free.pop() {
-            self.nodes[slot as usize] = node;
+            *self.node_raw_mut(slot as usize) = node;
             NodeId(slot)
         } else {
-            let id = NodeId(self.nodes.len() as u32);
-            self.nodes.push(node);
-            id
+            let slot = self.slots;
+            self.slots += 1;
+            let page_idx = (slot as usize) >> PAGE_BITS;
+            if page_idx == self.pages.len() {
+                self.pages.push(Arc::new(Page::default()));
+            }
+            let page = Arc::make_mut(&mut self.pages[page_idx]);
+            debug_assert_eq!(page.nodes.len(), (slot as usize) & PAGE_MASK);
+            page.nodes.push(node);
+            NodeId(slot)
         };
-        let bucket = self.buckets.entry(sym).or_default();
-        self.nodes[id.index()].bucket_pos = bucket.len() as u32;
-        bucket.push(id);
+        let pos = {
+            let bucket = Arc::make_mut(self.buckets.entry(sym).or_default());
+            bucket.push(id);
+            (bucket.len() - 1) as u32
+        };
+        self.node_raw_mut(id.index()).bucket_pos = pos;
         if is_call {
-            self.nodes[id.index()].call_pos = self.call_list.len() as u32;
+            self.node_raw_mut(id.index()).call_pos = self.call_list.len() as u32;
             self.call_list.push(id);
         }
         id
@@ -207,7 +276,7 @@ impl Document {
     /// Unlinks a node from its label bucket (and the call registry) in O(1).
     fn index_remove(&mut self, id: NodeId) {
         let (sym, pos, is_call, call_pos) = {
-            let n = &self.nodes[id.index()];
+            let n = self.node_raw(id.index());
             (
                 n.sym,
                 n.bucket_pos as usize,
@@ -215,33 +284,40 @@ impl Document {
                 n.call_pos as usize,
             )
         };
-        let bucket = self
-            .buckets
-            .get_mut(&sym)
-            .expect("freed node missing from its label bucket");
-        bucket.swap_remove(pos);
-        if pos < bucket.len() {
-            let moved = bucket[pos];
-            self.nodes[moved.index()].bucket_pos = pos as u32;
+        let moved = {
+            let bucket = Arc::make_mut(
+                self.buckets
+                    .get_mut(&sym)
+                    .expect("freed node missing from its label bucket"),
+            );
+            bucket.swap_remove(pos);
+            if pos < bucket.len() {
+                Some(bucket[pos])
+            } else {
+                None
+            }
+        };
+        if let Some(m) = moved {
+            self.node_raw_mut(m.index()).bucket_pos = pos as u32;
         }
         if is_call {
             self.call_list.swap_remove(call_pos);
             if call_pos < self.call_list.len() {
-                let moved = self.call_list[call_pos];
-                self.nodes[moved.index()].call_pos = call_pos as u32;
+                let m = self.call_list[call_pos];
+                self.node_raw_mut(m.index()).call_pos = call_pos as u32;
             }
         }
     }
 
     fn node(&self, id: NodeId) -> &Node {
-        let n = &self.nodes[id.index()];
+        let n = self.node_raw(id.index());
         debug_assert!(n.alive, "access to freed node {id:?}");
         n
     }
 
     /// Whether `id` refers to a live node of this document.
     pub fn is_alive(&self, id: NodeId) -> bool {
-        id.index() < self.nodes.len() && self.nodes[id.index()].alive
+        id.index() < self.slots as usize && self.node_raw(id.index()).alive
     }
 
     /// The node's kind.
@@ -304,7 +380,7 @@ impl Document {
 
     /// Number of live nodes in the document.
     pub fn len(&self) -> usize {
-        self.nodes.len() - self.free.len()
+        self.slots as usize - self.free.len()
     }
 
     /// Whether the document has no nodes at all.
@@ -315,14 +391,14 @@ impl Document {
     /// Appends a new element child and returns its id.
     pub fn add_element(&mut self, parent: NodeId, label: impl Into<Label>) -> NodeId {
         let id = self.alloc(NodeKind::Element(label.into()), Some(parent));
-        self.nodes[parent.index()].children.push(id);
+        self.node_raw_mut(parent.index()).children.push(id);
         id
     }
 
     /// Appends a new text child and returns its id.
     pub fn add_text(&mut self, parent: NodeId, value: impl Into<String>) -> NodeId {
         let id = self.alloc(NodeKind::Text(value.into()), Some(parent));
-        self.nodes[parent.index()].children.push(id);
+        self.node_raw_mut(parent.index()).children.push(id);
         id
     }
 
@@ -332,7 +408,7 @@ impl Document {
         let cid = CallId(self.next_call);
         self.next_call += 1;
         let id = self.alloc(NodeKind::Call(cid, service.into()), Some(parent));
-        self.nodes[parent.index()].children.push(id);
+        self.node_raw_mut(parent.index()).children.push(id);
         id
     }
 
@@ -423,7 +499,7 @@ impl Document {
     /// **arbitrary** order (the index uses `swap_remove` on deletion).
     /// Returns an empty slice for unknown symbols.
     pub fn nodes_with_sym(&self, sym: u32) -> &[NodeId] {
-        self.buckets.get(&sym).map(Vec::as_slice).unwrap_or(&[])
+        self.buckets.get(&sym).map(|b| b.as_slice()).unwrap_or(&[])
     }
 
     /// All live function-call nodes, in **arbitrary** order. An O(1)
@@ -483,7 +559,7 @@ impl Document {
     /// roots).
     pub fn sibling_index(&self, id: NodeId) -> usize {
         let list = match self.parent(id) {
-            Some(p) => &self.nodes[p.index()].children,
+            Some(p) => &self.node_raw(p.index()).children,
             None => &self.roots,
         };
         list.iter()
@@ -576,7 +652,7 @@ impl Document {
         };
         let id = self.alloc(kind, parent);
         if let Some(p) = parent {
-            self.nodes[p.index()].children.push(id);
+            self.node_raw_mut(p.index()).children.push(id);
         }
         for &c in &src.node(node).children.clone() {
             self.copy_from(src, c, Some(id));
@@ -587,13 +663,14 @@ impl Document {
     /// Frees the subtree rooted at `id` (without detaching it from its
     /// parent — callers must fix the child list).
     fn free_subtree(&mut self, id: NodeId) {
-        let children = std::mem::take(&mut self.nodes[id.index()].children);
+        let children = std::mem::take(&mut self.node_raw_mut(id.index()).children);
         for c in children {
             self.free_subtree(c);
         }
         self.index_remove(id);
-        self.nodes[id.index()].alive = false;
-        self.nodes[id.index()].parent = None;
+        let n = self.node_raw_mut(id.index());
+        n.alive = false;
+        n.parent = None;
         self.free.push(id.0);
     }
 
@@ -620,7 +697,7 @@ impl Document {
         // list (or nowhere for roots); move them to the call's position.
         match parent {
             Some(p) => {
-                let ch = &mut self.nodes[p.index()].children;
+                let ch = &mut self.node_raw_mut(p.index()).children;
                 // Remove the freed call node and the appended copies.
                 ch.retain(|c| *c != call && !inserted.contains(c));
                 for (i, &n) in inserted.iter().enumerate() {
@@ -639,17 +716,32 @@ impl Document {
 
     /// Exhaustive structural integrity check, used by tests and property
     /// tests: every live node is reachable exactly once, parent/child links
-    /// agree, freed slots are not referenced.
+    /// agree, freed slots are not referenced, and the paged storage layout
+    /// is well-formed.
     pub fn check_integrity(&self) -> Result<(), String> {
-        let mut seen = vec![false; self.nodes.len()];
+        // paged storage layout: every page but the last is full, and the
+        // page vector covers exactly `slots` slots
+        let covered: usize = self.pages.iter().map(|p| p.nodes.len()).sum();
+        if covered != self.slots as usize {
+            return Err(format!(
+                "pages hold {covered} slots but slots = {}",
+                self.slots
+            ));
+        }
+        for (i, p) in self.pages.iter().enumerate() {
+            if i + 1 < self.pages.len() && p.nodes.len() != PAGE_SIZE {
+                return Err(format!("interior page {i} holds {} slots", p.nodes.len()));
+            }
+        }
+        let mut seen = vec![false; self.slots as usize];
         let mut stack: Vec<(Option<NodeId>, NodeId)> =
             self.roots.iter().map(|&r| (None, r)).collect();
         let mut live = 0usize;
         while let Some((parent, id)) = stack.pop() {
-            if id.index() >= self.nodes.len() {
+            if id.index() >= self.slots as usize {
                 return Err(format!("{id:?} out of bounds"));
             }
-            let n = &self.nodes[id.index()];
+            let n = self.node_raw(id.index());
             if !n.alive {
                 return Err(format!("{id:?} reachable but freed"));
             }
@@ -675,8 +767,8 @@ impl Document {
                 self.len()
             ));
         }
-        for (i, n) in self.nodes.iter().enumerate() {
-            if n.alive && !seen[i] {
+        for (i, reached) in seen.iter().enumerate().take(self.slots as usize) {
+            if self.node_raw(i).alive && !reached {
                 return Err(format!("n{i} alive but unreachable"));
             }
         }
@@ -687,14 +779,14 @@ impl Document {
             return Err("duplicate entries in free list".into());
         }
         for &f in &self.free {
-            if self.nodes[f as usize].alive {
+            if self.node_raw(f as usize).alive {
                 return Err(format!("n{f} in free list but alive"));
             }
         }
         // label→node index: every live node sits in exactly the bucket of
         // its symbol at its recorded position, and buckets hold only live
         // nodes of the right symbol
-        let bucket_total: usize = self.buckets.values().map(Vec::len).sum();
+        let bucket_total: usize = self.buckets.values().map(|b| b.len()).sum();
         if bucket_total != self.len() {
             return Err(format!(
                 "label index holds {bucket_total} entries but {} nodes are live",
@@ -703,7 +795,7 @@ impl Document {
         }
         for (sym, bucket) in &self.buckets {
             for (pos, &id) in bucket.iter().enumerate() {
-                let n = &self.nodes[id.index()];
+                let n = self.node_raw(id.index());
                 if !n.alive {
                     return Err(format!("freed {id:?} still in bucket {sym}"));
                 }
@@ -718,10 +810,11 @@ impl Document {
                 }
             }
         }
-        let live_calls = self
-            .nodes
-            .iter()
-            .filter(|n| n.alive && matches!(n.kind, NodeKind::Call(..)))
+        let live_calls = (0..self.slots as usize)
+            .filter(|&i| {
+                let n = self.node_raw(i);
+                n.alive && matches!(n.kind, NodeKind::Call(..))
+            })
             .count();
         if self.call_list.len() != live_calls {
             return Err(format!(
@@ -730,7 +823,7 @@ impl Document {
             ));
         }
         for (pos, &id) in self.call_list.iter().enumerate() {
-            let n = &self.nodes[id.index()];
+            let n = self.node_raw(id.index());
             if !n.alive || !matches!(n.kind, NodeKind::Call(..)) {
                 return Err(format!("call registry entry {id:?} is not a live call"));
             }
@@ -884,14 +977,14 @@ mod tests {
     #[test]
     fn freed_slots_are_reused() {
         let (mut d, _, call) = sample();
-        let before_capacity = d.nodes.len();
+        let before_capacity = d.slots;
         d.splice_call(call, &Forest::new()); // frees 2 slots
         let r2 = d.find_call(CallId(99));
         assert!(r2.is_none());
         let hotel = d.children(d.root())[0];
         d.add_element(hotel, "new1");
         d.add_element(hotel, "new2");
-        assert_eq!(d.nodes.len(), before_capacity); // reused, no growth
+        assert_eq!(d.slots, before_capacity); // reused, no growth
         d.check_integrity().unwrap();
     }
 
@@ -1021,5 +1114,61 @@ mod tests {
         // not a strict descendant
         assert!(!d.reaches_through_data(hotel, hotel));
         assert!(!d.reaches_through_data(call, hotel));
+    }
+
+    #[test]
+    fn allocation_crosses_page_boundaries() {
+        let mut d = Document::with_root("r");
+        let mut ids = Vec::new();
+        for i in 0..(3 * PAGE_SIZE) {
+            ids.push(d.add_element(d.root(), format!("e{}", i % 7)));
+        }
+        assert_eq!(d.len(), 3 * PAGE_SIZE + 1);
+        assert!(d.pages.len() >= 3);
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(d.label(id), format!("e{}", i % 7));
+            assert_eq!(d.parent(id), Some(d.root()));
+        }
+        d.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn clone_shares_pages_until_mutation() {
+        let mut d = Document::with_root("r");
+        for i in 0..(2 * PAGE_SIZE) {
+            d.add_element(d.root(), format!("e{i}"));
+        }
+        let c = d.clone();
+        // a clone shares every page and the symbol table
+        for (a, b) in d.pages.iter().zip(&c.pages) {
+            assert!(Arc::ptr_eq(a, b));
+        }
+        assert!(Arc::ptr_eq(&d.symtab, &c.symtab));
+        // writing through the clone unshares only the touched pages
+        let mut c2 = c.clone();
+        let target = *d.children(d.root()).last().unwrap();
+        c2.add_element(target, "e0"); // existing label: symtab stays shared
+        assert!(Arc::ptr_eq(&d.symtab, &c2.symtab));
+        assert!(Arc::ptr_eq(&d.pages[0], &c2.pages[0]) || d.pages.len() == 1);
+        d.check_integrity().unwrap();
+        c2.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn cow_clone_mutation_leaves_original_intact() {
+        let (d, _, call) = sample();
+        let (cid, _) = d.call_info(call).unwrap();
+        let before_len = d.len();
+        let mut snap = d.clone();
+        let mut res = Forest::new();
+        res.add_root_text("*****");
+        snap.splice_call(call, &res);
+        // the splice is visible only in the clone
+        assert!(d.is_alive(call));
+        assert!(d.is_call(call));
+        assert_eq!(d.len(), before_len);
+        assert_eq!(snap.find_call(cid), None);
+        d.check_integrity().unwrap();
+        snap.check_integrity().unwrap();
     }
 }

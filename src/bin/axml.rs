@@ -15,10 +15,12 @@
 //!            [--out results|doc]
 //! axml session --doc doc.xml --world world.xml \
 //!              --query Q1 [--query Q2 ...] [--idle-ms X] [--persist] \
+//!              [--sessions N] [--workers N] [--sched-seed N] \
 //!              [--latency-ms X] \
 //!              [--deadline-ms X] [--hedge-threshold-ms X] [--hedge-quantile F] \
 //!              [--shed-inflight N] [--shed-ewma-ms X] \
 //!              [--cache-ttl-ms X] [--cache-capacity N] [--cache-bytes N] \
+//!              [--cache-shards N] \
 //!              [--quiet] [--stats] [--trace] [--trace-json PATH] [--trace-summary]
 //! axml validate --doc doc.xml --schema schema.txt
 //! axml termination --doc doc.xml --schema schema.txt
@@ -245,6 +247,12 @@ fn cache_config(opts: &Opts) -> Result<CacheConfig, String> {
         config.max_bytes = v
             .parse()
             .map_err(|_| format!("--cache-bytes expects a number, got {v:?}"))?;
+    }
+    if let Some(v) = opts.value("cache-shards") {
+        let shards: usize = v
+            .parse()
+            .map_err(|_| format!("--cache-shards expects a number, got {v:?}"))?;
+        config = config.with_shards(shards);
     }
     Ok(config)
 }
@@ -474,9 +482,21 @@ fn cmd_session(opts: &Opts) -> Result<(), String> {
             .map_err(|_| format!("--idle-ms expects milliseconds, got {v:?}"))?,
     };
 
+    let sessions: usize = match opts.value("sessions") {
+        None => 1,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--sessions expects a count, got {v:?}"))?,
+    };
+
     let ring = trace_collector(opts);
     let mut store = DocumentStore::with_cache_config(cache_config(opts)?);
     store.insert("doc", doc);
+
+    if sessions > 1 {
+        return serve_sessions(opts, &store, &registry, schema.as_ref(), options, &queries);
+    }
+
     let mut session = store
         .session("doc", &registry, schema.as_ref(), options)
         .expect("document just inserted");
@@ -532,6 +552,97 @@ fn cmd_session(opts: &Opts) -> Result<(), String> {
     if let Some(r) = &ring {
         finish_trace(opts, r)?;
     }
+    Ok(())
+}
+
+/// The multi-tenant path of `axml session` (`--sessions N`): N sessions,
+/// each running the full query stream against the stored document, on the
+/// store's scheduler — the work-stealing pool (`--workers`), or the
+/// seeded deterministic interleaving (`--sched-seed`, single-threaded and
+/// reproducible).
+fn serve_sessions(
+    opts: &Opts,
+    store: &DocumentStore,
+    registry: &Registry,
+    schema: Option<&Schema>,
+    options: SessionOptions,
+    queries: &[Pattern],
+) -> Result<(), String> {
+    use activexml::store::{SchedulerMode, SessionSpec};
+
+    let sessions: usize = opts
+        .value("sessions")
+        .expect("caller checked --sessions")
+        .parse()
+        .unwrap();
+    let workers: usize = match opts.value("workers") {
+        None => 4,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--workers expects a count, got {v:?}"))?,
+    };
+    let mode = match opts.value("sched-seed") {
+        None => SchedulerMode::Concurrent { workers },
+        Some(v) => SchedulerMode::DeterministicSeeded {
+            seed: v
+                .parse()
+                .map_err(|_| format!("--sched-seed expects a number, got {v:?}"))?,
+        },
+    };
+    let specs: Vec<SessionSpec> = (0..sessions)
+        .map(|i| {
+            let mut spec = SessionSpec::new(format!("session-{i}"), "doc", queries.to_vec());
+            spec.options = options.clone();
+            spec
+        })
+        .collect();
+
+    let report = store.serve(&specs, registry, schema, &mode, None);
+    for s in &report.sessions {
+        let invoked: usize = s.queries.iter().map(|q| q.calls_invoked).sum();
+        let hits: usize = s.queries.iter().map(|q| q.cache_hits).sum();
+        let partial = s.queries.iter().filter(|q| !q.complete).count();
+        println!(
+            "-- {}: {} queries, {} invocations, {} cache hits, clock {:.1} ms{}",
+            s.name,
+            s.queries.len(),
+            invoked,
+            hits,
+            s.clock_ms,
+            if partial == 0 {
+                String::new()
+            } else {
+                format!("  [{partial} PARTIAL]")
+            }
+        );
+        if !opts.flag("quiet") {
+            for (i, q) in s.queries.iter().enumerate() {
+                for row in &q.answers {
+                    println!("   q{} {}", i + 1, row.join(" | "));
+                }
+            }
+        }
+    }
+    let hist = report.latency_histogram();
+    let cs = store.cache().stats();
+    let sched = match &mode {
+        SchedulerMode::Concurrent { workers } => format!("{workers} workers"),
+        SchedulerMode::DeterministicSeeded { seed } => format!("seeded interleaving {seed}"),
+    };
+    println!(
+        "== serve: {} sessions x {} queries on {sched}: {:.1} q/s \
+         (p50 {:.2} ms, p99 {:.2} ms, wall {:.1} ms), cache {} hits / {} misses \
+         across {} shard(s)",
+        sessions,
+        queries.len(),
+        report.queries_per_sec(),
+        hist.quantile(0.5),
+        hist.quantile(0.99),
+        report.wall_ms,
+        cs.hits,
+        cs.misses,
+        store.cache().shard_count()
+    );
     Ok(())
 }
 

@@ -131,3 +131,41 @@ fn golden_fault_seed_1() {
         Some(FaultProfile::chaos(1, 0.3)),
     );
 }
+
+/// The versioned-publication layer must be trace-invisible too: pushing
+/// the Figure 1 document through a full snapshot → COW working copy →
+/// publish → re-snapshot round trip and evaluating the result reproduces
+/// `figure1_default.jsonl` byte for byte. The shared page structure a
+/// snapshot hands out is an evaluation-identical document, not merely an
+/// equivalent one.
+#[test]
+fn golden_default_schedule_survives_the_snapshot_layer() {
+    use activexml::xml::VersionedDocument;
+
+    let mut sc = figure1();
+    sc.registry.set_default_profile(NetProfile::latency(10.0));
+    let versioned = VersionedDocument::new(sc.doc);
+    let round_trip = versioned.snapshot().to_document();
+    versioned.publish(round_trip);
+    assert_eq!(versioned.version(), 1);
+    let snapshot = versioned.snapshot();
+    snapshot
+        .check_integrity()
+        .expect("published version intact");
+    let mut doc = snapshot.to_document();
+
+    let ring = RingSink::unbounded();
+    let engine = Engine::new(&sc.registry, EngineConfig::default())
+        .with_schema(&sc.schema)
+        .with_observer(&ring);
+    let report = engine.evaluate(&mut doc, &figure4_query());
+    let events = ring.events();
+    assert_clean(&events, Some(&report.stats.view()));
+    let jsonl = to_jsonl(&events);
+    let pinned = std::fs::read_to_string(golden_path("figure1_default.jsonl"))
+        .expect("figure1_default.jsonl is pinned");
+    assert_eq!(
+        jsonl, pinned,
+        "the snapshot/publish round trip changed the Figure 1 trace"
+    );
+}
