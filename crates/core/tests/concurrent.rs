@@ -221,6 +221,75 @@ proptest! {
     }
 }
 
+/// Persistent-mode publication is compare-and-swap: two sessions that
+/// concurrently materialize *disjoint* call sites of one document must
+/// both land — the loser re-snapshots the winner and retries instead of
+/// clobbering it. (Under last-writer-wins publication this fails
+/// whenever the two publications race.)
+#[test]
+fn concurrent_persistent_publications_are_not_lost() {
+    use axml_services::{CallRequest, FnService};
+    use axml_xml::parse;
+    use std::sync::Barrier;
+
+    fn query_for(side: &str) -> Pattern {
+        axml_query::parse_query(&format!("/r/{side}/item/$X -> $X")).unwrap()
+    }
+
+    let mut registry = Registry::new();
+    for name in ["svcA", "svcB"] {
+        registry.register(FnService::new(name, move |_req: &CallRequest| {
+            parse(&format!("<item>{name}</item>")).unwrap()
+        }));
+    }
+    let persist = SessionOptions {
+        snapshot_per_query: false,
+        ..SessionOptions::default()
+    };
+
+    for round in 0..25 {
+        let mut doc = Document::with_root("r");
+        for (side, svc) in [("a", "svcA"), ("b", "svcB")] {
+            let n = doc.add_element(doc.root(), side);
+            doc.add_call(n, svc);
+        }
+        // caching off: materialization is the only cross-query channel,
+        // so a lost publication shows up as a re-invoked call below
+        let mut store = DocumentStore::with_cache_config(CacheConfig::with_ttl_ms(0.0));
+        store.insert("d", doc);
+        let barrier = Barrier::new(2);
+        std::thread::scope(|s| {
+            for side in ["a", "b"] {
+                let store = &store;
+                let registry = &registry;
+                let barrier = &barrier;
+                let persist = persist.clone();
+                s.spawn(move || {
+                    let mut session = store.session("d", registry, None, persist).unwrap();
+                    barrier.wait();
+                    let rep = session.query(&query_for(side));
+                    assert!(rep.complete);
+                });
+            }
+        });
+        // both materializations must survive in the published version:
+        // re-asking either query finds no call left to invoke or probe
+        for side in ["a", "b"] {
+            let mut check = store
+                .session("d", &registry, None, SessionOptions::default())
+                .unwrap();
+            let rep = check.query(&query_for(side));
+            assert!(rep.complete);
+            let probes = rep.stats.cache_hits + rep.stats.cache_misses + rep.stats.cache_stale;
+            assert_eq!(
+                (rep.stats.calls_invoked, probes),
+                (0, 0),
+                "round {round}: side {side}'s materialization was lost"
+            );
+        }
+    }
+}
+
 /// Per-session trace streams from a concurrent run each pass the trace
 /// oracle on their own: one session's stream is internally ordered and
 /// well-formed even while other sessions emit in parallel into theirs.

@@ -16,8 +16,9 @@
 //! * [`CallCache`] — the serving-path cache, hash-**sharded** so N
 //!   concurrent sessions don't serialize on one lock. Each shard has its
 //!   own mutex and counters; LRU ticks come from one atomic so recency is
-//!   globally ordered, and eviction locks the shards in index order to
-//!   pick the global least-recently-used victim. Under any single-threaded
+//!   globally ordered, and whole-cache operations — LRU eviction, service
+//!   invalidation, purges — lock the shards in index order, so they stay
+//!   atomic with respect to concurrent probes. Under any single-threaded
 //!   sequence of operations its observable decisions (hit/miss/stale,
 //!   victims, counters) are *identical* to the single-lock cache — pinned
 //!   by the equivalence proptests in `tests/sharded_props.rs`.
@@ -198,6 +199,14 @@ impl Shard {
         self.bytes -= e.size_bytes;
         Some(e)
     }
+
+    /// This shard's least-recently-used entry, as `(last_used, key)`.
+    fn lru_min(&self) -> Option<(u64, Key)> {
+        self.map
+            .iter()
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, e)| (e.last_used, k.clone()))
+    }
 }
 
 /// A shared, internally synchronized call-result cache implementing the
@@ -214,7 +223,9 @@ impl Shard {
 /// recency ticks are drawn from one atomic counter and eviction locks all
 /// shards (in index order, so two evictors cannot deadlock) to remove the
 /// globally least-recently-used entry — exactly the victim the single-lock
-/// cache would pick.
+/// cache would pick. Service-wide invalidation and eager purges take all
+/// shard locks the same way, so they are atomic with respect to
+/// concurrent lookups, just like the single-lock cache.
 pub struct CallCache {
     config: CacheConfig,
     shards: Vec<Mutex<Shard>>,
@@ -295,10 +306,15 @@ impl CallCache {
 
     /// Drops every entry belonging to `service` (explicit invalidation
     /// hook). Returns the number of entries removed.
+    ///
+    /// Atomic: all shards are locked (in index order, like eviction)
+    /// before any entry is dropped, so a concurrent lookup sees either
+    /// every entry of the service or none — the same guarantee
+    /// [`SingleLockCache`] gives.
     pub fn invalidate_service(&self, service: &str) -> usize {
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock().unwrap()).collect();
         let mut n = 0;
-        for shard in &self.shards {
-            let mut shard = shard.lock().unwrap();
+        for shard in guards.iter_mut() {
             let doomed: Vec<Key> = shard
                 .map
                 .keys()
@@ -315,10 +331,11 @@ impl CallCache {
     }
 
     /// Drops every entry. Returns the number of entries removed.
+    /// Atomic across shards, like [`CallCache::invalidate_service`].
     pub fn invalidate_all(&self) -> usize {
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock().unwrap()).collect();
         let mut n = 0;
-        for shard in &self.shards {
-            let mut shard = shard.lock().unwrap();
+        for shard in guards.iter_mut() {
             let removed = shard.map.len();
             shard.map.clear();
             shard.bytes = 0;
@@ -331,10 +348,11 @@ impl CallCache {
     /// Eagerly drops entries whose validity window has passed at
     /// simulated time `now_ms` (expiry is otherwise lazy, on lookup).
     /// Returns the number of entries removed.
+    /// Atomic across shards, like [`CallCache::invalidate_service`].
     pub fn purge_expired(&self, now_ms: f64) -> usize {
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock().unwrap()).collect();
         let mut n = 0;
-        for shard in &self.shards {
-            let mut shard = shard.lock().unwrap();
+        for shard in guards.iter_mut() {
             let doomed: Vec<Key> = shard
                 .map
                 .iter()
@@ -355,22 +373,32 @@ impl CallCache {
     /// concurrent evictors cannot deadlock) and picks victims by global
     /// minimum `last_used` — ticks are unique, so the choice is
     /// deterministic and identical to the single-lock cache's.
+    ///
+    /// Per-shard LRU minima are maintained incrementally: picking a
+    /// victim is an O(shards) min over the minima, and only the shard
+    /// that lost its minimum is rescanned — never every entry of every
+    /// shard per victim, so steady-state-full insertion stays cheap.
     fn evict_to_budget(&self) {
         let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock().unwrap()).collect();
-        loop {
-            let entries: usize = guards.iter().map(|g| g.map.len()).sum();
-            let bytes: usize = guards.iter().map(|g| g.bytes).sum();
-            if entries <= self.config.max_entries && bytes <= self.config.max_bytes {
-                return;
-            }
-            let victim = guards
+        let mut entries: usize = guards.iter().map(|g| g.map.len()).sum();
+        let mut bytes: usize = guards.iter().map(|g| g.bytes).sum();
+        if entries <= self.config.max_entries && bytes <= self.config.max_bytes {
+            return;
+        }
+        let mut minima: Vec<Option<(u64, Key)>> = guards.iter().map(|g| g.lru_min()).collect();
+        while entries > self.config.max_entries || bytes > self.config.max_bytes {
+            let victim = minima
                 .iter()
                 .enumerate()
-                .flat_map(|(i, g)| g.map.iter().map(move |(k, e)| (e.last_used, i, k.clone())))
-                .min_by_key(|(last_used, _, _)| *last_used);
-            let Some((_, i, key)) = victim else { return };
-            guards[i].remove(&key);
+                .filter_map(|(i, m)| m.as_ref().map(|(tick, _)| (*tick, i)))
+                .min();
+            let Some((_, i)) = victim else { return };
+            let (_, key) = minima[i].take().expect("victim shard has a minimum");
+            let removed = guards[i].remove(&key).expect("minimum key is present");
+            entries -= 1;
+            bytes -= removed.size_bytes;
             guards[i].stats.evictions += 1;
+            minima[i] = guards[i].lru_min();
         }
     }
 }

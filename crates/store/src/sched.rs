@@ -4,8 +4,10 @@
 //!
 //! * [`SchedulerMode::Concurrent`] — a work-stealing pool of real worker
 //!   threads. Each worker owns a LIFO deque of runnable sessions; idle
-//!   workers steal FIFO from the shared injector or from other workers.
-//!   After each query a session goes back on its worker's own deque, so
+//!   workers steal FIFO from the shared injector or from other workers,
+//!   and park on a condvar (rather than spinning) while nothing is
+//!   runnable. After each query a session goes back on its worker's own
+//!   deque, so
 //!   a session's queries stay on one worker when the pool is not starved
 //!   (cache-warm), while starved workers still make progress by stealing.
 //! * [`SchedulerMode::DeterministicSeeded`] — a single thread picks the
@@ -34,7 +36,7 @@ use axml_schema::Schema;
 use axml_services::Registry;
 use std::collections::{BTreeSet, VecDeque};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// One tenant's workload: a named stream of queries against one stored
@@ -309,6 +311,15 @@ impl DocumentStore {
                 let injector: Mutex<VecDeque<Running>> = Mutex::new(VecDeque::new());
                 let live = AtomicUsize::new(0);
                 let finished: Mutex<Vec<(usize, SessionOutcome)>> = Mutex::new(Vec::new());
+                // Idle workers park on this condvar instead of spinning.
+                // The no-lost-wakeup protocol: a parking worker re-scans
+                // the queues *while holding* `idle.0` before it waits, and
+                // a worker that makes work visible (or retires the last
+                // live session) takes `idle.0` — with no deque lock held —
+                // before notifying. A push therefore either lands before
+                // the parker's scan (and is seen) or blocks on `idle.0`
+                // until the parker is actually waiting (and wakes it).
+                let idle: (Mutex<()>, Condvar) = (Mutex::new(()), Condvar::new());
                 {
                     let mut inj = injector.lock().unwrap();
                     for r in self.start_sessions(specs, registry, schema, sinks) {
@@ -326,33 +337,58 @@ impl DocumentStore {
                         let injector = &injector;
                         let live = &live;
                         let finished = &finished;
-                        scope.spawn(move || loop {
-                            // own deque first (LIFO: keep a session hot),
-                            // then the injector, then steal FIFO.
-                            let task = locals[w]
-                                .lock()
-                                .unwrap()
-                                .pop_back()
-                                .or_else(|| injector.lock().unwrap().pop_front())
-                                .or_else(|| {
-                                    (1..workers).find_map(|d| {
-                                        locals[(w + d) % workers].lock().unwrap().pop_front()
-                                    })
-                                });
-                            match task {
-                                Some(mut r) => {
-                                    if r.step(specs) {
-                                        locals[w].lock().unwrap().push_back(r);
-                                    } else {
-                                        finished.lock().unwrap().push(r.finish(specs));
-                                        live.fetch_sub(1, Ordering::SeqCst);
-                                    }
+                        let idle = &idle;
+                        scope.spawn(move || {
+                            // Every deque guard below is scoped to its own
+                            // statement, so a worker never holds one deque's
+                            // lock while taking another's — no lock-order
+                            // cycle between two idle workers stealing from
+                            // each other.
+                            let take = || {
+                                // own deque first (LIFO: keep a session
+                                // hot), then the injector, then steal FIFO.
+                                if let Some(r) = locals[w].lock().unwrap().pop_back() {
+                                    return Some(r);
                                 }
-                                None => {
-                                    if live.load(Ordering::SeqCst) == 0 {
-                                        return;
+                                if let Some(r) = injector.lock().unwrap().pop_front() {
+                                    return Some(r);
+                                }
+                                (1..workers).find_map(|d| {
+                                    locals[(w + d) % workers].lock().unwrap().pop_front()
+                                })
+                            };
+                            let queued = || {
+                                !injector.lock().unwrap().is_empty()
+                                    || locals.iter().any(|l| !l.lock().unwrap().is_empty())
+                            };
+                            loop {
+                                match take() {
+                                    Some(mut r) => {
+                                        if r.step(specs) {
+                                            locals[w].lock().unwrap().push_back(r);
+                                            // a parked worker may now have
+                                            // something to steal
+                                            let _g = idle.0.lock().unwrap();
+                                            idle.1.notify_all();
+                                        } else {
+                                            finished.lock().unwrap().push(r.finish(specs));
+                                            if live.fetch_sub(1, Ordering::SeqCst) == 1 {
+                                                // last session retired:
+                                                // wake everyone to exit
+                                                let _g = idle.0.lock().unwrap();
+                                                idle.1.notify_all();
+                                            }
+                                        }
                                     }
-                                    std::thread::yield_now();
+                                    None => {
+                                        let mut g = idle.0.lock().unwrap();
+                                        while live.load(Ordering::SeqCst) != 0 && !queued() {
+                                            g = idle.1.wait(g).unwrap();
+                                        }
+                                        if live.load(Ordering::SeqCst) == 0 {
+                                            return;
+                                        }
+                                    }
                                 }
                             }
                         });
@@ -514,6 +550,30 @@ mod tests {
             }
         }
         assert!(report.latency_histogram().count() == 15);
+    }
+
+    #[test]
+    fn idle_heavy_pool_terminates() {
+        // Regression: with more workers than runnable sessions, most
+        // workers are idle and stealing from each other the whole run —
+        // the configuration that deadlocked when a worker held its own
+        // deque lock while probing another's. The run must terminate
+        // with every query answered.
+        let registry = Registry::new();
+        let mut store = DocumentStore::new();
+        store.insert("d", doc());
+        let specs = specs(2, 4);
+        let report = store.serve(
+            &specs,
+            &registry,
+            None,
+            &SchedulerMode::Concurrent { workers: 8 },
+            None,
+        );
+        assert_eq!(report.total_queries, 8);
+        for s in &report.sessions {
+            assert!(s.queries.iter().all(|q| q.complete));
+        }
     }
 
     #[test]

@@ -92,8 +92,11 @@ pub struct SessionReport {
 /// Every query reads a frozen snapshot of the document's current version
 /// (snapshot isolation: concurrent publications never tear a read). In
 /// persistent mode the materialized working copy is published as the next
-/// version when the query finishes — last writer wins at whole-version
-/// granularity.
+/// version when the query finishes, via compare-and-swap against the
+/// version it read: a conflicting concurrent publication triggers a
+/// re-snapshot and re-evaluation, so concurrent persistent sessions on
+/// one document never discard each other's splices (see
+/// [`Session::query`]).
 pub struct Session<'a> {
     doc: Arc<VersionedDocument>,
     registry: &'a Registry,
@@ -172,29 +175,46 @@ impl<'a> Session<'a> {
 
     /// Evaluates one query at the session's current clock and advances
     /// the clock by the simulated time the evaluation consumed.
+    ///
+    /// In persistent mode the materialized working copy is published
+    /// with a compare-and-swap against the version the query read: if a
+    /// concurrent session published first, this session re-snapshots the
+    /// winner and re-evaluates on top of it, so no publication is ever
+    /// silently discarded (no lost updates). Retries are cheap — the
+    /// losing attempt warmed the shared cache, so the re-evaluation's
+    /// calls are mostly zero-cost hits — and under a scheduler run they
+    /// are finite: every conflict means some other query published, and
+    /// a run publishes at most once per query. The clock advances for
+    /// every attempt (the work was performed); the report describes the
+    /// attempt that won.
     pub fn query(&mut self, query: &Pattern) -> SessionReport {
-        let mut engine = Engine::new(self.registry, self.options.engine.clone())
-            .with_cache(self.cache.as_ref())
-            .starting_at(self.clock_ms);
-        if let Some(schema) = self.schema {
-            engine = engine.with_schema(schema);
+        loop {
+            let mut engine = Engine::new(self.registry, self.options.engine.clone())
+                .with_cache(self.cache.as_ref())
+                .starting_at(self.clock_ms);
+            if let Some(schema) = self.schema {
+                engine = engine.with_schema(schema);
+            }
+            if let Some(observer) = self.observer {
+                engine = engine.with_observer(observer);
+            }
+            let snapshot = self.doc.snapshot();
+            let doc_version = snapshot.version();
+            let mut working = snapshot.to_document();
+            let report = engine.evaluate(&mut working, query);
+            self.clock_ms += report.stats.sim_time_ms;
+            if !self.options.snapshot_per_query {
+                // materialize: publish the spliced working copy as the
+                // next version so later queries find no calls left to
+                // invoke — but only if nobody published since our
+                // snapshot (the clone is O(pages): COW page pointers).
+                if self.doc.publish_if(doc_version, working.clone()).is_err() {
+                    continue;
+                }
+            }
+            self.queries_run += 1;
+            return self.package(query, &working, report, doc_version);
         }
-        if let Some(observer) = self.observer {
-            engine = engine.with_observer(observer);
-        }
-        let snapshot = self.doc.snapshot();
-        let doc_version = snapshot.version();
-        let mut working = snapshot.to_document();
-        let report = engine.evaluate(&mut working, query);
-        self.clock_ms += report.stats.sim_time_ms;
-        self.queries_run += 1;
-        let session_report = self.package(query, &working, report, doc_version);
-        if !self.options.snapshot_per_query {
-            // materialize: publish the spliced working copy as the next
-            // version so later queries find no calls left to invoke
-            self.doc.publish(working);
-        }
-        session_report
     }
 
     fn package(
