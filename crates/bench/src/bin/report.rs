@@ -41,6 +41,17 @@ fn main() {
     let e15_min_scaling: Option<f64> =
         take_value(&mut args, "--e15-min-scaling").map(|v| v.parse().expect("--e15-min-scaling"));
     let e15_baseline: Option<String> = take_value(&mut args, "--e15-baseline");
+    // E16 artifact/assertion knobs (see EXPERIMENTS.md):
+    //   --e16-json PATH          write the BENCH_E16.json artifact
+    //   --e16-min-ratio N        exit nonzero unless delta maintenance beats
+    //                            full re-evaluation by N× CPU at the largest
+    //                            feed size
+    //   --e16-baseline PATH      exit nonzero if any cpu_ratio regressed
+    //                            >40% vs the committed baseline artifact
+    let e16_json: Option<String> = take_value(&mut args, "--e16-json");
+    let e16_min_ratio: Option<f64> =
+        take_value(&mut args, "--e16-min-ratio").map(|v| v.parse().expect("--e16-min-ratio"));
+    let e16_baseline: Option<String> = take_value(&mut args, "--e16-baseline");
     let emit = |name: &str, xname: &str, rows: &[ex::Row]| {
         if let Some(dir) = &csv_dir {
             let path = format!("{dir}/{name}.csv");
@@ -347,6 +358,84 @@ fn main() {
                 std::process::exit(1);
             }
             eprintln!("report: E15 within 20% of baseline {bpath} — ok");
+        }
+    }
+    if want("e16") || want("subscriptions") {
+        let rows = ex::e16_subscriptions(&[50, 200, 400], 4_000.0);
+        ex::print_table(
+            "E16 — continuous subscriptions: delta maintenance vs full re-evaluation",
+            "hotels",
+            &rows,
+        );
+        emit("e16", "hotels", &rows);
+        if let Some(path) = &e16_json {
+            match std::fs::write(path, ex::e16_to_json(&rows)) {
+                Ok(()) => eprintln!("report: wrote {path}"),
+                Err(e) => {
+                    eprintln!("report: writing {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let ratio_of = |rows: &[ex::Row], series: &str, hotels: f64| -> Option<f64> {
+            rows.iter()
+                .find(|r| r.label == series && r.x == hotels)
+                .and_then(|r| {
+                    r.metrics
+                        .iter()
+                        .find(|(n, _)| *n == "cpu_ratio")
+                        .map(|(_, v)| *v)
+                })
+        };
+        let largest = rows.iter().map(|r| r.x).fold(0.0_f64, f64::max);
+        if let Some(min) = e16_min_ratio {
+            // the headline claim: scope-filtered delta maintenance beats
+            // full per-version re-evaluation on consumer-side CPU at the
+            // largest feed — same-machine ratio, so machine-independent
+            let got = ratio_of(&rows, "price-feed", largest).unwrap_or(0.0);
+            if got < min {
+                eprintln!(
+                    "report: E16 ratio regression — delta maintenance at {largest} hotels \
+                     reached {got:.2}x full re-evaluation, needs >= {min}x"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("report: E16 cpu_ratio {got:.2}x at {largest} hotels (floor {min}x) — ok");
+        }
+        if let Some(bpath) = &e16_baseline {
+            // compare CPU *ratios* only — absolute ms are machine-dependent,
+            // the delta-vs-full ratio on the same machine is not. Both
+            // sides of this ratio are tens of milliseconds, so it jitters
+            // more than E14/E15's — hence a 40% tolerance, with the
+            // absolute floor enforced separately by --e16-min-ratio
+            let text = std::fs::read_to_string(bpath)
+                .unwrap_or_else(|e| panic!("report: reading {bpath}: {e}"));
+            let mut regressed = false;
+            for b in ex::e16_parse_json(&text) {
+                // gate only rows where the baseline claims a real win
+                if b.cpu_ratio < 2.0 {
+                    continue;
+                }
+                let Some(got) = ratio_of(&rows, &b.series, b.hotels) else {
+                    continue; // sweep changed shape; baseline row is obsolete
+                };
+                if got < b.cpu_ratio * 0.6 {
+                    eprintln!(
+                        "report: E16 regression — {} at {} hotels: {:.2}x, \
+                         baseline {:.2}x (-{:.0}%)",
+                        b.series,
+                        b.hotels,
+                        got,
+                        b.cpu_ratio,
+                        (1.0 - got / b.cpu_ratio) * 100.0
+                    );
+                    regressed = true;
+                }
+            }
+            if regressed {
+                std::process::exit(1);
+            }
+            eprintln!("report: E16 within 40% of baseline {bpath} — ok");
         }
     }
 }

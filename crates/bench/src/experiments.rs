@@ -1371,3 +1371,200 @@ pub fn e13_hedging_deadlines(triggers_ms: &[f64], deadlines_ms: &[f64]) -> Vec<R
     }
     rows
 }
+
+/// E16 — continuous subscriptions: delta maintenance vs full
+/// re-evaluation, over the hotel price-watcher feed swept by document
+/// size.
+///
+/// The subscription engine pumps the feed with `run_until(horizon_ms)`:
+/// each cache-TTL lapse triggers a refresh that re-invokes exactly the
+/// lapsed calls, publishes the materialization tagged with its splice
+/// paths, and reconciles every watcher — scope-filtered, so a version
+/// that only changed review scores costs the price watcher nothing.
+///
+/// The baseline is what a subscription engine without splice tags or
+/// scope filtering must do: fully re-evaluate **every** watcher at
+/// **every** published version. Both sides are consumer-side CPU (the
+/// producer-side refresh cost is common to both regimes and excluded),
+/// measured on the same machine, so their ratio is machine-independent
+/// the way E14's speedups are.
+///
+/// Asserted invariant, not just a reported number: per watcher, the
+/// initial answer plus the accumulated deltas replays to exactly the
+/// baseline's full answer at every published version (the E16 run
+/// doubles as the subscription oracle).
+///
+/// Reported per document size: published `versions`, `deltas`,
+/// `deltas_per_sec` (machine-dependent), `delta_cpu_ms` (reconcile),
+/// `full_cpu_ms` (baseline), `cpu_ratio` = full/delta (gated in CI),
+/// and simulated notification latency `p50_ms`/`p99_ms` (from TTL lapse
+/// to delta emission).
+pub fn e16_subscriptions(hotel_counts: &[usize], horizon_ms: f64) -> Vec<Row> {
+    use axml_gen::feeds::{price_feed, PriceFeedParams};
+    use axml_store::{CacheConfig, DocumentStore};
+    use axml_sub::{replay, Delta, SubscriptionEngine, SubscriptionOptions};
+    use axml_xml::CatchUp;
+    use std::time::Instant;
+
+    let mut rows = Vec::new();
+    for &hotels in hotel_counts {
+        let feed = price_feed(&PriceFeedParams {
+            hotels,
+            volatile_stride: 2,
+        });
+        let mut config = CacheConfig::with_ttl_ms(f64::INFINITY);
+        for (service, ttl) in &feed.ttls {
+            config = config.ttl_for(service.clone(), *ttl);
+        }
+        let mut store = DocumentStore::with_cache_config(config);
+        store.insert("feed", feed.doc.clone());
+        let mut engine = SubscriptionEngine::over_store(
+            &store,
+            "feed",
+            &feed.registry,
+            None,
+            SubscriptionOptions {
+                history_capacity: 1 << 16,
+                ..SubscriptionOptions::default()
+            },
+        )
+        .expect("feed document");
+        let mut initials: Vec<(String, BTreeSet<Vec<String>>)> = Vec::new();
+        for (name, query) in &feed.watchers {
+            initials.push((name.clone(), engine.subscribe(name.clone(), query.clone())));
+        }
+
+        let wall0 = Instant::now();
+        let deltas = engine.run_until(horizon_ms);
+        let wall_s = wall0.elapsed().as_secs_f64();
+        let stats = engine.stats().clone();
+        let delta_cpu_ms = stats.reconcile_cpu_ms;
+
+        // the baseline: every watcher fully re-evaluated at every
+        // published version (records are materialized, so this is pure
+        // CPU — no calls left to invoke in any watcher's scope)
+        let doc = store.versioned("feed").expect("feed document");
+        let records = match doc.publications_since(0) {
+            CatchUp::Records(records) => records,
+            CatchUp::Degraded(_) => unreachable!("history sized for the horizon"),
+        };
+        let full0 = Instant::now();
+        let mut full_answers: Vec<Vec<BTreeSet<Vec<String>>>> = Vec::new();
+        for record in &records {
+            let mut at_version = Vec::new();
+            for (_, query) in &feed.watchers {
+                let mut working = (*record.doc).clone();
+                let report = Engine::new(&feed.registry, EngineConfig::default())
+                    .evaluate(&mut working, query);
+                at_version.push(
+                    axml_query::render_result(&working, &report.result)
+                        .into_iter()
+                        .collect::<BTreeSet<Vec<String>>>(),
+                );
+            }
+            full_answers.push(at_version);
+        }
+        let full_cpu_ms = full0.elapsed().as_secs_f64() * 1000.0;
+
+        // the oracle: replayed deltas == full answers at every version
+        for (w, (name, initial)) in initials.iter().enumerate() {
+            let mine: Vec<Delta> = deltas
+                .iter()
+                .filter(|d| &d.subscription == name)
+                .cloned()
+                .collect();
+            let mut next = 0usize;
+            let mut replayed = initial.clone();
+            for (v, record) in records.iter().enumerate() {
+                let upto: Vec<Delta> = mine[next..]
+                    .iter()
+                    .take_while(|d| d.version <= record.version)
+                    .cloned()
+                    .collect();
+                next += upto.len();
+                replayed = replay(&replayed, &upto);
+                assert_eq!(
+                    replayed, full_answers[v][w],
+                    "E16: {name} diverged from full re-evaluation at version {}",
+                    record.version
+                );
+            }
+        }
+
+        let mut latencies: Vec<f64> = deltas.iter().filter_map(|d| d.latency_ms).collect();
+        latencies.sort_by(|a, b| a.total_cmp(b));
+        let quantile = |q: f64| -> f64 {
+            if latencies.is_empty() {
+                return 0.0;
+            }
+            let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+            latencies[idx]
+        };
+        let cpu_ratio = full_cpu_ms / delta_cpu_ms.max(1e-9);
+        rows.push(Row {
+            label: "price-feed".to_string(),
+            x: hotels as f64,
+            metrics: vec![
+                ("versions", records.len() as f64),
+                ("deltas", deltas.len() as f64),
+                ("deltas_per_sec", deltas.len() as f64 / wall_s.max(1e-9)),
+                ("delta_cpu_ms", delta_cpu_ms),
+                ("full_cpu_ms", full_cpu_ms),
+                ("cpu_ratio", cpu_ratio),
+                ("p50_ms", quantile(0.5)),
+                ("p99_ms", quantile(0.99)),
+            ],
+        });
+    }
+    rows
+}
+
+/// Serializes E16 rows as the `BENCH_E16.json` artifact (same
+/// line-per-row shape as [`e14_to_json`] / [`e15_to_json`]).
+pub fn e16_to_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e16\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"series\": \"{}\", \"hotels\": {}, ",
+            r.label, r.x
+        ));
+        let m: Vec<String> = r
+            .metrics
+            .iter()
+            .map(|(n, v)| format!("\"{n}\": {v:.4}"))
+            .collect();
+        out.push_str(&m.join(", "));
+        out.push_str(&format!("}}{sep}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One parsed `BENCH_E16.json` row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct E16Entry {
+    /// Series label (currently always `price-feed`).
+    pub series: String,
+    /// Document size (hotels).
+    pub hotels: f64,
+    /// Deltas per wall second (machine-dependent — not compared).
+    pub deltas_per_sec: f64,
+    /// Full-re-evaluation CPU over delta-maintenance CPU on the same
+    /// machine (machine-independent).
+    pub cpu_ratio: f64,
+}
+
+/// Parses the artifact written by [`e16_to_json`].
+pub fn e16_parse_json(text: &str) -> Vec<E16Entry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(E16Entry {
+                series: json_str_field(line, "series")?,
+                hotels: json_num_field(line, "hotels")?,
+                deltas_per_sec: json_num_field(line, "deltas_per_sec")?,
+                cpu_ratio: json_num_field(line, "cpu_ratio")?,
+            })
+        })
+        .collect()
+}

@@ -1908,6 +1908,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
     /// lost history might have contained a relevant splice.
     fn affected_since(&mut self, doc: &Document, i: usize, nfq: &Nfq, since: u64) -> bool {
         if since < self.splice_floor {
+            self.stats.splice_degradations += 1;
             return true; // history evicted: assume affected
         }
         if self.splice_log.iter().all(|r| r.seq <= since) {
@@ -2001,7 +2002,13 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                     .collect();
                 (kept, e.call_watermark)
             }
-            _ => (Vec::new(), 0),
+            Some(_) => {
+                // cached entry predates the splice log's floor: its
+                // history is gone, so degrade to a full fresh scan
+                self.stats.splice_degradations += 1;
+                (Vec::new(), 0)
+            }
+            None => (Vec::new(), 0),
         };
         for &c in doc.calls_unordered() {
             let Some((id, svc)) = doc.call_info(c) else {

@@ -35,6 +35,7 @@ pub mod engine;
 pub mod fguide;
 pub mod influence;
 pub mod nfq;
+pub mod scope;
 pub mod stats;
 pub mod typed;
 
@@ -46,6 +47,7 @@ pub use engine::{
 pub use fguide::{filter_candidates, FGuide};
 pub use influence::{compute_layers, may_influence, Layers};
 pub use nfq::{build_lpqs, build_nfq, build_nfqs, relax_nfq_to_xpath, Lpq, Nfq};
+pub use scope::QueryScope;
 pub use stats::{plural, EngineStats};
 pub use typed::TypeRefiner;
 

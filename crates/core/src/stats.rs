@@ -52,6 +52,11 @@ pub struct EngineStats {
     /// inside `relevance_evals` (a delta evaluation is still an
     /// evaluation).
     pub nfq_delta_evals: usize,
+    /// Incremental-detection degradations: a cached NFQ state predated
+    /// the splice log's floor (ring overflow evicted its history), so the
+    /// evaluator fell back to a sound full re-evaluation. Nonzero means
+    /// `splice_log_capacity` is too small for the document's churn.
+    pub splice_degradations: usize,
     /// Relevant calls answered from the cross-query call-result cache at
     /// zero network cost (reconstructed §7). Not counted in
     /// `calls_invoked` — a hit performs no service invocation.
@@ -245,6 +250,13 @@ impl fmt::Display for EngineStats {
                 f,
                 "  {} evaluations delta-scoped (incremental)",
                 self.nfq_delta_evals
+            )?;
+        }
+        if self.splice_degradations > 0 {
+            writeln!(
+                f,
+                "  {} degraded to full re-evaluation (splice log overflow)",
+                self.splice_degradations
             )?;
         }
         if self.cache_hits + self.cache_misses + self.cache_stale > 0 {

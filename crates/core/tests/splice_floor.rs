@@ -1,0 +1,56 @@
+//! Regression test for the splice-log `splice_floor` degradation path:
+//! when the bounded splice ring overflows mid-query, cached NFQ state
+//! whose history was evicted must *degrade* to a full re-evaluation —
+//! same answers, with the degradation visible in the stats — rather
+//! than silently reusing stale candidate sets.
+
+use axml_core::{Engine, EngineConfig, EngineStats};
+use axml_gen::scenario::{figure1, figure4_query};
+use axml_query::render_result;
+
+fn run(config: EngineConfig) -> (Vec<Vec<String>>, EngineStats) {
+    let s = figure1();
+    let mut doc = s.doc;
+    let q = figure4_query();
+    let engine = Engine::new(&s.registry, config).with_schema(&s.schema);
+    let report = engine.evaluate(&mut doc, &q);
+    let mut answers = render_result(&doc, &report.result);
+    answers.sort();
+    (answers, report.stats)
+}
+
+#[test]
+fn ring_overflow_degrades_to_full_reeval_with_identical_answers() {
+    let (reference, baseline) = run(EngineConfig::nfq_plain());
+    assert_eq!(baseline.splice_degradations, 0);
+
+    // a one-record ring cannot cover the gap between two evaluations of
+    // the same NFQ on figure 1 (each round splices several results), so
+    // every cached entry's history is evicted before it is consulted
+    let (answers, stats) = run(EngineConfig {
+        incremental_detection: true,
+        splice_log_capacity: 1,
+        ..EngineConfig::nfq_plain()
+    });
+    assert_eq!(answers, reference, "degraded run changed the answer");
+    assert!(
+        stats.splice_degradations > 0,
+        "ring overflow must be recorded as a degradation: {stats}"
+    );
+    // a degraded entry must not be served by the skip/delta fast paths
+    // in the same consultation — the work was done in full
+    assert_eq!(stats.calls_invoked, baseline.calls_invoked);
+}
+
+#[test]
+fn ample_ring_does_not_degrade() {
+    let (reference, _) = run(EngineConfig::nfq_plain());
+    let (answers, stats) = run(EngineConfig {
+        incremental_detection: true,
+        splice_log_capacity: 4096,
+        ..EngineConfig::nfq_plain()
+    });
+    assert_eq!(answers, reference);
+    assert_eq!(stats.splice_degradations, 0, "{stats}");
+    assert!(stats.nfq_evals_skipped > 0, "{stats}");
+}

@@ -11,11 +11,13 @@
 //!   provably terminating service registries, for property tests.
 
 pub mod auctions;
+pub mod feeds;
 pub mod from_schema;
 pub mod scenario;
 pub mod synthetic;
 
 pub use auctions::{auction_query, auction_schema, generate_auctions, AuctionParams};
+pub use feeds::{auction_feed, price_feed, AuctionFeedParams, Feed, PriceFeedParams};
 pub use from_schema::{random_instance, InstanceParams};
 pub use scenario::{figure1, figure4_query, generate, Scenario, ScenarioParams};
 pub use synthetic::{random_query, random_workload, SyntheticParams};

@@ -94,6 +94,18 @@ pub struct StatsView {
     pub cache_shards: Vec<(usize, usize, usize)>,
 }
 
+/// Whether an event belongs to the subscription stream rather than to an
+/// engine query span. Subscription events interleave freely with query
+/// spans (a delta can be emitted between two refresh evaluations), so the
+/// span checks partition them out and `check_subscriptions` replays them
+/// on their own.
+fn is_subscription_event(e: &Event) -> bool {
+    matches!(
+        e.kind,
+        EventKind::SubscriptionStart { .. } | EventKind::SubscriptionDelta { .. }
+    )
+}
+
 /// Splits a stream into query spans. Events before the first
 /// `query_start` form a leading segment of their own (they would
 /// themselves be a structural violation, caught by `check_trace`).
@@ -396,14 +408,82 @@ fn check_span(span: &[Event], out: &mut Vec<Violation>) {
     }
 }
 
+/// Structural checks on the subscription stream: every delta names a
+/// subscription that was started earlier, no subscription starts twice,
+/// delta versions per subscription strictly increase, and each
+/// subscription's simulated clock never moves backwards.
+fn check_subscriptions(events: &[Event], out: &mut Vec<Violation>) {
+    let mut started: BTreeSet<&str> = BTreeSet::new();
+    let mut last_version: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut last_sim: BTreeMap<&str, f64> = BTreeMap::new();
+    for e in events {
+        match &e.kind {
+            EventKind::SubscriptionStart { subscription, .. } => {
+                if !started.insert(subscription.as_str()) {
+                    out.push(violation(
+                        "subscription",
+                        Some(e.seq),
+                        format!("subscription {subscription} started more than once"),
+                    ));
+                }
+                last_sim.insert(subscription.as_str(), e.sim_ms);
+            }
+            EventKind::SubscriptionDelta {
+                subscription,
+                version,
+                ..
+            } => {
+                if !started.contains(subscription.as_str()) {
+                    out.push(violation(
+                        "subscription",
+                        Some(e.seq),
+                        format!("delta for {subscription} before its subscription_start"),
+                    ));
+                }
+                if let Some(prev) = last_version.get(subscription.as_str()) {
+                    if version <= prev {
+                        out.push(violation(
+                            "subscription",
+                            Some(e.seq),
+                            format!(
+                                "{subscription} delta versions not strictly increasing \
+                                 ({prev} -> {version})"
+                            ),
+                        ));
+                    }
+                }
+                last_version.insert(subscription.as_str(), *version);
+                if let Some(prev) = last_sim.get(subscription.as_str()) {
+                    if e.sim_ms < prev - EPS {
+                        out.push(violation(
+                            "subscription",
+                            Some(e.seq),
+                            format!(
+                                "{subscription} clock moved backwards ({prev} -> {})",
+                                e.sim_ms
+                            ),
+                        ));
+                    }
+                }
+                last_sim.insert(subscription.as_str(), e.sim_ms);
+            }
+            _ => {}
+        }
+    }
+}
+
 /// Runs every structural check (laziness, layer order, ordering, clock
 /// charging, per-span completeness) over a stream that may hold several
-/// query spans. Returns all violations found (empty = clean).
+/// query spans, plus the subscription-stream checks over any interleaved
+/// subscription events. Returns all violations found (empty = clean).
 pub fn check_trace(events: &[Event]) -> Vec<Violation> {
     let mut out = Vec::new();
-    for span in spans(events) {
+    let (subs, engine): (Vec<Event>, Vec<Event>) =
+        events.iter().cloned().partition(is_subscription_event);
+    for span in spans(&engine) {
         check_span(span, &mut out);
     }
+    check_subscriptions(&subs, &mut out);
     out
 }
 
@@ -931,6 +1011,105 @@ mod tests {
         stats.truncated = true;
         let vs = check_stats(&span, &stats);
         assert!(vs.iter().any(|v| v.check == "accounting"), "{vs:?}");
+    }
+
+    fn sub_start(seq: u64, sim_ms: f64, name: &str) -> Event {
+        ev(
+            seq,
+            sim_ms,
+            0,
+            EventKind::SubscriptionStart {
+                subscription: name.into(),
+                query: "q".into(),
+                initial: 3,
+            },
+        )
+    }
+
+    fn sub_delta(seq: u64, sim_ms: f64, name: &str, version: u64) -> Event {
+        ev(
+            seq,
+            sim_ms,
+            0,
+            EventKind::SubscriptionDelta {
+                subscription: name.into(),
+                version,
+                added: 1,
+                removed: 0,
+                changed: 0,
+                full_reeval: false,
+            },
+        )
+    }
+
+    #[test]
+    fn subscription_events_interleave_with_query_spans_cleanly() {
+        // a subscription's start and deltas sit between (and inside)
+        // engine query spans without breaking any span check
+        let mut stream = vec![sub_start(100, 0.0, "watch")];
+        stream.extend(clean_span());
+        stream.push(sub_delta(101, 5.0, "watch", 1));
+        let mut second = clean_span();
+        for e in &mut second {
+            e.seq += 10;
+            e.sim_ms += 5.0;
+        }
+        stream.extend(second);
+        stream.push(sub_delta(102, 10.0, "watch", 2));
+        assert!(
+            check_trace(&stream).is_empty(),
+            "{:?}",
+            check_trace(&stream)
+        );
+    }
+
+    #[test]
+    fn delta_before_start_flagged() {
+        let stream = vec![sub_delta(0, 0.0, "watch", 1)];
+        let vs = check_trace(&stream);
+        assert!(vs.iter().any(|v| v.check == "subscription"), "{vs:?}");
+    }
+
+    #[test]
+    fn non_increasing_delta_versions_flagged() {
+        let stream = vec![
+            sub_start(0, 0.0, "watch"),
+            sub_delta(1, 1.0, "watch", 2),
+            sub_delta(2, 2.0, "watch", 2),
+        ];
+        let vs = check_trace(&stream);
+        assert!(
+            vs.iter()
+                .any(|v| v.check == "subscription" && v.message.contains("strictly increasing")),
+            "{vs:?}"
+        );
+    }
+
+    #[test]
+    fn subscription_clock_regression_flagged() {
+        let stream = vec![
+            sub_start(0, 5.0, "watch"),
+            sub_delta(1, 1.0, "watch", 1), // clock went backwards
+        ];
+        let vs = check_trace(&stream);
+        assert!(
+            vs.iter()
+                .any(|v| v.check == "subscription" && v.message.contains("backwards")),
+            "{vs:?}"
+        );
+    }
+
+    #[test]
+    fn independent_subscriptions_tracked_separately() {
+        // versions only need to increase within one subscription
+        let stream = vec![
+            sub_start(0, 0.0, "a"),
+            sub_start(1, 0.0, "b"),
+            sub_delta(2, 1.0, "a", 5),
+            sub_delta(3, 1.0, "b", 1),
+            sub_delta(4, 2.0, "a", 6),
+        ];
+        assert!(check_trace(&stream).is_empty());
     }
 
     #[test]

@@ -228,6 +228,34 @@ pub enum EventKind {
         /// Candidates still relevant when the deadline expired.
         pending: usize,
     },
+    /// A standing query was registered with the subscription engine and
+    /// its initial answer computed. Opens the subscription's span: every
+    /// later `subscription_delta` with the same name belongs to it.
+    SubscriptionStart {
+        /// The subscription's name (unique within its engine).
+        subscription: String,
+        /// Rendered standing-query text.
+        query: String,
+        /// Rows in the initial answer.
+        initial: usize,
+    },
+    /// A standing query's answer changed at a published document version
+    /// and a delta was delivered to its sinks.
+    SubscriptionDelta {
+        /// The subscription's name.
+        subscription: String,
+        /// The document version the delta brings the subscriber to.
+        version: u64,
+        /// Answer rows added at this version.
+        added: usize,
+        /// Answer rows removed at this version.
+        removed: usize,
+        /// Rows counted as changed (paired add/remove on the same key).
+        changed: usize,
+        /// Whether the delta was computed by a sound full re-evaluation
+        /// (splice history evicted) instead of the incremental path.
+        full_reeval: bool,
+    },
 }
 
 impl EventKind {
@@ -250,6 +278,8 @@ impl EventKind {
             EventKind::Hedge { .. } => "hedge",
             EventKind::Shed { .. } => "shed",
             EventKind::DeadlineExceeded { .. } => "deadline",
+            EventKind::SubscriptionStart { .. } => "subscription_start",
+            EventKind::SubscriptionDelta { .. } => "subscription_delta",
         }
     }
 }

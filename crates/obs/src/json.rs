@@ -197,6 +197,32 @@ pub fn event_to_json(e: &Event, include_cpu: bool) -> String {
             let _ = write!(s, ",\"call\":{call},\"reason\":");
             push_escaped(&mut s, reason.as_str());
         }
+        EventKind::SubscriptionStart {
+            subscription,
+            query,
+            initial,
+        } => {
+            s.push_str(",\"subscription\":");
+            push_escaped(&mut s, subscription);
+            s.push_str(",\"query\":");
+            push_escaped(&mut s, query);
+            let _ = write!(s, ",\"initial\":{initial}");
+        }
+        EventKind::SubscriptionDelta {
+            subscription,
+            version,
+            added,
+            removed,
+            changed,
+            full_reeval,
+        } => {
+            s.push_str(",\"subscription\":");
+            push_escaped(&mut s, subscription);
+            let _ = write!(
+                s,
+                ",\"version\":{version},\"added\":{added},\"removed\":{removed},\"changed\":{changed},\"full_reeval\":{full_reeval}"
+            );
+        }
     }
     s.push('}');
     s
@@ -591,6 +617,19 @@ pub fn event_from_json(line: &str) -> Result<Event, String> {
         "deadline" => EventKind::DeadlineExceeded {
             pending: req_usize(&v, "pending")?,
         },
+        "subscription_start" => EventKind::SubscriptionStart {
+            subscription: req_str(&v, "subscription")?,
+            query: req_str(&v, "query")?,
+            initial: req_usize(&v, "initial")?,
+        },
+        "subscription_delta" => EventKind::SubscriptionDelta {
+            subscription: req_str(&v, "subscription")?,
+            version: req_u64(&v, "version")?,
+            added: req_usize(&v, "added")?,
+            removed: req_usize(&v, "removed")?,
+            changed: req_usize(&v, "changed")?,
+            full_reeval: req_bool(&v, "full_reeval")?,
+        },
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok(Event {
@@ -752,6 +791,46 @@ mod tests {
         assert!(text.contains("\"kind\":\"deadline\""), "{text}");
         assert!(text.contains("\"reason\":\"inflight\""), "{text}");
         assert!(text.contains("\"reason\":\"latency\""), "{text}");
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+        assert_eq!(to_jsonl(&back), text);
+    }
+
+    #[test]
+    fn subscription_events_roundtrip() {
+        let mk = |seq, kind| Event {
+            seq,
+            sim_ms: 2.0,
+            round: 0,
+            layer: 0,
+            cpu_ms: None,
+            kind,
+        };
+        let events = vec![
+            mk(
+                0,
+                EventKind::SubscriptionStart {
+                    subscription: "price-watch-3".into(),
+                    query: "/hotels/hotel/price".into(),
+                    initial: 12,
+                },
+            ),
+            mk(
+                1,
+                EventKind::SubscriptionDelta {
+                    subscription: "price-watch-3".into(),
+                    version: 7,
+                    added: 2,
+                    removed: 1,
+                    changed: 1,
+                    full_reeval: false,
+                },
+            ),
+        ];
+        let text = to_jsonl(&events);
+        assert!(text.contains("\"kind\":\"subscription_start\""), "{text}");
+        assert!(text.contains("\"kind\":\"subscription_delta\""), "{text}");
+        assert!(text.contains("\"version\":7"), "{text}");
         let back = parse_jsonl(&text).unwrap();
         assert_eq!(back, events);
         assert_eq!(to_jsonl(&back), text);

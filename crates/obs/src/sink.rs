@@ -124,7 +124,10 @@ impl<W: Write + Send> PrettySink<W> {
 /// run.
 pub fn pretty_line(e: &Event) -> String {
     let indent = match &e.kind {
-        EventKind::QueryStart { .. } | EventKind::QueryEnd { .. } => 0,
+        EventKind::QueryStart { .. }
+        | EventKind::QueryEnd { .. }
+        | EventKind::SubscriptionStart { .. }
+        | EventKind::SubscriptionDelta { .. } => 0,
         EventKind::LayerStart { .. }
         | EventKind::LayerEnd
         | EventKind::Truncated { .. }
@@ -257,6 +260,22 @@ pub fn pretty_line(e: &Event) -> String {
         EventKind::DeadlineExceeded { pending } => {
             format!("DEADLINE EXCEEDED with {pending} candidates pending")
         }
+        EventKind::SubscriptionStart {
+            subscription,
+            query,
+            initial,
+        } => format!("subscribe {subscription} to {query} ({initial} initial rows)"),
+        EventKind::SubscriptionDelta {
+            subscription,
+            version,
+            added,
+            removed,
+            changed,
+            full_reeval,
+        } => format!(
+            "delta {subscription}@v{version}: +{added} -{removed} ~{changed}{}",
+            if *full_reeval { " [full re-eval]" } else { "" }
+        ),
     };
     format!("{:>9.2}ms {pad}{body}", e.sim_ms)
 }

@@ -368,6 +368,40 @@ impl CallCache {
         n
     }
 
+    /// The end of the TTL validity window of the cached entry for
+    /// `(service, params, pushed)`, in simulated milliseconds —
+    /// `f64::INFINITY` for entries that never expire, `None` when
+    /// nothing is cached under that key. Purely observational: unlike a
+    /// lookup, this never counts as a probe, touches recency, or removes
+    /// an expired entry.
+    pub fn expiry_of(
+        &self,
+        service: &str,
+        params: &Forest,
+        pushed: Option<&PushedQuery>,
+    ) -> Option<f64> {
+        let key = Key::new(service, params, pushed);
+        let shard = self.shards[key.shard(self.shards.len())].lock().unwrap();
+        shard.map.get(&key).map(|e| e.expires_at_ms)
+    }
+
+    /// The earliest *finite* expiry instant over all live entries: the
+    /// next simulated time at which some cached result lapses and a
+    /// refresh could do real work. `None` when nothing ever expires
+    /// (cache empty, or every window infinite).
+    pub fn earliest_expiry(&self) -> Option<f64> {
+        let mut min: Option<f64> = None;
+        for s in &self.shards {
+            let shard = s.lock().unwrap();
+            for e in shard.map.values() {
+                if e.expires_at_ms.is_finite() && min.is_none_or(|m| e.expires_at_ms < m) {
+                    min = Some(e.expires_at_ms);
+                }
+            }
+        }
+        min
+    }
+
     /// Evicts globally least-recently-used entries until the budgets hold.
     /// Locks every shard in index order (a fixed total order, so two
     /// concurrent evictors cannot deadlock) and picks victims by global
@@ -857,6 +891,42 @@ mod tests {
             cache.lookup("slow", &params("1"), None, 500.0),
             CacheLookup::Hit(_)
         ));
+    }
+
+    #[test]
+    fn expiry_introspection() {
+        let cache = CallCache::new(
+            CacheConfig::with_ttl_ms(1_000.0)
+                .ttl_for("fast", 10.0)
+                .ttl_for("forever", f64::INFINITY),
+        );
+        assert_eq!(cache.earliest_expiry(), None, "empty cache: nothing lapses");
+        cache.store("forever", &params("1"), None, &outcome("<a/>"), 0.0);
+        assert_eq!(
+            cache.expiry_of("forever", &params("1"), None),
+            Some(f64::INFINITY)
+        );
+        assert_eq!(
+            cache.earliest_expiry(),
+            None,
+            "infinite windows never lapse"
+        );
+        cache.store("slow", &params("1"), None, &outcome("<a/>"), 5.0);
+        cache.store("fast", &params("1"), None, &outcome("<a/>"), 5.0);
+        assert_eq!(cache.expiry_of("fast", &params("1"), None), Some(15.0));
+        assert_eq!(cache.expiry_of("slow", &params("1"), None), Some(1_005.0));
+        assert_eq!(cache.expiry_of("fast", &params("other"), None), None);
+        assert_eq!(cache.earliest_expiry(), Some(15.0));
+        // observation is not a probe: no stats moved, and an expired
+        // entry is still visible until a real lookup removes it
+        let before = cache.stats();
+        assert_eq!(cache.expiry_of("fast", &params("1"), None), Some(15.0));
+        assert_eq!(cache.stats(), before);
+        assert!(matches!(
+            cache.lookup("fast", &params("1"), None, 20.0),
+            CacheLookup::Stale
+        ));
+        assert_eq!(cache.earliest_expiry(), Some(1_005.0));
     }
 
     #[test]

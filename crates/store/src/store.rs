@@ -87,6 +87,28 @@ impl DocumentStore {
         &self.cache
     }
 
+    /// Enables publication-history retention on the document stored under
+    /// `name` (see [`VersionedDocument::enable_history`]) so subscribers
+    /// can catch up on missed splices from their own watermarks. Returns
+    /// `false` when no document is stored under that name.
+    pub fn watch(&self, name: &str, history_capacity: usize) -> bool {
+        match self.docs.get(name) {
+            Some(v) => {
+                v.enable_history(history_capacity);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The next simulated instant at which some cached call result lapses
+    /// — the subscription refresh driver's scheduling hook: before that
+    /// time every re-invocation is a zero-cost hit, so a refresh pass can
+    /// sleep until it. `None` when nothing ever expires.
+    pub fn next_refresh_ms(&self) -> Option<f64> {
+        self.cache.earliest_expiry()
+    }
+
     /// Opens a [`Session`] over the document stored under `name`: a
     /// stream of queries evaluated against the document with the store's
     /// shared cache and a simulated clock that persists between queries.

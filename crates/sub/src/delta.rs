@@ -1,0 +1,308 @@
+//! Answer deltas and the sinks that deliver them.
+//!
+//! A [`Delta`] is the unit a standing query emits: the rows its answer
+//! gained and lost at one published document version, tagged with that
+//! version and the engine's simulated clock. Deltas are *replayable*:
+//! applying a subscription's deltas in order to its initial answer
+//! reconstructs the answer at any emitted version — the invariant the
+//! oracle in [`crate::oracle`] checks against full re-evaluation.
+//!
+//! [`DeltaSink`] mirrors `axml_obs::TraceSink`: the engine pushes every
+//! delta to one sink; sinks keep it in memory ([`RingDeltaSink`]), append
+//! it as JSONL ([`JsonlDeltaSink`]), hand it to a closure
+//! ([`CallbackSink`]) or drop it ([`NullDeltaSink`]).
+
+use std::collections::BTreeSet;
+use std::io::Write;
+use std::sync::Mutex;
+
+/// One change to a standing query's answer, emitted when a published
+/// document version altered the rows the query returns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Delta {
+    /// The subscription that emitted the delta.
+    pub subscription: String,
+    /// The document version the delta brings the subscriber to.
+    pub version: u64,
+    /// The engine's simulated clock at emission, in ms.
+    pub sim_ms: f64,
+    /// Rows present at `version` but not before it, ordered.
+    pub added: Vec<Vec<String>>,
+    /// Rows present before `version` but not at it, ordered.
+    pub removed: Vec<Vec<String>>,
+    /// Rows counted as *changed*: an added and a removed row sharing the
+    /// same first column (the row's key in the common key-then-values
+    /// rendering). Informational — replay uses `added`/`removed` alone.
+    pub changed: usize,
+    /// Whether the delta came from a sound full re-evaluation (the
+    /// publication history had evicted the records this subscriber
+    /// needed, or a publication's change scope was unknown) instead of
+    /// the incremental scope-filtered path.
+    pub full_reeval: bool,
+    /// Notification latency: simulated ms between the cache-validity
+    /// lapse that triggered the refresh and this delta's emission.
+    /// `None` when the refresh was not lapse-triggered (initial catch-up,
+    /// explicit ticks).
+    pub latency_ms: Option<f64>,
+}
+
+impl Delta {
+    /// Whether the delta changes nothing (empty deltas are never emitted
+    /// by the engine, but replay tolerates them).
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    /// Applies the delta to an answer set: removes `removed`, inserts
+    /// `added`.
+    pub fn apply_to(&self, answers: &mut BTreeSet<Vec<String>>) {
+        for row in &self.removed {
+            answers.remove(row);
+        }
+        for row in &self.added {
+            answers.insert(row.clone());
+        }
+    }
+
+    /// Counts added/removed pairs sharing a first column — the `changed`
+    /// convention used by the engine when it builds deltas.
+    pub fn count_changed(added: &[Vec<String>], removed: &[Vec<String>]) -> usize {
+        let removed_keys: BTreeSet<&String> = removed.iter().filter_map(|r| r.first()).collect();
+        added
+            .iter()
+            .filter_map(|r| r.first())
+            .filter(|k| removed_keys.contains(k))
+            .count()
+    }
+
+    /// Deterministic single-line JSON rendering (field order fixed, keys
+    /// escaped like `axml_obs::json`).
+    pub fn to_json(&self) -> String {
+        let rows = |rows: &[Vec<String>]| {
+            let items: Vec<String> = rows
+                .iter()
+                .map(|r| {
+                    let cells: Vec<String> =
+                        r.iter().map(|c| format!("\"{}\"", escape(c))).collect();
+                    format!("[{}]", cells.join(","))
+                })
+                .collect();
+            format!("[{}]", items.join(","))
+        };
+        let latency = match self.latency_ms {
+            Some(l) => format!(",\"latency_ms\":{l}"),
+            None => String::new(),
+        };
+        format!(
+            "{{\"subscription\":\"{}\",\"version\":{},\"sim_ms\":{},\"added\":{},\"removed\":{},\"changed\":{},\"full_reeval\":{}{}}}",
+            escape(&self.subscription),
+            self.version,
+            self.sim_ms,
+            rows(&self.added),
+            rows(&self.removed),
+            self.changed,
+            self.full_reeval,
+            latency
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Receives a subscription engine's delta stream. Delivery happens from
+/// the engine's sequential reconcile phase, so a sink observes deltas in
+/// their deterministic order.
+pub trait DeltaSink: Send + Sync {
+    /// Accept one delta.
+    fn deliver(&self, delta: &Delta);
+}
+
+/// Keeps the most recent `capacity` deltas in memory (unbounded via
+/// [`RingDeltaSink::unbounded`]).
+pub struct RingDeltaSink {
+    capacity: usize,
+    deltas: Mutex<Vec<Delta>>,
+}
+
+impl RingDeltaSink {
+    /// A ring holding at most `capacity` deltas; older ones are dropped.
+    pub fn new(capacity: usize) -> Self {
+        RingDeltaSink {
+            capacity,
+            deltas: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A ring that never drops deltas.
+    pub fn unbounded() -> Self {
+        RingDeltaSink::new(usize::MAX)
+    }
+
+    /// Snapshot of the retained deltas, oldest first.
+    pub fn deltas(&self) -> Vec<Delta> {
+        self.deltas.lock().unwrap().clone()
+    }
+
+    /// Retained delta count.
+    pub fn len(&self) -> usize {
+        self.deltas.lock().unwrap().len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl DeltaSink for RingDeltaSink {
+    fn deliver(&self, delta: &Delta) {
+        let mut deltas = self.deltas.lock().unwrap();
+        if deltas.len() == self.capacity {
+            deltas.remove(0);
+        }
+        deltas.push(delta.clone());
+    }
+}
+
+/// Streams deltas as JSONL to any writer.
+pub struct JsonlDeltaSink<W: Write + Send> {
+    writer: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonlDeltaSink<W> {
+    /// JSONL stream to `writer`.
+    pub fn new(writer: W) -> Self {
+        JsonlDeltaSink {
+            writer: Mutex::new(writer),
+        }
+    }
+
+    /// Flush and recover the underlying writer.
+    pub fn into_inner(self) -> W {
+        let mut w = self.writer.into_inner().unwrap();
+        let _ = w.flush();
+        w
+    }
+}
+
+impl<W: Write + Send> DeltaSink for JsonlDeltaSink<W> {
+    fn deliver(&self, delta: &Delta) {
+        let mut w = self.writer.lock().unwrap();
+        let _ = writeln!(w, "{}", delta.to_json());
+    }
+}
+
+/// Hands every delta to a closure.
+pub struct CallbackSink<F: Fn(&Delta) + Send + Sync> {
+    f: F,
+}
+
+impl<F: Fn(&Delta) + Send + Sync> CallbackSink<F> {
+    /// Calls `f` for every delivered delta.
+    pub fn new(f: F) -> Self {
+        CallbackSink { f }
+    }
+}
+
+impl<F: Fn(&Delta) + Send + Sync> DeltaSink for CallbackSink<F> {
+    fn deliver(&self, delta: &Delta) {
+        (self.f)(delta)
+    }
+}
+
+/// Discards everything.
+pub struct NullDeltaSink;
+
+impl DeltaSink for NullDeltaSink {
+    fn deliver(&self, _delta: &Delta) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cells: &[&str]) -> Vec<String> {
+        cells.iter().map(|c| c.to_string()).collect()
+    }
+
+    fn delta() -> Delta {
+        Delta {
+            subscription: "watch".into(),
+            version: 3,
+            sim_ms: 120.0,
+            added: vec![row(&["Mama", "5"])],
+            removed: vec![row(&["Mama", "4"]), row(&["Grease", "1"])],
+            changed: 1,
+            full_reeval: false,
+            latency_ms: Some(20.0),
+        }
+    }
+
+    #[test]
+    fn apply_replays_adds_and_removes() {
+        let mut answers: BTreeSet<Vec<String>> = [row(&["Mama", "4"]), row(&["Grease", "1"])]
+            .into_iter()
+            .collect();
+        delta().apply_to(&mut answers);
+        assert_eq!(answers, [row(&["Mama", "5"])].into_iter().collect());
+    }
+
+    #[test]
+    fn changed_pairs_by_first_column() {
+        let d = delta();
+        assert_eq!(Delta::count_changed(&d.added, &d.removed), 1);
+        assert_eq!(Delta::count_changed(&d.added, &[]), 0);
+    }
+
+    #[test]
+    fn json_rendering_is_deterministic() {
+        let j = delta().to_json();
+        assert_eq!(
+            j,
+            "{\"subscription\":\"watch\",\"version\":3,\"sim_ms\":120,\
+             \"added\":[[\"Mama\",\"5\"]],\
+             \"removed\":[[\"Mama\",\"4\"],[\"Grease\",\"1\"]],\
+             \"changed\":1,\"full_reeval\":false,\"latency_ms\":20}"
+        );
+        let mut no_latency = delta();
+        no_latency.latency_ms = None;
+        assert!(!no_latency.to_json().contains("latency_ms"));
+    }
+
+    #[test]
+    fn ring_and_jsonl_and_callback_sinks_deliver() {
+        let ring = RingDeltaSink::new(1);
+        ring.deliver(&delta());
+        let mut second = delta();
+        second.version = 4;
+        ring.deliver(&second);
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.deltas()[0].version, 4);
+
+        let jsonl = JsonlDeltaSink::new(Vec::new());
+        jsonl.deliver(&delta());
+        let text = String::from_utf8(jsonl.into_inner()).unwrap();
+        assert!(text.starts_with("{\"subscription\":\"watch\""), "{text}");
+
+        let count = Mutex::new(0usize);
+        let cb = CallbackSink::new(|_d: &Delta| *count.lock().unwrap() += 1);
+        cb.deliver(&delta());
+        cb.deliver(&delta());
+        assert_eq!(*count.lock().unwrap(), 2);
+        NullDeltaSink.deliver(&delta());
+    }
+}

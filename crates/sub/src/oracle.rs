@@ -1,0 +1,174 @@
+//! The subscription oracle: delta streams must be *replayable*.
+//!
+//! For every published version `v` of the watched document, applying a
+//! subscription's accumulated deltas (those with `version ≤ v`) to its
+//! initial answer must reproduce exactly what a full evaluation of the
+//! standing query against version `v`'s document returns. Versions the
+//! engine skipped (scope-filtered) or judged unchanged are covered too:
+//! the replayed answer must equal the full evaluation there as well —
+//! that is precisely the soundness claim of the [`QueryScope`] filter.
+//!
+//! Evaluation of historical documents is pure when publications are
+//! materialized (their calls were consumed by the splice), so the check
+//! is timing- and scheduler-independent. With un-materialized calls in
+//! the history (external publishers in snapshot mode), use static
+//! services so evaluation is deterministic regardless of clock or cache.
+//!
+//! [`QueryScope`]: axml_core::QueryScope
+
+use crate::delta::Delta;
+use axml_core::{Engine, EngineConfig};
+use axml_query::{render_result, Pattern};
+use axml_schema::Schema;
+use axml_services::Registry;
+use axml_xml::{CatchUp, VersionedDocument};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// What [`check_subscription`] verified.
+#[derive(Clone, Debug, Default)]
+pub struct OracleReport {
+    /// Published versions the replayed answer was compared at.
+    pub versions_checked: usize,
+    /// Human-readable descriptions of every mismatch (empty = clean).
+    pub violations: Vec<String>,
+}
+
+impl OracleReport {
+    /// Whether every comparison held.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Panics with a readable report if any comparison failed.
+    pub fn assert_clean(&self) {
+        assert!(
+            self.is_clean(),
+            "subscription oracle found {} violation(s) over {} version(s):\n  {}",
+            self.violations.len(),
+            self.versions_checked,
+            self.violations.join("\n  ")
+        );
+    }
+}
+
+/// Replays `deltas` (in order) on top of `initial`, returning the
+/// reconstructed answer set.
+pub fn replay(initial: &BTreeSet<Vec<String>>, deltas: &[Delta]) -> BTreeSet<Vec<String>> {
+    let mut answers = initial.clone();
+    for d in deltas {
+        d.apply_to(&mut answers);
+    }
+    answers
+}
+
+/// Checks one subscription's delta stream against full re-evaluation at
+/// every version retained in `doc`'s publication history (from
+/// `initial_version`, the version the initial answer was computed at).
+///
+/// `deltas` must be the subscription's deltas in emission order; deltas
+/// of other subscriptions must be filtered out by the caller.
+pub fn check_subscription(
+    doc: &Arc<VersionedDocument>,
+    registry: &Registry,
+    schema: Option<&Schema>,
+    query: &Pattern,
+    initial: &BTreeSet<Vec<String>>,
+    initial_version: u64,
+    deltas: &[Delta],
+) -> OracleReport {
+    let mut report = OracleReport::default();
+    for w in deltas.windows(2) {
+        if w[1].version <= w[0].version {
+            report.violations.push(format!(
+                "delta versions not strictly increasing ({} then {})",
+                w[0].version, w[1].version
+            ));
+        }
+    }
+    let records = match doc.publications_since(initial_version) {
+        CatchUp::Records(records) => records,
+        CatchUp::Degraded(_) => {
+            report.violations.push(format!(
+                "publication history no longer reaches back to version {initial_version}; \
+                 raise the history capacity to run the oracle"
+            ));
+            return report;
+        }
+    };
+    let mut replayed = initial.clone();
+    let mut next_delta = 0usize;
+    for record in &records {
+        while next_delta < deltas.len() && deltas[next_delta].version <= record.version {
+            deltas[next_delta].apply_to(&mut replayed);
+            next_delta += 1;
+        }
+        let mut working = (*record.doc).clone();
+        let mut engine = Engine::new(registry, EngineConfig::default());
+        if let Some(schema) = schema {
+            engine = engine.with_schema(schema);
+        }
+        let engine_report = engine.evaluate(&mut working, query);
+        let full: BTreeSet<Vec<String>> = render_result(&working, &engine_report.result)
+            .into_iter()
+            .collect();
+        report.versions_checked += 1;
+        if replayed != full {
+            let missing: Vec<_> = full.difference(&replayed).cloned().collect();
+            let extra: Vec<_> = replayed.difference(&full).cloned().collect();
+            report.violations.push(format!(
+                "at version {}: replayed answer diverges from full re-evaluation \
+                 (missing {missing:?}, extra {extra:?})",
+                record.version
+            ));
+        }
+    }
+    if next_delta < deltas.len() {
+        report.violations.push(format!(
+            "{} delta(s) target versions beyond the published history (first: v{})",
+            deltas.len() - next_delta,
+            deltas[next_delta].version
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cells: &[&str]) -> Vec<String> {
+        cells.iter().map(|c| c.to_string()).collect()
+    }
+
+    #[test]
+    fn replay_applies_in_order() {
+        let initial: BTreeSet<Vec<String>> = [row(&["a"])].into_iter().collect();
+        let deltas = vec![
+            Delta {
+                subscription: "s".into(),
+                version: 1,
+                sim_ms: 0.0,
+                added: vec![row(&["b"])],
+                removed: vec![],
+                changed: 0,
+                full_reeval: false,
+                latency_ms: None,
+            },
+            Delta {
+                subscription: "s".into(),
+                version: 2,
+                sim_ms: 1.0,
+                added: vec![row(&["c"])],
+                removed: vec![row(&["a"]), row(&["b"])],
+                changed: 0,
+                full_reeval: false,
+                latency_ms: None,
+            },
+        ];
+        assert_eq!(
+            replay(&initial, &deltas),
+            [row(&["c"])].into_iter().collect()
+        );
+    }
+}

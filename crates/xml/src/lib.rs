@@ -38,5 +38,5 @@ pub use parse::{parse, ParseError, MAX_DEPTH};
 pub use serialize::{
     forest_serialized_len, serialized_len, subtree_to_xml, to_xml, to_xml_with, SerializeOptions,
 };
-pub use snapshot::{DocSnapshot, VersionedDocument};
+pub use snapshot::{CatchUp, DocSnapshot, PublicationRecord, VersionedDocument};
 pub use tree::{CallId, Descendants, Document, Forest, NodeId, NodeKind};

@@ -17,7 +17,8 @@
 //! pointers, and the working copy pays only for the pages it touches.
 
 use crate::tree::Document;
-use std::sync::{Arc, RwLock};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex, RwLock};
 
 /// A frozen version of a document: cheap to clone, never changes, stays
 /// readable even after newer versions are published.
@@ -54,19 +55,115 @@ impl std::ops::Deref for DocSnapshot {
     }
 }
 
+/// One retained publication on a [`VersionedDocument`]'s history ring:
+/// the published version, its frozen document, and — when the writer
+/// used a `*_tagged` publish — the label paths (root → changed node) the
+/// publication touched. `changed_paths: None` means the scope of the
+/// change is unknown, so consumers must assume everything may have
+/// changed.
+#[derive(Clone, Debug)]
+pub struct PublicationRecord {
+    /// The version number this publication produced.
+    pub version: u64,
+    /// The frozen document at that version.
+    pub doc: Arc<Document>,
+    /// Label paths the publication changed (`None` = unknown scope).
+    pub changed_paths: Option<Vec<Vec<String>>>,
+}
+
+/// What a subscriber catching up from a watermark gets back: either
+/// every publication it missed, in order, or — when the bounded history
+/// ring already evicted some of them — a degradation signal carrying the
+/// current snapshot, so the subscriber can fall back to a sound full
+/// re-evaluation. This is the multi-subscriber generalization of the
+/// engine's `splice_floor` rule: eviction never loses soundness, only
+/// incrementality.
+#[derive(Clone, Debug)]
+pub enum CatchUp {
+    /// Every publication with version > the watermark, oldest first.
+    Records(Vec<PublicationRecord>),
+    /// The ring evicted publications the subscriber has not seen; resync
+    /// from this snapshot of the current version.
+    Degraded(DocSnapshot),
+}
+
+/// The bounded publication-history ring (disabled until a subscriber
+/// calls [`VersionedDocument::enable_history`]). `floor` is the oldest
+/// version whose *successor publications* are all still retained: a
+/// watermark `< floor` cannot be caught up from records.
+#[derive(Debug, Default)]
+struct History {
+    capacity: usize,
+    floor: u64,
+    entries: VecDeque<PublicationRecord>,
+}
+
+impl History {
+    fn record(&mut self, rec: PublicationRecord) {
+        if self.capacity == 0 {
+            // retention disabled: every publication is immediately
+            // evicted, so no watermark below it can ever catch up
+            self.floor = rec.version;
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            if let Some(evicted) = self.entries.pop_front() {
+                // a watermark below the evicted version can no longer be
+                // served from records
+                self.floor = evicted.version;
+            }
+        }
+        self.entries.push_back(rec);
+    }
+}
+
 /// A document published in versions: reads are snapshots, writes are
 /// atomic whole-version publications.
+///
+/// With [`VersionedDocument::enable_history`] the document additionally
+/// retains a bounded ring of recent publications, each optionally tagged
+/// with the label paths it changed, so any number of subscribers can
+/// replay the splice stream from their own watermarks
+/// ([`VersionedDocument::publications_since`]) — degrading soundly to a
+/// full-resync signal when the ring has evicted what they missed.
 #[derive(Debug)]
 pub struct VersionedDocument {
     current: RwLock<(u64, Arc<Document>)>,
+    // lock order: `history` is only ever taken while holding `current`'s
+    // write lock (publication) or nothing (catch-up); never the reverse.
+    history: Mutex<History>,
 }
 
 impl VersionedDocument {
-    /// Wraps `doc` as version 0.
+    /// Wraps `doc` as version 0 (history disabled).
     pub fn new(doc: Document) -> Self {
         VersionedDocument {
             current: RwLock::new((0, Arc::new(doc))),
+            history: Mutex::new(History::default()),
         }
+    }
+
+    /// Starts retaining the last `capacity` publications for subscriber
+    /// catch-up. Only publications made *after* this call are retained;
+    /// the floor starts at the current version, so watermarks at or above
+    /// it can be served from records. `capacity == 0` disables retention
+    /// again (future catch-ups degrade).
+    pub fn enable_history(&self, capacity: usize) {
+        let g = self.current.read().expect("versioned document poisoned");
+        let mut h = self.history.lock().expect("publication history poisoned");
+        h.capacity = capacity;
+        h.floor = g.0;
+        h.entries.clear();
+    }
+
+    /// The oldest watermark that [`VersionedDocument::publications_since`]
+    /// can still serve from retained records (subscribers below it get
+    /// [`CatchUp::Degraded`]).
+    pub fn history_floor(&self) -> u64 {
+        self.history
+            .lock()
+            .expect("publication history poisoned")
+            .floor
     }
 
     /// The currently published version, as a frozen snapshot.
@@ -86,10 +183,19 @@ impl VersionedDocument {
     /// Publishes `doc` as the next version unconditionally (last writer
     /// wins) and returns the new version number. Existing snapshots are
     /// unaffected; future [`VersionedDocument::snapshot`] calls see `doc`.
+    /// The publication is retained with unknown change scope.
     pub fn publish(&self, doc: Document) -> u64 {
+        self.publish_tagged(doc, None)
+    }
+
+    /// [`VersionedDocument::publish`] with an explicit change scope: the
+    /// label paths (root → changed node) this publication touched, which
+    /// subscribers use to skip versions provably outside their queries.
+    pub fn publish_tagged(&self, doc: Document, changed_paths: Option<Vec<Vec<String>>>) -> u64 {
         let mut g = self.current.write().expect("versioned document poisoned");
         g.0 += 1;
         g.1 = Arc::new(doc);
+        self.record_locked(g.0, &g.1, changed_paths);
         g.0
     }
 
@@ -97,14 +203,57 @@ impl VersionedDocument {
     /// `base_version` (i.e. nobody published since the writer's snapshot).
     /// Returns the new version on success, or the current (conflicting)
     /// version as `Err` so the writer can re-snapshot and retry.
+    /// The publication is retained with unknown change scope.
     pub fn publish_if(&self, base_version: u64, doc: Document) -> Result<u64, u64> {
+        self.publish_if_tagged(base_version, doc, None)
+    }
+
+    /// [`VersionedDocument::publish_if`] with an explicit change scope
+    /// (see [`VersionedDocument::publish_tagged`]).
+    pub fn publish_if_tagged(
+        &self,
+        base_version: u64,
+        doc: Document,
+        changed_paths: Option<Vec<Vec<String>>>,
+    ) -> Result<u64, u64> {
         let mut g = self.current.write().expect("versioned document poisoned");
         if g.0 != base_version {
             return Err(g.0);
         }
         g.0 += 1;
         g.1 = Arc::new(doc);
+        self.record_locked(g.0, &g.1, changed_paths);
         Ok(g.0)
+    }
+
+    fn record_locked(&self, version: u64, doc: &Arc<Document>, paths: Option<Vec<Vec<String>>>) {
+        let mut h = self.history.lock().expect("publication history poisoned");
+        h.record(PublicationRecord {
+            version,
+            doc: Arc::clone(doc),
+            changed_paths: paths,
+        });
+    }
+
+    /// Every retained publication with version strictly greater than
+    /// `watermark`, oldest first — or [`CatchUp::Degraded`] when the ring
+    /// has already evicted publications the subscriber missed (watermark
+    /// below the history floor), in which case the subscriber must resync
+    /// from the carried snapshot. A watermark at the current version
+    /// yields an empty record list (nothing to catch up).
+    pub fn publications_since(&self, watermark: u64) -> CatchUp {
+        let h = self.history.lock().expect("publication history poisoned");
+        if watermark < h.floor {
+            drop(h);
+            return CatchUp::Degraded(self.snapshot());
+        }
+        CatchUp::Records(
+            h.entries
+                .iter()
+                .filter(|r| r.version > watermark)
+                .cloned()
+                .collect(),
+        )
     }
 }
 
@@ -152,6 +301,65 @@ mod tests {
         assert!(v.snapshot().children(v.snapshot().root()).is_empty());
         v.publish(work);
         assert_eq!(v.snapshot().children(v.snapshot().root()).len(), 1);
+    }
+
+    #[test]
+    fn history_replays_publications_from_a_watermark() {
+        let v = VersionedDocument::new(doc("r"));
+        v.enable_history(8);
+        v.publish_tagged(doc("a"), Some(vec![vec!["r".into(), "a".into()]]));
+        v.publish(doc("b")); // unknown scope
+        let CatchUp::Records(recs) = v.publications_since(0) else {
+            panic!("watermark 0 is at the floor; no degradation expected");
+        };
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].version, 1);
+        assert_eq!(
+            recs[0].changed_paths,
+            Some(vec![vec!["r".to_string(), "a".to_string()]])
+        );
+        assert_eq!(recs[0].doc.label(recs[0].doc.root()), "a");
+        assert_eq!(recs[1].version, 2);
+        assert_eq!(recs[1].changed_paths, None);
+        // a caught-up subscriber gets nothing
+        let CatchUp::Records(recs) = v.publications_since(2) else {
+            panic!("caught-up watermark must not degrade");
+        };
+        assert!(recs.is_empty());
+    }
+
+    #[test]
+    fn history_eviction_degrades_stale_watermarks_soundly() {
+        let v = VersionedDocument::new(doc("r"));
+        v.enable_history(2);
+        for i in 0..4 {
+            v.publish(doc(&format!("v{i}")));
+        }
+        // versions 1 and 2 were evicted; floor is at 2
+        assert_eq!(v.history_floor(), 2);
+        match v.publications_since(0) {
+            CatchUp::Degraded(snap) => assert_eq!(snap.version(), 4),
+            CatchUp::Records(_) => panic!("stale watermark must degrade"),
+        }
+        // a watermark at the floor still catches up from records
+        let CatchUp::Records(recs) = v.publications_since(2) else {
+            panic!("watermark at the floor must be served");
+        };
+        assert_eq!(
+            recs.iter().map(|r| r.version).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+    }
+
+    #[test]
+    fn disabled_history_degrades_instead_of_claiming_no_changes() {
+        let v = VersionedDocument::new(doc("r"));
+        let w = v.version();
+        v.publish(doc("a"));
+        match v.publications_since(w) {
+            CatchUp::Degraded(snap) => assert_eq!(snap.version(), 1),
+            CatchUp::Records(r) => panic!("unretained publication served as {r:?}"),
+        }
     }
 
     #[test]

@@ -22,6 +22,13 @@
 //!              [--cache-ttl-ms X] [--cache-capacity N] [--cache-bytes N] \
 //!              [--cache-shards N] \
 //!              [--quiet] [--stats] [--trace] [--trace-json PATH] [--trace-summary]
+//! axml subscribe --doc doc.xml --world world.xml \
+//!                --query Q1 [--query Q2 ...] [--horizon-ms X] \
+//!                [--watch-ms X] [--max-refires N] [--refresh-depth N] \
+//!                [--history N] [--latency-ms X] \
+//!                [--cache-ttl-ms X] [--cache-capacity N] [--cache-bytes N] \
+//!                [--deltas-json PATH] [--quiet] [--stats] \
+//!                [--trace-json PATH] [--trace-summary]
 //! axml validate --doc doc.xml --schema schema.txt
 //! axml termination --doc doc.xml --schema schema.txt
 //! axml materialize --doc doc.xml --world world.xml [--max-calls N]
@@ -115,6 +122,7 @@ fn run(args: Vec<String>) -> Result<(), String> {
     match cmd.as_str() {
         "query" => cmd_query(&opts),
         "session" => cmd_session(&opts),
+        "subscribe" => cmd_subscribe(&opts),
         "relevant" => cmd_relevant(&opts),
         "validate" => cmd_validate(&opts),
         "termination" => cmd_termination(&opts),
@@ -134,6 +142,7 @@ fn print_usage() {
          commands:\n\
          \x20 query        evaluate a tree-pattern query lazily\n\
          \x20 session      evaluate a stream of queries with a shared call cache\n\
+         \x20 subscribe    register standing queries and stream answer deltas\n\
          \x20 relevant     list the calls relevant for a query (Prop. 1)\n\
          \x20 validate     check a document against a schema\n\
          \x20 termination  static termination analysis of a document's calls\n\
@@ -549,6 +558,157 @@ fn cmd_session(opts: &Opts) -> Result<(), String> {
         session.cache().len(),
         session.cache().total_bytes()
     );
+    if let Some(r) = &ring {
+        finish_trace(opts, r)?;
+    }
+    Ok(())
+}
+
+/// Continuous AXML from the command line: registers every `--query` as a
+/// standing subscription over the stored document and drives the
+/// refresh/reconcile loop for `--horizon-ms` of simulated time. Each
+/// cache-TTL lapse (`--cache-ttl-ms`, or per-service windows from the
+/// world file's defaults) triggers a refresh that re-invokes exactly the
+/// lapsed calls; subscribers whose scope a new version cannot affect
+/// skip it without evaluation. Answer deltas stream to stdout (and to
+/// `--deltas-json PATH` as JSONL). `--watch-ms` sets the idle polling
+/// tick, `--max-refires` bounds total re-invocations per subscription,
+/// `--refresh-depth` bounds the calls any single refresh may chase.
+fn cmd_subscribe(opts: &Opts) -> Result<(), String> {
+    use activexml::sub::{SubscriptionEngine, SubscriptionOptions};
+
+    let doc = load_doc(opts)?;
+    let sources = opts.values_of("query");
+    if sources.is_empty() {
+        return Err("subscribe needs at least one --query".into());
+    }
+    let queries: Vec<Pattern> = sources
+        .iter()
+        .map(|src| parse_query(src).map_err(|e| format!("{src:?}: {e}")))
+        .collect::<Result<_, _>>()?;
+    let mut registry = load_world(opts)?;
+    apply_fault_opts(&mut registry, opts)?;
+    let schema = load_schema(opts)?;
+
+    let mut options = SubscriptionOptions {
+        engine: engine_config(opts)?,
+        ..SubscriptionOptions::default()
+    };
+    if let Some(v) = opts.value("watch-ms") {
+        options.watch_ms = v
+            .parse()
+            .ok()
+            .filter(|ms: &f64| *ms > 0.0)
+            .ok_or_else(|| format!("--watch-ms expects positive milliseconds, got {v:?}"))?;
+    }
+    if let Some(v) = opts.value("max-refires") {
+        options.max_refires = v
+            .parse()
+            .map_err(|_| format!("--max-refires expects a count, got {v:?}"))?;
+    }
+    if let Some(v) = opts.value("refresh-depth") {
+        options.refresh_depth = v
+            .parse()
+            .map_err(|_| format!("--refresh-depth expects a count, got {v:?}"))?;
+    }
+    if let Some(v) = opts.value("history") {
+        options.history_capacity = v
+            .parse()
+            .map_err(|_| format!("--history expects a count, got {v:?}"))?;
+    }
+    let horizon_ms: f64 = match opts.value("horizon-ms") {
+        None => 1_000.0,
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--horizon-ms expects milliseconds, got {v:?}"))?,
+    };
+
+    let ring = trace_collector(opts);
+    let mut store = DocumentStore::with_cache_config(cache_config(opts)?);
+    store.insert("doc", doc);
+    let mut engine =
+        SubscriptionEngine::over_store(&store, "doc", &registry, schema.as_ref(), options)
+            .expect("document just inserted");
+    if let Some(r) = &ring {
+        engine = engine.with_observer(r);
+    }
+
+    for (i, query) in queries.iter().enumerate() {
+        let name = format!("sub-{}", i + 1);
+        let initial = engine.subscribe(name.clone(), query.clone());
+        println!(
+            "-- {name}: {} ({} initial rows)",
+            render(query),
+            initial.len()
+        );
+        if !opts.flag("quiet") {
+            for row in &initial {
+                println!("   {}", row.join(" | "));
+            }
+        }
+    }
+
+    let deltas = engine.run_until(horizon_ms);
+    for d in &deltas {
+        println!(
+            "@{:.1} ms  {}  v{}{}  +{} -{} rows{}",
+            d.sim_ms,
+            d.subscription,
+            d.version,
+            if d.full_reeval { "  [full]" } else { "" },
+            d.added.len(),
+            d.removed.len(),
+            match d.latency_ms {
+                Some(l) => format!("  ({l:.1} ms after lapse)"),
+                None => String::new(),
+            }
+        );
+        if !opts.flag("quiet") {
+            for row in &d.added {
+                println!("   + {}", row.join(" | "));
+            }
+            for row in &d.removed {
+                println!("   - {}", row.join(" | "));
+            }
+        }
+    }
+    if let Some(path) = opts.value("deltas-json") {
+        let mut out = String::new();
+        for d in &deltas {
+            out.push_str(&d.to_json());
+            out.push('\n');
+        }
+        std::fs::write(path, out).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+
+    let stats = engine.stats();
+    println!(
+        "== subscribe: {} subscription(s), {} refresh(es), {} version(s) published, \
+         {} delta(s), {} version(s) scope-skipped, {} re-invocation(s), clock {:.1} ms",
+        queries.len(),
+        stats.refreshes,
+        stats.publications,
+        stats.deltas_emitted,
+        stats.versions_skipped,
+        stats.refresh_invocations,
+        engine.clock_ms()
+    );
+    if opts.flag("stats") {
+        for s in engine.status() {
+            eprintln!(
+                "{}: watermark v{}, {} rows, {} delta(s), {} skipped, {} refire(s) left",
+                s.name,
+                s.watermark,
+                s.rows,
+                s.deltas_emitted,
+                s.versions_skipped,
+                match s.refires_left {
+                    usize::MAX => "unbounded".to_string(),
+                    n => n.to_string(),
+                }
+            );
+        }
+    }
     if let Some(r) = &ring {
         finish_trace(opts, r)?;
     }

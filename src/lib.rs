@@ -19,4 +19,5 @@ pub use axml_query as query;
 pub use axml_schema as schema;
 pub use axml_services as services;
 pub use axml_store as store;
+pub use axml_sub as sub;
 pub use axml_xml as xml;
