@@ -52,6 +52,17 @@ fn main() {
     let e16_min_ratio: Option<f64> =
         take_value(&mut args, "--e16-min-ratio").map(|v| v.parse().expect("--e16-min-ratio"));
     let e16_baseline: Option<String> = take_value(&mut args, "--e16-baseline");
+    // E17 artifact/assertion knobs (see EXPERIMENTS.md):
+    //   --e17-json PATH            write the BENCH_E17.json artifact
+    //   --e17-min-amortization N   exit nonzero unless the warm plan cache
+    //                              beats per-session compilation N× at the
+    //                              largest session fan-out
+    //   --e17-baseline PATH        exit nonzero if any amortization ratio
+    //                              regressed >40% vs the committed baseline
+    let e17_json: Option<String> = take_value(&mut args, "--e17-json");
+    let e17_min_amortization: Option<f64> = take_value(&mut args, "--e17-min-amortization")
+        .map(|v| v.parse().expect("--e17-min-amortization"));
+    let e17_baseline: Option<String> = take_value(&mut args, "--e17-baseline");
     let emit = |name: &str, xname: &str, rows: &[ex::Row]| {
         if let Some(dir) = &csv_dir {
             let path = format!("{dir}/{name}.csv");
@@ -436,6 +447,96 @@ fn main() {
                 std::process::exit(1);
             }
             eprintln!("report: E16 within 40% of baseline {bpath} — ok");
+        }
+    }
+    if want("e17") || want("plans") {
+        let rows = ex::e17_plan_amortization(&[1, 4, 16, 64], 3);
+        ex::print_table(
+            "E17 — compiled-plan amortization (cold compile vs warm plan cache)",
+            "sessions",
+            &rows,
+        );
+        emit("e17", "sessions", &rows);
+        if let Some(path) = &e17_json {
+            match std::fs::write(path, ex::e17_to_json(&rows)) {
+                Ok(()) => eprintln!("report: wrote {path}"),
+                Err(e) => {
+                    eprintln!("report: writing {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        let amortization_of = |rows: &[ex::Row], series: &str, sessions: f64| -> Option<f64> {
+            rows.iter()
+                .find(|r| r.label == series && r.x == sessions)
+                .and_then(|r| {
+                    r.metrics
+                        .iter()
+                        .find(|(n, _)| *n == "amortization")
+                        .map(|(_, v)| *v)
+                })
+        };
+        let largest = rows.iter().map(|r| r.x).fold(0.0_f64, f64::max);
+        if let Some(min) = e17_min_amortization {
+            // the headline claim: at the largest session fan-out, the warm
+            // plan cache beats per-session compilation by at least N× on
+            // the best workload — same-machine ratio, machine-independent
+            let (series, got) = rows
+                .iter()
+                .filter(|r| r.x == largest)
+                .filter_map(|r| {
+                    amortization_of(&rows, &r.label, largest).map(|s| (r.label.clone(), s))
+                })
+                .fold((String::new(), 0.0_f64), |best, cur| {
+                    if cur.1 > best.1 {
+                        cur
+                    } else {
+                        best
+                    }
+                });
+            if got < min {
+                eprintln!(
+                    "report: E17 amortization regression — best workload ({series}) \
+                     at {largest} sessions reached {got:.2}x, needs >= {min}x"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("report: E17 amortization {got:.2}x ({series}, floor {min}x) — ok");
+        }
+        if let Some(bpath) = &e17_baseline {
+            // compare amortization *ratios* only — cold_ms is machine-
+            // dependent, the cold-to-cached ratio on the same machine is
+            // not. Cached fetches are sub-microsecond, so the ratio
+            // jitters like E16's — 40% tolerance, with the absolute floor
+            // enforced separately by --e17-min-amortization
+            let text = std::fs::read_to_string(bpath)
+                .unwrap_or_else(|e| panic!("report: reading {bpath}: {e}"));
+            let mut regressed = false;
+            for b in ex::e17_parse_json(&text) {
+                // gate only rows where the baseline claims a real win
+                if b.amortization < 2.0 {
+                    continue;
+                }
+                let Some(got) = amortization_of(&rows, &b.series, b.sessions) else {
+                    continue; // sweep changed shape; baseline row is obsolete
+                };
+                if got < b.amortization * 0.6 {
+                    eprintln!(
+                        "report: E17 regression — {} at {} sessions: {:.2}x, \
+                         baseline {:.2}x (-{:.0}%)",
+                        b.series,
+                        b.sessions,
+                        got,
+                        b.amortization,
+                        (1.0 - got / b.amortization) * 100.0
+                    );
+                    regressed = true;
+                }
+            }
+            if regressed {
+                std::process::exit(1);
+            }
+            eprintln!("report: E17 within 40% of baseline {bpath} — ok");
         }
     }
 }

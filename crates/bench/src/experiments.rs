@@ -1568,3 +1568,141 @@ pub fn e16_parse_json(text: &str) -> Vec<E16Entry> {
         })
         .collect()
 }
+
+/// E17 — compiled-plan amortization: the cost of standing up N sessions
+/// that all ask the same query, with each session compiling its own
+/// [`axml_core::CompiledQuery`] from scratch (`cold`) versus all of them
+/// fetching from one warm shard-locked [`axml_store::PlanCache`]
+/// (`cached`) — where per-session work collapses to a fingerprint lookup
+/// plus the per-document symbol-table remap ([`bind`]).
+///
+/// Three workloads exercise three plan shapes: `hotels` (Figure 4 over
+/// the Figure 2 schema — schema DFAs and typed NFQs baked in),
+/// `auctions` (join variables, deeper pattern), `feeds` (the price
+/// watcher's flat scan). Answers are never computed — this measures the
+/// query-standup path the tentpole moved out of the per-document loop.
+/// `amortization` is cold CPU over cached CPU for the same cell;
+/// best-of-`reps` damps scheduler noise. `BENCH_E17.json` (written by
+/// the `report` binary) is the machine artifact CI asserts against.
+///
+/// [`bind`]: axml_query::QueryPlan::bind
+pub fn e17_plan_amortization(session_counts: &[usize], reps: usize) -> Vec<Row> {
+    use axml_core::CompiledQuery;
+    use axml_gen::auctions::{auction_query, generate_auctions, AuctionParams};
+    use axml_gen::feeds::{price_feed, PriceFeedParams};
+    use axml_store::{PlanCache, PlanCacheConfig};
+    use std::time::Instant;
+
+    let hotels = generate(&ScenarioParams {
+        hotels: 100,
+        ..Default::default()
+    });
+    let auctions = generate_auctions(&AuctionParams::default());
+    let feed = price_feed(&PriceFeedParams {
+        hotels: 100,
+        volatile_stride: 4,
+    });
+    let feed_query = feed.watchers[0].1.clone();
+    let workloads: Vec<(
+        &str,
+        Pattern,
+        Option<&axml_schema::Schema>,
+        &axml_xml::Document,
+    )> = vec![
+        ("hotels", figure4_query(), Some(&hotels.schema), &hotels.doc),
+        (
+            "auctions",
+            auction_query(),
+            Some(&auctions.schema),
+            &auctions.doc,
+        ),
+        ("feeds", feed_query, None, &feed.doc),
+    ];
+
+    let config = EngineConfig::default();
+    let mut rows = Vec::new();
+    for (name, query, schema, doc) in &workloads {
+        for &n in session_counts {
+            let mut cold_best = f64::INFINITY;
+            let mut cached_best = f64::INFINITY;
+            for _ in 0..reps.max(1) {
+                // cold: every session compiles its own plan, then binds it
+                let t = Instant::now();
+                for _ in 0..n {
+                    let plan = CompiledQuery::compile(query, *schema, &config);
+                    std::hint::black_box(plan.main_plan().bind(*doc));
+                }
+                cold_best = cold_best.min(t.elapsed().as_secs_f64() * 1e3);
+
+                // cached: one shared cache — first fetch compiles, the
+                // rest pay a fingerprint probe plus the same bind
+                let plans = PlanCache::new(PlanCacheConfig::default());
+                let t = Instant::now();
+                for _ in 0..n {
+                    let plan = plans.fetch(query, *schema, &config);
+                    std::hint::black_box(plan.main_plan().bind(*doc));
+                }
+                cached_best = cached_best.min(t.elapsed().as_secs_f64() * 1e3);
+            }
+            rows.push(Row {
+                label: (*name).to_string(),
+                x: n as f64,
+                metrics: vec![
+                    ("cold_ms", cold_best),
+                    ("cached_ms", cached_best),
+                    ("amortization", cold_best / cached_best.max(1e-9)),
+                ],
+            });
+        }
+    }
+    rows
+}
+
+/// Serializes E17 rows as the `BENCH_E17.json` artifact (same
+/// line-per-row shape as [`e14_to_json`]).
+pub fn e17_to_json(rows: &[Row]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e17\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"series\": \"{}\", \"sessions\": {}, ",
+            r.label, r.x
+        ));
+        let m: Vec<String> = r
+            .metrics
+            .iter()
+            .map(|(n, v)| format!("\"{n}\": {v:.4}"))
+            .collect();
+        out.push_str(&m.join(", "));
+        out.push_str(&format!("}}{sep}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One parsed `BENCH_E17.json` row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct E17Entry {
+    /// Workload series label.
+    pub series: String,
+    /// Sessions standing up the same query.
+    pub sessions: f64,
+    /// Cold per-session compile CPU, ms (machine-dependent — not compared).
+    pub cold_ms: f64,
+    /// Cold CPU over warm-cache CPU (machine-independent).
+    pub amortization: f64,
+}
+
+/// Parses the artifact written by [`e17_to_json`].
+pub fn e17_parse_json(text: &str) -> Vec<E17Entry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(E17Entry {
+                series: json_str_field(line, "series")?,
+                sessions: json_num_field(line, "sessions")?,
+                cold_ms: json_num_field(line, "cold_ms")?,
+                amortization: json_num_field(line, "amortization")?,
+            })
+        })
+        .collect()
+}

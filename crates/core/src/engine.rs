@@ -22,19 +22,21 @@
 use crate::fguide::{filter_candidates, FGuide};
 use crate::influence::{compute_layers, Layers};
 use crate::nfq::{build_lpqs, build_nfqs, relax_nfq_to_xpath, Nfq};
+use crate::plan::CompiledQuery;
 use crate::stats::EngineStats;
 use crate::typed::TypeRefiner;
 use axml_obs::{CacheOutcome, Event, EventKind, ShedReason, TraceSink};
 use axml_query::{
-    eval_with, render, EdgeKind, EvalOptions, EvaluatorCache, PLabel, Pattern, SnapshotResult,
+    eval_with, render, EdgeKind, EvalOptions, PLabel, Pattern, PlanScratch, SnapshotResult,
 };
-use axml_schema::{SatMode, Schema, SymNfa};
+use axml_schema::{SatMode, Schema, SymDfa, SymNfa};
 use axml_services::{
     CacheLookup, Deadline, FailedCall, InvokeCache, InvokeError, InvokeOutcome, PushedQuery,
     Registry, SimClock,
 };
 use axml_xml::{CallId, Document, NodeId};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Which family of call-finding queries drives the rewriting.
@@ -156,6 +158,13 @@ pub struct EngineConfig {
     pub hedge: HedgeConfig,
     /// Adaptive load-shedding policy (off by default).
     pub shed: ShedConfig,
+    /// Consult a [`CompiledQuery`] attached via [`Engine::with_plan`]
+    /// (on by default). Off, the engine ignores any attached plan and
+    /// recompiles every query-derived artifact per run — the
+    /// *interpreted* path the differential plan-equivalence oracle
+    /// compares against. Answers, traces and statistics are identical
+    /// either way.
+    pub use_plans: bool,
 }
 
 /// When to fire a duplicate *hedge leg* for a slow call inside a parallel
@@ -274,6 +283,7 @@ impl Default for EngineConfig {
             deadline_ms: f64::INFINITY,
             hedge: HedgeConfig::default(),
             shed: ShedConfig::default(),
+            use_plans: true,
         }
     }
 }
@@ -382,6 +392,7 @@ pub struct Engine<'a> {
     observer: Option<&'a dyn TraceSink>,
     start_ms: f64,
     config: EngineConfig,
+    plan: Option<Arc<CompiledQuery>>,
 }
 
 impl<'a> Engine<'a> {
@@ -394,7 +405,30 @@ impl<'a> Engine<'a> {
             observer: None,
             start_ms: 0.0,
             config,
+            plan: None,
         }
+    }
+
+    /// Attaches a [`CompiledQuery`]: runs whose `(query, schema, config)`
+    /// match the plan's compile key skip NFQ/LPQ construction, containment
+    /// pruning, layer computation and label-NFA builds, reuse the plan's
+    /// satisfiability verdicts, and evaluate the final answer through the
+    /// plan's symbol remap. A non-matching plan is ignored — never
+    /// misapplied. Gated by [`EngineConfig::use_plans`].
+    pub fn with_plan(mut self, plan: Arc<CompiledQuery>) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// The attached plan, iff enabled and compiled for exactly this
+    /// `(query, schema, config)`.
+    fn active_plan(&self, query: &Pattern) -> Option<&CompiledQuery> {
+        if !self.config.use_plans {
+            return None;
+        }
+        self.plan
+            .as_deref()
+            .filter(|p| p.compatible(query, self.schema, &self.config))
     }
 
     /// Attaches a structured-trace observer: every observable step of a
@@ -472,6 +506,9 @@ impl<'a> Engine<'a> {
             observer: self.observer,
             start_ms: self.start_ms,
             config: shared_config,
+            // the shared loop mixes several queries; per-query plans
+            // don't apply (and push is off anyway)
+            plan: None,
         };
         let mut run = Run {
             engine: &engine,
@@ -487,9 +524,10 @@ impl<'a> Engine<'a> {
             splice_floor: 0,
             nfq_cache: HashMap::new(),
             affected_nfas: HashMap::new(),
+            pos_nfas: HashMap::new(),
             affected_sym: HashMap::new(),
             pos_sym: HashMap::new(),
-            eval_cache: EvaluatorCache::default(),
+            eval_cache: PlanScratch::default(),
             trace: Vec::new(),
             seq: 0,
             layer: 0,
@@ -565,7 +603,7 @@ impl<'a> Engine<'a> {
         }
         let shared_stats = run.stats;
         let shared_trace = run.trace;
-        let mut final_cache = EvaluatorCache::default();
+        let mut final_cache = PlanScratch::default();
         queries
             .iter()
             .map(|q| {
@@ -603,9 +641,10 @@ impl<'a> Engine<'a> {
             splice_floor: 0,
             nfq_cache: HashMap::new(),
             affected_nfas: HashMap::new(),
+            pos_nfas: HashMap::new(),
             affected_sym: HashMap::new(),
             pos_sym: HashMap::new(),
-            eval_cache: EvaluatorCache::default(),
+            eval_cache: PlanScratch::default(),
             trace: Vec::new(),
             seq: 0,
             layer: 0,
@@ -627,7 +666,14 @@ impl<'a> Engine<'a> {
             Strategy::Nfq => run.run_nfq(doc),
         }
         let tq = Instant::now();
-        let result = eval_with(query, doc, self.config.eval_options, &mut run.eval_cache);
+        let result = match self.active_plan(query) {
+            // the remap road: bind the compiled plan into this document's
+            // symbol space (identical tables ⇒ identical result)
+            Some(p) => p
+                .plan
+                .eval_with(doc, self.config.eval_options, &mut run.eval_cache),
+            None => eval_with(query, doc, self.config.eval_options, &mut run.eval_cache),
+        };
         run.stats.final_eval_cpu = tq.elapsed();
         run.stats.sim_time_ms = run.clock.now_ms() - self.start_ms;
         run.stats.total_cpu = t0.elapsed();
@@ -722,15 +768,17 @@ struct Run<'e, 'a, 'q> {
     nfq_cache: HashMap<usize, NfqCacheEntry>,
     /// per-NFQ-index prefix-closed union of path languages
     affected_nfas: HashMap<usize, axml_schema::Nfa>,
+    /// per-NFQ-index label-level *position* language (the linear path,
+    /// suffix-closed for descendant-ended NFQs)
+    pos_nfas: HashMap<usize, axml_schema::Nfa>,
     /// symbol-compiled `affected_nfas`, stamped with the `sym_count` they
     /// were compiled at (recompiled when the symbol table grows)
-    affected_sym: HashMap<usize, (usize, SymNfa)>,
-    /// per-NFQ-index symbol-compiled *position* language (the linear path,
-    /// suffix-closed for descendant-ended NFQs), same staleness stamp
-    pos_sym: HashMap<usize, (usize, SymNfa)>,
+    affected_sym: HashMap<usize, (usize, SymAuto)>,
+    /// symbol-compiled `pos_nfas`, same staleness stamp
+    pos_sym: HashMap<usize, (usize, SymAuto)>,
     /// reusable evaluator memo tables (the NFQA loop re-evaluates
     /// patterns once per round)
-    eval_cache: EvaluatorCache,
+    eval_cache: PlanScratch,
     trace: Vec<TraceEvent>,
     /// monotone event counter for the structured trace (resets per run)
     seq: u64,
@@ -746,6 +794,37 @@ struct Run<'e, 'a, 'q> {
     /// whether the invocation currently being applied was hedged — read
     /// by the legacy `TraceEvent` mirror in `emit_with_cpu`
     pending_hedged: bool,
+}
+
+/// A symbol-compiled path automaton: determinized when the subset
+/// construction stays under a state cap, the NFA itself otherwise. Both
+/// forms accept exactly the same words (the schema crate pins agreement),
+/// so the choice never shows in answers or traces — only in per-word
+/// stepping cost on the incremental-detection hot path.
+enum SymAuto {
+    Dfa(SymDfa),
+    Nfa(SymNfa),
+}
+
+/// Subset-construction state cap: path-language NFAs are tiny (one state
+/// per query step plus closures), so blowups past this are pathological
+/// and fall back to NFA stepping.
+const SYM_DFA_MAX_STATES: usize = 64;
+
+impl SymAuto {
+    fn compile(nfa: SymNfa) -> SymAuto {
+        match nfa.determinize(SYM_DFA_MAX_STATES) {
+            Some(dfa) => SymAuto::Dfa(dfa),
+            None => SymAuto::Nfa(nfa),
+        }
+    }
+
+    fn accepts(&self, word: &[u32]) -> bool {
+        match self {
+            SymAuto::Dfa(d) => d.accepts(word),
+            SymAuto::Nfa(n) => n.accepts(word),
+        }
+    }
 }
 
 /// One invocation candidate.
@@ -1680,20 +1759,36 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
     // ---------------- LPQ / top-down ----------------
 
     fn run_lpq(&mut self, doc: &mut Document, one_at_a_time: bool) {
-        let mut lpqs = build_lpqs(self.query);
-        if self.config().containment_pruning {
-            let (kept, pruned) = crate::containment::prune_subsumed_lpqs(lpqs);
-            lpqs = kept;
-            self.stats.queries_pruned = pruned;
+        let plan = self.engine.active_plan(self.query);
+        let lpqs: Vec<crate::nfq::Lpq>;
+        let lpq_plans: Option<&[axml_query::QueryPlan]>;
+        if let Some(p) = plan {
+            lpqs = p.lpqs.clone();
+            lpq_plans = Some(&p.lpq_plans);
+            self.stats.queries_pruned = p.lpq_pruned;
+        } else {
+            let mut built = build_lpqs(self.query);
+            if self.config().containment_pruning {
+                let (kept, pruned) = crate::containment::prune_subsumed_lpqs(built);
+                built = kept;
+                self.stats.queries_pruned = pruned;
+            }
+            lpqs = built;
+            lpq_plans = None;
         }
         loop {
             let t = Instant::now();
             let mut cands: Vec<Candidate> = Vec::new();
             let mut seen: HashSet<CallId> = HashSet::new();
-            for lpq in &lpqs {
+            for (li, lpq) in lpqs.iter().enumerate() {
                 self.stats.relevance_evals += 1;
                 let opts = self.config().eval_options;
-                let r = eval_with(&lpq.pattern, doc, opts, &mut self.eval_cache);
+                let r = match lpq_plans {
+                    // LPQ patterns are immutable over the run, so the
+                    // compiled plan applies verbatim (remap per eval)
+                    Some(ps) => ps[li].eval_with(doc, opts, &mut self.eval_cache),
+                    None => eval_with(&lpq.pattern, doc, opts, &mut self.eval_cache),
+                };
                 for node in r.bindings_of(lpq.output) {
                     if let Some((id, svc)) = doc.call_info(node) {
                         if !self.dead.contains(&id) && seen.insert(id) {
@@ -1742,22 +1837,41 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
     // ---------------- NFQ (NFQA + layers + typing + F-guide) ----------------
 
     fn run_nfq(&mut self, doc: &mut Document) {
-        let mut nfqs = build_nfqs(self.query);
-        if self.config().relax_xpath {
-            nfqs = nfqs.iter().map(relax_nfq_to_xpath).collect();
+        let plan = self.engine.active_plan(self.query);
+        let mut nfqs;
+        let precomputed_layers: Option<Layers>;
+        if let Some(p) = plan {
+            // the compiled artifact: NFQs (relaxed/pruned), layers and
+            // label NFAs, byte-identical to what the code below builds
+            nfqs = p.nfqs.clone();
+            self.stats.queries_pruned = p.nfq_pruned;
+            precomputed_layers = Some(p.layers.clone());
+            for (i, nfa) in p.affected_nfas.iter().enumerate() {
+                self.affected_nfas.insert(i, nfa.clone());
+            }
+            for (i, nfa) in p.pos_nfas.iter().enumerate() {
+                self.pos_nfas.insert(i, nfa.clone());
+            }
+        } else {
+            nfqs = build_nfqs(self.query);
+            if self.config().relax_xpath {
+                nfqs = nfqs.iter().map(relax_nfq_to_xpath).collect();
+            }
+            if self.config().containment_pruning {
+                let (kept, pruned) = crate::containment::prune_subsumed_nfqs(self.query, nfqs);
+                nfqs = kept;
+                self.stats.queries_pruned = pruned;
+            }
+            precomputed_layers = None;
         }
-        if self.config().containment_pruning {
-            let (kept, pruned) = crate::containment::prune_subsumed_nfqs(self.query, nfqs);
-            nfqs = kept;
-            self.stats.queries_pruned = pruned;
-        }
+        let computed = precomputed_layers.unwrap_or_else(|| compute_layers(&nfqs));
         let layers: Layers = if self.config().layering {
-            compute_layers(&nfqs)
+            computed
         } else {
             // a single layer containing everything; check (✳) globally
             let all: Vec<usize> = (0..nfqs.len()).collect();
-            let l = compute_layers(&nfqs);
-            let independent = l.layers.len() == nfqs.len() && l.independent.iter().all(|&b| b);
+            let independent =
+                computed.layers.len() == nfqs.len() && computed.independent.iter().all(|&b| b);
             Layers {
                 layers: vec![all],
                 independent: vec![independent],
@@ -1774,8 +1888,14 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
             _ => None,
         };
         let schema = self.engine.schema;
-        let mut refiner =
-            typing.and_then(|mode| schema.map(|s| TypeRefiner::new(s, self.query, mode)));
+        let mut refiner = typing.and_then(|mode| {
+            schema.map(|s| match plan {
+                // share the plan's verdict store (keyed by the same
+                // (schema, query, typing) triple `compatible` checked)
+                Some(p) => TypeRefiner::with_verdicts(s, self.query, mode, p.verdicts.clone()),
+                None => TypeRefiner::new(s, self.query, mode),
+            })
+        });
 
         if self.config().speculation != Speculation::Off {
             self.run_nfq_speculative(doc, &nfqs, &mut refiner);
@@ -1846,6 +1966,7 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 for ni in changed_nfqs {
                     self.nfq_cache.remove(&ni);
                     self.affected_nfas.remove(&ni);
+                    self.pos_nfas.remove(&ni);
                     self.affected_sym.remove(&ni);
                     self.pos_sym.remove(&ni);
                 }
@@ -1932,7 +2053,8 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         // (a label unknown at compile time may have been interned since)
         let sym_count = doc.sym_count();
         if !matches!(self.affected_sym.get(&i), Some((stamp, _)) if *stamp == sym_count) {
-            let compiled = self.affected_nfas[&i].compile_syms(|l| doc.lookup_sym(l));
+            let compiled =
+                SymAuto::compile(self.affected_nfas[&i].compile_syms(|l| doc.lookup_sym(l)));
             self.affected_sym.insert(i, (sym_count, compiled));
         }
         let nfa = &self.affected_sym[&i].1;
@@ -1958,12 +2080,18 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
         // NFQs (calls strictly below any node matching the path)
         let sym_count = doc.sym_count();
         if !matches!(self.pos_sym.get(&i), Some((stamp, _)) if *stamp == sym_count) {
-            let mut nfa = axml_schema::Nfa::from_linear_path(&nfq.lin);
-            if nfq.via == EdgeKind::Descendant {
-                nfa = nfa.suffix_closure();
-            }
-            self.pos_sym
-                .insert(i, (sym_count, nfa.compile_syms(|l| doc.lookup_sym(l))));
+            let compiled = {
+                let nfa = self.pos_nfas.entry(i).or_insert_with(|| {
+                    let nfa = axml_schema::Nfa::from_linear_path(&nfq.lin);
+                    if nfq.via == EdgeKind::Descendant {
+                        nfa.suffix_closure()
+                    } else {
+                        nfa
+                    }
+                });
+                SymAuto::compile(nfa.compile_syms(|l| doc.lookup_sym(l)))
+            };
+            self.pos_sym.insert(i, (sym_count, compiled));
         }
         let word = match doc.parent(call) {
             Some(p) => doc.path_syms(p),
@@ -2123,18 +2251,10 @@ impl<'e, 'a, 'q> Run<'e, 'a, 'q> {
                 {
                     // cross-check against the seed evaluator (string
                     // compares, no index) — an independent code path
-                    let full: BTreeSet<NodeId> = eval_with(
-                        &effective.pattern,
-                        doc,
-                        EvalOptions {
-                            interning: false,
-                            index: false,
-                        },
-                        &mut EvaluatorCache::default(),
-                    )
-                    .bindings_of(effective.output)
-                    .into_iter()
-                    .collect();
+                    let full: BTreeSet<NodeId> = axml_query::seed_eval(&effective.pattern, doc)
+                        .bindings_of(effective.output)
+                        .into_iter()
+                        .collect();
                     let mine: BTreeSet<NodeId> = got.iter().copied().collect();
                     assert_eq!(
                         mine, full,

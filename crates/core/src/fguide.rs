@@ -248,7 +248,7 @@ pub fn filter_candidates(nfq: &Nfq, doc: &Document, candidates: &[NodeId]) -> Ve
 /// `aj`; checks labels and side conditions along the way.
 fn align(
     nfq: &Nfq,
-    matcher: &mut Matcher<'_>,
+    matcher: &mut Matcher<'_, Document>,
     path: &[PNodeId],
     anc: &[NodeId],
     pi: usize,

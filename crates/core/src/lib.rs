@@ -35,6 +35,7 @@ pub mod engine;
 pub mod fguide;
 pub mod influence;
 pub mod nfq;
+pub mod plan;
 pub mod scope;
 pub mod stats;
 pub mod typed;
@@ -47,9 +48,10 @@ pub use engine::{
 pub use fguide::{filter_candidates, FGuide};
 pub use influence::{compute_layers, may_influence, Layers};
 pub use nfq::{build_lpqs, build_nfq, build_nfqs, relax_nfq_to_xpath, Lpq, Nfq};
+pub use plan::{plan_fingerprint, CompiledQuery};
 pub use scope::QueryScope;
 pub use stats::{plural, EngineStats};
-pub use typed::TypeRefiner;
+pub use typed::{SatVerdicts, TypeRefiner};
 
 /// The paper's first contribution as a one-shot API: "an algorithm that,
 /// given a query q and a document d, finds all the function calls in d

@@ -12,6 +12,13 @@ use crate::nfq::Nfq;
 use axml_query::{EdgeKind, FunMatch, PLabel, PNodeId, Pattern};
 use axml_schema::{SatMode, Satisfier, Schema};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Shared satisfiability-verdict store: (function name, guarded query
+/// node) → satisfies? Verdicts depend only on the `(schema, query, mode)`
+/// triple, never on a document, so a [`crate::CompiledQuery`] can carry
+/// one across sessions and hand it to every run's refiner.
+pub type SatVerdicts = Arc<Mutex<HashMap<(String, PNodeId), bool>>>;
 
 /// Caching refinement engine for one `(schema, query)` pair.
 pub struct TypeRefiner<'s, 'q> {
@@ -19,19 +26,31 @@ pub struct TypeRefiner<'s, 'q> {
     query: &'q Pattern,
     mode: SatMode,
     /// (function name, guarded query node) → satisfies?
-    cache: HashMap<(String, PNodeId), bool>,
+    cache: SatVerdicts,
     /// per query node: its subquery `sub_q_u` and incoming edge
     subqueries: HashMap<PNodeId, (Pattern, EdgeKind)>,
 }
 
 impl<'s, 'q> TypeRefiner<'s, 'q> {
-    /// Creates a refiner.
+    /// Creates a refiner with a private verdict cache.
     pub fn new(schema: &'s Schema, query: &'q Pattern, mode: SatMode) -> Self {
+        Self::with_verdicts(schema, query, mode, SatVerdicts::default())
+    }
+
+    /// Creates a refiner backed by a shared verdict cache. The caller must
+    /// key the cache by `(schema, query, mode)` — verdicts are only valid
+    /// for the exact triple they were computed under.
+    pub fn with_verdicts(
+        schema: &'s Schema,
+        query: &'q Pattern,
+        mode: SatMode,
+        verdicts: SatVerdicts,
+    ) -> Self {
         TypeRefiner {
             schema,
             query,
             mode,
-            cache: HashMap::new(),
+            cache: verdicts,
             subqueries: HashMap::new(),
         }
     }
@@ -39,12 +58,20 @@ impl<'s, 'q> TypeRefiner<'s, 'q> {
     /// Does `fname` satisfy the subquery rooted at query node `u`
     /// (Definition 6), memoized?
     pub fn satisfies(&mut self, fname: &str, u: PNodeId) -> bool {
-        if let Some(&b) = self.cache.get(&(fname.to_string(), u)) {
+        if let Some(&b) = self
+            .cache
+            .lock()
+            .expect("verdict cache poisoned")
+            .get(&(fname.to_string(), u))
+        {
             return b;
         }
         let (sub, via) = self.subquery(u);
         let b = Satisfier::new(self.schema, &sub, self.mode).function_satisfies(fname, via);
-        self.cache.insert((fname.to_string(), u), b);
+        self.cache
+            .lock()
+            .expect("verdict cache poisoned")
+            .insert((fname.to_string(), u), b);
         b
     }
 
@@ -243,6 +270,23 @@ mod tests {
         let u = node_named(&q, "restaurant");
         assert!(refiner.satisfies("getNearbyRestos", u));
         assert!(refiner.satisfies("getNearbyRestos", u)); // hits the cache
-        assert_eq!(refiner.cache.len(), 1);
+        assert_eq!(refiner.cache.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn shared_verdicts_survive_refiner_teardown() {
+        let q = fig4();
+        let s = figure2_schema();
+        let verdicts = SatVerdicts::default();
+        let u = node_named(&q, "restaurant");
+        {
+            let mut refiner =
+                TypeRefiner::with_verdicts(&s, &q, SatMode::Exact, Arc::clone(&verdicts));
+            assert!(refiner.satisfies("getNearbyRestos", u));
+        }
+        assert_eq!(verdicts.lock().unwrap().len(), 1);
+        // a second refiner sees the verdict without recomputation
+        let mut refiner2 = TypeRefiner::with_verdicts(&s, &q, SatMode::Exact, verdicts);
+        assert!(refiner2.satisfies("getNearbyRestos", u));
     }
 }

@@ -106,6 +106,82 @@ fn is_subscription_event(e: &Event) -> bool {
     )
 }
 
+/// Whether an event belongs to the plan-cache stream. Plan-cache probes
+/// are emitted by the store's plan cache, outside any engine query span
+/// (query traces are byte-identical with the plan cache on or off), so —
+/// like subscription events — they are partitioned out of the span checks
+/// and replayed by `check_plan_cache`.
+fn is_plan_cache_event(e: &Event) -> bool {
+    matches!(e.kind, EventKind::PlanCacheProbe { .. })
+}
+
+/// Structural checks on the plan-cache stream: the first probe of every
+/// key must be a miss (a hit before any compile would mean a plan
+/// materialized out of nowhere), and a key's rendered query text never
+/// changes (the key fingerprints the query, so two queries may not share
+/// one).
+fn check_plan_cache_stream(events: &[Event], out: &mut Vec<Violation>) {
+    let mut seen: BTreeMap<&str, &str> = BTreeMap::new(); // key -> query
+    for e in events {
+        if let EventKind::PlanCacheProbe { query, key, hit } = &e.kind {
+            match seen.get(key.as_str()) {
+                None => {
+                    if *hit {
+                        out.push(violation(
+                            "plan-cache",
+                            Some(e.seq),
+                            format!("key {key} hit before any miss compiled it"),
+                        ));
+                    }
+                    seen.insert(key.as_str(), query.as_str());
+                }
+                Some(prev) if *prev != query.as_str() => {
+                    out.push(violation(
+                        "plan-cache",
+                        Some(e.seq),
+                        format!(
+                            "key {key} probed for two different queries ({prev:?} vs {query:?})"
+                        ),
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Accounting identity between a stream's plan-cache probe events and the
+/// plan cache's own counters: hits and misses in the stream must equal
+/// the cache's aggregate counts over the same window.
+pub fn check_plan_cache(events: &[Event], hits: usize, misses: usize) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let (mut h, mut m) = (0usize, 0usize);
+    for e in events {
+        if let EventKind::PlanCacheProbe { hit, .. } = &e.kind {
+            if *hit {
+                h += 1;
+            } else {
+                m += 1;
+            }
+        }
+    }
+    if h != hits {
+        out.push(violation(
+            "plan-cache-accounting",
+            None,
+            format!("trace has {h} plan-cache hits, counters say {hits}"),
+        ));
+    }
+    if m != misses {
+        out.push(violation(
+            "plan-cache-accounting",
+            None,
+            format!("trace has {m} plan-cache misses, counters say {misses}"),
+        ));
+    }
+    out
+}
+
 /// Splits a stream into query spans. Events before the first
 /// `query_start` form a leading segment of their own (they would
 /// themselves be a structural violation, caught by `check_trace`).
@@ -478,12 +554,14 @@ fn check_subscriptions(events: &[Event], out: &mut Vec<Violation>) {
 /// subscription events. Returns all violations found (empty = clean).
 pub fn check_trace(events: &[Event]) -> Vec<Violation> {
     let mut out = Vec::new();
-    let (subs, engine): (Vec<Event>, Vec<Event>) =
+    let (subs, rest): (Vec<Event>, Vec<Event>) =
         events.iter().cloned().partition(is_subscription_event);
+    let (plans, engine): (Vec<Event>, Vec<Event>) = rest.into_iter().partition(is_plan_cache_event);
     for span in spans(&engine) {
         check_span(span, &mut out);
     }
     check_subscriptions(&subs, &mut out);
+    check_plan_cache_stream(&plans, &mut out);
     out
 }
 
@@ -819,6 +897,74 @@ mod tests {
     #[test]
     fn clean_trace_passes() {
         assert_clean(&clean_span(), Some(&clean_stats()));
+    }
+
+    fn probe(seq: u64, key: &str, hit: bool) -> Event {
+        ev(
+            seq,
+            0.0,
+            0,
+            EventKind::PlanCacheProbe {
+                query: "q".into(),
+                key: key.into(),
+                hit,
+            },
+        )
+    }
+
+    #[test]
+    fn plan_cache_stream_does_not_disturb_spans() {
+        // Plan-cache probes interleaved with a clean engine span must be
+        // partitioned out, not break the span checks.
+        let mut events = vec![probe(0, "k1", false)];
+        events.extend(clean_span());
+        events.push(probe(99, "k1", true));
+        let vs = check_trace(&events);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn plan_cache_hit_before_miss_flagged() {
+        let events = vec![probe(0, "k1", true)];
+        let vs = check_trace(&events);
+        assert!(vs.iter().any(|v| v.check == "plan-cache"), "{vs:?}");
+    }
+
+    #[test]
+    fn plan_cache_key_collision_flagged() {
+        let mut events = vec![probe(0, "k1", false)];
+        events.push(ev(
+            1,
+            0.0,
+            0,
+            EventKind::PlanCacheProbe {
+                query: "other".into(),
+                key: "k1".into(),
+                hit: true,
+            },
+        ));
+        let vs = check_trace(&events);
+        assert!(vs.iter().any(|v| v.check == "plan-cache"), "{vs:?}");
+    }
+
+    #[test]
+    fn plan_cache_accounting_matches_counters() {
+        let events = vec![
+            probe(0, "k1", false),
+            probe(1, "k1", true),
+            probe(2, "k2", false),
+        ];
+        assert!(check_plan_cache(&events, 1, 2).is_empty());
+        let vs = check_plan_cache(&events, 2, 2);
+        assert!(
+            vs.iter().any(|v| v.check == "plan-cache-accounting"),
+            "{vs:?}"
+        );
+        let vs = check_plan_cache(&events, 1, 1);
+        assert!(
+            vs.iter().any(|v| v.check == "plan-cache-accounting"),
+            "{vs:?}"
+        );
     }
 
     #[test]

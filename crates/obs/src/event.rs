@@ -239,6 +239,22 @@ pub enum EventKind {
         /// Rows in the initial answer.
         initial: usize,
     },
+    /// A compiled-plan cache probe and its outcome. Emitted by the
+    /// store's plan cache through its **own** sink, never into an
+    /// engine's query span — query traces must stay byte-identical with
+    /// the plan cache on or off, so plan-cache activity gets a stream of
+    /// its own (like subscription events, the span checks partition it
+    /// out).
+    PlanCacheProbe {
+        /// Rendered query text of the probed plan key.
+        query: String,
+        /// Stable fingerprint of the full plan key (query + schema +
+        /// compile-relevant config bits), hex-encoded.
+        key: String,
+        /// `true`: a compiled plan was reused. `false`: nothing cached
+        /// under the key — the probe compiled and inserted.
+        hit: bool,
+    },
     /// A standing query's answer changed at a published document version
     /// and a delta was delivered to its sinks.
     SubscriptionDelta {
@@ -278,6 +294,7 @@ impl EventKind {
             EventKind::Hedge { .. } => "hedge",
             EventKind::Shed { .. } => "shed",
             EventKind::DeadlineExceeded { .. } => "deadline",
+            EventKind::PlanCacheProbe { .. } => "plan_cache",
             EventKind::SubscriptionStart { .. } => "subscription_start",
             EventKind::SubscriptionDelta { .. } => "subscription_delta",
         }

@@ -197,6 +197,13 @@ pub fn event_to_json(e: &Event, include_cpu: bool) -> String {
             let _ = write!(s, ",\"call\":{call},\"reason\":");
             push_escaped(&mut s, reason.as_str());
         }
+        EventKind::PlanCacheProbe { query, key, hit } => {
+            s.push_str(",\"query\":");
+            push_escaped(&mut s, query);
+            s.push_str(",\"key\":");
+            push_escaped(&mut s, key);
+            let _ = write!(s, ",\"hit\":{hit}");
+        }
         EventKind::SubscriptionStart {
             subscription,
             query,
@@ -617,6 +624,11 @@ pub fn event_from_json(line: &str) -> Result<Event, String> {
         "deadline" => EventKind::DeadlineExceeded {
             pending: req_usize(&v, "pending")?,
         },
+        "plan_cache" => EventKind::PlanCacheProbe {
+            query: req_str(&v, "query")?,
+            key: req_str(&v, "key")?,
+            hit: req_bool(&v, "hit")?,
+        },
         "subscription_start" => EventKind::SubscriptionStart {
             subscription: req_str(&v, "subscription")?,
             query: req_str(&v, "query")?,
@@ -791,6 +803,30 @@ mod tests {
         assert!(text.contains("\"kind\":\"deadline\""), "{text}");
         assert!(text.contains("\"reason\":\"inflight\""), "{text}");
         assert!(text.contains("\"reason\":\"latency\""), "{text}");
+        let back = parse_jsonl(&text).unwrap();
+        assert_eq!(back, events);
+        assert_eq!(to_jsonl(&back), text);
+    }
+
+    #[test]
+    fn plan_cache_events_roundtrip() {
+        let mk = |seq, hit| Event {
+            seq,
+            sim_ms: 0.0,
+            round: 0,
+            layer: 0,
+            cpu_ms: None,
+            kind: EventKind::PlanCacheProbe {
+                query: "/a/b[c=\"v\"]".into(),
+                key: "a1b2c3d4".into(),
+                hit,
+            },
+        };
+        let events = vec![mk(0, false), mk(1, true)];
+        let text = to_jsonl(&events);
+        assert!(text.contains("\"kind\":\"plan_cache\""), "{text}");
+        assert!(text.contains("\"hit\":false"), "{text}");
+        assert!(text.contains("\"hit\":true"), "{text}");
         let back = parse_jsonl(&text).unwrap();
         assert_eq!(back, events);
         assert_eq!(to_jsonl(&back), text);

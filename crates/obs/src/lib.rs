@@ -28,7 +28,9 @@ pub mod json;
 pub mod metrics;
 pub mod sink;
 
-pub use check::{assert_clean, check_all, check_stats, check_trace, StatsView, Violation};
+pub use check::{
+    assert_clean, check_all, check_plan_cache, check_stats, check_trace, StatsView, Violation,
+};
 pub use event::{CacheOutcome, Event, EventKind, ShedReason};
 pub use json::{event_from_json, event_to_json, parse_jsonl, to_jsonl, ParseError};
 pub use metrics::{aggregate, Histogram, LayerMetrics, MetricsReport, ServiceMetrics};

@@ -126,6 +126,7 @@ pub fn pretty_line(e: &Event) -> String {
     let indent = match &e.kind {
         EventKind::QueryStart { .. }
         | EventKind::QueryEnd { .. }
+        | EventKind::PlanCacheProbe { .. }
         | EventKind::SubscriptionStart { .. }
         | EventKind::SubscriptionDelta { .. } => 0,
         EventKind::LayerStart { .. }
@@ -260,6 +261,10 @@ pub fn pretty_line(e: &Event) -> String {
         EventKind::DeadlineExceeded { pending } => {
             format!("DEADLINE EXCEEDED with {pending} candidates pending")
         }
+        EventKind::PlanCacheProbe { query, key, hit } => format!(
+            "plan cache {} {query} [{key}]",
+            if *hit { "hit" } else { "miss" }
+        ),
         EventKind::SubscriptionStart {
             subscription,
             query,

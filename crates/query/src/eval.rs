@@ -17,17 +17,25 @@
 //!   variables are checked by a memoized boolean match; full enumeration
 //!   happens only where bindings are observable. This keeps the evaluator
 //!   polynomial on join-free queries.
-//! * Hot-path engineering: pattern step tests are compiled once per
-//!   `(pattern, document)` pair against the document's interned symbol
-//!   table, so the per-node label test is a `u32` compare; join variables
-//!   bind symbols, not owned strings; descendant steps can enumerate
-//!   candidates from the document's label→node index instead of scanning
-//!   subtrees; and memo tables can be reused across evaluations via
-//!   [`EvaluatorCache`]. The [`EvalOptions`] toggles exist for debugging
-//!   and benchmarking — every mode computes the same result.
+//! * Hot-path engineering: pattern step tests are compiled against a
+//!   document's interned symbol table, so the per-node label test is a
+//!   `u32` compare; join variables bind symbols, not owned strings;
+//!   descendant steps can enumerate candidates from the document's
+//!   label→node index instead of scanning subtrees; and memo tables can
+//!   be reused across evaluations via [`PlanScratch`]. Compilation
+//!   happens once per pattern in a [`crate::plan::QueryPlan`], which
+//!   rebinds to each document by a symbol-table remap; the convenience
+//!   entry points here compile transiently. The [`EvalOptions`] toggles
+//!   exist for debugging and benchmarking — every mode computes the same
+//!   result, and [`seed_eval`] is the executable spec they are all
+//!   checked against.
+//! * Evaluation is generic over [`DataSource`], so the same code (and the
+//!   same compiled plan) runs over the mutable arena [`Document`], a
+//!   frozen COW `DocSnapshot`, or any other node store.
 
 use crate::pattern::{EdgeKind, FunMatch, PLabel, PNodeId, Pattern};
-use axml_xml::{Document, NodeId};
+use crate::plan::PlanScratch;
+use axml_xml::{DataSource, NodeId};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// One result of the query: the restriction of an embedding to the result
@@ -64,7 +72,7 @@ impl SnapshotResult {
 
 /// Renders a snapshot result as borrowed label texts (one row per tuple).
 /// The zero-copy counterpart of [`render_result`].
-pub fn render_result_refs<'d>(doc: &'d Document, r: &SnapshotResult) -> Vec<Vec<&'d str>> {
+pub fn render_result_refs<'d, D: DataSource>(doc: &'d D, r: &SnapshotResult) -> Vec<Vec<&'d str>> {
     let mut out = Vec::with_capacity(r.tuples.len());
     for t in &r.tuples {
         let mut row = Vec::with_capacity(t.len());
@@ -75,7 +83,7 @@ pub fn render_result_refs<'d>(doc: &'d Document, r: &SnapshotResult) -> Vec<Vec<
 }
 
 /// Renders a snapshot result as readable strings (label of each bound node).
-pub fn render_result(doc: &Document, r: &SnapshotResult) -> Vec<Vec<String>> {
+pub fn render_result<D: DataSource>(doc: &D, r: &SnapshotResult) -> Vec<Vec<String>> {
     render_result_refs(doc, r)
         .into_iter()
         .map(|row| row.into_iter().map(str::to_string).collect())
@@ -104,48 +112,59 @@ impl Default for EvalOptions {
     }
 }
 
-/// Reusable memo-table allocations for repeated evaluations (the NFQA loop
-/// re-evaluates patterns after every splice). The tables are cleared on
-/// reuse — only the capacity survives, entries never leak across calls.
-#[derive(Debug, Default)]
-pub struct EvaluatorCache {
-    memo: HashMap<(PNodeId, NodeId), bool>,
-    desc_memo: HashMap<(PNodeId, NodeId), bool>,
-}
-
 /// Evaluates `q` on `d` and returns the snapshot result.
-pub fn eval(pattern: &Pattern, doc: &Document) -> SnapshotResult {
+pub fn eval<D: DataSource>(pattern: &Pattern, doc: &D) -> SnapshotResult {
     eval_with(
         pattern,
         doc,
         EvalOptions::default(),
-        &mut EvaluatorCache::default(),
+        &mut PlanScratch::default(),
     )
 }
 
-/// [`eval`] with explicit hot-path options and a reusable memo cache.
-pub fn eval_with(
+/// [`eval`] with explicit hot-path options and reusable memo allocations.
+/// Compiles the pattern's tests transiently; callers that evaluate the
+/// same pattern repeatedly should compile a [`crate::plan::QueryPlan`]
+/// once and use [`crate::plan::QueryPlan::eval_with`] instead.
+pub fn eval_with<D: DataSource>(
     pattern: &Pattern,
-    doc: &Document,
+    doc: &D,
     opts: EvalOptions,
-    cache: &mut EvaluatorCache,
+    scratch: &mut PlanScratch,
 ) -> SnapshotResult {
     if pattern.is_empty() {
         return SnapshotResult::default();
     }
-    let mut ev = Evaluator::with_cache(pattern, doc, opts, cache);
+    let mut ev = Evaluator::with_scratch(pattern, doc, opts, scratch);
     let mut out = SnapshotResult::default();
     for &root in doc.roots() {
         for (_, frag) in ev.embed(pattern.root(), root, &VarEnv::default()) {
             out.tuples.insert(frag);
         }
     }
-    ev.release(cache);
+    ev.release(scratch);
     out
 }
 
+/// The **executable spec**: the seed evaluator — string-compared labels,
+/// no label→node index, fresh memo tables. Every optimized mode (interned
+/// tests, index-driven descendant steps, compiled plans with symbol-table
+/// remaps) must produce exactly this result; the differential
+/// plan-equivalence oracle diffs against it.
+pub fn seed_eval<D: DataSource>(pattern: &Pattern, doc: &D) -> SnapshotResult {
+    eval_with(
+        pattern,
+        doc,
+        EvalOptions {
+            interning: false,
+            index: false,
+        },
+        &mut PlanScratch::default(),
+    )
+}
+
 /// `true` iff at least one embedding of `q` in `d` exists.
-pub fn matches(pattern: &Pattern, doc: &Document) -> bool {
+pub fn matches<D: DataSource>(pattern: &Pattern, doc: &D) -> bool {
     if pattern.is_empty() {
         return false;
     }
@@ -163,7 +182,10 @@ pub fn matches(pattern: &Pattern, doc: &Document) -> bool {
 /// pattern nodes under some embedding, plus the nodes on the document paths
 /// realizing descendant edges. This is the "grey area" of Figure 3 and the
 /// basis of the pruned-result mode when pushing queries (Section 7).
-pub fn contributing_nodes(pattern: &Pattern, doc: &Document) -> std::collections::HashSet<NodeId> {
+pub fn contributing_nodes<D: DataSource>(
+    pattern: &Pattern,
+    doc: &D,
+) -> std::collections::HashSet<NodeId> {
     let mut out = std::collections::HashSet::new();
     if pattern.is_empty() {
         return out;
@@ -198,7 +220,7 @@ pub fn contributing_nodes(pattern: &Pattern, doc: &Document) -> std::collections
 /// the worst case — intended for provider-side pruning of (small) service
 /// results, not for document-scale evaluation. Candidates are enumerated in
 /// document order, so the output order is stable across evaluator modes.
-pub fn embeddings(pattern: &Pattern, doc: &Document) -> Vec<BTreeMap<PNodeId, NodeId>> {
+pub fn embeddings<D: DataSource>(pattern: &Pattern, doc: &D) -> Vec<BTreeMap<PNodeId, NodeId>> {
     let mut out = Vec::new();
     if pattern.is_empty() {
         return out;
@@ -215,18 +237,18 @@ pub fn embeddings(pattern: &Pattern, doc: &Document) -> Vec<BTreeMap<PNodeId, No
 /// F-guide's residual filtering (Section 6.2), where candidate call nodes
 /// are aligned against an NFQ's path and the side conditions are checked
 /// per document node.
-pub struct Matcher<'a> {
-    ev: Evaluator<'a>,
+pub struct Matcher<'a, D: DataSource> {
+    ev: Evaluator<'a, D>,
 }
 
-impl<'a> Matcher<'a> {
+impl<'a, D: DataSource> Matcher<'a, D> {
     /// Creates a matcher with default [`EvalOptions`].
-    pub fn new(pattern: &'a Pattern, doc: &'a Document) -> Self {
+    pub fn new(pattern: &'a Pattern, doc: &'a D) -> Self {
         Matcher::with_options(pattern, doc, EvalOptions::default())
     }
 
     /// Creates a matcher with explicit hot-path options.
-    pub fn with_options(pattern: &'a Pattern, doc: &'a Document, opts: EvalOptions) -> Self {
+    pub fn with_options(pattern: &'a Pattern, doc: &'a D, opts: EvalOptions) -> Self {
         Matcher {
             ev: Evaluator::with_opts(pattern, doc, opts),
         }
@@ -273,8 +295,11 @@ impl<'a> Matcher<'a> {
 type VarEnv = BTreeMap<u32, u32>;
 
 /// A pattern-node label test compiled against one document's symbol table.
-#[derive(Clone, Debug)]
-enum CTest {
+/// Produced either transiently (one pattern walk per evaluation) or by
+/// remapping a [`crate::plan::QueryPlan`]'s plan-local symbols through a
+/// per-document binding — both roads yield identical tables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum CTest {
     /// `Const(l)`: a data node whose label symbol equals the payload.
     /// `None` means the text was never interned in this document — the
     /// test can never succeed.
@@ -296,9 +321,114 @@ enum CTest {
 /// the index wins regardless of context.
 const SMALL_BUCKET: usize = 16;
 
-struct Evaluator<'a> {
+/// Computes the per-node enumeration tables shared by transient
+/// compilation and [`crate::plan::QueryPlan`]: `needs_enum` (does the
+/// subtree contain a result node or join variable?) and `var_id` (the
+/// node's join-variable id, if any).
+pub(crate) fn enum_tables(pat: &Pattern) -> (Vec<bool>, Vec<Option<u32>>) {
+    let join_vars = pat.join_variables();
+    let mut needs_enum = vec![false; pat.len()];
+    let mut var_id = vec![None; pat.len()];
+    // bottom-up: creation order guarantees parents precede children,
+    // so compute in reverse order.
+    for id in pat.node_ids().collect::<Vec<_>>().into_iter().rev() {
+        let n = pat.node(id);
+        let mut need = n.is_result;
+        if let PLabel::Var(v) = &n.label {
+            if let Ok(i) = join_vars.binary_search(v) {
+                var_id[id.index()] = Some(i as u32);
+                need = true;
+            }
+        }
+        for &c in &n.children {
+            if needs_enum[c.index()] {
+                need = true;
+            }
+        }
+        needs_enum[id.index()] = need;
+    }
+    (needs_enum, var_id)
+}
+
+/// Compiles the per-node label tests against one document's symbol table
+/// (the transient road; plans remap instead — same table either way).
+pub(crate) fn compile_ctests<D: DataSource>(pat: &Pattern, doc: &D) -> Vec<CTest> {
+    let mut ctest = Vec::with_capacity(pat.len());
+    for id in pat.node_ids() {
+        ctest.push(match &pat.node(id).label {
+            PLabel::Const(l) => CTest::DataSym(doc.lookup_sym(l.as_str())),
+            PLabel::Var(_) | PLabel::Wildcard => CTest::AnyData,
+            PLabel::Fun(FunMatch::Any) => CTest::AnyCall,
+            PLabel::Fun(FunMatch::OneOf(names)) => CTest::CallOneOf(
+                names
+                    .iter()
+                    .filter_map(|l| doc.lookup_sym(l.as_str()))
+                    .collect(),
+            ),
+            PLabel::Or => CTest::Or,
+        });
+    }
+    ctest
+}
+
+/// Runs a fully pre-compiled evaluation: the plan layer hands the bound
+/// test tables in, so no pattern walk or symbol lookup happens here.
+pub(crate) fn eval_compiled<D: DataSource>(
+    pat: &Pattern,
+    doc: &D,
+    opts: EvalOptions,
+    ctest: Vec<CTest>,
+    needs_enum: Vec<bool>,
+    var_id: Vec<Option<u32>>,
+    scratch: &mut PlanScratch,
+) -> SnapshotResult {
+    if pat.is_empty() {
+        return SnapshotResult::default();
+    }
+    let mut ev = Evaluator::from_tables(pat, doc, opts, ctest, needs_enum, var_id);
+    ev.memo = scratch.take_memo();
+    ev.desc_memo = scratch.take_desc_memo();
+    let mut out = SnapshotResult::default();
+    for &root in doc.roots() {
+        for (_, frag) in ev.embed(pat.root(), root, &VarEnv::default()) {
+            out.tuples.insert(frag);
+        }
+    }
+    ev.release(scratch);
+    out
+}
+
+/// Pre-compiled existence test (the plan-layer counterpart of
+/// [`matches`]).
+pub(crate) fn matches_compiled<D: DataSource>(
+    pat: &Pattern,
+    doc: &D,
+    opts: EvalOptions,
+    ctest: Vec<CTest>,
+    needs_enum: Vec<bool>,
+    var_id: Vec<Option<u32>>,
+    scratch: &mut PlanScratch,
+) -> bool {
+    if pat.is_empty() {
+        return false;
+    }
+    let mut ev = Evaluator::from_tables(pat, doc, opts, ctest, needs_enum, var_id);
+    ev.memo = scratch.take_memo();
+    ev.desc_memo = scratch.take_desc_memo();
+    let hit = doc.roots().iter().any(|&r| {
+        if ev.needs_enum[pat.root().index()] {
+            !ev.embed(pat.root(), r, &VarEnv::default()).is_empty()
+        } else {
+            ev.smatch(pat.root(), r)
+        }
+    });
+    ev.release(scratch);
+    hit
+}
+
+struct Evaluator<'a, D: DataSource> {
     pat: &'a Pattern,
-    doc: &'a Document,
+    doc: &'a D,
     opts: EvalOptions,
     /// per pattern node: label test compiled against `doc`'s symbol table
     ctest: Vec<CTest>,
@@ -313,48 +443,25 @@ struct Evaluator<'a> {
     var_id: Vec<Option<u32>>,
 }
 
-impl<'a> Evaluator<'a> {
-    fn new(pat: &'a Pattern, doc: &'a Document) -> Self {
+impl<'a, D: DataSource> Evaluator<'a, D> {
+    fn new(pat: &'a Pattern, doc: &'a D) -> Self {
         Evaluator::with_opts(pat, doc, EvalOptions::default())
     }
 
-    fn with_opts(pat: &'a Pattern, doc: &'a Document, opts: EvalOptions) -> Self {
-        let join_vars = pat.join_variables();
-        let mut needs_enum = vec![false; pat.len()];
-        let mut var_id = vec![None; pat.len()];
-        let mut ctest = Vec::with_capacity(pat.len());
-        for id in pat.node_ids() {
-            ctest.push(match &pat.node(id).label {
-                PLabel::Const(l) => CTest::DataSym(doc.lookup_sym(l.as_str())),
-                PLabel::Var(_) | PLabel::Wildcard => CTest::AnyData,
-                PLabel::Fun(FunMatch::Any) => CTest::AnyCall,
-                PLabel::Fun(FunMatch::OneOf(names)) => CTest::CallOneOf(
-                    names
-                        .iter()
-                        .filter_map(|l| doc.lookup_sym(l.as_str()))
-                        .collect(),
-                ),
-                PLabel::Or => CTest::Or,
-            });
-        }
-        // bottom-up: creation order guarantees parents precede children,
-        // so compute in reverse order.
-        for id in pat.node_ids().collect::<Vec<_>>().into_iter().rev() {
-            let n = pat.node(id);
-            let mut need = n.is_result;
-            if let PLabel::Var(v) = &n.label {
-                if let Ok(i) = join_vars.binary_search(v) {
-                    var_id[id.index()] = Some(i as u32);
-                    need = true;
-                }
-            }
-            for &c in &n.children {
-                if needs_enum[c.index()] {
-                    need = true;
-                }
-            }
-            needs_enum[id.index()] = need;
-        }
+    fn with_opts(pat: &'a Pattern, doc: &'a D, opts: EvalOptions) -> Self {
+        let (needs_enum, var_id) = enum_tables(pat);
+        let ctest = compile_ctests(pat, doc);
+        Evaluator::from_tables(pat, doc, opts, ctest, needs_enum, var_id)
+    }
+
+    fn from_tables(
+        pat: &'a Pattern,
+        doc: &'a D,
+        opts: EvalOptions,
+        ctest: Vec<CTest>,
+        needs_enum: Vec<bool>,
+        var_id: Vec<Option<u32>>,
+    ) -> Self {
         Evaluator {
             pat,
             doc,
@@ -368,25 +475,23 @@ impl<'a> Evaluator<'a> {
     }
 
     /// Like [`Evaluator::with_opts`], but stealing the memo allocations of
-    /// a cache. Pair with [`Evaluator::release`].
-    fn with_cache(
+    /// a scratch. Pair with [`Evaluator::release`].
+    fn with_scratch(
         pat: &'a Pattern,
-        doc: &'a Document,
+        doc: &'a D,
         opts: EvalOptions,
-        cache: &mut EvaluatorCache,
+        scratch: &mut PlanScratch,
     ) -> Self {
         let mut ev = Evaluator::with_opts(pat, doc, opts);
-        ev.memo = std::mem::take(&mut cache.memo);
-        ev.memo.clear();
-        ev.desc_memo = std::mem::take(&mut cache.desc_memo);
-        ev.desc_memo.clear();
+        ev.memo = scratch.take_memo();
+        ev.desc_memo = scratch.take_desc_memo();
         ev
     }
 
-    /// Returns the memo allocations to the cache for the next evaluation.
-    fn release(self, cache: &mut EvaluatorCache) {
-        cache.memo = self.memo;
-        cache.desc_memo = self.desc_memo;
+    /// Returns the memo allocations to the scratch for the next
+    /// evaluation.
+    fn release(self, scratch: &mut PlanScratch) {
+        scratch.put_back(self.memo, self.desc_memo);
     }
 
     /// Does the local (label-only) test of pattern node `p` accept doc node
@@ -756,7 +861,7 @@ fn dedup_pairs(v: &mut Vec<(VarEnv, ResultTuple)>) {
 mod tests {
     use super::*;
     use crate::parser::parse_query;
-    use axml_xml::parse;
+    use axml_xml::{parse, Document};
 
     fn hotels_doc() -> Document {
         parse(
@@ -776,27 +881,23 @@ mod tests {
         .unwrap()
     }
 
-    /// Every flag combination must produce the seed evaluator's result.
+    /// Every flag combination — and the compiled plan — must produce the
+    /// seed evaluator's result.
     fn eval_all_modes(q: &Pattern, d: &Document) -> SnapshotResult {
-        let reference = eval_with(
-            q,
-            d,
-            EvalOptions {
-                interning: false,
-                index: false,
-            },
-            &mut EvaluatorCache::default(),
-        );
-        let mut cache = EvaluatorCache::default();
+        let reference = seed_eval(q, d);
+        let mut scratch = PlanScratch::default();
         for interning in [false, true] {
             for index in [false, true] {
-                let got = eval_with(q, d, EvalOptions { interning, index }, &mut cache);
+                let got = eval_with(q, d, EvalOptions { interning, index }, &mut scratch);
                 assert_eq!(
                     got, reference,
                     "interning={interning} index={index} diverged"
                 );
             }
         }
+        let plan = crate::plan::QueryPlan::compile(q);
+        let planned = plan.eval_with(d, EvalOptions::default(), &mut scratch);
+        assert_eq!(planned, reference, "compiled plan diverged");
         reference
     }
 
@@ -998,19 +1099,19 @@ mod tests {
     }
 
     #[test]
-    fn cache_reuse_does_not_leak_state() {
-        let mut cache = EvaluatorCache::default();
+    fn scratch_reuse_does_not_leak_state() {
+        let mut scratch = PlanScratch::default();
         let d1 = hotels_doc();
         let q1 = parse_query("/hotels/hotel/name").unwrap();
-        let r1 = eval_with(&q1, &d1, EvalOptions::default(), &mut cache);
+        let r1 = eval_with(&q1, &d1, EvalOptions::default(), &mut scratch);
         assert_eq!(r1.len(), 2);
         // a different document reusing NodeId/PNodeId coordinates: stale
         // memo entries would be visible here
         let d2 = parse("<hotels><hotel><name>X</name></hotel></hotels>").unwrap();
-        let r2 = eval_with(&q1, &d2, EvalOptions::default(), &mut cache);
+        let r2 = eval_with(&q1, &d2, EvalOptions::default(), &mut scratch);
         assert_eq!(r2.len(), 1);
         let q2 = parse_query("/hotels/hotel/rating").unwrap();
-        let r3 = eval_with(&q2, &d2, EvalOptions::default(), &mut cache);
+        let r3 = eval_with(&q2, &d2, EvalOptions::default(), &mut scratch);
         assert!(r3.is_empty());
     }
 

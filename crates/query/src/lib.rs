@@ -24,13 +24,15 @@ pub mod eval;
 pub mod linear;
 pub mod parser;
 pub mod pattern;
+pub mod plan;
 
 pub use construct::construct_results;
 pub use display::render;
 pub use eval::{
     contributing_nodes, embeddings, eval, eval_with, matches, render_result, render_result_refs,
-    EvalOptions, EvaluatorCache, Matcher, ResultTuple, SnapshotResult,
+    seed_eval, EvalOptions, Matcher, ResultTuple, SnapshotResult,
 };
 pub use linear::{LinStep, LinearPath, StepTest};
 pub use parser::{parse_query, QueryParseError};
 pub use pattern::{EdgeKind, FunMatch, PLabel, PNode, PNodeId, Pattern};
+pub use plan::{PlanBinding, PlanScratch, QueryPlan};

@@ -20,6 +20,12 @@
 //!   [`axml_services::InvokeCache`] contract: the engine probes it
 //!   before invoking, splices hits at zero network cost, and populates
 //!   it on successful invocations only.
+//! * [`PlanCache`] — the cross-session compiled-plan cache: each
+//!   `(query, schema, compile-relevant config)` is compiled **once per
+//!   store** into an [`axml_core::CompiledQuery`] (NFQs, LPQs, layers,
+//!   label automata, bytecode), and later sessions pay only a per-document
+//!   symbol-table remap. Answers, traces and stats are byte-identical
+//!   with the cache on or off.
 //! * [`DocumentStore`] — named documents that survive across queries,
 //!   sharing one cache. Documents are stored as atomically published
 //!   copy-on-write versions ([`axml_xml::VersionedDocument`]), so any
@@ -51,11 +57,13 @@
 //! ```
 
 pub mod cache;
+pub mod plan_cache;
 pub mod sched;
 pub mod session;
 pub mod store;
 
 pub use cache::{CacheConfig, CacheStats, CallCache, SingleLockCache};
+pub use plan_cache::{PlanCache, PlanCacheConfig, PlanCacheStats};
 pub use sched::{
     QueryOutcome, ScheduleEntry, SchedulerMode, ServeReport, SessionOutcome, SessionSpec,
 };

@@ -9,6 +9,7 @@
 //! [`crate::sched`] for the scheduler that drives them.
 
 use crate::cache::{CacheStats, CallCache};
+use crate::plan_cache::PlanCache;
 use axml_core::{Engine, EngineConfig, EngineStats, EvalReport, TraceEvent};
 use axml_obs::TraceSink;
 use axml_query::{construct_results, render_result, Pattern};
@@ -31,6 +32,12 @@ pub struct SessionOptions {
     /// copy with its spliced results is *published* as the document's next
     /// version, and later queries (of this or any other session) see it.
     pub snapshot_per_query: bool,
+    /// When `true` (the default) sessions opened through a
+    /// [`crate::DocumentStore`] fetch their [`axml_core::CompiledQuery`]
+    /// from the store's shared [`PlanCache`] instead of letting the
+    /// engine compile transiently. Purely a performance knob: answers,
+    /// traces and stats are byte-identical either way.
+    pub plan_cache: bool,
 }
 
 impl Default for SessionOptions {
@@ -38,6 +45,7 @@ impl Default for SessionOptions {
         SessionOptions {
             engine: EngineConfig::default(),
             snapshot_per_query: true,
+            plan_cache: true,
         }
     }
 }
@@ -47,7 +55,7 @@ impl SessionOptions {
     pub fn with_engine(engine: EngineConfig) -> Self {
         SessionOptions {
             engine,
-            snapshot_per_query: true,
+            ..SessionOptions::default()
         }
     }
 }
@@ -102,6 +110,7 @@ pub struct Session<'a> {
     registry: &'a Registry,
     schema: Option<&'a Schema>,
     cache: Arc<CallCache>,
+    plans: Option<Arc<PlanCache>>,
     options: SessionOptions,
     observer: Option<&'a dyn TraceSink>,
     clock_ms: f64,
@@ -122,11 +131,22 @@ impl<'a> Session<'a> {
             registry,
             schema,
             cache,
+            plans: None,
             options,
             observer: None,
             clock_ms: 0.0,
             queries_run: 0,
         }
+    }
+
+    /// Attaches the shared compiled-plan cache: each query fetches its
+    /// [`axml_core::CompiledQuery`] from it (compiling on first use) and
+    /// hands the plan to the engine, which consults it only when its
+    /// compatibility key matches — so a session on unusual config falls
+    /// back to transient compilation, never a misapplied plan.
+    pub fn with_plans(mut self, plans: Arc<PlanCache>) -> Self {
+        self.plans = Some(plans);
+        self
     }
 
     /// Attaches a structured-trace observer shared by every query in the
@@ -188,10 +208,20 @@ impl<'a> Session<'a> {
     /// every attempt (the work was performed); the report describes the
     /// attempt that won.
     pub fn query(&mut self, query: &Pattern) -> SessionReport {
+        // one fetch per query() call: the plan key is fixed across CAS
+        // retries, so conflict re-evaluations reuse the same plan
+        let plan = self
+            .plans
+            .as_ref()
+            .filter(|_| self.options.engine.use_plans)
+            .map(|pc| pc.fetch(query, self.schema, &self.options.engine));
         loop {
             let mut engine = Engine::new(self.registry, self.options.engine.clone())
                 .with_cache(self.cache.as_ref())
                 .starting_at(self.clock_ms);
+            if let Some(plan) = &plan {
+                engine = engine.with_plan(Arc::clone(plan));
+            }
             if let Some(schema) = self.schema {
                 engine = engine.with_schema(schema);
             }

@@ -9,6 +9,7 @@
 //! snapshot, never a partially applied splice.
 
 use crate::cache::{CacheConfig, CallCache};
+use crate::plan_cache::{PlanCache, PlanCacheConfig};
 use crate::session::{Session, SessionOptions};
 use axml_schema::Schema;
 use axml_services::Registry;
@@ -24,6 +25,7 @@ use std::sync::Arc;
 pub struct DocumentStore {
     docs: BTreeMap<String, Arc<VersionedDocument>>,
     cache: Arc<CallCache>,
+    plans: Arc<PlanCache>,
 }
 
 impl DocumentStore {
@@ -35,8 +37,25 @@ impl DocumentStore {
     /// An empty store whose shared cache uses `config`.
     pub fn with_cache_config(config: CacheConfig) -> Self {
         DocumentStore {
-            docs: BTreeMap::new(),
             cache: Arc::new(CallCache::new(config)),
+            ..DocumentStore::default()
+        }
+    }
+
+    /// An empty store whose shared compiled-plan cache uses `config`.
+    pub fn with_plan_config(config: PlanCacheConfig) -> Self {
+        DocumentStore {
+            plans: Arc::new(PlanCache::new(config)),
+            ..DocumentStore::default()
+        }
+    }
+
+    /// An empty store with explicit call-cache and plan-cache configs.
+    pub fn with_configs(cache: CacheConfig, plans: PlanCacheConfig) -> Self {
+        DocumentStore {
+            docs: BTreeMap::new(),
+            cache: Arc::new(CallCache::new(cache)),
+            plans: Arc::new(PlanCache::new(plans)),
         }
     }
 
@@ -87,6 +106,13 @@ impl DocumentStore {
         &self.cache
     }
 
+    /// The shared compiled-plan cache. Sessions opened with
+    /// [`SessionOptions::plan_cache`] (the default) fetch their compiled
+    /// query plans from it.
+    pub fn plans(&self) -> &Arc<PlanCache> {
+        &self.plans
+    }
+
     /// Enables publication-history retention on the document stored under
     /// `name` (see [`VersionedDocument::enable_history`]) so subscribers
     /// can catch up on missed splices from their own watermarks. Returns
@@ -125,7 +151,13 @@ impl DocumentStore {
     ) -> Option<Session<'a>> {
         let cache = Arc::clone(&self.cache);
         let doc = Arc::clone(self.docs.get(name)?);
-        Some(Session::new(doc, registry, schema, cache, options))
+        let use_plans = options.plan_cache;
+        let session = Session::new(doc, registry, schema, cache, options);
+        Some(if use_plans {
+            session.with_plans(Arc::clone(&self.plans))
+        } else {
+            session
+        })
     }
 }
 

@@ -324,6 +324,7 @@ fn chaos_replay_is_byte_identical_under_a_fixed_seed() {
                 ..EngineConfig::default()
             },
             snapshot_per_query: true,
+            ..SessionOptions::default()
         };
         let mut session = store.session("d", &r, None, opts).unwrap();
         let q = query();
@@ -353,6 +354,7 @@ fn persistent_mode_materializes_instead_of_caching() {
     let opts = SessionOptions {
         engine: EngineConfig::default(),
         snapshot_per_query: false,
+        ..SessionOptions::default()
     };
     let mut session = store.session("d", &r, None, opts.clone()).unwrap();
     let cold = session.query(&query());

@@ -36,7 +36,7 @@ use axml_obs::{Event, EventKind, RingSink, TraceSink};
 use axml_query::{render, render_result, Pattern};
 use axml_schema::Schema;
 use axml_services::Registry;
-use axml_store::{CallCache, DocumentStore};
+use axml_store::{CallCache, DocumentStore, PlanCache};
 use axml_xml::{CatchUp, Document, VersionedDocument};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -151,6 +151,7 @@ pub struct SubscriptionEngine<'a> {
     registry: &'a Registry,
     schema: Option<&'a Schema>,
     cache: Arc<CallCache>,
+    plans: Option<Arc<PlanCache>>,
     options: SubscriptionOptions,
     subs: Vec<SubState>,
     sinks: Vec<Box<dyn DeltaSink + 'a>>,
@@ -175,9 +176,8 @@ impl<'a> SubscriptionEngine<'a> {
     ) -> Option<Self> {
         let doc = Arc::clone(store.versioned(name)?);
         let cache = Arc::clone(store.cache());
-        Some(SubscriptionEngine::new(
-            doc, registry, schema, cache, options,
-        ))
+        let plans = Arc::clone(store.plans());
+        Some(SubscriptionEngine::new(doc, registry, schema, cache, options).with_plans(plans))
     }
 
     /// An engine over `doc` directly. Enables publication history on the
@@ -198,6 +198,7 @@ impl<'a> SubscriptionEngine<'a> {
             registry,
             schema,
             cache,
+            plans: None,
             options,
             subs: Vec::new(),
             sinks: Vec::new(),
@@ -207,6 +208,18 @@ impl<'a> SubscriptionEngine<'a> {
             pending_lapse: None,
             stats: SubscriptionEngineStats::default(),
         }
+    }
+
+    /// Attaches the shared compiled-plan cache: every refresh and
+    /// reconcile evaluation fetches its [`axml_core::CompiledQuery`]
+    /// from it instead of compiling transiently. [`over_store`] wires
+    /// this automatically. Performance-only: answers, deltas, traces
+    /// and stats are byte-identical either way.
+    ///
+    /// [`over_store`]: SubscriptionEngine::over_store
+    pub fn with_plans(mut self, plans: Arc<PlanCache>) -> Self {
+        self.plans = Some(plans);
+        self
     }
 
     /// Attaches a structured-trace observer: refresh evaluations emit
@@ -542,10 +555,17 @@ impl<'a> SubscriptionEngine<'a> {
         config: EngineConfig,
         ring: &RingSink,
     ) -> (BTreeSet<Vec<String>>, EngineStats) {
+        let plan = match &self.plans {
+            Some(plans) if config.use_plans => Some(plans.fetch(query, self.schema, &config)),
+            _ => None,
+        };
         let mut engine = axml_core::Engine::new(self.registry, config)
             .with_cache(self.cache.as_ref())
             .starting_at(self.clock_ms)
             .with_observer(ring);
+        if let Some(plan) = plan {
+            engine = engine.with_plan(plan);
+        }
         if let Some(schema) = self.schema {
             engine = engine.with_schema(schema);
         }

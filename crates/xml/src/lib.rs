@@ -31,6 +31,7 @@ pub mod label;
 pub mod parse;
 pub mod serialize;
 pub mod snapshot;
+pub mod source;
 pub mod tree;
 
 pub use label::Label;
@@ -39,4 +40,5 @@ pub use serialize::{
     forest_serialized_len, serialized_len, subtree_to_xml, to_xml, to_xml_with, SerializeOptions,
 };
 pub use snapshot::{CatchUp, DocSnapshot, PublicationRecord, VersionedDocument};
+pub use source::DataSource;
 pub use tree::{CallId, Descendants, Document, Forest, NodeId, NodeKind};

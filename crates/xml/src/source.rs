@@ -1,0 +1,194 @@
+//! The generic data-source abstraction: everything query evaluation needs
+//! to know about a document, as a trait.
+//!
+//! Evaluators and compiled query plans (see `axml-query`) are written
+//! against [`DataSource`], not against the concrete arena — so the same
+//! compiled artifact runs unchanged over the mutable [`Document`], over a
+//! frozen COW [`DocSnapshot`], and over any future backing store (mmapped
+//! or serialized documents) that can answer these accessors.
+//!
+//! The contract mirrors the document model of Section 2 plus the hot-path
+//! machinery of the interned evaluator:
+//!
+//! * tree shape — [`roots`](DataSource::roots),
+//!   [`children`](DataSource::children), [`parent`](DataSource::parent);
+//! * node kind and label — [`is_data`](DataSource::is_data),
+//!   [`is_call`](DataSource::is_call), [`label`](DataSource::label),
+//!   [`call_info`](DataSource::call_info);
+//! * the per-document symbol table — [`sym`](DataSource::sym),
+//!   [`lookup_sym`](DataSource::lookup_sym),
+//!   [`sym_count`](DataSource::sym_count) (an append-only table, so
+//!   `sym_count` is a monotone version stamp for symbol-compiled
+//!   artifacts such as plan bindings);
+//! * the label→node index — [`nodes_with_sym`](DataSource::nodes_with_sym),
+//!   [`calls_unordered`](DataSource::calls_unordered),
+//!   [`reaches_through_data`](DataSource::reaches_through_data).
+
+use crate::label::Label;
+use crate::snapshot::DocSnapshot;
+use crate::tree::{CallId, Document, NodeId};
+
+/// Read-only node access for query evaluation, implemented by every
+/// document representation a compiled [`axml-query` plan] can run over.
+///
+/// Implementations must agree with [`Document`]'s semantics: symbol
+/// equality coincides with label-text equality within one source,
+/// `nodes_with_sym` buckets contain every node whose label carries the
+/// symbol (in arbitrary order), and `reaches_through_data` never descends
+/// below a function node.
+///
+/// [`axml-query` plan]: Document
+pub trait DataSource {
+    /// The root nodes of the forest, in document order.
+    fn roots(&self) -> &[NodeId];
+    /// The children of a node, in document order.
+    fn children(&self, id: NodeId) -> &[NodeId];
+    /// The parent of a node (`None` for roots).
+    fn parent(&self, id: NodeId) -> Option<NodeId>;
+    /// Is the node a data node (element or text)?
+    fn is_data(&self, id: NodeId) -> bool;
+    /// Is the node a function-call node?
+    fn is_call(&self, id: NodeId) -> bool;
+    /// The node's label text (element tag, text content, or service name).
+    fn label(&self, id: NodeId) -> &str;
+    /// The interned symbol of the node's label.
+    fn sym(&self, id: NodeId) -> u32;
+    /// Call id and service name when the node is a function call.
+    fn call_info(&self, id: NodeId) -> Option<(CallId, &Label)>;
+    /// The symbol of a label text, or `None` when the text was never
+    /// interned in this source (no node can carry it).
+    fn lookup_sym(&self, text: &str) -> Option<u32>;
+    /// Number of interned symbols. The table is append-only, so this is a
+    /// cheap monotone version stamp: a symbol-compiled artifact bound at
+    /// stamp `n` stays valid while `sym_count() == n`.
+    fn sym_count(&self) -> usize;
+    /// Every node whose label carries `sym`, in arbitrary order.
+    fn nodes_with_sym(&self, sym: u32) -> &[NodeId];
+    /// Every live function-call node, in arbitrary order.
+    fn calls_unordered(&self) -> &[NodeId];
+    /// Is `desc` a strict descendant of `anc` reachable without crossing
+    /// a function node (call parameters are not document content)?
+    fn reaches_through_data(&self, anc: NodeId, desc: NodeId) -> bool;
+}
+
+impl DataSource for Document {
+    fn roots(&self) -> &[NodeId] {
+        Document::roots(self)
+    }
+    fn children(&self, id: NodeId) -> &[NodeId] {
+        Document::children(self, id)
+    }
+    fn parent(&self, id: NodeId) -> Option<NodeId> {
+        Document::parent(self, id)
+    }
+    fn is_data(&self, id: NodeId) -> bool {
+        Document::is_data(self, id)
+    }
+    fn is_call(&self, id: NodeId) -> bool {
+        Document::is_call(self, id)
+    }
+    fn label(&self, id: NodeId) -> &str {
+        Document::label(self, id)
+    }
+    fn sym(&self, id: NodeId) -> u32 {
+        Document::sym(self, id)
+    }
+    fn call_info(&self, id: NodeId) -> Option<(CallId, &Label)> {
+        Document::call_info(self, id)
+    }
+    fn lookup_sym(&self, text: &str) -> Option<u32> {
+        Document::lookup_sym(self, text)
+    }
+    fn sym_count(&self) -> usize {
+        Document::sym_count(self)
+    }
+    fn nodes_with_sym(&self, sym: u32) -> &[NodeId] {
+        Document::nodes_with_sym(self, sym)
+    }
+    fn calls_unordered(&self) -> &[NodeId] {
+        Document::calls_unordered(self)
+    }
+    fn reaches_through_data(&self, anc: NodeId, desc: NodeId) -> bool {
+        Document::reaches_through_data(self, anc, desc)
+    }
+}
+
+/// A frozen snapshot answers exactly like the document version it froze.
+impl DataSource for DocSnapshot {
+    fn roots(&self) -> &[NodeId] {
+        self.doc().roots()
+    }
+    fn children(&self, id: NodeId) -> &[NodeId] {
+        self.doc().children(id)
+    }
+    fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.doc().parent(id)
+    }
+    fn is_data(&self, id: NodeId) -> bool {
+        self.doc().is_data(id)
+    }
+    fn is_call(&self, id: NodeId) -> bool {
+        self.doc().is_call(id)
+    }
+    fn label(&self, id: NodeId) -> &str {
+        self.doc().label(id)
+    }
+    fn sym(&self, id: NodeId) -> u32 {
+        self.doc().sym(id)
+    }
+    fn call_info(&self, id: NodeId) -> Option<(CallId, &Label)> {
+        self.doc().call_info(id)
+    }
+    fn lookup_sym(&self, text: &str) -> Option<u32> {
+        self.doc().lookup_sym(text)
+    }
+    fn sym_count(&self) -> usize {
+        self.doc().sym_count()
+    }
+    fn nodes_with_sym(&self, sym: u32) -> &[NodeId] {
+        self.doc().nodes_with_sym(sym)
+    }
+    fn calls_unordered(&self) -> &[NodeId] {
+        self.doc().calls_unordered()
+    }
+    fn reaches_through_data(&self, anc: NodeId, desc: NodeId) -> bool {
+        self.doc().reaches_through_data(anc, desc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+    use crate::snapshot::VersionedDocument;
+
+    fn probe<D: DataSource>(d: &D) -> (usize, usize, usize) {
+        let root = d.roots()[0];
+        assert!(d.is_data(root));
+        assert_eq!(d.label(root), "hotels");
+        let call_count = d.calls_unordered().len();
+        let sym = d.lookup_sym("hotel").expect("interned");
+        let bucket = d.nodes_with_sym(sym).len();
+        for &c in d.children(root) {
+            assert_eq!(d.parent(c), Some(root));
+            if d.is_call(c) {
+                let (_, svc) = d.call_info(c).unwrap();
+                assert_eq!(svc.as_str(), "getHotels");
+            }
+            assert!(d.reaches_through_data(root, c) || !d.is_data(c) || d.children(c).is_empty());
+        }
+        (call_count, bucket, d.sym_count())
+    }
+
+    #[test]
+    fn document_and_snapshot_answer_identically() {
+        let d = parse(
+            "<hotels><hotel><name>BW</name></hotel>\
+             <axml:call service=\"getHotels\"/></hotels>",
+        )
+        .unwrap();
+        let vd = VersionedDocument::new(d.clone());
+        let snap = vd.snapshot();
+        assert_eq!(probe(&d), probe(&snap));
+    }
+}

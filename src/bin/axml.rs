@@ -47,7 +47,7 @@ use activexml::obs::{aggregate, to_jsonl, RingSink};
 use activexml::query::{construct_results, parse_query, render, EvalOptions, Pattern};
 use activexml::schema::{parse_schema, Schema};
 use activexml::services::{load_registry, FaultProfile, Registry};
-use activexml::store::{CacheConfig, CallCache, DocumentStore, SessionOptions};
+use activexml::store::{CacheConfig, CallCache, DocumentStore, PlanCacheConfig, SessionOptions};
 use activexml::xml::{parse, to_xml_with, Document, SerializeOptions};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -262,6 +262,33 @@ fn cache_config(opts: &Opts) -> Result<CacheConfig, String> {
             .parse()
             .map_err(|_| format!("--cache-shards expects a number, got {v:?}"))?;
         config = config.with_shards(shards);
+    }
+    Ok(config)
+}
+
+/// Whether sessions consult the store's shared compiled-plan cache:
+/// `--plan-cache on|off` (default on). Bare `--plan-cache` and
+/// `--no-plan-cache` are accepted too. Purely a performance knob —
+/// answers, traces and stats are byte-identical either way.
+fn wants_plan_cache(opts: &Opts) -> Result<bool, String> {
+    if opts.flag("no-plan-cache") {
+        return Ok(false);
+    }
+    match opts.value("plan-cache") {
+        None | Some("on") => Ok(true),
+        Some("off") => Ok(false),
+        Some(other) => Err(format!("--plan-cache expects on|off, got {other:?}")),
+    }
+}
+
+/// Builds the compiled-plan cache configuration from
+/// `--plan-cache-capacity` (max cached plans before LRU eviction).
+fn plan_config(opts: &Opts) -> Result<PlanCacheConfig, String> {
+    let mut config = PlanCacheConfig::default();
+    if let Some(v) = opts.value("plan-cache-capacity") {
+        config.capacity = v
+            .parse()
+            .map_err(|_| format!("--plan-cache-capacity expects a number, got {v:?}"))?;
     }
     Ok(config)
 }
@@ -483,7 +510,9 @@ fn cmd_session(opts: &Opts) -> Result<(), String> {
     let options = SessionOptions {
         engine: engine_config(opts)?,
         snapshot_per_query: !opts.flag("persist"),
+        plan_cache: wants_plan_cache(opts)?,
     };
+    let plan_cache_on = options.plan_cache;
     let idle_ms: f64 = match opts.value("idle-ms") {
         None => 0.0,
         Some(v) => v
@@ -499,7 +528,7 @@ fn cmd_session(opts: &Opts) -> Result<(), String> {
     };
 
     let ring = trace_collector(opts);
-    let mut store = DocumentStore::with_cache_config(cache_config(opts)?);
+    let mut store = DocumentStore::with_configs(cache_config(opts)?, plan_config(opts)?);
     store.insert("doc", doc);
 
     if sessions > 1 {
@@ -558,6 +587,17 @@ fn cmd_session(opts: &Opts) -> Result<(), String> {
         session.cache().len(),
         session.cache().total_bytes()
     );
+    if plan_cache_on {
+        let ps = store.plans().stats();
+        println!(
+            "== plans: {} compiled, {} hits / {} misses ({:.0}% hit rate), {} live",
+            ps.compiles,
+            ps.hits,
+            ps.misses,
+            ps.hit_rate() * 100.0,
+            store.plans().len()
+        );
+    }
     if let Some(r) = &ring {
         finish_trace(opts, r)?;
     }

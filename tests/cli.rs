@@ -396,3 +396,72 @@ fn hedge_and_shed_flags_keep_traces_deterministic() {
             .join("\n")
     );
 }
+
+/// Two identical `session` runs with the plan cache warm (the second
+/// `--query` repeats the first, so its plan fetch is a hit) must emit
+/// byte-identical trace JSONL — and the same bytes again with
+/// `--no-plan-cache`, because the compiled-plan layer is trace-invisible.
+#[test]
+fn session_traces_are_deterministic_with_a_warm_plan_cache() {
+    let t = TempFiles::new("session-plans");
+    let doc = t.write("doc.xml", DOC);
+    let world = t.write("world.xml", WORLD);
+    let run = |out_name: &str, extra: &[&str]| {
+        let trace = t.dir.join(out_name).to_string_lossy().into_owned();
+        let mut args = vec![
+            "session",
+            "--doc",
+            &doc,
+            "--world",
+            &world,
+            "--query",
+            QUERY,
+            "--query",
+            QUERY,
+            "--trace-json",
+            &trace,
+        ];
+        args.extend_from_slice(extra);
+        let out = axml().args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        (
+            std::fs::read_to_string(&trace).unwrap(),
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+        )
+    };
+    let (first, stdout) = run("a.jsonl", &[]);
+    let (second, _) = run("b.jsonl", &[]);
+    assert_eq!(
+        first, second,
+        "same session runs with a plan cache must trace identically"
+    );
+    // the repeated query hit the cached plan, and the summary says so
+    assert!(
+        stdout.contains("== plans: 1 compiled, 1 hits / 1 misses"),
+        "plan summary missing or wrong:\n{stdout}"
+    );
+    let (without, stdout_off) = run("c.jsonl", &["--no-plan-cache"]);
+    assert_eq!(
+        first, without,
+        "disabling the plan cache changed the session trace"
+    );
+    assert!(
+        !stdout_off.contains("== plans:"),
+        "--no-plan-cache still printed a plan summary:\n{stdout_off}"
+    );
+    let events = activexml::obs::parse_jsonl(&first).expect("trace parses back");
+    let violations = activexml::obs::check_all(&events, None);
+    assert!(
+        violations.is_empty(),
+        "session trace fails the oracle:\n{}",
+        violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -123,6 +123,61 @@ fn golden_default_schedule_is_eval_mode_invariant() {
     );
 }
 
+/// The compiled-plan layer must be trace-invisible: `use_plans: false`
+/// (pure interpreter) reproduces the *same* golden file as the default
+/// schedule, whose pinned bytes already exercise the compiled path
+/// (`use_plans` defaults to on). No new golden is pinned — divergence
+/// from `figure1_default.jsonl` is the failure.
+#[test]
+fn golden_default_schedule_is_plan_mode_invariant() {
+    check_golden(
+        "figure1_default.jsonl",
+        EngineConfig {
+            use_plans: false,
+            ..EngineConfig::default()
+        },
+        None,
+    );
+}
+
+/// A warm cross-session plan cache must be trace-invisible too: fetching
+/// the Figure 4 plan from a [`PlanCache`] (cold compile, then a cache
+/// hit) and evaluating with the shared plan reproduces the default
+/// golden byte for byte, both times. Plan-cache probe events go to the
+/// cache's own sink, never into the engine's query span.
+#[test]
+fn golden_default_schedule_through_a_warm_plan_cache() {
+    use activexml::store::{PlanCache, PlanCacheConfig};
+
+    let plans = PlanCache::new(PlanCacheConfig::default());
+    let pinned = std::fs::read_to_string(golden_path("figure1_default.jsonl"))
+        .expect("figure1_default.jsonl is pinned");
+    for fetch in 0..2 {
+        let mut sc = figure1();
+        sc.registry.set_default_profile(NetProfile::latency(10.0));
+        let config = EngineConfig::default();
+        let plan = plans.fetch(&figure4_query(), Some(&sc.schema), &config);
+        let ring = RingSink::unbounded();
+        let engine = Engine::new(&sc.registry, config)
+            .with_schema(&sc.schema)
+            .with_plan(plan)
+            .with_observer(&ring);
+        let report = engine.evaluate(&mut sc.doc, &figure4_query());
+        assert_clean(&ring.events(), Some(&report.stats.view()));
+        assert_eq!(
+            to_jsonl(&ring.events()),
+            pinned,
+            "fetch {fetch} diverged from the pinned golden"
+        );
+    }
+    let stats = plans.stats();
+    assert_eq!(
+        (stats.compiles, stats.hits),
+        (1, 1),
+        "second fetch must be a warm hit"
+    );
+}
+
 #[test]
 fn golden_fault_seed_1() {
     check_golden(
