@@ -1706,3 +1706,272 @@ pub fn e17_parse_json(text: &str) -> Vec<E17Entry> {
         })
         .collect()
 }
+
+/// E18 (part 1) — durability: crash-recovery time as the write-ahead log
+/// grows.
+///
+/// Each sweep point publishes `n` versions of a *constant-shape*
+/// document (only one text value changes per version) into a durable
+/// [`SimDir`] store — the real publication path, write-ahead tap
+/// included, with full-document checkpoints on the default cadence —
+/// then reboots the simulated disk and times `DocumentStore::recover`:
+/// the full scan / CRC-verify / replay / re-publish pipeline.
+/// Best-of-`reps` damps scheduler noise. Asserted, not just reported:
+/// every recovery lands on exactly version `n` with an intact log.
+///
+/// Because the document shape is fixed, frames have constant size and
+/// only the log length varies across the sweep: `recovery_ms` is
+/// machine-dependent, but `us_per_frame` staying roughly flat is the
+/// machine-independent shape claim — recovery is linear in log length.
+pub fn e18_recovery(log_lengths: &[usize], reps: usize) -> Vec<Row> {
+    use axml_store::{CrashProfile, DocumentStore, DurabilityOptions, SimDir};
+    use axml_xml::Document;
+    use std::time::Instant;
+
+    /// Groups in the constant-shape document.
+    const GROUPS: usize = 64;
+    let build_doc = |version: usize| {
+        let mut d = Document::with_root("r");
+        let root = d.root();
+        for g in 0..GROUPS {
+            let e = d.add_element(root, format!("g{g}"));
+            d.add_text(
+                e,
+                if g == 0 {
+                    version.to_string()
+                } else {
+                    "x".to_string()
+                },
+            );
+        }
+        d
+    };
+
+    let mut rows = Vec::new();
+    for &n in log_lengths {
+        let dir = SimDir::new(CrashProfile::default());
+        let mut store = DocumentStore::durable(Box::new(dir.clone()), DurabilityOptions::default());
+        store.insert("doc", build_doc(0));
+        let vdoc = std::sync::Arc::clone(store.versioned("doc").expect("doc stored"));
+        for i in 1..=n {
+            assert_eq!(vdoc.publish(build_doc(i)), i as u64);
+        }
+        let log_bytes = dir.persisted("doc.wal").len();
+
+        let mut best_ms = f64::INFINITY;
+        let mut frames = 0usize;
+        for _ in 0..reps.max(1) {
+            let boot = dir.reopen(CrashProfile::default());
+            let t = Instant::now();
+            let (_recovered, report) =
+                DocumentStore::recover(Box::new(boot), DurabilityOptions::default())
+                    .expect("clean shutdown recovers");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            assert!(report.ok(), "{:?}", report.first_error());
+            assert_eq!(report.docs[0].recovered_version, n as u64);
+            assert!(!report.any_truncated(), "clean log has no torn tail");
+            frames = report.docs[0].frames;
+            best_ms = best_ms.min(ms);
+        }
+        rows.push(Row {
+            label: "recovery".to_string(),
+            x: n as f64,
+            metrics: vec![
+                ("log_kb", log_bytes as f64 / 1024.0),
+                ("frames", frames as f64),
+                ("recovery_ms", best_ms),
+                ("us_per_frame", best_ms * 1e3 / frames.max(1) as f64),
+            ],
+        });
+    }
+    rows
+}
+
+/// E18 (part 2) — durability: write-ahead logging overhead on the E15
+/// serving regime.
+///
+/// The identical multi-tenant persistent-session workload (every call
+/// backed by a service that really sleeps 2 ms wall-clock) runs twice:
+/// on a plain store, and on a durable store logging every publication
+/// with `fsync always`. The headline is `overhead` — durable wall time
+/// over plain wall time, minus one — which CI gates at ≤ 10%
+/// (`--e18-max-overhead 0.10`): durability must ride the latency the
+/// serving path already pays waiting on providers, not add to it.
+/// Best-of-`reps` on both sides damps scheduler noise.
+///
+/// Asserted, not just reported: per-session answers are identical with
+/// and without the log, every tenant's publication is acknowledged, and
+/// no log append failed.
+pub fn e18_wal_overhead(sessions: usize, queries_per_session: usize, reps: usize) -> Vec<Row> {
+    use axml_query::parse_query;
+    use axml_services::{CallRequest, FnService, Registry};
+    use axml_store::{
+        CacheConfig, CrashProfile, DocumentStore, DurabilityOptions, PlanCacheConfig,
+        SchedulerMode, SessionOptions, SessionSpec, SimDir,
+    };
+    use axml_xml::{parse, Document};
+    use std::time::Duration;
+
+    /// Real wall-clock latency of one provider call (as in E15).
+    const SERVICE_WALL_MS: u64 = 2;
+    /// Calls each query must resolve.
+    const CALLS_PER_QUERY: usize = 4;
+    const WORKERS: usize = 4;
+
+    let mut registry = Registry::new();
+    registry.register(FnService::new("lookup", |req: &CallRequest| {
+        std::thread::sleep(Duration::from_millis(SERVICE_WALL_MS));
+        let key = req.first_text().unwrap_or("?");
+        parse(&format!("<item><id>{key}</id></item>")).unwrap()
+    }));
+    registry.set_default_profile(NetProfile::free());
+
+    let tenant_doc = |s: usize| {
+        let mut d = Document::with_root("r");
+        let root = d.root();
+        for c in 0..CALLS_PER_QUERY {
+            let call = d.add_call(root, "lookup");
+            d.add_text(call, format!("tenant{s}-{c}"));
+        }
+        d
+    };
+    let query = parse_query("/r/item/id/$I -> $I").unwrap();
+    let persistent = SessionOptions {
+        snapshot_per_query: false,
+        ..SessionOptions::default()
+    };
+    let specs: Vec<SessionSpec> = (0..sessions)
+        .map(|s| {
+            let mut spec = SessionSpec::new(
+                format!("tenant-{s}"),
+                format!("t{s}"),
+                vec![query.clone(); queries_per_session],
+            );
+            spec.options = persistent.clone();
+            spec
+        })
+        .collect();
+
+    // Persistent sessions materialize calls into the store, so every rep
+    // serves from a fresh store; `serve` measures its own wall time.
+    let run = |durable: bool| -> (f64, SessionAnswers, f64) {
+        let mut best_wall = f64::INFINITY;
+        let mut answers: Option<SessionAnswers> = None;
+        let mut appends = 0.0;
+        for _ in 0..reps.max(1) {
+            let mut store = if durable {
+                DocumentStore::durable_with_configs(
+                    Box::new(SimDir::new(CrashProfile::default())),
+                    DurabilityOptions::default(),
+                    CacheConfig::default(),
+                    PlanCacheConfig::default(),
+                )
+            } else {
+                DocumentStore::new()
+            };
+            for s in 0..sessions {
+                store.insert(format!("t{s}"), tenant_doc(s));
+            }
+            let report = store.serve(
+                &specs,
+                &registry,
+                None,
+                &SchedulerMode::Concurrent { workers: WORKERS },
+                None,
+            );
+            if let Some(manager) = store.durability() {
+                for s in 0..sessions {
+                    let name = format!("t{s}");
+                    assert!(manager.failure(&name).is_none(), "append failed for {name}");
+                    assert!(
+                        manager.acked_version(&name).unwrap_or(0) >= 1,
+                        "{name}'s publication must be acknowledged"
+                    );
+                }
+                appends = manager.stats().appends as f64;
+            }
+            best_wall = best_wall.min(report.wall_ms);
+            match &answers {
+                None => answers = Some(report.answers_by_session()),
+                Some(a) => assert_eq!(
+                    a,
+                    &report.answers_by_session(),
+                    "reps must agree on answers"
+                ),
+            }
+        }
+        (best_wall, answers.expect("at least one rep"), appends)
+    };
+    type SessionAnswers = Vec<(String, Vec<BTreeSet<Vec<String>>>)>;
+
+    let (plain_wall, plain_answers, _) = run(false);
+    let (durable_wall, durable_answers, appends) = run(true);
+    assert_eq!(
+        plain_answers, durable_answers,
+        "the write-ahead log must be answer-invisible"
+    );
+
+    vec![Row {
+        label: "serve".to_string(),
+        x: sessions as f64,
+        metrics: vec![
+            ("plain_wall_ms", plain_wall),
+            ("durable_wall_ms", durable_wall),
+            ("wal_appends", appends),
+            ("overhead", durable_wall / plain_wall.max(1e-9) - 1.0),
+        ],
+    }]
+}
+
+/// Serializes both E18 sweeps as the `BENCH_E18.json` artifact (same
+/// line-per-row shape as the other artifacts; the two series carry
+/// different metric sets).
+pub fn e18_to_json(recovery: &[Row], serve: &[Row]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"e18\",\n  \"rows\": [\n");
+    let total = recovery.len() + serve.len();
+    for (i, r) in recovery.iter().chain(serve.iter()).enumerate() {
+        let sep = if i + 1 == total { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"series\": \"{}\", \"x\": {}, ",
+            r.label, r.x
+        ));
+        let m: Vec<String> = r
+            .metrics
+            .iter()
+            .map(|(n, v)| format!("\"{n}\": {v:.4}"))
+            .collect();
+        out.push_str(&m.join(", "));
+        out.push_str(&format!("}}{sep}\n"));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One parsed `BENCH_E18.json` row. The two series carry different
+/// metrics, so the series-specific ones are optional.
+#[derive(Clone, Debug, PartialEq)]
+pub struct E18Entry {
+    /// Series label (`recovery` or `serve`).
+    pub series: String,
+    /// Sweep coordinate: log length in records, or tenant count.
+    pub x: f64,
+    /// `serve` rows: durable-over-plain wall ratio minus one.
+    pub overhead: Option<f64>,
+    /// `recovery` rows: best-of-reps recovery wall time, ms
+    /// (machine-dependent — reported, not gated).
+    pub recovery_ms: Option<f64>,
+}
+
+/// Parses the artifact written by [`e18_to_json`].
+pub fn e18_parse_json(text: &str) -> Vec<E18Entry> {
+    text.lines()
+        .filter_map(|line| {
+            Some(E18Entry {
+                series: json_str_field(line, "series")?,
+                x: json_num_field(line, "x")?,
+                overhead: json_num_field(line, "overhead"),
+                recovery_ms: json_num_field(line, "recovery_ms"),
+            })
+        })
+        .collect()
+}

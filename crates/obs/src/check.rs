@@ -115,6 +115,159 @@ fn is_plan_cache_event(e: &Event) -> bool {
     matches!(e.kind, EventKind::PlanCacheProbe { .. })
 }
 
+/// Whether an event belongs to the durability stream. WAL appends run
+/// inside the publication critical section of the store — outside any
+/// engine query span, and byte-identical traces must not depend on
+/// whether a store is durable — so, like plan-cache events, they are
+/// partitioned out of the span checks and replayed by
+/// `check_durability_stream`.
+fn is_durability_event(e: &Event) -> bool {
+    matches!(
+        e.kind,
+        EventKind::WalAppend { .. }
+            | EventKind::WalCheckpoint { .. }
+            | EventKind::WalRecovery { .. }
+    )
+}
+
+/// Structural checks on the durability stream, per document: recovery
+/// events precede any append (a store recovers before it serves),
+/// non-watermark append versions advance by at most one and never go
+/// backwards (the log records a version *chain*), every checkpoint
+/// carries the version of the publication it snapshots, and frames are
+/// never empty.
+fn check_durability_stream(events: &[Event], out: &mut Vec<Violation>) {
+    use std::collections::btree_map::Entry;
+    let mut last_version: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut appended: BTreeMap<&str, bool> = BTreeMap::new();
+    for e in events {
+        match &e.kind {
+            EventKind::WalAppend {
+                doc,
+                version,
+                record,
+                bytes,
+                ..
+            } => {
+                if *bytes == 0 {
+                    out.push(violation(
+                        "durability",
+                        Some(e.seq),
+                        format!("empty WAL frame appended for doc {doc:?}"),
+                    ));
+                }
+                appended.insert(doc.as_str(), true);
+                if record == "watermark" {
+                    continue; // carries a subscription watermark, not a doc version
+                }
+                match last_version.entry(doc.as_str()) {
+                    Entry::Vacant(v) => {
+                        v.insert(*version);
+                    }
+                    Entry::Occupied(mut o) => {
+                        let prev = *o.get();
+                        if *version < prev || *version > prev + 1 {
+                            out.push(violation(
+                                "durability",
+                                Some(e.seq),
+                                format!(
+                                    "doc {doc:?} WAL version jumped {prev} -> {version} \
+                                     (the log must be a chain)"
+                                ),
+                            ));
+                        }
+                        o.insert(*version);
+                    }
+                }
+            }
+            EventKind::WalCheckpoint {
+                doc,
+                version,
+                bytes,
+            } => {
+                if *bytes == 0 {
+                    out.push(violation(
+                        "durability",
+                        Some(e.seq),
+                        format!("empty checkpoint frame for doc {doc:?}"),
+                    ));
+                }
+                if let Some(&prev) = last_version.get(doc.as_str()) {
+                    if *version != prev {
+                        out.push(violation(
+                            "durability",
+                            Some(e.seq),
+                            format!(
+                                "doc {doc:?} checkpoint at version {version} but the log is \
+                                 at {prev}"
+                            ),
+                        ));
+                    }
+                }
+            }
+            EventKind::WalRecovery { doc, version, .. } => {
+                if appended.get(doc.as_str()).copied().unwrap_or(false) {
+                    out.push(violation(
+                        "durability",
+                        Some(e.seq),
+                        format!("doc {doc:?} recovered after WAL appends in the same stream"),
+                    ));
+                }
+                last_version.insert(doc.as_str(), *version);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Accounting identity between a stream's durability events and the WAL
+/// manager's own counters: appends, fsync-acknowledged appends and
+/// checkpoints in the stream must equal the manager's aggregate counts
+/// over the same window.
+pub fn check_wal_accounting(
+    events: &[Event],
+    appends: usize,
+    synced: usize,
+    checkpoints: usize,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let (mut a, mut s, mut c) = (0usize, 0usize, 0usize);
+    for e in events {
+        match &e.kind {
+            EventKind::WalAppend { synced, .. } => {
+                a += 1;
+                if *synced {
+                    s += 1;
+                }
+            }
+            EventKind::WalCheckpoint { .. } => c += 1,
+            _ => {}
+        }
+    }
+    if a != appends {
+        out.push(violation(
+            "wal-accounting",
+            None,
+            format!("trace has {a} WAL appends, counters say {appends}"),
+        ));
+    }
+    if s != synced {
+        out.push(violation(
+            "wal-accounting",
+            None,
+            format!("trace has {s} synced WAL appends, counters say {synced}"),
+        ));
+    }
+    if c != checkpoints {
+        out.push(violation(
+            "wal-accounting",
+            None,
+            format!("trace has {c} checkpoints, counters say {checkpoints}"),
+        ));
+    }
+    out
+}
+
 /// Structural checks on the plan-cache stream: the first probe of every
 /// key must be a miss (a hit before any compile would mean a plan
 /// materialized out of nowhere), and a key's rendered query text never
@@ -556,12 +709,14 @@ pub fn check_trace(events: &[Event]) -> Vec<Violation> {
     let mut out = Vec::new();
     let (subs, rest): (Vec<Event>, Vec<Event>) =
         events.iter().cloned().partition(is_subscription_event);
-    let (plans, engine): (Vec<Event>, Vec<Event>) = rest.into_iter().partition(is_plan_cache_event);
+    let (plans, rest): (Vec<Event>, Vec<Event>) = rest.into_iter().partition(is_plan_cache_event);
+    let (wal, engine): (Vec<Event>, Vec<Event>) = rest.into_iter().partition(is_durability_event);
     for span in spans(&engine) {
         check_span(span, &mut out);
     }
     check_subscriptions(&subs, &mut out);
     check_plan_cache_stream(&plans, &mut out);
+    check_durability_stream(&wal, &mut out);
     out
 }
 

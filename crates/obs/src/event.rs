@@ -255,6 +255,47 @@ pub enum EventKind {
         /// under the key — the probe compiled and inserted.
         hit: bool,
     },
+    /// The durability layer appended one CRC-framed record to a
+    /// document's write-ahead log. Emitted through the store's own sink
+    /// (like plan-cache events), never into an engine's query span.
+    WalAppend {
+        /// The stored document's name.
+        doc: String,
+        /// The published version the record describes (for `watermark`
+        /// records: the subscription watermark being persisted).
+        version: u64,
+        /// Record type: `checkpoint`, `splices`, `snapshot` or
+        /// `watermark`.
+        record: String,
+        /// Framed bytes appended (header + payload).
+        bytes: usize,
+        /// Whether the append was fsync-acknowledged (the publication is
+        /// durable) or left buffered (a crash may lose it).
+        synced: bool,
+    },
+    /// The checkpoint policy wrote a full-document checkpoint frame.
+    WalCheckpoint {
+        /// The stored document's name.
+        doc: String,
+        /// The checkpointed version.
+        version: u64,
+        /// Framed bytes the checkpoint occupies in the log.
+        bytes: usize,
+    },
+    /// One document finished crash recovery: the log was scanned,
+    /// possibly truncated at its first invalid frame, and replayed.
+    WalRecovery {
+        /// The recovered document's name.
+        doc: String,
+        /// The version the document recovered to.
+        version: u64,
+        /// Valid frames scanned (including the base checkpoint).
+        frames: usize,
+        /// Splice records replayed atop the base checkpoint.
+        splices_replayed: usize,
+        /// Whether a torn or corrupt tail was truncated away.
+        truncated: bool,
+    },
     /// A standing query's answer changed at a published document version
     /// and a delta was delivered to its sinks.
     SubscriptionDelta {
@@ -297,6 +338,9 @@ impl EventKind {
             EventKind::PlanCacheProbe { .. } => "plan_cache",
             EventKind::SubscriptionStart { .. } => "subscription_start",
             EventKind::SubscriptionDelta { .. } => "subscription_delta",
+            EventKind::WalAppend { .. } => "wal_append",
+            EventKind::WalCheckpoint { .. } => "wal_checkpoint",
+            EventKind::WalRecovery { .. } => "wal_recovery",
         }
     }
 }

@@ -230,6 +230,42 @@ pub fn event_to_json(e: &Event, include_cpu: bool) -> String {
                 ",\"version\":{version},\"added\":{added},\"removed\":{removed},\"changed\":{changed},\"full_reeval\":{full_reeval}"
             );
         }
+        EventKind::WalAppend {
+            doc,
+            version,
+            record,
+            bytes,
+            synced,
+        } => {
+            s.push_str(",\"doc\":");
+            push_escaped(&mut s, doc);
+            let _ = write!(s, ",\"version\":{version},\"record\":");
+            push_escaped(&mut s, record);
+            let _ = write!(s, ",\"bytes\":{bytes},\"synced\":{synced}");
+        }
+        EventKind::WalCheckpoint {
+            doc,
+            version,
+            bytes,
+        } => {
+            s.push_str(",\"doc\":");
+            push_escaped(&mut s, doc);
+            let _ = write!(s, ",\"version\":{version},\"bytes\":{bytes}");
+        }
+        EventKind::WalRecovery {
+            doc,
+            version,
+            frames,
+            splices_replayed,
+            truncated,
+        } => {
+            s.push_str(",\"doc\":");
+            push_escaped(&mut s, doc);
+            let _ = write!(
+                s,
+                ",\"version\":{version},\"frames\":{frames},\"splices_replayed\":{splices_replayed},\"truncated\":{truncated}"
+            );
+        }
     }
     s.push('}');
     s
@@ -271,6 +307,10 @@ enum Value {
     Null,
     Bool(bool),
     Num(f64),
+    /// Non-negative integer literal, kept exact: call ids are full-width
+    /// `u64` hashes, and routing them through `f64` would round anything
+    /// above 2^53.
+    Int(u64),
     Str(String),
     Arr(Vec<Value>),
     Obj(Vec<(String, Value)>),
@@ -287,6 +327,17 @@ impl Value {
     fn num(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
+            Value::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    fn num_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
             _ => None,
         }
     }
@@ -381,6 +432,13 @@ impl<'a> Parser<'a> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        // Plain digit runs stay exact u64; anything signed, fractional or
+        // exponent-form (or beyond u64::MAX) takes the f64 path.
+        if text.bytes().all(|b| b.is_ascii_digit()) {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::Int(n));
+            }
+        }
         text.parse::<f64>()
             .map(Value::Num)
             .map_err(|_| format!("invalid number {text:?} at byte {start}"))
@@ -501,11 +559,13 @@ fn req_num(v: &Value, key: &str) -> Result<f64, String> {
 }
 
 fn req_usize(v: &Value, key: &str) -> Result<usize, String> {
-    Ok(req_num(v, key)? as usize)
+    Ok(req_u64(v, key)? as usize)
 }
 
 fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
-    Ok(req_num(v, key)? as u64)
+    req(v, key)?
+        .num_u64()
+        .ok_or_else(|| format!("field {key:?} is not an unsigned integer"))
 }
 
 fn req_bool(v: &Value, key: &str) -> Result<bool, String> {
@@ -550,7 +610,7 @@ pub fn event_from_json(line: &str) -> Result<Event, String> {
                 .arr()
                 .ok_or("field \"calls\" is not an array")?
                 .iter()
-                .map(|x| x.num().map(|n| n as u64).ok_or("non-numeric call id"))
+                .map(|x| x.num_u64().ok_or("non-numeric call id"))
                 .collect::<Result<Vec<u64>, _>>()?;
             let services = req(&v, "services")?
                 .arr()
@@ -641,6 +701,25 @@ pub fn event_from_json(line: &str) -> Result<Event, String> {
             removed: req_usize(&v, "removed")?,
             changed: req_usize(&v, "changed")?,
             full_reeval: req_bool(&v, "full_reeval")?,
+        },
+        "wal_append" => EventKind::WalAppend {
+            doc: req_str(&v, "doc")?,
+            version: req_u64(&v, "version")?,
+            record: req_str(&v, "record")?,
+            bytes: req_usize(&v, "bytes")?,
+            synced: req_bool(&v, "synced")?,
+        },
+        "wal_checkpoint" => EventKind::WalCheckpoint {
+            doc: req_str(&v, "doc")?,
+            version: req_u64(&v, "version")?,
+            bytes: req_usize(&v, "bytes")?,
+        },
+        "wal_recovery" => EventKind::WalRecovery {
+            doc: req_str(&v, "doc")?,
+            version: req_u64(&v, "version")?,
+            frames: req_usize(&v, "frames")?,
+            splices_replayed: req_usize(&v, "splices_replayed")?,
+            truncated: req_bool(&v, "truncated")?,
         },
         other => return Err(format!("unknown event kind {other:?}")),
     };

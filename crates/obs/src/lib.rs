@@ -29,7 +29,8 @@ pub mod metrics;
 pub mod sink;
 
 pub use check::{
-    assert_clean, check_all, check_plan_cache, check_stats, check_trace, StatsView, Violation,
+    assert_clean, check_all, check_plan_cache, check_stats, check_trace, check_wal_accounting,
+    StatsView, Violation,
 };
 pub use event::{CacheOutcome, Event, EventKind, ShedReason};
 pub use json::{event_from_json, event_to_json, parse_jsonl, to_jsonl, ParseError};

@@ -128,7 +128,10 @@ pub fn pretty_line(e: &Event) -> String {
         | EventKind::QueryEnd { .. }
         | EventKind::PlanCacheProbe { .. }
         | EventKind::SubscriptionStart { .. }
-        | EventKind::SubscriptionDelta { .. } => 0,
+        | EventKind::SubscriptionDelta { .. }
+        | EventKind::WalAppend { .. }
+        | EventKind::WalCheckpoint { .. }
+        | EventKind::WalRecovery { .. } => 0,
         EventKind::LayerStart { .. }
         | EventKind::LayerEnd
         | EventKind::Truncated { .. }
@@ -280,6 +283,29 @@ pub fn pretty_line(e: &Event) -> String {
         } => format!(
             "delta {subscription}@v{version}: +{added} -{removed} ~{changed}{}",
             if *full_reeval { " [full re-eval]" } else { "" }
+        ),
+        EventKind::WalAppend {
+            doc,
+            version,
+            record,
+            bytes,
+            synced,
+        } => format!(
+            "wal append {doc}@v{version} {record} ({bytes}B{})",
+            if *synced { ", synced" } else { ", buffered" }
+        ),
+        EventKind::WalCheckpoint { doc, version, bytes } => {
+            format!("wal checkpoint {doc}@v{version} ({bytes}B)")
+        }
+        EventKind::WalRecovery {
+            doc,
+            version,
+            frames,
+            splices_replayed,
+            truncated,
+        } => format!(
+            "recovered {doc} to v{version} ({frames} frames, {splices_replayed} splices{})",
+            if *truncated { ", tail truncated" } else { "" }
         ),
     };
     format!("{:>9.2}ms {pad}{body}", e.sim_ms)

@@ -37,6 +37,17 @@
 //!   specs run on a work-stealing worker pool, or under a seeded
 //!   deterministic interleaving whose recorded schedule replays serially
 //!   (the concurrency test oracle; see [`sched`]).
+//! * [`wal`] / [`checkpoint`] / [`recover`] — the durability subsystem:
+//!   an append-only CRC-framed write-ahead log of published splices plus
+//!   periodic full-document checkpoints, written through a [`LogDir`]
+//!   abstraction with a real-filesystem backend ([`FsDir`]) and a
+//!   deterministic in-memory one ([`SimDir`]) whose seeded
+//!   [`CrashProfile`] injects torn writes, dropped flushes and bit rot
+//!   into the *unsynced* tail only. [`DocumentStore::recover`] rebuilds
+//!   the store from the logs: truncate at the first invalid frame,
+//!   replay splices atop the newest intact checkpoint, re-anchor
+//!   subscription watermarks. The crash-matrix oracle asserts every
+//!   fsync-acknowledged publication survives recovery byte-identically.
 //!
 //! ```
 //! use axml_gen::scenario::figure1;
@@ -57,15 +68,25 @@
 //! ```
 
 pub mod cache;
+pub mod checkpoint;
 pub mod plan_cache;
+pub mod recover;
 pub mod sched;
 pub mod session;
 pub mod store;
+pub mod wal;
 
 pub use cache::{CacheConfig, CacheStats, CallCache, SingleLockCache};
+pub use checkpoint::{DurabilityOptions, DurabilityStats, FsyncPolicy};
 pub use plan_cache::{PlanCache, PlanCacheConfig, PlanCacheStats};
+pub use recover::{recover_log, DocRecovery, RecoveredLog, RecoveryReport};
 pub use sched::{
     QueryOutcome, ScheduleEntry, SchedulerMode, ServeReport, SessionOutcome, SessionSpec,
 };
 pub use session::{Session, SessionOptions, SessionReport};
 pub use store::DocumentStore;
+pub use wal::{
+    crc32, decode_record, doc_name_from_file, encode_record, frame, log_file_name, scan_frames,
+    CrashProfile, DocTap, DurabilityManager, FrameScan, FsDir, LogDir, LogFile, SimDir, WalError,
+    WalRecord, MAX_FRAME_LEN, WAL_MAGIC,
+};

@@ -9,8 +9,11 @@
 //! snapshot, never a partially applied splice.
 
 use crate::cache::{CacheConfig, CallCache};
+use crate::checkpoint::DurabilityOptions;
 use crate::plan_cache::{PlanCache, PlanCacheConfig};
+use crate::recover::{recover_dir, RecoveryReport};
 use crate::session::{Session, SessionOptions};
+use crate::wal::{DocTap, DurabilityManager, LogDir, WalError};
 use axml_schema::Schema;
 use axml_services::Registry;
 use axml_xml::{DocSnapshot, Document, VersionedDocument};
@@ -26,6 +29,8 @@ pub struct DocumentStore {
     docs: BTreeMap<String, Arc<VersionedDocument>>,
     cache: Arc<CallCache>,
     plans: Arc<PlanCache>,
+    wal: Option<Arc<DurabilityManager>>,
+    recovered_watermarks: BTreeMap<String, BTreeMap<String, u64>>,
 }
 
 impl DocumentStore {
@@ -53,18 +58,136 @@ impl DocumentStore {
     /// An empty store with explicit call-cache and plan-cache configs.
     pub fn with_configs(cache: CacheConfig, plans: PlanCacheConfig) -> Self {
         DocumentStore {
-            docs: BTreeMap::new(),
             cache: Arc::new(CallCache::new(cache)),
             plans: Arc::new(PlanCache::new(plans)),
+            ..DocumentStore::default()
         }
+    }
+
+    /// A durable store: every document inserted from now on keeps a
+    /// write-ahead log of its publications in `dir` (initial checkpoint,
+    /// then one record per publish, periodic checkpoints per `options`).
+    pub fn durable(dir: Box<dyn LogDir>, options: DurabilityOptions) -> Self {
+        Self::durable_with_configs(
+            dir,
+            options,
+            CacheConfig::default(),
+            PlanCacheConfig::default(),
+        )
+    }
+
+    /// [`DocumentStore::durable`] with explicit cache configurations.
+    pub fn durable_with_configs(
+        dir: Box<dyn LogDir>,
+        options: DurabilityOptions,
+        cache: CacheConfig,
+        plans: PlanCacheConfig,
+    ) -> Self {
+        DocumentStore {
+            wal: Some(DurabilityManager::new(dir, options)),
+            ..Self::with_configs(cache, plans)
+        }
+    }
+
+    /// Recovers a durable store from the write-ahead logs in `dir`:
+    /// scans each log's CRC-valid prefix, truncates any torn tail,
+    /// replays splices atop the newest intact checkpoint, and re-publishes
+    /// each document at its recovered version. The returned report lists
+    /// per-document outcomes (including unrecoverable logs, which are
+    /// skipped, and persisted subscription watermarks for re-anchoring).
+    ///
+    /// The recovered store is itself durable: new publications continue
+    /// appending to the (truncated) logs under the same policy.
+    pub fn recover(
+        dir: Box<dyn LogDir>,
+        options: DurabilityOptions,
+    ) -> Result<(Self, RecoveryReport), WalError> {
+        Self::recover_with_configs(
+            dir,
+            options,
+            CacheConfig::default(),
+            PlanCacheConfig::default(),
+        )
+    }
+
+    /// [`DocumentStore::recover`] with explicit cache configurations.
+    pub fn recover_with_configs(
+        dir: Box<dyn LogDir>,
+        options: DurabilityOptions,
+        cache: CacheConfig,
+        plans: PlanCacheConfig,
+    ) -> Result<(Self, RecoveryReport), WalError> {
+        let recovered = recover_dir(dir.as_ref())?;
+        let manager = DurabilityManager::new(dir, options);
+        let mut store = DocumentStore {
+            wal: Some(Arc::clone(&manager)),
+            ..Self::with_configs(cache, plans)
+        };
+        let mut report = RecoveryReport::default();
+        for rec in recovered {
+            if let Some(mut doc) = rec.doc {
+                doc.enable_splice_journal();
+                let file = manager.dir().open_append(&rec.file)?;
+                manager.adopt_recovered(&rec.name, file, rec.version, rec.records_since_checkpoint);
+                manager.emit_recovery(
+                    &rec.name,
+                    rec.version,
+                    rec.report.frames,
+                    rec.report.splices_replayed,
+                    rec.report.truncated_at.is_some(),
+                );
+                let versioned = Arc::new(VersionedDocument::new_at(doc, rec.version));
+                versioned.set_tap(Arc::new(DocTap::new(Arc::clone(&manager), &rec.name)));
+                store.docs.insert(rec.name.clone(), versioned);
+                store
+                    .recovered_watermarks
+                    .insert(rec.name.clone(), rec.report.watermarks.clone());
+            }
+            report.docs.push(rec.report);
+        }
+        Ok((store, report))
+    }
+
+    /// The durability manager, when this store was opened durable.
+    pub fn durability(&self) -> Option<&Arc<DurabilityManager>> {
+        self.wal.as_ref()
+    }
+
+    /// A subscription watermark persisted in `doc`'s log before the last
+    /// crash, if the store was just recovered. Subscriptions re-anchor
+    /// here: when the watermark is older than the recovered log can
+    /// serve, catch-up soundly degrades to a full re-evaluation.
+    pub fn recovered_watermark(&self, doc: &str, subscription: &str) -> Option<u64> {
+        self.recovered_watermarks
+            .get(doc)?
+            .get(subscription)
+            .copied()
     }
 
     /// Adds (or replaces) a document under `name` (as version 0 of a
     /// fresh version chain). Returns the previously published document
     /// stored under that name, if any.
+    ///
+    /// On a durable store this also starts the document's write-ahead
+    /// log (header + initial checkpoint, synced before this returns) and
+    /// enables its splice journal so publications log compact splice
+    /// records. A log that cannot be created is recorded as a sticky
+    /// failure on [`DurabilityManager::failure`] rather than panicking —
+    /// the document still works, it just is not durable.
     pub fn insert(&mut self, name: impl Into<String>, doc: Document) -> Option<Document> {
+        let name = name.into();
+        let mut doc = doc;
+        let versioned = if let Some(wal) = &self.wal {
+            doc.enable_splice_journal();
+            let _ = wal.attach_new_doc(&name, &doc, 0);
+            let versioned = Arc::new(VersionedDocument::new(doc));
+            versioned.set_tap(Arc::new(DocTap::new(Arc::clone(wal), &name)));
+            versioned
+        } else {
+            Arc::new(VersionedDocument::new(doc))
+        };
         self.docs
-            .insert(name.into(), Arc::new(VersionedDocument::new(doc)))
+            .insert(name, versioned)
             .map(|v| v.snapshot().to_document())
     }
 

@@ -36,7 +36,7 @@ use axml_obs::{Event, EventKind, RingSink, TraceSink};
 use axml_query::{render, render_result, Pattern};
 use axml_schema::Schema;
 use axml_services::Registry;
-use axml_store::{CallCache, DocumentStore, PlanCache};
+use axml_store::{CallCache, DocumentStore, DurabilityManager, PlanCache};
 use axml_xml::{CatchUp, Document, VersionedDocument};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -152,6 +152,7 @@ pub struct SubscriptionEngine<'a> {
     schema: Option<&'a Schema>,
     cache: Arc<CallCache>,
     plans: Option<Arc<PlanCache>>,
+    durability: Option<(Arc<DurabilityManager>, String)>,
     options: SubscriptionOptions,
     subs: Vec<SubState>,
     sinks: Vec<Box<dyn DeltaSink + 'a>>,
@@ -177,7 +178,12 @@ impl<'a> SubscriptionEngine<'a> {
         let doc = Arc::clone(store.versioned(name)?);
         let cache = Arc::clone(store.cache());
         let plans = Arc::clone(store.plans());
-        Some(SubscriptionEngine::new(doc, registry, schema, cache, options).with_plans(plans))
+        let mut engine =
+            SubscriptionEngine::new(doc, registry, schema, cache, options).with_plans(plans);
+        if let Some(manager) = store.durability() {
+            engine = engine.with_durability(Arc::clone(manager), name);
+        }
+        Some(engine)
     }
 
     /// An engine over `doc` directly. Enables publication history on the
@@ -199,6 +205,7 @@ impl<'a> SubscriptionEngine<'a> {
             schema,
             cache,
             plans: None,
+            durability: None,
             options,
             subs: Vec::new(),
             sinks: Vec::new(),
@@ -219,6 +226,22 @@ impl<'a> SubscriptionEngine<'a> {
     /// [`over_store`]: SubscriptionEngine::over_store
     pub fn with_plans(mut self, plans: Arc<PlanCache>) -> Self {
         self.plans = Some(plans);
+        self
+    }
+
+    /// Attaches the store's durability manager: every watermark advance
+    /// is appended to `doc_name`'s write-ahead log as a `watermark`
+    /// record, so a recovered store can re-anchor subscriptions (see
+    /// [`SubscriptionEngine::subscribe_from`]). [`over_store`] wires
+    /// this automatically when the store is durable.
+    ///
+    /// [`over_store`]: SubscriptionEngine::over_store
+    pub fn with_durability(
+        mut self,
+        manager: Arc<DurabilityManager>,
+        doc_name: impl Into<String>,
+    ) -> Self {
+        self.durability = Some((manager, doc_name.into()));
         self
     }
 
@@ -311,7 +334,65 @@ impl<'a> SubscriptionEngine<'a> {
             deltas_emitted: 0,
             versions_skipped: 0,
         });
+        self.persist_watermark(self.subs.len() - 1);
         answers
+    }
+
+    /// Re-registers a standing query after crash recovery, anchored at
+    /// the `watermark` persisted in the document's write-ahead log
+    /// (see `DocumentStore::recovered_watermark`).
+    ///
+    /// When the watermark already matches the recovered version this is
+    /// an exact resume (identical to [`subscribe`]). When it is older —
+    /// the watermark record for later deliveries was lost with the
+    /// unsynced tail — the subscription starts with no answer state at
+    /// the stale watermark, and the next [`reconcile`] degrades soundly
+    /// to a full re-evaluation (the recovered history floor sits at the
+    /// recovered version, so catch-up can never silently skip the gap):
+    /// the subscriber gets one `full_reeval` delta rebuilding its state
+    /// rather than a stale answer.
+    ///
+    /// [`subscribe`]: SubscriptionEngine::subscribe
+    /// [`reconcile`]: SubscriptionEngine::reconcile
+    pub fn subscribe_from(
+        &mut self,
+        name: impl Into<String>,
+        query: Pattern,
+        watermark: u64,
+    ) -> BTreeSet<Vec<String>> {
+        let name = name.into();
+        if watermark >= self.doc.version() {
+            return self.subscribe(name, query);
+        }
+        assert!(
+            self.subs.iter().all(|s| s.name != name),
+            "duplicate subscription name {name:?}"
+        );
+        let query_text = render(&query);
+        let scope = QueryScope::of(&query);
+        self.emit(EventKind::SubscriptionStart {
+            subscription: name.clone(),
+            query: query_text.clone(),
+            initial: 0,
+        });
+        self.subs.push(SubState {
+            name,
+            query,
+            query_text,
+            scope,
+            watermark,
+            answers: BTreeSet::new(),
+            refires_left: self.options.max_refires,
+            deltas_emitted: 0,
+            versions_skipped: 0,
+        });
+        BTreeSet::new()
+    }
+
+    fn persist_watermark(&self, sub_idx: usize) {
+        if let Some((manager, doc)) = &self.durability {
+            manager.record_watermark(doc, &self.subs[sub_idx].name, self.subs[sub_idx].watermark);
+        }
     }
 
     /// One refresh pass: re-evaluates every (non-exhausted) standing
@@ -322,11 +403,17 @@ impl<'a> SubscriptionEngine<'a> {
     /// everything was still cache-valid.
     ///
     /// If a guardrail (`refresh_depth`, `max_refires`, or the engine's
-    /// own invocation budget) truncates an evaluation, the whole round
-    /// is abandoned — a partial materialization is never published, so
-    /// the history only ever holds versions whose answers are complete.
-    /// The truncated subscription is marked exhausted and skipped by
-    /// later refreshes; its re-invocations stay warm in the cache.
+    /// own invocation budget) truncates an evaluation — or any refresh
+    /// evaluation is otherwise *incomplete* (a failed call, an open
+    /// circuit breaker refusing a refreshed service mid-round, an
+    /// unknown service) — the whole round is abandoned: a partial
+    /// materialization is never published, so the history only ever
+    /// holds versions whose answers are complete. A *truncated*
+    /// subscription is marked exhausted and skipped by later refreshes;
+    /// a merely incomplete one (e.g. breaker open) keeps its refire
+    /// budget and is retried on the next round, when the breaker may
+    /// have half-opened. Either way the successful re-invocations stay
+    /// warm in the cache, so the retry only re-pays the failed calls.
     ///
     /// Feed mode assumes this engine is the document's only publisher;
     /// a concurrent publication triggers a re-snapshot retry.
@@ -345,6 +432,7 @@ impl<'a> SubscriptionEngine<'a> {
             let base_version = self.doc.version();
             let mut working = self.base.clone();
             let mut truncated = false;
+            let mut incomplete = false;
             for i in 0..self.subs.len() {
                 if self.subs[i].refires_left == 0 {
                     continue;
@@ -377,12 +465,20 @@ impl<'a> SubscriptionEngine<'a> {
                     sub.refires_left = 0;
                     truncated = true;
                 }
+                if !stats.is_complete() {
+                    incomplete = true;
+                }
             }
-            if truncated || real_invocations == 0 {
+            if truncated || incomplete || real_invocations == 0 {
                 return None;
             }
             changed_paths.sort();
             changed_paths.dedup();
+            // The working copy was re-materialized from the *base*
+            // document, so its splice journal is relative to the base,
+            // not to the predecessor version — a durable store must log
+            // this publication as a full snapshot, not as splices.
+            working.mark_journal_unknown();
             match self
                 .doc
                 .publish_if_tagged(base_version, working, Some(changed_paths.clone()))
@@ -412,6 +508,7 @@ impl<'a> SubscriptionEngine<'a> {
     fn reconcile_inner(&mut self) -> Vec<Delta> {
         let mut out = Vec::new();
         for i in 0..self.subs.len() {
+            let watermark_before = self.subs[i].watermark;
             match self.doc.publications_since(self.subs[i].watermark) {
                 CatchUp::Degraded(snapshot) => {
                     let version = snapshot.version();
@@ -456,6 +553,12 @@ impl<'a> SubscriptionEngine<'a> {
                         self.subs[i].watermark = record.version;
                     }
                 }
+            }
+            // One watermark record per sub per pass (not per version):
+            // recovery only needs the final anchor, and losing it merely
+            // degrades to a full re-evaluation.
+            if self.subs[i].watermark != watermark_before {
+                self.persist_watermark(i);
             }
         }
         out

@@ -1,0 +1,155 @@
+//! Subscription watermark re-anchoring across crash recovery.
+//!
+//! A durable store's write-ahead log carries `watermark` records each
+//! time a subscription's delivery watermark advances. After a crash,
+//! `DocumentStore::recover` surfaces the persisted watermarks and
+//! [`SubscriptionEngine::subscribe_from`] re-anchors a re-registered
+//! standing query there:
+//!
+//! * watermark == recovered version → exact resume, no spurious delta;
+//! * watermark < recovered version (the tail carrying later watermark
+//!   records was lost) → the recovered history floor sits at the
+//!   recovered version, so catch-up *degrades soundly* to a full
+//!   re-evaluation — one `full_reeval` delta rebuilds the subscriber's
+//!   state; it can never silently skip the gap.
+
+use axml_query::parse_query;
+use axml_services::{CallRequest, FnService, Registry};
+use axml_store::{CacheConfig, CrashProfile, DocumentStore, DurabilityOptions, SimDir};
+use axml_sub::{SubscriptionEngine, SubscriptionOptions};
+use axml_xml::{parse, Document};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A volatile service: each real invocation returns the next counter
+/// value, so every TTL lapse changes the answer and forces a publication.
+fn registry() -> Registry {
+    let counter = Arc::new(AtomicU64::new(0));
+    let mut r = Registry::new();
+    r.register(FnService::new("tick", move |_req: &CallRequest| {
+        let n = counter.fetch_add(1, Ordering::Relaxed);
+        parse(&format!("<val>{n}</val>")).unwrap()
+    }));
+    r
+}
+
+fn doc() -> Document {
+    let mut d = Document::with_root("r");
+    let root = d.root();
+    let c = d.add_call(root, "tick");
+    d.add_text(c, "t");
+    d
+}
+
+fn options() -> SubscriptionOptions {
+    SubscriptionOptions {
+        watch_ms: 10.0,
+        ..SubscriptionOptions::default()
+    }
+}
+
+/// Runs a subscription over a durable store until a few versions have
+/// been published, then crashes. Returns the simulated disk.
+fn run_and_crash() -> (SimDir, u64) {
+    let registry = registry();
+    let dir = SimDir::new(CrashProfile::default());
+    let mut store = DocumentStore::durable_with_configs(
+        Box::new(dir.clone()),
+        DurabilityOptions::default(),
+        CacheConfig::with_ttl_ms(25.0),
+        Default::default(),
+    );
+    store.insert("doc", doc());
+    let mut engine =
+        SubscriptionEngine::over_store(&store, "doc", &registry, None, options()).unwrap();
+    let query = parse_query("/r/val/$V -> $V").unwrap();
+    engine.subscribe("w", query);
+    let deltas = engine.run_until(200.0);
+    assert!(!deltas.is_empty(), "the volatile feed must stream deltas");
+    let final_version = store.versioned("doc").unwrap().version();
+    assert!(final_version >= 2, "need several publications");
+    // Everything above ran under FsyncPolicy::Always, so the whole log
+    // is acknowledged; the crash loses nothing.
+    dir.crash_now();
+    (dir, final_version)
+}
+
+#[test]
+fn persisted_watermark_resumes_exactly() {
+    let (dir, final_version) = run_and_crash();
+    let (store, report) = DocumentStore::recover(
+        Box::new(dir.reopen(CrashProfile::default())),
+        DurabilityOptions::default(),
+    )
+    .expect("recovery");
+    assert!(report.ok(), "{:?}", report.first_error());
+    let rv = report.docs[0].recovered_version;
+    assert_eq!(rv, final_version);
+
+    // The persisted watermark survived (every append was synced) and
+    // matches the last reconciled version.
+    let watermark = store
+        .recovered_watermark("doc", "w")
+        .expect("watermark persisted");
+    assert_eq!(watermark, rv);
+
+    // Re-anchoring at the exact watermark is an exact resume: the
+    // initial answer is the recovered state's answer and reconciliation
+    // emits nothing.
+    let registry = registry();
+    let mut engine =
+        SubscriptionEngine::over_store(&store, "doc", &registry, None, options()).unwrap();
+    let query = parse_query("/r/val/$V -> $V").unwrap();
+    let initial = engine.subscribe_from("w", query, watermark);
+    assert_eq!(initial.len(), 1, "recovered doc answers the query");
+    assert!(
+        engine.reconcile().is_empty(),
+        "exact resume has no catch-up"
+    );
+    assert_eq!(engine.stats().degradations, 0);
+}
+
+#[test]
+fn stale_watermark_degrades_to_full_reevaluation() {
+    let (dir, _) = run_and_crash();
+    let (store, report) = DocumentStore::recover(
+        Box::new(dir.reopen(CrashProfile::default())),
+        DurabilityOptions::default(),
+    )
+    .expect("recovery");
+    assert!(report.ok());
+    let rv = report.docs[0].recovered_version;
+    assert!(rv > 0);
+
+    // Model a lost watermark tail: re-anchor at version 0, far below
+    // the recovered log's history floor.
+    let registry = registry();
+    let mut engine =
+        SubscriptionEngine::over_store(&store, "doc", &registry, None, options()).unwrap();
+    let query = parse_query("/r/val/$V -> $V").unwrap();
+    let initial = engine.subscribe_from("w", query, 0);
+    assert!(initial.is_empty(), "stale anchor defers to reconciliation");
+
+    // The first reconcile cannot serve versions (0, rv] from history —
+    // the floor is rv — so it degrades to a full re-evaluation and
+    // rebuilds the subscriber's state in one full_reeval delta.
+    let deltas = engine.reconcile();
+    assert_eq!(deltas.len(), 1, "{deltas:?}");
+    assert!(deltas[0].full_reeval);
+    assert_eq!(deltas[0].version, rv);
+    assert_eq!(deltas[0].added.len(), 1);
+    assert!(deltas[0].removed.is_empty());
+    assert_eq!(engine.stats().degradations, 1);
+    assert_eq!(
+        engine.answers("w").unwrap().len(),
+        1,
+        "subscriber state rebuilt"
+    );
+
+    // And the watermark advance was re-persisted to the recovered log.
+    assert_eq!(
+        store.durability().unwrap().acked_version("doc"),
+        Some(rv),
+        "watermark record rides the recovered log"
+    );
+}

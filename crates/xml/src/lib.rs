@@ -33,12 +33,16 @@ pub mod serialize;
 pub mod snapshot;
 pub mod source;
 pub mod tree;
+pub mod wire;
 
 pub use label::Label;
 pub use parse::{parse, ParseError, MAX_DEPTH};
 pub use serialize::{
     forest_serialized_len, serialized_len, subtree_to_xml, to_xml, to_xml_with, SerializeOptions,
 };
-pub use snapshot::{CatchUp, DocSnapshot, PublicationRecord, VersionedDocument};
+pub use snapshot::{
+    CatchUp, DocSnapshot, Publication, PublicationRecord, PublicationTap, VersionedDocument,
+};
 pub use source::DataSource;
-pub use tree::{CallId, Descendants, Document, Forest, NodeId, NodeKind};
+pub use tree::{CallId, Descendants, Document, Forest, NodeId, NodeKind, SpliceOp};
+pub use wire::{decode_document, document_to_bytes, encode_document, WireError};

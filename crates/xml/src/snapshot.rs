@@ -16,9 +16,39 @@
 //! a private working copy is cheap: `snapshot.to_document()` copies page
 //! pointers, and the working copy pays only for the pages it touches.
 
-use crate::tree::Document;
+use crate::tree::{Document, SpliceOp};
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex, RwLock};
+
+/// What one publication looked like, as seen by a [`PublicationTap`]:
+/// the freshly assigned version, the frozen document, and — when
+/// available — the change scope and the splice delta since the previous
+/// version. `splices: None` means the delta is unknown (the working copy
+/// was mutated outside [`Document::splice_call`], or journaling is off),
+/// so a durability layer must persist the whole document instead.
+#[derive(Debug)]
+pub struct Publication<'a> {
+    /// The version number this publication produced.
+    pub version: u64,
+    /// The document at that version.
+    pub doc: &'a Document,
+    /// Label paths the publication changed (`None` = unknown scope).
+    pub changed_paths: Option<&'a [Vec<String>]>,
+    /// The splices that turned the previous version into this one, in
+    /// application order (`None` = unknown delta).
+    pub splices: Option<&'a [SpliceOp]>,
+}
+
+/// A write-ahead observer of publications. The tap runs *inside* the
+/// publication critical section, before the new version becomes visible
+/// to any reader: whatever the tap persists is therefore ordered strictly
+/// before every read of the version it describes. Taps must not publish
+/// to the same document (deadlock) and should be quick — every publisher
+/// serializes behind them.
+pub trait PublicationTap: Send + Sync {
+    /// Called once per publication, in version order.
+    fn on_publish(&self, publication: &Publication<'_>);
+}
 
 /// A frozen version of a document: cheap to clone, never changes, stays
 /// readable even after newer versions are published.
@@ -126,21 +156,49 @@ impl History {
 /// replay the splice stream from their own watermarks
 /// ([`VersionedDocument::publications_since`]) — degrading soundly to a
 /// full-resync signal when the ring has evicted what they missed.
-#[derive(Debug)]
 pub struct VersionedDocument {
     current: RwLock<(u64, Arc<Document>)>,
     // lock order: `history` is only ever taken while holding `current`'s
     // write lock (publication) or nothing (catch-up); never the reverse.
     history: Mutex<History>,
+    // read while holding `current`'s write lock; set at wiring time
+    tap: Mutex<Option<Arc<dyn PublicationTap>>>,
+}
+
+impl std::fmt::Debug for VersionedDocument {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.current.read().expect("versioned document poisoned");
+        f.debug_struct("VersionedDocument")
+            .field("version", &g.0)
+            .field("nodes", &g.1.len())
+            .finish_non_exhaustive()
+    }
 }
 
 impl VersionedDocument {
     /// Wraps `doc` as version 0 (history disabled).
     pub fn new(doc: Document) -> Self {
+        Self::new_at(doc, 0)
+    }
+
+    /// Wraps `doc` at an explicit starting version — recovery rebuilds a
+    /// document chain that continues where the persisted log ended
+    /// instead of restarting at 0.
+    pub fn new_at(doc: Document, version: u64) -> Self {
         VersionedDocument {
-            current: RwLock::new((0, Arc::new(doc))),
-            history: Mutex::new(History::default()),
+            current: RwLock::new((version, Arc::new(doc))),
+            history: Mutex::new(History {
+                floor: version,
+                ..History::default()
+            }),
+            tap: Mutex::new(None),
         }
+    }
+
+    /// Attaches the write-ahead publication tap (replacing any previous
+    /// one). See [`PublicationTap`] for the ordering guarantee.
+    pub fn set_tap(&self, tap: Arc<dyn PublicationTap>) {
+        *self.tap.lock().expect("publication tap poisoned") = Some(tap);
     }
 
     /// Starts retaining the last `capacity` publications for subscriber
@@ -192,9 +250,12 @@ impl VersionedDocument {
     /// label paths (root → changed node) this publication touched, which
     /// subscribers use to skip versions provably outside their queries.
     pub fn publish_tagged(&self, doc: Document, changed_paths: Option<Vec<Vec<String>>>) -> u64 {
+        let mut doc = doc;
+        let splices = doc.take_splice_journal();
         let mut g = self.current.write().expect("versioned document poisoned");
         g.0 += 1;
         g.1 = Arc::new(doc);
+        self.tap_locked(g.0, &g.1, changed_paths.as_deref(), splices.as_deref());
         self.record_locked(g.0, &g.1, changed_paths);
         g.0
     }
@@ -216,14 +277,37 @@ impl VersionedDocument {
         doc: Document,
         changed_paths: Option<Vec<Vec<String>>>,
     ) -> Result<u64, u64> {
+        let mut doc = doc;
         let mut g = self.current.write().expect("versioned document poisoned");
         if g.0 != base_version {
             return Err(g.0);
         }
+        let splices = doc.take_splice_journal();
         g.0 += 1;
         g.1 = Arc::new(doc);
+        self.tap_locked(g.0, &g.1, changed_paths.as_deref(), splices.as_deref());
         self.record_locked(g.0, &g.1, changed_paths);
         Ok(g.0)
+    }
+
+    /// Runs the write-ahead tap inside the publication critical section:
+    /// the version the tap sees is not yet visible to any reader.
+    fn tap_locked(
+        &self,
+        version: u64,
+        doc: &Arc<Document>,
+        changed_paths: Option<&[Vec<String>]>,
+        splices: Option<&[SpliceOp]>,
+    ) {
+        let tap = self.tap.lock().expect("publication tap poisoned").clone();
+        if let Some(tap) = tap {
+            tap.on_publish(&Publication {
+                version,
+                doc,
+                changed_paths,
+                splices,
+            });
+        }
     }
 
     fn record_locked(&self, version: u64, doc: &Arc<Document>, paths: Option<Vec<Vec<String>>>) {

@@ -163,10 +163,34 @@ pub struct Document {
     buckets: std::collections::HashMap<u32, Arc<Vec<NodeId>>>,
     /// All live function-call nodes, in arbitrary order.
     call_list: Vec<NodeId>,
+    /// When `true`, [`Document::splice_call`] records every splice in
+    /// `journal_ops` so a durability layer can persist the delta between
+    /// two published versions instead of the whole document.
+    journal_on: bool,
+    /// Set by every *non-splice* structural mutation while the journal is
+    /// on: the journal alone no longer reproduces the document, so the
+    /// next [`Document::take_splice_journal`] must report "unknown delta".
+    journal_dirty: bool,
+    journal_ops: Vec<SpliceOp>,
 }
 
 /// A forest of AXML trees — the shape of a service-call result.
 pub type Forest = Document;
+
+/// One recorded splice: the consumed call's identity and the result forest
+/// that replaced it. A sequence of `SpliceOp`s applied (in order, via
+/// [`Document::splice_by_call_id`]) to the pre-state reproduces the
+/// post-state exactly — including the fresh [`CallId`]s assigned to calls
+/// inside the result, because splicing draws them deterministically from
+/// the document's monotone call counter. This is what the durability layer
+/// (`axml-store`) persists instead of whole documents.
+#[derive(Clone, Debug)]
+pub struct SpliceOp {
+    /// The call that was consumed.
+    pub call: CallId,
+    /// The forest spliced in its place.
+    pub result: Forest,
+}
 
 impl Document {
     /// An empty forest.
@@ -390,6 +414,7 @@ impl Document {
 
     /// Appends a new element child and returns its id.
     pub fn add_element(&mut self, parent: NodeId, label: impl Into<Label>) -> NodeId {
+        self.journal_dirty = true;
         let id = self.alloc(NodeKind::Element(label.into()), Some(parent));
         self.node_raw_mut(parent.index()).children.push(id);
         id
@@ -397,6 +422,7 @@ impl Document {
 
     /// Appends a new text child and returns its id.
     pub fn add_text(&mut self, parent: NodeId, value: impl Into<String>) -> NodeId {
+        self.journal_dirty = true;
         let id = self.alloc(NodeKind::Text(value.into()), Some(parent));
         self.node_raw_mut(parent.index()).children.push(id);
         id
@@ -405,6 +431,7 @@ impl Document {
     /// Appends a new function-call child and returns its id. A fresh
     /// [`CallId`] is assigned.
     pub fn add_call(&mut self, parent: NodeId, service: impl Into<Label>) -> NodeId {
+        self.journal_dirty = true;
         let cid = CallId(self.next_call);
         self.next_call += 1;
         let id = self.alloc(NodeKind::Call(cid, service.into()), Some(parent));
@@ -414,6 +441,7 @@ impl Document {
 
     /// Adds a new root element to the forest.
     pub fn add_root(&mut self, label: impl Into<Label>) -> NodeId {
+        self.journal_dirty = true;
         let id = self.alloc(NodeKind::Element(label.into()), None);
         self.roots.push(id);
         id
@@ -421,6 +449,7 @@ impl Document {
 
     /// Adds a new root text node to the forest.
     pub fn add_root_text(&mut self, value: impl Into<String>) -> NodeId {
+        self.journal_dirty = true;
         let id = self.alloc(NodeKind::Text(value.into()), None);
         self.roots.push(id);
         id
@@ -428,11 +457,90 @@ impl Document {
 
     /// Adds a new root function-call node to the forest.
     pub fn add_root_call(&mut self, service: impl Into<Label>) -> NodeId {
+        self.journal_dirty = true;
         let cid = CallId(self.next_call);
         self.next_call += 1;
         let id = self.alloc(NodeKind::Call(cid, service.into()), None);
         self.roots.push(id);
         id
+    }
+
+    /// Appends a function-call child carrying an *explicit* call id,
+    /// without advancing the call counter. Only the wire codec may use
+    /// this: decoding must reproduce ids exactly, and it restores the
+    /// counter separately via [`Document::set_next_call`].
+    pub(crate) fn add_call_with_id(
+        &mut self,
+        parent: NodeId,
+        service: &Label,
+        raw_id: u64,
+    ) -> NodeId {
+        self.journal_dirty = true;
+        let id = self.alloc(
+            NodeKind::Call(CallId(raw_id), service.clone()),
+            Some(parent),
+        );
+        self.node_raw_mut(parent.index()).children.push(id);
+        id
+    }
+
+    /// Root variant of [`Document::add_call_with_id`] (wire codec only).
+    pub(crate) fn add_root_call_with_id(&mut self, service: &Label, raw_id: u64) -> NodeId {
+        self.journal_dirty = true;
+        let id = self.alloc(NodeKind::Call(CallId(raw_id), service.clone()), None);
+        self.roots.push(id);
+        id
+    }
+
+    /// Restores the call counter (wire codec only; see
+    /// [`Document::add_call_with_id`]).
+    pub(crate) fn set_next_call(&mut self, next: u64) {
+        self.next_call = next;
+    }
+
+    /// Starts (or resets) the splice journal: from now on every
+    /// [`Document::splice_call`] is recorded, and every *other* structural
+    /// mutation marks the journal dirty. Pending entries and the dirty
+    /// flag are cleared.
+    pub fn enable_splice_journal(&mut self) {
+        self.journal_on = true;
+        self.journal_dirty = false;
+        self.journal_ops.clear();
+    }
+
+    /// Whether the splice journal is recording.
+    pub fn splice_journal_enabled(&self) -> bool {
+        self.journal_on
+    }
+
+    /// Declares the journal's pending delta unknown: the next
+    /// [`Document::take_splice_journal`] returns `None`, so a durable
+    /// publisher falls back to a full-snapshot record. For *rebasing*
+    /// publishers (e.g. subscription refresh, which re-materializes a
+    /// working copy from the original base document every round) whose
+    /// recorded splices are relative to that base rather than to the
+    /// predecessor version — replaying them from the predecessor would
+    /// corrupt recovery.
+    pub fn mark_journal_unknown(&mut self) {
+        self.journal_dirty = true;
+    }
+
+    /// Drains the splice journal: returns the splices applied since the
+    /// journal was last enabled or drained — or `None` when the journal is
+    /// off, or when a non-splice mutation made the delta unrepresentable
+    /// (the caller must then fall back to persisting the whole document).
+    /// Always resets the journal to clean and empty.
+    pub fn take_splice_journal(&mut self) -> Option<Vec<SpliceOp>> {
+        if !self.journal_on {
+            return None;
+        }
+        let dirty = std::mem::replace(&mut self.journal_dirty, false);
+        let ops = std::mem::take(&mut self.journal_ops);
+        if dirty {
+            None
+        } else {
+            Some(ops)
+        }
     }
 
     /// Pre-order iterator over a subtree (including `root` itself).
@@ -610,12 +718,14 @@ impl Document {
     /// Deep-copies the subtree rooted at `src_node` of another document as
     /// a new child of `parent` in this one. Call ids are re-assigned.
     pub fn append_copy(&mut self, parent: NodeId, src: &Document, src_node: NodeId) -> NodeId {
+        self.journal_dirty = true;
         self.copy_from(src, src_node, Some(parent))
     }
 
     /// Deep-copies the subtree rooted at `src_node` of another document as
     /// a new root of this forest. Call ids are re-assigned.
     pub fn append_copy_as_root(&mut self, src: &Document, src_node: NodeId) -> NodeId {
+        self.journal_dirty = true;
         let id = self.copy_from(src, src_node, None);
         self.roots.push(id);
         id
@@ -686,6 +796,13 @@ impl Document {
     pub fn splice_call(&mut self, call: NodeId, result: &Forest) -> Vec<NodeId> {
         assert!(self.is_alive(call), "splice on freed node");
         assert!(self.is_call(call), "splice on a non-function node");
+        if self.journal_on {
+            let (cid, _) = self.call_info(call).expect("asserted call node");
+            self.journal_ops.push(SpliceOp {
+                call: cid,
+                result: result.clone(),
+            });
+        }
         let parent = self.parent(call);
         let pos = self.sibling_index(call);
         self.free_subtree(call);
@@ -712,6 +829,15 @@ impl Document {
             }
         }
         inserted
+    }
+
+    /// Replays one recorded splice: finds the live node carrying `call`
+    /// and splices `result` in its place. Returns `None` (document
+    /// untouched) when no live node carries that id — replaying against
+    /// the wrong base state, which recovery treats as log corruption.
+    pub fn splice_by_call_id(&mut self, call: CallId, result: &Forest) -> Option<Vec<NodeId>> {
+        let node = self.find_call(call)?;
+        Some(self.splice_call(node, result))
     }
 
     /// Exhaustive structural integrity check, used by tests and property
@@ -1152,6 +1278,63 @@ mod tests {
         assert!(Arc::ptr_eq(&d.pages[0], &c2.pages[0]) || d.pages.len() == 1);
         d.check_integrity().unwrap();
         c2.check_integrity().unwrap();
+    }
+
+    #[test]
+    fn splice_journal_records_and_replays_exactly() {
+        let (mut d, _, call) = sample();
+        d.enable_splice_journal();
+        let mut base = d.clone(); // clone carries the journal state
+        let (cid, _) = d.call_info(call).unwrap();
+        let mut res = Forest::new();
+        let r = res.add_root("rating-value");
+        res.add_text(r, "*****");
+        res.add_root_call("getMore");
+        d.splice_call(call, &res);
+        let ops = d.take_splice_journal().expect("clean journal");
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].call, cid);
+        // replaying the journal on the pre-state reproduces the post-state,
+        // including the fresh call id drawn from the call counter
+        for op in &ops {
+            base.splice_by_call_id(op.call, &op.result).unwrap();
+        }
+        assert_eq!(
+            crate::serialize::to_xml(&base),
+            crate::serialize::to_xml(&d)
+        );
+        assert_eq!(base.next_call_id(), d.next_call_id());
+        let (a, _) = d.call_info(d.calls()[0]).unwrap();
+        let (b, _) = base.call_info(base.calls()[0]).unwrap();
+        assert_eq!(a, b);
+        // draining left the journal clean and empty
+        assert_eq!(d.take_splice_journal().expect("still clean").len(), 0);
+    }
+
+    #[test]
+    fn non_splice_mutations_dirty_the_journal() {
+        let (mut d, hotel, call) = sample();
+        d.enable_splice_journal();
+        d.splice_call(call, &Forest::new());
+        d.add_element(hotel, "annex");
+        // the delta is no longer pure splices: callers must snapshot
+        assert!(d.take_splice_journal().is_none());
+        // draining reset the journal: the next window is clean again
+        let c2 = d.add_call(hotel, "again");
+        assert!(d.take_splice_journal().is_none()); // add_call dirtied it
+        let (cid2, _) = d.call_info(c2).unwrap();
+        d.splice_call(c2, &Forest::new());
+        let ops = d.take_splice_journal().expect("clean window");
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].call, cid2);
+    }
+
+    #[test]
+    fn journal_disabled_reports_unknown_delta() {
+        let (mut d, _, call) = sample();
+        assert!(!d.splice_journal_enabled());
+        d.splice_call(call, &Forest::new());
+        assert!(d.take_splice_journal().is_none());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!              [--shed-inflight N] [--shed-ewma-ms X] \
 //!              [--cache-ttl-ms X] [--cache-capacity N] [--cache-bytes N] \
 //!              [--cache-shards N] \
+//!              [--durable DIR] [--checkpoint-every N] [--fsync always|never|every:N] \
 //!              [--quiet] [--stats] [--trace] [--trace-json PATH] [--trace-summary]
 //! axml subscribe --doc doc.xml --world world.xml \
 //!                --query Q1 [--query Q2 ...] [--horizon-ms X] \
@@ -29,6 +30,7 @@
 //!                [--cache-ttl-ms X] [--cache-capacity N] [--cache-bytes N] \
 //!                [--deltas-json PATH] [--quiet] [--stats] \
 //!                [--trace-json PATH] [--trace-summary]
+//! axml recover DIR                               # replay WALs, report per-doc
 //! axml validate --doc doc.xml --schema schema.txt
 //! axml termination --doc doc.xml --schema schema.txt
 //! axml materialize --doc doc.xml --world world.xml [--max-calls N]
@@ -47,7 +49,10 @@ use activexml::obs::{aggregate, to_jsonl, RingSink};
 use activexml::query::{construct_results, parse_query, render, EvalOptions, Pattern};
 use activexml::schema::{parse_schema, Schema};
 use activexml::services::{load_registry, FaultProfile, Registry};
-use activexml::store::{CacheConfig, CallCache, DocumentStore, PlanCacheConfig, SessionOptions};
+use activexml::store::{
+    CacheConfig, CallCache, DocumentStore, DurabilityOptions, FsDir, FsyncPolicy, LogDir,
+    PlanCacheConfig, RecoveryReport, SessionOptions,
+};
 use activexml::xml::{parse, to_xml_with, Document, SerializeOptions};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -118,6 +123,10 @@ fn run(args: Vec<String>) -> Result<(), String> {
         print_usage();
         return Ok(());
     };
+    if cmd == "recover" {
+        // `recover` takes its store directory as a positional argument.
+        return cmd_recover(rest);
+    }
     let opts = Opts::parse(rest)?;
     match cmd.as_str() {
         "query" => cmd_query(&opts),
@@ -147,7 +156,8 @@ fn print_usage() {
          \x20 validate     check a document against a schema\n\
          \x20 termination  static termination analysis of a document's calls\n\
          \x20 materialize  invoke every call to a fixpoint\n\
-         \x20 explain      print the LPQs, NFQs and layers of a query\n\n\
+         \x20 explain      print the LPQs, NFQs and layers of a query\n\
+         \x20 recover      replay a durable store's write-ahead logs and report\n\n\
          run `axml <command>` without options to see what it needs."
     );
 }
@@ -291,6 +301,129 @@ fn plan_config(opts: &Opts) -> Result<PlanCacheConfig, String> {
             .map_err(|_| format!("--plan-cache-capacity expects a number, got {v:?}"))?;
     }
     Ok(config)
+}
+
+/// Builds the durability configuration from `--checkpoint-every N`
+/// (publications between full-document checkpoints, 0 = never; default 8)
+/// and `--fsync always|never|every:N` (when appended WAL frames are
+/// acknowledged to disk; default `always`).
+fn durability_options(opts: &Opts) -> Result<DurabilityOptions, String> {
+    let mut options = DurabilityOptions::default();
+    if let Some(v) = opts.value("checkpoint-every") {
+        options.checkpoint_every = v
+            .parse()
+            .map_err(|_| format!("--checkpoint-every expects a count, got {v:?}"))?;
+    }
+    if let Some(v) = opts.value("fsync") {
+        options.fsync = FsyncPolicy::parse(v)?;
+    }
+    Ok(options)
+}
+
+/// Opens (or creates) the durable store behind `--durable DIR`.
+///
+/// A missing directory starts a fresh durable store. An existing
+/// directory with write-ahead logs is *recovered first* — replay stops at
+/// the first invalid frame, and an unrecoverable log (no intact
+/// checkpoint prefix) is a hard error with the offending file and offset,
+/// never a silently empty store.
+fn open_durable_store(opts: &Opts, dir: &str) -> Result<DocumentStore, String> {
+    let options = durability_options(opts)?;
+    let cache = cache_config(opts)?;
+    let plans = plan_config(opts)?;
+    let path = std::path::Path::new(dir);
+    let fs = if path.exists() {
+        FsDir::open(path).map_err(|e| e.to_string())?
+    } else {
+        FsDir::create(path).map_err(|e| e.to_string())?
+    };
+    if fs.list().map_err(|e| e.to_string())?.is_empty() {
+        return Ok(DocumentStore::durable_with_configs(
+            Box::new(fs),
+            options,
+            cache,
+            plans,
+        ));
+    }
+    let (store, report) = DocumentStore::recover_with_configs(Box::new(fs), options, cache, plans)
+        .map_err(|e| e.to_string())?;
+    if let Some(err) = report.first_error() {
+        return Err(err.to_string());
+    }
+    print_recovery_summary(&report);
+    Ok(store)
+}
+
+fn print_recovery_summary(report: &RecoveryReport) {
+    for d in &report.docs {
+        if let Some(err) = &d.error {
+            println!("-- {}: UNRECOVERABLE ({err})", d.name);
+            continue;
+        }
+        println!(
+            "-- recovered {}: v{} ({} frames, checkpoint v{}, {} splice(s) replayed{}{})",
+            d.name,
+            d.recovered_version,
+            d.frames,
+            d.checkpoint_version,
+            d.splices_replayed,
+            if d.watermarks.is_empty() {
+                String::new()
+            } else {
+                format!(", {} watermark(s)", d.watermarks.len())
+            },
+            match (&d.truncated_at, &d.truncate_reason) {
+                (Some(off), Some(reason)) => format!("; tail truncated at offset {off}: {reason}"),
+                _ => String::new(),
+            }
+        );
+    }
+    println!(
+        "== recovery: {} document(s), {} splice(s) replayed{}",
+        report.docs.len(),
+        report.splices_replayed(),
+        if report.any_truncated() {
+            ", torn tail discarded"
+        } else {
+            ", log intact"
+        }
+    );
+}
+
+/// `axml recover DIR` — replay the write-ahead logs of a durable store
+/// directory and report what survives, without serving anything. A torn
+/// tail (crash mid-append) is normal: recovery truncates it and exits 0.
+/// A missing directory, an empty one, or a log with no intact checkpoint
+/// prefix is an error: one-line diagnostic, nonzero exit.
+fn cmd_recover(args: &[String]) -> Result<(), String> {
+    let mut dir: Option<&str> = None;
+    let mut rest: Vec<String> = Vec::new();
+    for a in args {
+        if !a.starts_with("--") && dir.is_none() {
+            dir = Some(a);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    let Some(dir) = dir else {
+        return Err("usage: axml recover DIR [--checkpoint-every N] [--fsync MODE]".into());
+    };
+    let opts = Opts::parse(&rest)?;
+    let path = std::path::Path::new(dir);
+    if !path.is_dir() {
+        return Err(format!("store directory {dir:?} does not exist"));
+    }
+    let fs = FsDir::open(path).map_err(|e| e.to_string())?;
+    if fs.list().map_err(|e| e.to_string())?.is_empty() {
+        return Err(format!("no write-ahead logs in {dir:?}"));
+    }
+    let (_store, report) = DocumentStore::recover(Box::new(fs), durability_options(&opts)?)
+        .map_err(|e| e.to_string())?;
+    print_recovery_summary(&report);
+    if let Some(err) = report.first_error() {
+        return Err(err.to_string());
+    }
+    Ok(())
 }
 
 /// Whether any cache option was given (`--cache` alone enables the
@@ -528,8 +661,15 @@ fn cmd_session(opts: &Opts) -> Result<(), String> {
     };
 
     let ring = trace_collector(opts);
-    let mut store = DocumentStore::with_configs(cache_config(opts)?, plan_config(opts)?);
-    store.insert("doc", doc);
+    let mut store = match opts.value("durable") {
+        None => DocumentStore::with_configs(cache_config(opts)?, plan_config(opts)?),
+        Some(dir) => open_durable_store(opts, dir)?,
+    };
+    // A recovered store already holds the document at its pre-crash
+    // version; only a fresh store takes the `--doc` file as version 0.
+    if store.versioned("doc").is_none() {
+        store.insert("doc", doc);
+    }
 
     if sessions > 1 {
         return serve_sessions(opts, &store, &registry, schema.as_ref(), options, &queries);
@@ -598,6 +738,19 @@ fn cmd_session(opts: &Opts) -> Result<(), String> {
             store.plans().len()
         );
     }
+    if let Some(manager) = store.durability() {
+        let ds = manager.stats();
+        println!(
+            "== wal: {} append(s) ({} synced), {} checkpoint(s), acked v{}",
+            ds.appends,
+            ds.synced_appends,
+            ds.checkpoints,
+            manager.acked_version("doc").unwrap_or(0)
+        );
+        if let Some(err) = manager.failure("doc") {
+            return Err(format!("write-ahead log failed during session: {err}"));
+        }
+    }
     if let Some(r) = &ring {
         finish_trace(opts, r)?;
     }
@@ -664,8 +817,13 @@ fn cmd_subscribe(opts: &Opts) -> Result<(), String> {
     };
 
     let ring = trace_collector(opts);
-    let mut store = DocumentStore::with_cache_config(cache_config(opts)?);
-    store.insert("doc", doc);
+    let mut store = match opts.value("durable") {
+        None => DocumentStore::with_cache_config(cache_config(opts)?),
+        Some(dir) => open_durable_store(opts, dir)?,
+    };
+    if store.versioned("doc").is_none() {
+        store.insert("doc", doc);
+    }
     let mut engine =
         SubscriptionEngine::over_store(&store, "doc", &registry, schema.as_ref(), options)
             .expect("document just inserted");

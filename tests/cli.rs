@@ -465,3 +465,192 @@ fn session_traces_are_deterministic_with_a_warm_plan_cache() {
             .join("\n")
     );
 }
+
+/// `--durable DIR` persists the session's publications; a second run
+/// against the same directory recovers the materialized document and
+/// serves the same answer without re-invoking anything, and
+/// `axml recover` replays the log standalone.
+#[test]
+fn durable_session_recovers_across_runs() {
+    let t = TempFiles::new("durable");
+    let doc = t.write("doc.xml", DOC);
+    let world = t.write("world.xml", WORLD);
+    let store = t.dir.join("store").to_string_lossy().into_owned();
+    let run = || {
+        axml()
+            .args([
+                "session",
+                "--doc",
+                &doc,
+                "--world",
+                &world,
+                "--query",
+                QUERY,
+                "--persist",
+                "--durable",
+                &store,
+            ])
+            .output()
+            .unwrap()
+    };
+    let first = run();
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&first.stdout);
+    assert!(stdout.contains("In Delis"), "{stdout}");
+    assert!(stdout.contains("== wal:"), "{stdout}");
+    assert!(
+        !stdout.contains("== recovery:"),
+        "fresh dir must not recover"
+    );
+
+    let second = run();
+    assert!(
+        second.status.success(),
+        "{}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&second.stdout);
+    assert!(stdout.contains("== recovery:"), "{stdout}");
+    assert!(stdout.contains("-- recovered doc: v"), "{stdout}");
+    assert!(
+        stdout.contains("In Delis"),
+        "recovered state answers: {stdout}"
+    );
+    assert!(
+        stdout.contains("calls=0"),
+        "recovered materialized doc needs no re-invocation: {stdout}"
+    );
+
+    let out = axml().args(["recover", &store]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("== recovery:"), "{stdout}");
+    assert!(stdout.contains("log intact"), "{stdout}");
+}
+
+/// Satellite robustness contract: a missing store directory is a nonzero
+/// exit with a one-line diagnostic, and a corrupt log names the file and
+/// byte offset — the CLI never panics and never silently serves an empty
+/// store in place of data it failed to read.
+#[test]
+fn recover_missing_or_corrupt_store_fails_with_a_diagnostic() {
+    let t = TempFiles::new("recover-robust");
+    let missing = t.dir.join("nosuch").to_string_lossy().into_owned();
+    let out = axml().args(["recover", &missing]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("does not exist"), "{stderr}");
+
+    let empty = t.dir.join("empty").to_string_lossy().into_owned();
+    std::fs::create_dir_all(&empty).unwrap();
+    let out = axml().args(["recover", &empty]).output().unwrap();
+    assert!(!out.status.success(), "an empty dir has nothing to recover");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no write-ahead logs"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // A log that is garbage from byte 0 has no intact checkpoint prefix:
+    // both `recover` and a durable session must refuse with the offset.
+    let corrupt = t.dir.join("corrupt");
+    std::fs::create_dir_all(&corrupt).unwrap();
+    std::fs::write(corrupt.join("doc.wal"), b"this is not a wal").unwrap();
+    let corrupt = corrupt.to_string_lossy().into_owned();
+    let out = axml().args(["recover", &corrupt]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("doc.wal"), "{stderr}");
+    assert!(stderr.contains("offset 0"), "{stderr}");
+
+    let doc = t.write("doc.xml", DOC);
+    let world = t.write("world.xml", WORLD);
+    let out = axml()
+        .args([
+            "session",
+            "--doc",
+            &doc,
+            "--world",
+            &world,
+            "--query",
+            QUERY,
+            "--persist",
+            "--durable",
+            &corrupt,
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "a corrupt store must not serve");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("offset 0"), "{stderr}");
+    assert!(
+        !String::from_utf8_lossy(&out.stdout).contains("-- query"),
+        "must not evaluate over a store it failed to recover"
+    );
+}
+
+/// A torn tail (crash mid-append) is recoverable: replay stops at the
+/// first invalid frame, reports the offset, and exits 0 with everything
+/// acknowledged before it intact.
+#[test]
+fn recover_truncates_a_torn_tail_and_reports_the_offset() {
+    let t = TempFiles::new("torn-tail");
+    let doc = t.write("doc.xml", DOC);
+    let world = t.write("world.xml", WORLD);
+    let store = t.dir.join("store").to_string_lossy().into_owned();
+    let out = axml()
+        .args([
+            "session",
+            "--doc",
+            &doc,
+            "--world",
+            &world,
+            "--query",
+            QUERY,
+            "--persist",
+            "--durable",
+            &store,
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Tear the log: a partial frame header dangles past the good prefix.
+    let wal = std::path::Path::new(&store).join("doc.wal");
+    let good_len = std::fs::metadata(&wal).unwrap().len();
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes.extend_from_slice(&[0x55, 0x55, 0x55]);
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let out = axml().args(["recover", &store]).output().unwrap();
+    assert!(
+        out.status.success(),
+        "a torn tail is recoverable: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains(&format!("truncated at offset {good_len}")),
+        "{stdout}"
+    );
+    assert!(stdout.contains("torn tail discarded"), "{stdout}");
+
+    // Recovery truncated the file back to the acknowledged prefix, so a
+    // second replay sees an intact log (idempotence, through the CLI).
+    assert_eq!(std::fs::metadata(&wal).unwrap().len(), good_len);
+    let again = axml().args(["recover", &store]).output().unwrap();
+    assert!(again.status.success());
+    assert!(
+        String::from_utf8_lossy(&again.stdout).contains("log intact"),
+        "{}",
+        String::from_utf8_lossy(&again.stdout)
+    );
+}
